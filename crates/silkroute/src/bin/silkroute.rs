@@ -1,0 +1,306 @@
+//! `silkroute` — command-line front end for the middle-ware pipeline.
+//!
+//! ```text
+//! silkroute tree        [OPTS] VIEW     labeled view tree + derived DTD
+//! silkroute sql         [OPTS] VIEW     the SQL queries a plan generates
+//! silkroute materialize [OPTS] VIEW     write the XML document
+//! silkroute plan        [OPTS] VIEW     run the greedy planner (genPlan)
+//! silkroute bench       [OPTS] VIEW     time the canonical plans
+//!
+//! VIEW: a path to an RXL file, or the built-ins `query1` / `query2`.
+//! OPTS: --mb <size>          TPC-H database size in MB   [default 0.5]
+//!       --plan <spec>        unified | partitioned | outer-union | greedy
+//!                            | edges:<bits>              [default greedy]
+//!       --style <s>          outer-join | outer-union | with  [default outer-join]
+//!       --no-reduce          disable view-tree reduction
+//!       --out <file>         write the document to a file (materialize)
+//!       --pretty             indent the XML output (materialize)
+//! ```
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use silkroute::{
+    calibrated_params, gen_plan, run_plan, Oracle, PlanSpec, QueryStyle, Server,
+};
+use sr_sqlgen::generate_queries;
+use sr_tpch::Scale;
+use sr_viewtree::{EdgeSet, ViewTree};
+
+struct Opts {
+    command: String,
+    view: String,
+    mb: f64,
+    plan: String,
+    style: String,
+    reduce: bool,
+    out: Option<String>,
+    pretty: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: silkroute <tree|sql|materialize|plan|bench> [--mb N] [--plan SPEC] \
+         [--no-reduce] [--out FILE] [--pretty] <VIEW|query1|query2>"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Opts, ExitCode> {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        return Err(usage());
+    };
+    let mut opts = Opts {
+        command,
+        view: String::new(),
+        mb: 0.5,
+        plan: "greedy".into(),
+        style: "outer-join".into(),
+        reduce: true,
+        out: None,
+        pretty: false,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--mb" => {
+                opts.mb = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(usage)?;
+            }
+            "--plan" => opts.plan = args.next().ok_or_else(usage)?,
+            "--style" => opts.style = args.next().ok_or_else(usage)?,
+            "--no-reduce" => opts.reduce = false,
+            "--out" => opts.out = Some(args.next().ok_or_else(usage)?),
+            "--pretty" => opts.pretty = true,
+            other if !other.starts_with('-') && opts.view.is_empty() => {
+                opts.view = other.to_string();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return Err(usage());
+            }
+        }
+    }
+    if opts.view.is_empty() {
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+fn load_view(opts: &Opts, db: &sr_data::Database) -> Result<ViewTree, String> {
+    match opts.view.as_str() {
+        "query1" => Ok(silkroute::query1_tree(db)),
+        "query2" => Ok(silkroute::query2_tree(db)),
+        path => {
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let q = sr_rxl::parse(&src).map_err(|e| format!("parse error: {e}"))?;
+            sr_viewtree::build(&q, db).map_err(|e| format!("build error: {e}"))
+        }
+    }
+}
+
+fn resolve_plan(opts: &Opts, tree: &ViewTree, server: &Server) -> Result<PlanSpec, String> {
+    let style = match opts.style.as_str() {
+        "outer-join" => QueryStyle::OuterJoin,
+        "outer-union" => QueryStyle::OuterUnion,
+        "with" => QueryStyle::OuterJoinWith,
+        other => return Err(format!("unknown style: {other}")),
+    };
+    let spec = match opts.plan.as_str() {
+        "unified" => PlanSpec {
+            edges: EdgeSet::full(tree),
+            reduce: opts.reduce,
+            style,
+        },
+        "partitioned" => PlanSpec {
+            edges: EdgeSet::empty(),
+            reduce: opts.reduce,
+            style,
+        },
+        "outer-union" => PlanSpec::sorted_outer_union(tree),
+        "greedy" => {
+            let oracle = Oracle::new(server, calibrated_params(Scale::mb(opts.mb)));
+            let r = gen_plan(tree, server.database(), &oracle, opts.reduce)
+                .map_err(|e| format!("genPlan failed: {e}"))?;
+            PlanSpec {
+                edges: r.recommended(),
+                reduce: opts.reduce,
+                style,
+            }
+        }
+        other => match other.strip_prefix("edges:") {
+            Some(bits) => PlanSpec {
+                edges: EdgeSet::from_bits(
+                    bits.parse().map_err(|e| format!("bad edge bits: {e}"))?,
+                ),
+                reduce: opts.reduce,
+                style,
+            },
+            None => return Err(format!("unknown plan spec: {other}")),
+        },
+    };
+    Ok(spec)
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args().map_err(|_| String::new())?;
+    let db = sr_tpch::generate(Scale::mb(opts.mb)).map_err(|e| e.to_string())?;
+    let server = Server::new(Arc::new(db));
+    let tree = load_view(&opts, server.database())?;
+
+    match opts.command.as_str() {
+        "tree" => {
+            println!(
+                "view tree: {} nodes, {} edges, {} possible plans\n",
+                tree.nodes.len(),
+                tree.edge_count(),
+                1u64 << tree.edge_count()
+            );
+            print!("{}", tree.render());
+            println!("\nderived DTD:\n{}", sr_viewtree::to_dtd(&tree));
+        }
+        "sql" => {
+            let spec = resolve_plan(&opts, &tree, &server)?;
+            let queries = generate_queries(&tree, server.database(), spec)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "plan edges={} reduce={} → {} SQL quer{}:\n",
+                spec.edges,
+                spec.reduce,
+                queries.len(),
+                if queries.len() == 1 { "y" } else { "ies" }
+            );
+            for (i, q) in queries.iter().enumerate() {
+                println!(
+                    "-- stream {} (component {}):\n{}",
+                    i + 1,
+                    tree.node(q.component.root).skolem_name(),
+                    q.sql
+                );
+                match server.estimate_sql(&q.sql) {
+                    Ok(est) => println!(
+                        "-- estimate: {:.0} rows, {:.0} eval units, {:.0} bytes\n",
+                        est.cardinality,
+                        est.eval_cost,
+                        est.data_size()
+                    ),
+                    Err(e) => println!("-- estimate unavailable: {e}\n"),
+                }
+            }
+        }
+        "materialize" => {
+            let spec = resolve_plan(&opts, &tree, &server)?;
+            let queries = generate_queries(&tree, server.database(), spec)
+                .map_err(|e| e.to_string())?;
+            let mut inputs = Vec::new();
+            let mut sqls = Vec::new();
+            for q in queries {
+                let stream = server.execute_sql(&q.sql).map_err(|e| e.to_string())?;
+                sqls.push(q.sql);
+                inputs.push(sr_tagger::StreamInput {
+                    schema: stream.schema.clone(),
+                    rows: sr_tagger::RowSource::Stream(stream),
+                    reduced: q.reduced,
+                });
+            }
+            let sink: Box<dyn std::io::Write> = match &opts.out {
+                Some(path) => Box::new(std::io::BufWriter::new(
+                    std::fs::File::create(path).map_err(|e| e.to_string())?,
+                )),
+                None => Box::new(std::io::stdout().lock()),
+            };
+            let (stats, mut sink) =
+                sr_tagger::tag_streams(&tree, inputs, sink, opts.pretty)
+                    .map_err(|e| e.to_string())?;
+            let _ = sink.flush();
+            eprintln!(
+                "\nmaterialized {} elements / {} bytes from {} tuple(s) over {} stream(s)",
+                stats.elements,
+                stats.bytes,
+                stats.tuples,
+                sqls.len()
+            );
+        }
+        "plan" => {
+            let oracle = Oracle::new(&server, calibrated_params(Scale::mb(opts.mb)));
+            let r = gen_plan(&tree, server.database(), &oracle, opts.reduce)
+                .map_err(|e| e.to_string())?;
+            println!("genPlan (reduce={}):", opts.reduce);
+            for c in &r.trace {
+                println!(
+                    "  picked edge {} ({} → <{}>): relative cost {:.0} [{}]",
+                    c.edge,
+                    tree.node(c.edge).skolem_name(),
+                    tree.node(c.edge).tag,
+                    c.relative_cost,
+                    if c.mandatory { "mandatory" } else { "optional" }
+                );
+            }
+            println!(
+                "\nmandatory={} optional={} → {} plans; recommended edges={}",
+                r.mandatory,
+                r.optional,
+                r.plans().len(),
+                r.recommended()
+            );
+            println!(
+                "oracle requests: {} (worst case |E|² = {})",
+                r.oracle_requests,
+                tree.edge_count() * tree.edge_count()
+            );
+        }
+        "bench" => {
+            let specs = [
+                ("greedy", resolve_plan(&opts, &tree, &server)?),
+                (
+                    "unified",
+                    PlanSpec {
+                        edges: EdgeSet::full(&tree),
+                        reduce: opts.reduce,
+                        style: QueryStyle::OuterJoin,
+                    },
+                ),
+                ("outer-union", PlanSpec::sorted_outer_union(&tree)),
+                (
+                    "partitioned",
+                    PlanSpec {
+                        edges: EdgeSet::empty(),
+                        reduce: opts.reduce,
+                        style: QueryStyle::OuterJoin,
+                    },
+                ),
+            ];
+            println!(
+                "{:>14} {:>8} {:>12} {:>12} {:>10}",
+                "plan", "streams", "query (ms)", "total (ms)", "tuples"
+            );
+            for (label, spec) in specs {
+                let m = run_plan(&tree, &server, spec, None).map_err(|e| e.to_string())?;
+                println!(
+                    "{label:>14} {:>8} {:>12.1} {:>12.1} {:>10}",
+                    m.streams, m.query_ms, m.total_ms, m.tuples
+                );
+            }
+        }
+        other => {
+            return Err(format!("unknown command: {other}"));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! The measurement harness behind the paper's §4/§5 experiments.
+//!
+//! Timing model (matching the paper's definitions):
+//!
+//! * **query time** — server-side work per stream: parse + plan + execute +
+//!   encode, summed over the plan's streams. The paper's "time until the
+//!   first tuple is read" is equivalent because every generated query ends
+//!   in a sort, so no tuple is available before execution finishes.
+//! * **total time** — wall-clock from submitting the first SQL query until
+//!   the tagger has consumed the last tuple (i.e. query time plus decode /
+//!   bind / merge / tag work — the "transfer" share).
+
+use std::io;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use sr_engine::{EngineError, Server};
+use sr_sqlgen::{generate_queries, PlanSpec, QueryStyle};
+use sr_tagger::{tag_streams, RowSource, StreamInput, TagError};
+use sr_viewtree::{EdgeSet, ViewTree};
+
+/// One measured plan execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Included-edge bits of the plan.
+    pub edge_bits: u64,
+    /// Number of SQL queries / tuple streams.
+    pub streams: usize,
+    /// Whether view-tree reduction was applied.
+    pub reduce: bool,
+    /// `"outer-join"` or `"outer-union"`.
+    pub style: String,
+    /// Server-side query time, milliseconds.
+    pub query_ms: f64,
+    /// End-to-end time (query + transfer + tagging), milliseconds.
+    pub total_ms: f64,
+    /// Tuples transferred.
+    pub tuples: u64,
+    /// Wire bytes transferred.
+    pub wire_bytes: u64,
+    /// XML bytes produced.
+    pub xml_bytes: u64,
+    /// Whether any stream hit the per-query timeout ("no time reported" in
+    /// the paper's figures).
+    pub timed_out: bool,
+}
+
+fn style_name(style: QueryStyle) -> String {
+    match style {
+        QueryStyle::OuterJoin => "outer-join".to_string(),
+        QueryStyle::OuterUnion => "outer-union".to_string(),
+        QueryStyle::OuterJoinWith => "outer-join-with".to_string(),
+    }
+}
+
+/// Execute one plan and measure it. Timeouts produce a `Measurement` with
+/// `timed_out = true` rather than an error.
+pub fn run_plan(
+    tree: &ViewTree,
+    server: &Server,
+    spec: PlanSpec,
+    timeout: Option<Duration>,
+) -> Result<Measurement, TagError> {
+    let queries = generate_queries(tree, server.database(), spec)?;
+    let streams = queries.len();
+    let start = Instant::now();
+    let mut query_time = Duration::ZERO;
+    let mut wire_bytes = 0u64;
+    let mut inputs = Vec::with_capacity(streams);
+    for q in queries {
+        // Apply the per-query timeout the way the paper did: a query that
+        // exceeds it voids the plan's measurement.
+        let result = server.execute_sql(&q.sql);
+        let stream = match (result, timeout) {
+            (Ok(s), Some(limit)) if s.query_time > limit => {
+                return Ok(timed_out_measurement(tree, spec, streams));
+            }
+            (Ok(s), _) => s,
+            (Err(EngineError::Timeout { .. }), _) => {
+                return Ok(timed_out_measurement(tree, spec, streams));
+            }
+            (Err(e), _) => return Err(e.into()),
+        };
+        query_time += stream.query_time;
+        wire_bytes += stream.byte_size as u64;
+        inputs.push(StreamInput {
+            schema: stream.schema.clone(),
+            rows: RowSource::Stream(stream),
+            reduced: q.reduced,
+        });
+    }
+    let (stats, _) = tag_streams(tree, inputs, io::sink(), false)?;
+    let total = start.elapsed();
+    Ok(Measurement {
+        edge_bits: spec.edges.bits(),
+        streams,
+        reduce: spec.reduce,
+        style: style_name(spec.style),
+        query_ms: query_time.as_secs_f64() * 1e3,
+        total_ms: total.as_secs_f64() * 1e3,
+        tuples: stats.tuples,
+        wire_bytes,
+        xml_bytes: stats.bytes,
+        timed_out: false,
+    })
+}
+
+fn timed_out_measurement(tree: &ViewTree, spec: PlanSpec, streams: usize) -> Measurement {
+    let _ = tree;
+    Measurement {
+        edge_bits: spec.edges.bits(),
+        streams,
+        reduce: spec.reduce,
+        style: style_name(spec.style),
+        query_ms: f64::NAN,
+        total_ms: f64::NAN,
+        tuples: 0,
+        wire_bytes: 0,
+        xml_bytes: 0,
+        timed_out: true,
+    }
+}
+
+/// Measure every plan in the `2^|E|` space (the paper's Config-A sweeps,
+/// Figs. 13–14). Returns measurements in edge-bit order.
+pub fn sweep_all_plans(
+    tree: &ViewTree,
+    server: &Server,
+    reduce: bool,
+    style: QueryStyle,
+    timeout: Option<Duration>,
+) -> Result<Vec<Measurement>, TagError> {
+    let mut out = Vec::with_capacity(1 << tree.edge_count());
+    for edges in sr_viewtree::all_edge_sets(tree) {
+        let spec = PlanSpec {
+            edges,
+            reduce,
+            style,
+        };
+        out.push(run_plan(tree, server, spec, timeout)?);
+    }
+    Ok(out)
+}
+
+/// Measure one named plan family member with a fixed spec; convenience for
+/// the benchmark tables.
+pub fn measure(
+    tree: &ViewTree,
+    server: &Server,
+    edges: EdgeSet,
+    reduce: bool,
+    style: QueryStyle,
+) -> Result<Measurement, TagError> {
+    run_plan(
+        tree,
+        server,
+        PlanSpec {
+            edges,
+            reduce,
+            style,
+        },
+        None,
+    )
+}
+
+/// Summary statistics over a sweep, per stream count — the shape of the
+/// Figs. 13–15 scatter plots.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamBucket {
+    /// Number of tuple streams.
+    pub streams: usize,
+    /// Plans measured (excluding timeouts).
+    pub plans: usize,
+    /// Timeouts.
+    pub timeouts: usize,
+    /// Fastest query time (ms).
+    pub min_query_ms: f64,
+    /// Median query time (ms).
+    pub median_query_ms: f64,
+    /// Fastest total time (ms).
+    pub min_total_ms: f64,
+    /// Median total time (ms).
+    pub median_total_ms: f64,
+}
+
+/// Bucket a sweep by stream count.
+pub fn bucket_by_streams(measurements: &[Measurement]) -> Vec<StreamBucket> {
+    let max_streams = measurements.iter().map(|m| m.streams).max().unwrap_or(0);
+    let mut buckets = Vec::new();
+    for s in 1..=max_streams {
+        let group: Vec<&Measurement> = measurements.iter().filter(|m| m.streams == s).collect();
+        if group.is_empty() {
+            continue;
+        }
+        let timeouts = group.iter().filter(|m| m.timed_out).count();
+        let mut q: Vec<f64> = group
+            .iter()
+            .filter(|m| !m.timed_out)
+            .map(|m| m.query_ms)
+            .collect();
+        let mut t: Vec<f64> = group
+            .iter()
+            .filter(|m| !m.timed_out)
+            .map(|m| m.total_ms)
+            .collect();
+        if q.is_empty() {
+            continue;
+        }
+        q.sort_by(f64::total_cmp);
+        t.sort_by(f64::total_cmp);
+        buckets.push(StreamBucket {
+            streams: s,
+            plans: q.len(),
+            timeouts,
+            min_query_ms: q[0],
+            median_query_ms: q[q.len() / 2],
+            min_total_ms: t[0],
+            median_total_ms: t[t.len() / 2],
+        });
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::query2_tree;
+    use sr_tpch::{generate, Scale};
+    use std::sync::Arc;
+
+    fn server() -> Server {
+        Server::new(Arc::new(generate(Scale::mb(0.05)).unwrap()))
+    }
+
+    #[test]
+    fn run_plan_produces_sane_measurement() {
+        let server = server();
+        let tree = query2_tree(server.database());
+        let m = run_plan(&tree, &server, PlanSpec::unified(&tree), None).unwrap();
+        assert_eq!(m.streams, 1);
+        assert!(!m.timed_out);
+        assert!(m.query_ms >= 0.0);
+        assert!(m.total_ms >= m.query_ms, "total includes query time");
+        assert!(m.tuples > 0);
+        assert!(m.wire_bytes > 0);
+        assert!(m.xml_bytes > 0);
+    }
+
+    #[test]
+    fn zero_timeout_reports_timed_out() {
+        let server = server();
+        let tree = query2_tree(server.database());
+        let m = run_plan(
+            &tree,
+            &server,
+            PlanSpec::unified(&tree),
+            Some(Duration::ZERO),
+        )
+        .unwrap();
+        assert!(m.timed_out);
+        assert!(m.query_ms.is_nan());
+    }
+
+    #[test]
+    fn buckets_cover_stream_counts() {
+        let server = server();
+        let tree = query2_tree(server.database());
+        // Small sub-sweep: fully partitioned, unified, and one mid plan.
+        let ms = vec![
+            run_plan(&tree, &server, PlanSpec::fully_partitioned(), None).unwrap(),
+            run_plan(&tree, &server, PlanSpec::unified(&tree), None).unwrap(),
+        ];
+        let buckets = bucket_by_streams(&ms);
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].streams, 1);
+        assert_eq!(buckets[1].streams, 10);
+    }
+}

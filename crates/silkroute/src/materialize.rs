@@ -1,0 +1,266 @@
+//! End-to-end materialization: RXL view + plan → SQL → server → tagger →
+//! XML document.
+//!
+//! This is the full middle-ware loop of the paper's Fig. 7: partition the
+//! view tree, generate one SQL *string* per component, ship each to the
+//! server, read back the sorted tuple streams, and merge + tag them into
+//! the document.
+
+use std::io::Write;
+
+use sr_engine::Server;
+use sr_sqlgen::{generate_queries, PlanSpec};
+use sr_tagger::{tag_streams, RowSource, StreamInput, TagError, TagStats};
+use sr_viewtree::ViewTree;
+
+/// Result of a materialization.
+#[derive(Debug, Clone)]
+pub struct Materialization {
+    /// Number of SQL queries / tuple streams.
+    pub streams: usize,
+    /// The SQL text of each stream, in stream order.
+    pub sql: Vec<String>,
+    /// Tagger statistics (tuples, elements, bytes, peak stack).
+    pub stats: TagStats,
+}
+
+/// Materialize a view into `out` using the given plan.
+pub fn materialize<W: Write>(
+    tree: &ViewTree,
+    server: &Server,
+    spec: PlanSpec,
+    out: W,
+) -> Result<(Materialization, W), TagError> {
+    let queries = generate_queries(tree, server.database(), spec)?;
+    let mut sql = Vec::with_capacity(queries.len());
+    let mut inputs = Vec::with_capacity(queries.len());
+    for q in queries {
+        let stream = server.execute_sql(&q.sql)?;
+        sql.push(q.sql);
+        inputs.push(StreamInput {
+            schema: stream.schema.clone(),
+            rows: RowSource::Stream(stream),
+            reduced: q.reduced,
+        });
+    }
+    let streams = inputs.len();
+    let (stats, out) = tag_streams(tree, inputs, out, false)?;
+    Ok((
+        Materialization {
+            streams,
+            sql,
+            stats,
+        },
+        out,
+    ))
+}
+
+/// Materialize a view with all SQL queries executed **concurrently**, one
+/// server worker per stream — the middle-ware client opening several
+/// connections at once. The tagger still consumes the streams in document
+/// order; only server-side execution overlaps.
+pub fn materialize_parallel<W: Write>(
+    tree: &ViewTree,
+    server: &Server,
+    spec: PlanSpec,
+    out: W,
+) -> Result<(Materialization, W), TagError> {
+    let queries = generate_queries(tree, server.database(), spec)?;
+    let sql: Vec<String> = queries.iter().map(|q| q.sql.clone()).collect();
+    let results = server.execute_all_parallel(&sql);
+    let mut inputs = Vec::with_capacity(queries.len());
+    for (q, result) in queries.into_iter().zip(results) {
+        let stream = result?;
+        inputs.push(StreamInput {
+            schema: stream.schema.clone(),
+            rows: RowSource::Stream(stream),
+            reduced: q.reduced,
+        });
+    }
+    let streams = inputs.len();
+    let (stats, out) = tag_streams(tree, inputs, out, false)?;
+    Ok((
+        Materialization {
+            streams,
+            sql,
+            stats,
+        },
+        out,
+    ))
+}
+
+/// Materialize only the **fragment** of the view under root elements whose
+/// key variables equal the given values (paper §7: "a user query requests
+/// only a subset of the XML view, and the result document is small"). The
+/// filter is applied inside every component query and pushed down to base
+/// scans by the server.
+pub fn materialize_fragment<W: Write>(
+    tree: &ViewTree,
+    server: &Server,
+    spec: PlanSpec,
+    root_filter: &[(sr_viewtree::VarId, sr_data::Value)],
+    out: W,
+) -> Result<(Materialization, W), TagError> {
+    let queries =
+        sr_sqlgen::generate_queries_filtered(tree, server.database(), spec, root_filter)?;
+    let mut sql = Vec::with_capacity(queries.len());
+    let mut inputs = Vec::with_capacity(queries.len());
+    for q in queries {
+        let stream = server.execute_sql(&q.sql)?;
+        sql.push(q.sql);
+        inputs.push(StreamInput {
+            schema: stream.schema.clone(),
+            rows: RowSource::Stream(stream),
+            reduced: q.reduced,
+        });
+    }
+    let streams = inputs.len();
+    let (stats, out) = tag_streams(tree, inputs, out, false)?;
+    Ok((
+        Materialization {
+            streams,
+            sql,
+            stats,
+        },
+        out,
+    ))
+}
+
+/// Materialize into a `String` (convenience for tests and examples).
+pub fn materialize_to_string(
+    tree: &ViewTree,
+    server: &Server,
+    spec: PlanSpec,
+) -> Result<(Materialization, String), TagError> {
+    let (m, bytes) = materialize(tree, server, spec, Vec::new())?;
+    let s = String::from_utf8(bytes)
+        .map_err(|e| TagError::Structure(format!("non-utf8 output: {e}")))?;
+    Ok((m, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{query1_tree, query2_tree};
+    use sr_sqlgen::QueryStyle;
+    use sr_tpch::{generate, Scale};
+    use sr_viewtree::EdgeSet;
+    use std::sync::Arc;
+
+    fn server() -> Server {
+        Server::new(Arc::new(generate(Scale::mb(0.1)).unwrap()))
+    }
+
+    #[test]
+    fn query1_materializes_under_default_plans() {
+        let server = server();
+        let tree = query1_tree(server.database());
+        let (unified, xml_u) =
+            materialize_to_string(&tree, &server, PlanSpec::unified(&tree)).unwrap();
+        assert_eq!(unified.streams, 1);
+        let (part, xml_p) =
+            materialize_to_string(&tree, &server, PlanSpec::fully_partitioned()).unwrap();
+        assert_eq!(part.streams, 10);
+        assert_eq!(xml_u, xml_p, "unified and fully partitioned agree");
+        assert!(xml_u.starts_with("<supplier>"));
+        assert!(xml_u.contains("<order>"));
+        assert!(xml_u.contains("<region>"));
+        assert!(
+            unified.stats.max_open_depth <= tree.max_level(),
+            "constant-space bound"
+        );
+    }
+
+    #[test]
+    fn query2_all_default_plans_agree() {
+        let server = server();
+        let tree = query2_tree(server.database());
+        let mut outputs = Vec::new();
+        for spec in [
+            PlanSpec::unified(&tree),
+            PlanSpec::fully_partitioned(),
+            PlanSpec::sorted_outer_union(&tree),
+            PlanSpec {
+                edges: EdgeSet::full(&tree),
+                reduce: false,
+                style: QueryStyle::OuterJoin,
+            },
+        ] {
+            let (_, xml) = materialize_to_string(&tree, &server, spec).unwrap();
+            outputs.push(xml);
+        }
+        assert!(outputs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn fragment_export_selects_one_supplier() {
+        let server = server();
+        let tree = query1_tree(server.database());
+        let (_, full) =
+            materialize_to_string(&tree, &server, PlanSpec::unified(&tree)).unwrap();
+        // Filter on the root key suppkey = 3.
+        let suppkey_var = tree.node(tree.root()).key_args[0];
+        let filter = [(suppkey_var, sr_data::Value::Int(1))];
+        for spec in [PlanSpec::unified(&tree), PlanSpec::fully_partitioned()] {
+            let (m, bytes) =
+                materialize_fragment(&tree, &server, spec, &filter, Vec::new()).unwrap();
+            let fragment = String::from_utf8(bytes).unwrap();
+            assert_eq!(fragment.matches("<supplier>").count(), 1);
+            assert!(m.stats.tuples > 0);
+            // The fragment is a contiguous substring of the full document
+            // (one supplier element, with all its content).
+            assert!(
+                full.contains(&fragment),
+                "fragment not found in full document"
+            );
+            // The generated SQL carries the filter.
+            assert!(m.sql.iter().all(|s| s.contains("= 1")), "{:?}", m.sql);
+        }
+    }
+
+    #[test]
+    fn fragment_filter_on_non_root_key_rejected() {
+        let server = server();
+        let tree = query1_tree(server.database());
+        // A non-root variable (e.g. partkey) must be rejected.
+        let part_node = tree
+            .nodes
+            .iter()
+            .find(|n| n.tag == "part")
+            .expect("part node");
+        let partkey = *part_node.key_args.last().unwrap();
+        let err = sr_sqlgen::generate_queries_filtered(
+            &tree,
+            server.database(),
+            PlanSpec::unified(&tree),
+            &[(partkey, sr_data::Value::Int(1))],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not a root key"), "{err}");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let server = server();
+        let tree = query1_tree(server.database());
+        for spec in [PlanSpec::fully_partitioned(), PlanSpec::unified(&tree)] {
+            let (seq_info, seq) = materialize_to_string(&tree, &server, spec).unwrap();
+            let (par_info, par_bytes) =
+                materialize_parallel(&tree, &server, spec, Vec::new()).unwrap();
+            let par = String::from_utf8(par_bytes).unwrap();
+            assert_eq!(seq, par);
+            assert_eq!(seq_info.streams, par_info.streams);
+            assert_eq!(seq_info.stats.tuples, par_info.stats.tuples);
+        }
+    }
+
+    #[test]
+    fn sql_strings_are_reported() {
+        let server = server();
+        let tree = query1_tree(server.database());
+        let (m, _) =
+            materialize_to_string(&tree, &server, PlanSpec::fully_partitioned()).unwrap();
+        assert_eq!(m.sql.len(), 10);
+        assert!(m.sql.iter().all(|s| s.contains("ORDER BY")));
+    }
+}

@@ -1,0 +1,203 @@
+//! The paper's two benchmark view queries.
+//!
+//! **Query 1** is Fig. 3: the full TPC-H supplier view, whose view tree
+//! (Fig. 6) has 10 nodes / 9 edges — two `*` edges *chained* (order nested
+//! under part). **Query 2** (Fig. 12) is identical except the order block
+//! is a child of supplier, making the two `*` edges *parallel*.
+//!
+//! Element structure follows the paper's DTD prose: a supplier element
+//! contains its name, its nation, the geographical region of the nation,
+//! and its parts; an order element contains an orderkey, the associated
+//! customer, and the customer's nation (all as sibling children).
+//!
+//! Note on order identity: LineItem's key is `(orderkey, partkey,
+//! suppkey)`, so the automatically introduced Skolem term for the order
+//! element in Query 2 contains `(suppkey, orderkey, partkey)` — an order
+//! appears once per part it orders from the supplier, matching RXL's
+//! per-binding semantics.
+
+use sr_data::Database;
+use sr_rxl::RxlQuery;
+use sr_viewtree::ViewTree;
+
+/// RXL source of Query 1 (Fig. 3).
+pub const QUERY1_RXL: &str = r#"
+from Supplier $s
+construct
+  <supplier>
+    <name>$s.name</name>
+    { from Nation $n
+      where $s.nationkey = $n.nationkey
+      construct <nation>$n.name</nation> }
+    { from Nation $n2, Region $r
+      where $s.nationkey = $n2.nationkey, $n2.regionkey = $r.regionkey
+      construct <region>$r.name</region> }
+    { from PartSupp $ps, Part $p
+      where $s.suppkey = $ps.suppkey, $ps.partkey = $p.partkey
+      construct
+        <part>
+          <name>$p.name</name>
+          { from LineItem $l, Orders $o
+            where $ps.partkey = $l.partkey, $ps.suppkey = $l.suppkey,
+                  $l.orderkey = $o.orderkey
+            construct
+              <order>
+                <orderkey>$o.orderkey</orderkey>
+                { from Customer $c
+                  where $o.custkey = $c.custkey
+                  construct <customer>$c.name</customer> }
+                { from Customer $c2, Nation $n3
+                  where $o.custkey = $c2.custkey, $c2.nationkey = $n3.nationkey
+                  construct <nation>$n3.name</nation> }
+              </order> }
+        </part> }
+  </supplier>
+"#;
+
+/// RXL source of Query 2 (the Fig. 12 variant: order under supplier).
+pub const QUERY2_RXL: &str = r#"
+from Supplier $s
+construct
+  <supplier>
+    <name>$s.name</name>
+    { from Nation $n
+      where $s.nationkey = $n.nationkey
+      construct <nation>$n.name</nation> }
+    { from Nation $n2, Region $r
+      where $s.nationkey = $n2.nationkey, $n2.regionkey = $r.regionkey
+      construct <region>$r.name</region> }
+    { from PartSupp $ps, Part $p
+      where $s.suppkey = $ps.suppkey, $ps.partkey = $p.partkey
+      construct
+        <part>
+          <name>$p.name</name>
+        </part> }
+    { from LineItem $l, Orders $o
+      where $s.suppkey = $l.suppkey, $l.orderkey = $o.orderkey
+      construct
+        <order>
+          <orderkey>$o.orderkey</orderkey>
+          { from Customer $c
+            where $o.custkey = $c.custkey
+            construct <customer>$c.name</customer> }
+          { from Customer $c2, Nation $n3
+            where $o.custkey = $c2.custkey, $c2.nationkey = $n3.nationkey
+            construct <nation>$n3.name</nation> }
+        </order> }
+  </supplier>
+"#;
+
+/// Parse Query 1.
+pub fn query1() -> RxlQuery {
+    sr_rxl::parse(QUERY1_RXL).expect("Query 1 parses")
+}
+
+/// Parse Query 2.
+pub fn query2() -> RxlQuery {
+    sr_rxl::parse(QUERY2_RXL).expect("Query 2 parses")
+}
+
+/// Build Query 1's labeled view tree against a database.
+pub fn query1_tree(db: &Database) -> ViewTree {
+    sr_viewtree::build(&query1(), db).expect("Query 1 builds")
+}
+
+/// Build Query 2's labeled view tree against a database.
+pub fn query2_tree(db: &Database) -> ViewTree {
+    sr_viewtree::build(&query2(), db).expect("Query 2 builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_tpch::{generate, Scale};
+    use sr_viewtree::Mult;
+
+    #[test]
+    fn query1_tree_matches_fig6() {
+        let db = generate(Scale::mb(0.05)).unwrap();
+        let t = query1_tree(&db);
+        assert_eq!(t.nodes.len(), 10, "10 nodes");
+        assert_eq!(t.edge_count(), 9, "9 edges ⇒ 512 plans");
+        // Root has 4 children: name, nation, region, part.
+        let root = t.node(0);
+        assert_eq!(root.children.len(), 4);
+        let labels: Vec<Mult> = root.children.iter().map(|&c| t.node(c).label).collect();
+        assert_eq!(
+            labels,
+            vec![Mult::One, Mult::One, Mult::One, Mult::ZeroOrMore],
+            "\n{}",
+            t.render()
+        );
+        // part has children name (1) and order (*): the chained `*` edges.
+        let part = t.node(root.children[3]);
+        assert_eq!(part.tag, "part");
+        assert_eq!(part.children.len(), 2);
+        assert_eq!(t.node(part.children[0]).label, Mult::One);
+        assert_eq!(t.node(part.children[1]).label, Mult::ZeroOrMore);
+        // order has 3 `1` children.
+        let order = t.node(part.children[1]);
+        assert_eq!(order.children.len(), 3);
+        assert!(order
+            .children
+            .iter()
+            .all(|&c| t.node(c).label == Mult::One));
+        // SFI names match Fig. 6.
+        assert_eq!(order.skolem_name(), "S1.4.2");
+        assert_eq!(t.node(order.children[2]).skolem_name(), "S1.4.2.3");
+    }
+
+    #[test]
+    fn query2_tree_matches_fig12() {
+        let db = generate(Scale::mb(0.05)).unwrap();
+        let t = query2_tree(&db);
+        assert_eq!(t.nodes.len(), 10);
+        assert_eq!(t.edge_count(), 9);
+        let root = t.node(0);
+        assert_eq!(root.children.len(), 5, "Fig. 12: five children of S1");
+        // The two `*` edges are parallel: part (S1.4) and order (S1.5).
+        let part = t.node(root.children[3]);
+        let order = t.node(root.children[4]);
+        assert_eq!(part.tag, "part");
+        assert_eq!(order.tag, "order");
+        assert_eq!(part.label, Mult::ZeroOrMore);
+        assert_eq!(order.label, Mult::ZeroOrMore);
+        assert_eq!(order.skolem_name(), "S1.5");
+        assert_eq!(part.children.len(), 1);
+        assert_eq!(order.children.len(), 3);
+    }
+
+    #[test]
+    fn queries_validate_against_tpch() {
+        let db = generate(Scale::mb(0.05)).unwrap();
+        assert!(sr_rxl::validate(&query1(), &db).is_ok());
+        assert!(sr_rxl::validate(&query2(), &db).is_ok());
+    }
+
+    #[test]
+    fn query1_dtd_matches_fig2() {
+        // The DTD derived from Query 1's labeled view tree is the paper's
+        // Fig. 2 (modulo the paper's two same-named nation elements, which
+        // share one declaration here).
+        let db = generate(Scale::mb(0.05)).unwrap();
+        let t = query1_tree(&db);
+        assert_eq!(
+            sr_viewtree::to_dtd(&t),
+            "<!ELEMENT supplier (name, nation, region, part*)>\n\
+             <!ELEMENT name (#PCDATA)>\n\
+             <!ELEMENT nation (#PCDATA)>\n\
+             <!ELEMENT region (#PCDATA)>\n\
+             <!ELEMENT part (name, order*)>\n\
+             <!ELEMENT order (orderkey, customer, nation)>\n\
+             <!ELEMENT orderkey (#PCDATA)>\n\
+             <!ELEMENT customer (#PCDATA)>\n"
+        );
+    }
+
+    #[test]
+    fn pretty_roundtrip() {
+        let q1 = query1();
+        let again = sr_rxl::parse(&sr_rxl::pretty(&q1)).unwrap();
+        assert_eq!(q1, again);
+    }
+}

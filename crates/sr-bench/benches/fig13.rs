@@ -1,0 +1,72 @@
+//! **Figure 13** — Query 1, Configuration A: execution times of all 512
+//! plans, plotted against the number of tuple streams per plan.
+//!
+//! Panels: (a) query-only time without view-tree reduction, (b) query-only
+//! time with reduction, (c) total time with reduction. The paper reports:
+//! non-reduced — outer-union 16% and fully-partitioned 24% slower than
+//! optimal; reduced — the ten fastest reduced plans 2.5× faster than the
+//! ten fastest non-reduced ones, optimal 2.6–4.3× faster than outer-union
+//! and fully partitioned; 101 plans timed out (5-minute limit).
+
+use silkroute::{query1_tree, sweep_all_plans, QueryStyle};
+use sr_bench::{markers, min_by, print_panel, setup, write_csv};
+
+fn main() {
+    println!("=== Figure 13: Query 1, Configuration A (512-plan sweep) ===\n");
+    let config = silkroute::Config::a();
+    let server = setup(&config);
+    let tree = query1_tree(server.database());
+    assert_eq!(tree.edge_count(), 9);
+    let timeout = Some(config.timeout);
+
+    println!("sweeping 512 plans without reduction…");
+    let plain = sweep_all_plans(&tree, &server, false, QueryStyle::OuterJoin, timeout)
+        .expect("non-reduced sweep");
+    println!("sweeping 512 plans with reduction…\n");
+    let reduced = sweep_all_plans(&tree, &server, true, QueryStyle::OuterJoin, timeout)
+        .expect("reduced sweep");
+
+    let mk_plain = markers(&tree, &server, false, timeout);
+    let mk_reduced = markers(&tree, &server, true, timeout);
+
+    print_panel("(a) query time, non-reduced", &plain, &mk_plain, true);
+    print_panel("(b) query time, with reduction", &reduced, &mk_reduced, true);
+    print_panel("(c) total time, with reduction", &reduced, &mk_reduced, false);
+
+    // The paper's headline cross-panel ratio: ten fastest reduced vs ten
+    // fastest non-reduced (query time).
+    let top10 = |ms: &[silkroute::Measurement]| -> f64 {
+        let mut q: Vec<f64> = ms
+            .iter()
+            .filter(|m| !m.timed_out)
+            .map(|m| m.query_ms)
+            .collect();
+        q.sort_by(f64::total_cmp);
+        q.iter().take(10).sum::<f64>() / 10.0
+    };
+    println!(
+        "ten fastest reduced vs non-reduced (query time): {:.2}x (paper: ~2.5x)",
+        top10(&plain) / top10(&reduced)
+    );
+    let (best_total, _) = min_by(&reduced, |m| m.total_ms);
+    println!(
+        "total time: outer-union {:.2}x optimal (paper: 4x), partitioned {:.2}x (paper: 3x)",
+        mk_reduced.unified_ou.total_ms / best_total,
+        mk_reduced.partitioned.total_ms / best_total
+    );
+
+    write_csv("fig13_nonreduced", &plain);
+    write_csv("fig13_reduced", &reduced);
+    sr_bench::svg::write_svg(
+        "fig13a",
+        &sr_bench::svg::scatter_svg("Query 1, Config A: query time (non-reduced)", &plain, &mk_plain, true),
+    );
+    sr_bench::svg::write_svg(
+        "fig13b",
+        &sr_bench::svg::scatter_svg("Query 1, Config A: query time (reduced)", &reduced, &mk_reduced, true),
+    );
+    sr_bench::svg::write_svg(
+        "fig13c",
+        &sr_bench::svg::scatter_svg("Query 1, Config A: total time (reduced)", &reduced, &mk_reduced, false),
+    );
+}

@@ -1,0 +1,67 @@
+//! **Figure 14** — Query 2, Configuration A: the 512-plan sweep for the
+//! parallel-`*` variant (order block under supplier).
+//!
+//! Paper: non-reduced — outer-union 21% and fully-partitioned 41% slower
+//! than optimal; reduced — optimal 2.6–4.3× faster than outer-union and
+//! fully partitioned; no plans timed out.
+
+use silkroute::{query2_tree, sweep_all_plans, QueryStyle};
+use sr_bench::{markers, min_by, print_panel, setup, write_csv};
+
+fn main() {
+    println!("=== Figure 14: Query 2, Configuration A (512-plan sweep) ===\n");
+    let config = silkroute::Config::a();
+    let server = setup(&config);
+    let tree = query2_tree(server.database());
+    assert_eq!(tree.edge_count(), 9);
+    let timeout = Some(config.timeout);
+
+    println!("sweeping 512 plans without reduction…");
+    let plain = sweep_all_plans(&tree, &server, false, QueryStyle::OuterJoin, timeout)
+        .expect("non-reduced sweep");
+    println!("sweeping 512 plans with reduction…\n");
+    let reduced = sweep_all_plans(&tree, &server, true, QueryStyle::OuterJoin, timeout)
+        .expect("reduced sweep");
+
+    let mk_plain = markers(&tree, &server, false, timeout);
+    let mk_reduced = markers(&tree, &server, true, timeout);
+
+    print_panel("(a) query time, non-reduced", &plain, &mk_plain, true);
+    print_panel("(b) query time, with reduction", &reduced, &mk_reduced, true);
+    print_panel("(c) total time, with reduction", &reduced, &mk_reduced, false);
+
+    let top10 = |ms: &[silkroute::Measurement]| -> f64 {
+        let mut q: Vec<f64> = ms
+            .iter()
+            .filter(|m| !m.timed_out)
+            .map(|m| m.query_ms)
+            .collect();
+        q.sort_by(f64::total_cmp);
+        q.iter().take(10).sum::<f64>() / 10.0
+    };
+    println!(
+        "ten fastest reduced vs non-reduced (query time): {:.2}x (paper: ~2.5x)",
+        top10(&plain) / top10(&reduced)
+    );
+    let (best_total, _) = min_by(&reduced, |m| m.total_ms);
+    println!(
+        "total time: outer-union {:.2}x optimal (paper: 4.8x), partitioned {:.2}x (paper: 3.7x)",
+        mk_reduced.unified_ou.total_ms / best_total,
+        mk_reduced.partitioned.total_ms / best_total
+    );
+
+    write_csv("fig14_nonreduced", &plain);
+    write_csv("fig14_reduced", &reduced);
+    sr_bench::svg::write_svg(
+        "fig14a",
+        &sr_bench::svg::scatter_svg("Query 2, Config A: query time (non-reduced)", &plain, &mk_plain, true),
+    );
+    sr_bench::svg::write_svg(
+        "fig14b",
+        &sr_bench::svg::scatter_svg("Query 2, Config A: query time (reduced)", &reduced, &mk_reduced, true),
+    );
+    sr_bench::svg::write_svg(
+        "fig14c",
+        &sr_bench::svg::scatter_svg("Query 2, Config A: total time (reduced)", &reduced, &mk_reduced, false),
+    );
+}

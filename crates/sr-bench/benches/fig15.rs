@@ -1,0 +1,109 @@
+//! **Figure 15** — Configuration B, with view-tree reduction: the plans the
+//! greedy algorithm generates, compared against the unified outer-union and
+//! fully partitioned defaults (exhaustively sweeping 512 plans is not
+//! feasible at this size; the paper did the same).
+//!
+//! Paper: Query 1 — outer-union 5× and fully-partitioned 2.4× slower than
+//! the best generated plan (query time); Query 2 — 4.7× and 2.6×. Total
+//! times: outer-union 4.6×, partitioned 3.1×.
+
+use silkroute::{
+    calibrated_params, gen_plan, run_plan, Measurement, Oracle, PlanSpec, QueryStyle,
+};
+use sr_bench::{setup, write_csv};
+use sr_viewtree::EdgeSet;
+
+fn main() {
+    println!("=== Figure 15: Configuration B, greedy plans vs defaults ===\n");
+    let config = silkroute::Config::b();
+    let server = setup(&config);
+
+    for (name, tree) in [
+        ("Query 1", silkroute::query1_tree(server.database())),
+        ("Query 2", silkroute::query2_tree(server.database())),
+    ] {
+        println!("--- {name} ---");
+        let oracle = Oracle::new(&server, calibrated_params(config.scale));
+        let greedy = gen_plan(&tree, server.database(), &oracle, true).expect("genPlan");
+        let plans = greedy.plans();
+        println!(
+            "genPlan: mandatory={} optional={} → {} plans ({} oracle requests)",
+            greedy.mandatory,
+            greedy.optional,
+            plans.len(),
+            greedy.oracle_requests
+        );
+
+        let mut all: Vec<Measurement> = Vec::new();
+        println!(
+            "{:>14} {:>8} {:>12} {:>12}",
+            "edges", "streams", "query (ms)", "total (ms)"
+        );
+        for edges in &plans {
+            let m = run_plan(
+                &tree,
+                &server,
+                PlanSpec {
+                    edges: *edges,
+                    reduce: true,
+                    style: QueryStyle::OuterJoin,
+                },
+                None,
+            )
+            .expect("greedy plan");
+            println!(
+                "{:>14} {:>8} {:>12.1} {:>12.1}",
+                edges.to_string(),
+                m.streams,
+                m.query_ms,
+                m.total_ms
+            );
+            all.push(m);
+        }
+        let best_q = all
+            .iter()
+            .map(|m| m.query_ms)
+            .fold(f64::INFINITY, f64::min);
+        let best_t = all
+            .iter()
+            .map(|m| m.total_ms)
+            .fold(f64::INFINITY, f64::min);
+
+        let ou = run_plan(&tree, &server, PlanSpec::sorted_outer_union(&tree), None)
+            .expect("outer-union");
+        let fp = run_plan(&tree, &server, PlanSpec::fully_partitioned(), None)
+            .expect("fully partitioned");
+        let uoj = run_plan(
+            &tree,
+            &server,
+            PlanSpec {
+                edges: EdgeSet::full(&tree),
+                reduce: true,
+                style: QueryStyle::OuterJoin,
+            },
+            None,
+        )
+        .expect("unified outer-join");
+        for (label, m) in [
+            ("unified outer-union", &ou),
+            ("unified outer-join", &uoj),
+            ("fully partitioned", &fp),
+        ] {
+            println!(
+                "{label:>22}: query {:>9.1} ms ({:.2}x best), total {:>9.1} ms ({:.2}x best)",
+                m.query_ms,
+                m.query_ms / best_q,
+                m.total_ms,
+                m.total_ms / best_t
+            );
+            all.push(m.clone());
+        }
+        println!(
+            "paper ({name}): outer-union ~5x / 4.6x, fully partitioned ~2.4-2.6x / 3.1x slower than best\n"
+        );
+        write_csv(
+            &format!("fig15_{}", name.to_lowercase().replace(' ', "")),
+            &all,
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Criterion microbenchmarks for the substrate components: hash joins,
+//! sorting, wire encode/decode, SQL parsing+binding, RXL parsing, view-tree
+//! construction, FD closure, and end-to-end tagging throughput.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use silkroute::{materialize, query1_tree, PlanSpec, Server};
+use sr_data::constraints::{fd_closure, FunctionalDependency};
+use sr_engine::sql::plan_sql;
+use sr_engine::{execute, JoinKind, Plan};
+use sr_tpch::{generate, Scale};
+
+fn bench_engine(c: &mut Criterion) {
+    let db = generate(Scale::mb(0.5)).expect("db");
+    let join = Plan::scan("LineItem", "l").join(
+        Plan::scan("Orders", "o"),
+        JoinKind::Inner,
+        vec![("l_orderkey".into(), "o_orderkey".into())],
+    );
+    c.bench_function("engine/hash_join_lineitem_orders", |b| {
+        b.iter(|| execute(&join, &db).expect("join"))
+    });
+
+    let sort = Plan::scan("LineItem", "l").sort(vec![
+        "l_suppkey".into(),
+        "l_partkey".into(),
+        "l_orderkey".into(),
+    ]);
+    c.bench_function("engine/sort_lineitem_3keys", |b| {
+        b.iter(|| execute(&sort, &db).expect("sort"))
+    });
+
+    let rows = execute(&Plan::scan("LineItem", "l"), &db).expect("scan").rows;
+    c.bench_function("wire/encode_lineitem", |b| {
+        b.iter(|| sr_engine::wire::encode_rows(&rows))
+    });
+    let encoded = sr_engine::wire::encode_rows(&rows);
+    c.bench_function("wire/decode_lineitem", |b| {
+        b.iter_batched(
+            || encoded.clone(),
+            |mut buf| {
+                let mut n = 0usize;
+                while sr_engine::wire::decode_row(&mut buf).expect("decode").is_some() {
+                    n += 1;
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let sql = "SELECT s.suppkey AS k, n.name AS nn FROM Supplier s, Nation n \
+               WHERE s.nationkey = n.nationkey ORDER BY k";
+    c.bench_function("sql/parse_and_bind", |b| {
+        b.iter(|| plan_sql(sql, &db).expect("bind"))
+    });
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let db = generate(Scale::mb(0.1)).expect("db");
+    c.bench_function("rxl/parse_query1", |b| {
+        b.iter(|| sr_rxl::parse(silkroute::QUERY1_RXL).expect("parse"))
+    });
+    let q1 = silkroute::query1();
+    c.bench_function("viewtree/build_and_label_query1", |b| {
+        b.iter(|| sr_viewtree::build(&q1, &db).expect("build"))
+    });
+    let fds: Vec<FunctionalDependency> = (0..30)
+        .map(|i| FunctionalDependency::new(&[&format!("a{i}")], &[&format!("a{}", i + 1)]))
+        .collect();
+    c.bench_function("fd/closure_chain30", |b| {
+        b.iter(|| fd_closure(&["a0".to_string()], &fds))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let server = Server::new(Arc::new(generate(Scale::mb(0.5)).expect("db")));
+    let tree = query1_tree(server.database());
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    group.bench_function("materialize_q1_unified_0.5mb", |b| {
+        b.iter(|| {
+            materialize(&tree, &server, PlanSpec::unified(&tree), std::io::sink())
+                .expect("materialize")
+        })
+    });
+    group.bench_function("materialize_q1_partitioned_0.5mb", |b| {
+        b.iter(|| {
+            materialize(
+                &tree,
+                &server,
+                PlanSpec::fully_partitioned(),
+                std::io::sink(),
+            )
+            .expect("materialize")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_frontend, bench_pipeline);
+criterion_main!(benches);

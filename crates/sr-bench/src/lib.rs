@@ -1,0 +1,154 @@
+//! Shared infrastructure for the benchmark harness.
+//!
+//! Each `benches/*.rs` target regenerates one table or figure of the paper
+//! ("Efficient Evaluation of XML Middle-ware Queries", SIGMOD 2001) and
+//! prints both the measured rows/series and the paper's reported values for
+//! side-by-side comparison. EXPERIMENTS.md records a captured run.
+
+pub mod svg;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use silkroute::{Config, Measurement, Server};
+use sr_tpch::generate;
+use sr_viewtree::{EdgeSet, ViewTree};
+
+/// Build a server for a configuration, printing the Table-1-style header.
+pub fn setup(config: &Config) -> Server {
+    println!("{}", config.describe());
+    let t = std::time::Instant::now();
+    let db = generate(config.scale).expect("TPC-H generation");
+    println!(
+        "database: {} rows, {} bytes (generated in {:?})\n",
+        db.row_count(),
+        db.byte_size(),
+        t.elapsed()
+    );
+    Server::new(Arc::new(db))
+}
+
+/// The plan-family measurements the figures mark specially.
+pub struct Markers {
+    /// Unified outer-join plan (1 stream).
+    pub unified_oj: Measurement,
+    /// Unified sorted outer-union plan (\[9\]).
+    pub unified_ou: Measurement,
+    /// Fully partitioned plan (one stream per node).
+    pub partitioned: Measurement,
+}
+
+/// Measure the marker plans for a tree.
+pub fn markers(
+    tree: &ViewTree,
+    server: &Server,
+    reduce: bool,
+    timeout: Option<Duration>,
+) -> Markers {
+    use silkroute::{run_plan, PlanSpec, QueryStyle};
+    let run = |edges: EdgeSet, style: QueryStyle| {
+        run_plan(
+            tree,
+            server,
+            PlanSpec {
+                edges,
+                reduce,
+                style,
+            },
+            timeout,
+        )
+        .expect("marker plan")
+    };
+    // The outer-union marker is the \[9\] baseline: always non-reduced,
+    // regardless of the panel's reduction setting.
+    let unified_ou = silkroute::run_plan(
+        tree,
+        server,
+        silkroute::PlanSpec::sorted_outer_union(tree),
+        timeout,
+    )
+    .expect("outer-union baseline");
+    Markers {
+        unified_oj: run(EdgeSet::full(tree), QueryStyle::OuterJoin),
+        unified_ou,
+        partitioned: run(EdgeSet::empty(), QueryStyle::OuterJoin),
+    }
+}
+
+/// Minimum of a measurement field over non-timed-out plans.
+pub fn min_by(ms: &[Measurement], f: impl Fn(&Measurement) -> f64) -> (f64, u64) {
+    ms.iter()
+        .filter(|m| !m.timed_out)
+        .map(|m| (f(m), m.edge_bits))
+        .min_by(|a, b| a.0.total_cmp(&b.0))
+        .expect("non-empty sweep")
+}
+
+/// Render one figure panel: per-stream-count min/median times plus markers.
+pub fn print_panel(title: &str, sweep: &[Measurement], markers: &Markers, query_time: bool) {
+    let pick = |m: &Measurement| if query_time { m.query_ms } else { m.total_ms };
+    println!("--- {title} ---");
+    println!(
+        "{:>8} {:>6} {:>12} {:>12} {:>9}",
+        "streams", "plans", "min (ms)", "median (ms)", "timeouts"
+    );
+    for b in silkroute::bucket_by_streams(sweep) {
+        let (min, med) = if query_time {
+            (b.min_query_ms, b.median_query_ms)
+        } else {
+            (b.min_total_ms, b.median_total_ms)
+        };
+        println!(
+            "{:>8} {:>6} {:>12.1} {:>12.1} {:>9}",
+            b.streams, b.plans, min, med, b.timeouts
+        );
+    }
+    let (best, best_bits) = min_by(sweep, pick);
+    let timeouts = sweep.iter().filter(|m| m.timed_out).count();
+    println!(
+        "optimal plan: edges={} at {:.1} ms; {timeouts} plan(s) timed out",
+        EdgeSet::from_bits(best_bits),
+        best
+    );
+    println!(
+        "unified outer-join : {:>10.1} ms ({:.2}x optimal)",
+        pick(&markers.unified_oj),
+        pick(&markers.unified_oj) / best
+    );
+    println!(
+        "unified outer-union: {:>10.1} ms ({:.2}x optimal)",
+        pick(&markers.unified_ou),
+        pick(&markers.unified_ou) / best
+    );
+    println!(
+        "fully partitioned  : {:>10.1} ms ({:.2}x optimal)\n",
+        pick(&markers.partitioned),
+        pick(&markers.partitioned) / best
+    );
+}
+
+/// Write a CSV of a sweep next to the bench output for offline plotting.
+pub fn write_csv(name: &str, sweep: &[Measurement]) {
+    let dir = std::path::Path::new("target/bench-results");
+    let _ = std::fs::create_dir_all(dir);
+    let mut out =
+        String::from("edge_bits,streams,reduce,style,query_ms,total_ms,tuples,wire_bytes,timed_out\n");
+    for m in sweep {
+        out.push_str(&format!(
+            "{},{},{},{},{:.3},{:.3},{},{},{}\n",
+            m.edge_bits,
+            m.streams,
+            m.reduce,
+            m.style,
+            m.query_ms,
+            m.total_ms,
+            m.tuples,
+            m.wire_bytes,
+            m.timed_out
+        ));
+    }
+    let path = dir.join(format!("{name}.csv"));
+    if std::fs::write(&path, out).is_ok() {
+        println!("(raw data written to {})\n", path.display());
+    }
+}

@@ -1,0 +1,224 @@
+//! Minimal SVG scatter plots mirroring the paper's figures: execution time
+//! (log scale) vs. number of tuple streams per plan, with the unified
+//! outer-join, outer-union and fully-partitioned plans marked.
+
+use std::fmt::Write as _;
+
+use silkroute::Measurement;
+
+/// One marked point.
+struct Marked<'a> {
+    label: &'a str,
+    streams: usize,
+    ms: f64,
+    color: &'a str,
+}
+
+/// Render a Fig. 13/14-style panel to SVG. `query_time` picks the metric.
+pub fn scatter_svg(
+    title: &str,
+    sweep: &[Measurement],
+    markers: &crate::Markers,
+    query_time: bool,
+) -> String {
+    let pick = |m: &Measurement| if query_time { m.query_ms } else { m.total_ms };
+    let points: Vec<(usize, f64)> = sweep
+        .iter()
+        .filter(|m| !m.timed_out)
+        .map(|m| (m.streams, pick(m)))
+        .collect();
+    let marked = [
+        Marked {
+            label: "unified outer-join",
+            streams: markers.unified_oj.streams,
+            ms: pick(&markers.unified_oj),
+            color: "#d62728",
+        },
+        Marked {
+            label: "unified outer-union",
+            streams: markers.unified_ou.streams,
+            ms: pick(&markers.unified_ou),
+            color: "#1f77b4",
+        },
+        Marked {
+            label: "fully partitioned",
+            streams: markers.partitioned.streams,
+            ms: pick(&markers.partitioned),
+            color: "#2ca02c",
+        },
+    ];
+
+    let (w, h) = (520.0, 360.0);
+    let (ml, mr, mt, mb) = (64.0, 16.0, 34.0, 46.0);
+    let max_streams = points.iter().map(|p| p.0).max().unwrap_or(10) as f64;
+    let y_min = points
+        .iter()
+        .map(|p| p.1)
+        .fold(f64::INFINITY, f64::min)
+        .max(1e-3);
+    let y_max = points
+        .iter()
+        .map(|p| p.1)
+        .fold(0.0f64, f64::max)
+        .max(marked.iter().map(|m| m.ms).fold(0.0, f64::max));
+    let (ly0, ly1) = ((y_min * 0.8).log10(), (y_max * 1.25).log10());
+
+    let x = |s: f64| ml + (s - 0.5) / max_streams * (w - ml - mr);
+    let y = |ms: f64| {
+        let t = (ms.log10() - ly0) / (ly1 - ly0);
+        h - mb - t * (h - mt - mb)
+    };
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{w}" height="{h}" fill="white"/><text x="{}" y="20" font-family="sans-serif" font-size="14" text-anchor="middle">{title}</text>"#,
+        w / 2.0
+    );
+    // Axes.
+    let _ = write!(
+        svg,
+        r#"<line x1="{ml}" y1="{}" x2="{}" y2="{}" stroke="black"/><line x1="{ml}" y1="{mt}" x2="{ml}" y2="{}" stroke="black"/>"#,
+        h - mb,
+        w - mr,
+        h - mb,
+        h - mb
+    );
+    // X ticks at each stream count.
+    for s in 1..=(max_streams as usize) {
+        let xs = x(s as f64);
+        let _ = write!(
+            svg,
+            r#"<line x1="{xs}" y1="{}" x2="{xs}" y2="{}" stroke="black"/><text x="{xs}" y="{}" font-family="sans-serif" font-size="10" text-anchor="middle">{s}</text>"#,
+            h - mb,
+            h - mb + 4.0,
+            h - mb + 16.0
+        );
+    }
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="{}" font-family="sans-serif" font-size="11" text-anchor="middle">SQL queries (tuple streams) per plan</text>"#,
+        (ml + w - mr) / 2.0,
+        h - 10.0
+    );
+    // Y ticks at powers of ten (and halves).
+    let mut decade = ly0.floor() as i32;
+    while (decade as f64) <= ly1 {
+        let v = 10f64.powi(decade);
+        if v.log10() >= ly0 {
+            let ys = y(v);
+            let _ = write!(
+                svg,
+                r##"<line x1="{}" y1="{ys}" x2="{ml}" y2="{ys}" stroke="black"/><text x="{}" y="{}" font-family="sans-serif" font-size="10" text-anchor="end">{v}</text><line x1="{ml}" y1="{ys}" x2="{}" y2="{ys}" stroke="#dddddd"/>"##,
+                ml - 4.0,
+                ml - 6.0,
+                ys + 3.0,
+                w - mr
+            );
+        }
+        decade += 1;
+    }
+    let _ = write!(
+        svg,
+        r#"<text x="14" y="{}" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 14 {})">time (ms)</text>"#,
+        (mt + h - mb) / 2.0,
+        (mt + h - mb) / 2.0
+    );
+    // Plan points.
+    for (s, ms) in &points {
+        let _ = write!(
+            svg,
+            r##"<circle cx="{:.1}" cy="{:.1}" r="2" fill="#555555" fill-opacity="0.45"/>"##,
+            x(*s as f64),
+            y(*ms)
+        );
+    }
+    // Markers + legend.
+    for (i, m) in marked.iter().enumerate() {
+        let _ = write!(
+            svg,
+            r#"<circle cx="{:.1}" cy="{:.1}" r="5" fill="none" stroke="{}" stroke-width="2"/>"#,
+            x(m.streams as f64),
+            y(m.ms),
+            m.color
+        );
+        let ly = mt + 6.0 + i as f64 * 14.0;
+        let _ = write!(
+            svg,
+            r#"<circle cx="{}" cy="{ly}" r="4" fill="none" stroke="{}" stroke-width="2"/><text x="{}" y="{}" font-family="sans-serif" font-size="10">{}</text>"#,
+            w - mr - 150.0,
+            m.color,
+            w - mr - 142.0,
+            ly + 3.0,
+            m.label
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Write a panel SVG into `target/bench-results/`.
+pub fn write_svg(name: &str, svg: &str) {
+    let dir = std::path::Path::new("target/bench-results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!("{name}.svg"));
+    if std::fs::write(&path, svg).is_ok() {
+        println!("(figure written to {})", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Markers;
+
+    fn meas(streams: usize, ms: f64) -> Measurement {
+        Measurement {
+            edge_bits: 0,
+            streams,
+            reduce: true,
+            style: "outer-join".into(),
+            query_ms: ms,
+            total_ms: ms * 1.4,
+            tuples: 10,
+            wire_bytes: 100,
+            xml_bytes: 100,
+            timed_out: false,
+        }
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let sweep: Vec<Measurement> = (1..=10).map(|s| meas(s, 10.0 + s as f64)).collect();
+        let markers = Markers {
+            unified_oj: meas(1, 25.0),
+            unified_ou: meas(1, 40.0),
+            partitioned: meas(10, 30.0),
+        };
+        let svg = scatter_svg("test panel", &sweep, &markers, true);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 10 + 3 + 3, "points + markers + legend");
+        assert!(svg.contains("test panel"));
+        // No NaN coordinates.
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn timed_out_plans_are_skipped() {
+        let mut sweep: Vec<Measurement> = (1..=5).map(|s| meas(s, 10.0)).collect();
+        sweep[2].timed_out = true;
+        sweep[2].query_ms = f64::NAN;
+        let markers = Markers {
+            unified_oj: meas(1, 25.0),
+            unified_ou: meas(1, 40.0),
+            partitioned: meas(5, 30.0),
+        };
+        let svg = scatter_svg("t", &sweep, &markers, true);
+        assert!(!svg.contains("NaN"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type shared across the data layer.
+
+use std::fmt;
+
+/// Errors raised by the data layer (schema violations, unknown names, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// A referenced column does not exist in a schema.
+    UnknownColumn(String),
+    /// Two columns with the same name in one schema.
+    DuplicateColumn(String),
+    /// A row's arity or value types do not match the schema.
+    SchemaMismatch(String),
+    /// A declared key is violated by the data.
+    KeyViolation(String),
+    /// A declared constraint references a missing column/table.
+    BadConstraint(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            DataError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            DataError::DuplicateColumn(c) => write!(f, "duplicate column: {c}"),
+            DataError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            DataError::KeyViolation(m) => write!(f, "key violation: {m}"),
+            DataError::BadConstraint(m) => write!(f, "bad constraint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            DataError::UnknownTable("Foo".into()).to_string(),
+            "unknown table: Foo"
+        );
+        assert_eq!(
+            DataError::KeyViolation("dup".into()).to_string(),
+            "key violation: dup"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Rows: fixed-arity sequences of [`Value`]s.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// A row of values.
+///
+/// Rows are immutable once built and share their storage behind an [`Arc`],
+/// so the fan-out-heavy operators (hash join build sides, outer unions)
+/// can duplicate rows in O(1). Use [`Row::to_vec`] when mutation is needed.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Row {
+    values: Arc<[Value]>,
+}
+
+impl Row {
+    /// Build a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row {
+            values: values.into(),
+        }
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value by position.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// All values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Copy the values into a fresh, mutable `Vec`.
+    pub fn to_vec(&self) -> Vec<Value> {
+        self.values.to_vec()
+    }
+
+    /// A new row that concatenates `self` and `other` (join output).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut v = Vec::with_capacity(self.arity() + other.arity());
+        v.extend_from_slice(&self.values);
+        v.extend_from_slice(&other.values);
+        Row::new(v)
+    }
+
+    /// A new row of `n` NULLs (outer-join padding).
+    pub fn nulls(n: usize) -> Row {
+        Row::new(vec![Value::Null; n])
+    }
+
+    /// Project the row to the given positions.
+    pub fn project(&self, positions: &[usize]) -> Row {
+        Row::new(positions.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Total simulated wire width of the row in bytes.
+    pub fn wire_width(&self) -> usize {
+        self.values.iter().map(Value::wire_width).sum()
+    }
+}
+
+impl fmt::Debug for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(v: Vec<Value>) -> Self {
+        Row::new(v)
+    }
+}
+
+/// Build a row from heterogeneous literals: `row![1, "a", Value::Null]`.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::Row::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_and_project() {
+        let a = Row::new(vec![Value::Int(1), Value::str("x")]);
+        let b = Row::new(vec![Value::Float(2.5)]);
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.get(2), &Value::Float(2.5));
+        let p = c.project(&[2, 0]);
+        assert_eq!(p.values(), &[Value::Float(2.5), Value::Int(1)]);
+    }
+
+    #[test]
+    fn nulls_padding() {
+        let r = Row::nulls(3);
+        assert_eq!(r.arity(), 3);
+        assert!(r.values().iter().all(Value::is_null));
+    }
+
+    #[test]
+    fn rows_order_lexicographically() {
+        let a = Row::new(vec![Value::Int(1), Value::Int(2)]);
+        let b = Row::new(vec![Value::Int(1), Value::Int(3)]);
+        assert!(a < b);
+        let n = Row::new(vec![Value::Null, Value::Int(99)]);
+        assert!(n < a, "null-first ordering");
+    }
+
+    #[test]
+    fn row_macro() {
+        let r = row![1i64, "abc", 2.5f64];
+        assert_eq!(r.get(0), &Value::Int(1));
+        assert_eq!(r.get(1), &Value::str("abc"));
+        assert_eq!(r.get(2), &Value::Float(2.5));
+    }
+
+    #[test]
+    fn wire_width_sums_cells() {
+        let r = row![1i64, "abcd"];
+        assert_eq!(r.wire_width(), 9 + 9);
+    }
+}

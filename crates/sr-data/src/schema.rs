@@ -1,0 +1,256 @@
+//! Schemas: ordered lists of uniquely named, typed columns.
+//!
+//! Column names in intermediate results are *qualified* strings such as
+//! `"s.suppkey"` or the paper's level labels `"L1"`, `"L2"`. The schema
+//! offers O(1) positional access and O(1) name lookup.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::DataError;
+use crate::value::DataType;
+
+/// One column: a unique (within its schema) name and a type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Unique column name, possibly qualified (`"s.suppkey"`).
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+    /// Whether NULLs may appear. Intermediate outer-join results always set
+    /// this to `true`; base-table columns usually `false`.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A non-nullable column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+            nullable: false,
+        }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+            nullable: true,
+        }
+    }
+}
+
+/// An ordered list of columns with unique names.
+///
+/// `Schema` is cheaply cloneable (the column list and index are shared behind
+/// an [`Arc`]) because every operator in the engine carries its output schema.
+#[derive(Clone)]
+pub struct Schema {
+    inner: Arc<SchemaInner>,
+}
+
+struct SchemaInner {
+    columns: Vec<Column>,
+    index: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate column names.
+    pub fn new(columns: Vec<Column>) -> Result<Self, DataError> {
+        let mut index = HashMap::with_capacity(columns.len());
+        for (i, c) in columns.iter().enumerate() {
+            if index.insert(c.name.clone(), i).is_some() {
+                return Err(DataError::DuplicateColumn(c.name.clone()));
+            }
+        }
+        Ok(Schema {
+            inner: Arc::new(SchemaInner { columns, index }),
+        })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs; panics on
+    /// duplicates (use [`Schema::new`] for fallible construction).
+    pub fn of(cols: &[(&str, DataType)]) -> Self {
+        Schema::new(
+            cols.iter()
+                .map(|(n, t)| Column::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+        .expect("duplicate column name in Schema::of")
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.inner.columns.len()
+    }
+
+    /// `true` iff the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.inner.columns.is_empty()
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.inner.columns
+    }
+
+    /// Column by position.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.inner.columns[i]
+    }
+
+    /// Position of a column by name.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.inner.index.get(name).copied()
+    }
+
+    /// Position of a column by name, as a `Result`.
+    pub fn require(&self, name: &str) -> Result<usize, DataError> {
+        self.position(name)
+            .ok_or_else(|| DataError::UnknownColumn(name.to_string()))
+    }
+
+    /// `true` iff `name` is a column of this schema.
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner.index.contains_key(name)
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.inner.columns.iter().map(|c| c.name.as_str())
+    }
+
+    /// A new schema that concatenates `self` and `other`.
+    ///
+    /// Used by joins; fails if the two sides share a column name.
+    pub fn join(&self, other: &Schema) -> Result<Schema, DataError> {
+        let mut cols = self.inner.columns.clone();
+        cols.extend(other.inner.columns.iter().cloned());
+        Schema::new(cols)
+    }
+
+    /// A new schema with every column marked nullable.
+    ///
+    /// Outer joins and outer unions produce rows where any column may be
+    /// NULL-padded.
+    pub fn as_nullable(&self) -> Schema {
+        Schema::new(
+            self.inner
+                .columns
+                .iter()
+                .map(|c| Column::nullable(c.name.clone(), c.dtype))
+                .collect(),
+        )
+        .expect("nullable conversion preserves uniqueness")
+    }
+
+    /// Projection: a new schema keeping only the named columns, in the given
+    /// order.
+    pub fn project(&self, names: &[&str]) -> Result<Schema, DataError> {
+        let cols = names
+            .iter()
+            .map(|n| {
+                self.require(n)
+                    .map(|i| self.inner.columns[i].clone())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Schema::new(cols)
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner.columns == other.inner.columns
+    }
+}
+
+impl Eq for Schema {}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Schema(")?;
+        for (i, c) in self.inner.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}:{}{}", c.name, c.dtype, if c.nullable { "?" } else { "" })?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::of(&[
+            ("a", DataType::Int),
+            ("b", DataType::Str),
+            ("c", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name_and_position() {
+        let s = abc();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.position("b"), Some(1));
+        assert_eq!(s.position("z"), None);
+        assert_eq!(s.column(2).name, "c");
+        assert!(s.contains("a"));
+        assert!(!s.contains("A"));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            Column::new("x", DataType::Int),
+            Column::new("x", DataType::Str),
+        ])
+        .unwrap_err();
+        assert_eq!(err, DataError::DuplicateColumn("x".into()));
+    }
+
+    #[test]
+    fn join_concatenates_and_rejects_collisions() {
+        let s = abc();
+        let t = Schema::of(&[("d", DataType::Int)]);
+        let j = s.join(&t).unwrap();
+        assert_eq!(j.arity(), 4);
+        assert_eq!(j.position("d"), Some(3));
+        assert!(s.join(&abc()).is_err());
+    }
+
+    #[test]
+    fn as_nullable_marks_all() {
+        let s = abc().as_nullable();
+        assert!(s.columns().iter().all(|c| c.nullable));
+    }
+
+    #[test]
+    fn project_keeps_order_given() {
+        let s = abc();
+        let p = s.project(&["c", "a"]).unwrap();
+        assert_eq!(p.names().collect::<Vec<_>>(), vec!["c", "a"]);
+        assert!(s.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn require_reports_unknown_column() {
+        let s = abc();
+        assert_eq!(
+            s.require("zz").unwrap_err(),
+            DataError::UnknownColumn("zz".into())
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Table statistics backing the engine's cost estimator.
+//!
+//! The paper's greedy planner (§5) uses the target RDBMS as an *oracle* for
+//! `evaluation_cost(q)` and `cardinality(q)`. Commercial optimizers answer
+//! those from catalog statistics; this module computes the same catalog
+//! statistics for our in-memory engine: row counts, per-column distinct
+//! counts, min/max, and average widths.
+
+use std::collections::HashSet;
+
+use crate::table::Table;
+use crate::value::Value;
+
+/// Statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Column name.
+    pub name: String,
+    /// Number of distinct non-null values.
+    pub distinct: usize,
+    /// Number of NULLs.
+    pub null_count: usize,
+    /// Minimum non-null value, if any.
+    pub min: Option<Value>,
+    /// Maximum non-null value, if any.
+    pub max: Option<Value>,
+    /// Average wire width in bytes.
+    pub avg_width: f64,
+}
+
+/// Statistics for one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Table name.
+    pub table: String,
+    /// Number of rows.
+    pub row_count: usize,
+    /// Per-column statistics, in schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Compute full statistics by scanning the table once per column.
+    pub fn compute(table: &Table) -> TableStats {
+        let n = table.len();
+        let mut columns = Vec::with_capacity(table.schema().arity());
+        for (i, col) in table.schema().columns().iter().enumerate() {
+            let mut distinct: HashSet<&Value> = HashSet::new();
+            let mut nulls = 0usize;
+            let mut min: Option<&Value> = None;
+            let mut max: Option<&Value> = None;
+            let mut width = 0usize;
+            for row in table.rows() {
+                let v = row.get(i);
+                width += v.wire_width();
+                if v.is_null() {
+                    nulls += 1;
+                    continue;
+                }
+                distinct.insert(v);
+                min = Some(match min {
+                    Some(m) if m <= v => m,
+                    _ => v,
+                });
+                max = Some(match max {
+                    Some(m) if m >= v => m,
+                    _ => v,
+                });
+            }
+            columns.push(ColumnStats {
+                name: col.name.clone(),
+                distinct: distinct.len(),
+                null_count: nulls,
+                min: min.cloned(),
+                max: max.cloned(),
+                avg_width: if n == 0 { 0.0 } else { width as f64 / n as f64 },
+            });
+        }
+        TableStats {
+            table: table.name().to_string(),
+            row_count: n,
+            columns,
+        }
+    }
+
+    /// Statistics for a named column.
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Average row width in bytes.
+    pub fn avg_row_width(&self) -> f64 {
+        self.columns.iter().map(|c| c.avg_width).sum()
+    }
+
+    /// Distinct count for a column, defaulting to the row count when the
+    /// column is unknown (conservative for selectivity estimation).
+    pub fn distinct_or_rows(&self, name: &str) -> usize {
+        self.column(name)
+            .map(|c| c.distinct.max(1))
+            .unwrap_or_else(|| self.row_count.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::{Column, Schema};
+    use crate::value::DataType;
+
+    fn sample() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::nullable("grp", DataType::Str),
+        ])
+        .unwrap();
+        let mut t = Table::new("S", schema);
+        t.insert(row![1i64, "a"]).unwrap();
+        t.insert(row![2i64, "b"]).unwrap();
+        t.insert(row![3i64, "a"]).unwrap();
+        t.insert(crate::Row::new(vec![Value::Int(4), Value::Null]))
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn counts_and_distincts() {
+        let s = TableStats::compute(&sample());
+        assert_eq!(s.row_count, 4);
+        let id = s.column("id").unwrap();
+        assert_eq!(id.distinct, 4);
+        assert_eq!(id.null_count, 0);
+        assert_eq!(id.min, Some(Value::Int(1)));
+        assert_eq!(id.max, Some(Value::Int(4)));
+        let grp = s.column("grp").unwrap();
+        assert_eq!(grp.distinct, 2);
+        assert_eq!(grp.null_count, 1);
+    }
+
+    #[test]
+    fn widths() {
+        let s = TableStats::compute(&sample());
+        let id = s.column("id").unwrap();
+        assert!((id.avg_width - 9.0).abs() < 1e-9);
+        // grp: three 1-char strings (6 bytes each) + one NULL (1 byte)
+        let grp = s.column("grp").unwrap();
+        assert!((grp.avg_width - (6.0 * 3.0 + 1.0) / 4.0).abs() < 1e-9);
+        assert!(s.avg_row_width() > 9.0);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new("E", Schema::of(&[("x", DataType::Int)]));
+        let s = TableStats::compute(&t);
+        assert_eq!(s.row_count, 0);
+        assert_eq!(s.column("x").unwrap().distinct, 0);
+        assert_eq!(s.column("x").unwrap().min, None);
+        assert_eq!(s.distinct_or_rows("x"), 1, "clamped to 1");
+    }
+
+    #[test]
+    fn distinct_or_rows_fallback() {
+        let s = TableStats::compute(&sample());
+        assert_eq!(s.distinct_or_rows("nonexistent"), 4);
+        assert_eq!(s.distinct_or_rows("grp"), 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! In-memory tables: a [`Schema`] plus rows.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::error::DataError;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// An in-memory relation.
+#[derive(Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row after checking arity and value types against the schema.
+    pub fn insert(&mut self, row: Row) -> Result<(), DataError> {
+        if row.arity() != self.schema.arity() {
+            return Err(DataError::SchemaMismatch(format!(
+                "table {}: row arity {} != schema arity {}",
+                self.name,
+                row.arity(),
+                self.schema.arity()
+            )));
+        }
+        for (i, v) in row.values().iter().enumerate() {
+            let col = self.schema.column(i);
+            match v {
+                Value::Null if !col.nullable => {
+                    return Err(DataError::SchemaMismatch(format!(
+                        "table {}: NULL in non-nullable column {}",
+                        self.name, col.name
+                    )));
+                }
+                Value::Null => {}
+                v => {
+                    if v.data_type() != Some(col.dtype) {
+                        return Err(DataError::SchemaMismatch(format!(
+                            "table {}: column {} expects {}, got {v}",
+                            self.name, col.name, col.dtype
+                        )));
+                    }
+                }
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Append many rows.
+    pub fn insert_all<I: IntoIterator<Item = Row>>(&mut self, rows: I) -> Result<(), DataError> {
+        for r in rows {
+            self.insert(r)?;
+        }
+        Ok(())
+    }
+
+    /// Verify that the named columns form a key (no duplicate combinations).
+    pub fn check_key(&self, key_cols: &[&str]) -> Result<(), DataError> {
+        let idx: Vec<usize> = key_cols
+            .iter()
+            .map(|c| self.schema.require(c))
+            .collect::<Result<_, _>>()?;
+        let mut seen: HashSet<Row> = HashSet::with_capacity(self.rows.len());
+        for r in &self.rows {
+            let k = r.project(&idx);
+            if !seen.insert(k.clone()) {
+                return Err(DataError::KeyViolation(format!(
+                    "table {}: duplicate key {k:?} on ({})",
+                    self.name,
+                    key_cols.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total simulated byte size of the table's data.
+    pub fn byte_size(&self) -> usize {
+        self.rows.iter().map(Row::wire_width).sum()
+    }
+}
+
+impl fmt::Debug for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Table({}, {} rows, {:?})",
+            self.name,
+            self.rows.len(),
+            self.schema
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::value::DataType;
+
+    fn t() -> Table {
+        Table::new(
+            "T",
+            Schema::of(&[("id", DataType::Int), ("name", DataType::Str)]),
+        )
+    }
+
+    #[test]
+    fn insert_checks_arity() {
+        let mut t = t();
+        assert!(t.insert(row![1i64]).is_err());
+        assert!(t.insert(row![1i64, "a"]).is_ok());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn insert_checks_types() {
+        let mut t = t();
+        assert!(t.insert(row!["oops", "a"]).is_err());
+        assert!(t.insert(row![1i64, 2i64]).is_err());
+    }
+
+    #[test]
+    fn null_needs_nullable_column() {
+        let mut t = t();
+        assert!(t.insert(Row::new(vec![Value::Null, Value::str("a")])).is_err());
+        let mut nt = Table::new("N", t.schema().as_nullable());
+        assert!(nt.insert(Row::new(vec![Value::Null, Value::Null])).is_ok());
+    }
+
+    #[test]
+    fn key_check_detects_duplicates() {
+        let mut t = t();
+        t.insert_all([row![1i64, "a"], row![2i64, "b"], row![1i64, "c"]])
+            .unwrap();
+        assert!(t.check_key(&["id", "name"]).is_ok());
+        let err = t.check_key(&["id"]).unwrap_err();
+        assert!(matches!(err, DataError::KeyViolation(_)));
+    }
+
+    #[test]
+    fn byte_size_is_sum_of_rows() {
+        let mut t = t();
+        t.insert(row![1i64, "abcd"]).unwrap();
+        assert_eq!(t.byte_size(), 18);
+    }
+}

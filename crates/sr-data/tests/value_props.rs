@@ -1,0 +1,89 @@
+//! Property tests for the [`Value`] total order and row operations — the
+//! foundation the engine's sort and the tagger's merge both stand on.
+
+use proptest::prelude::*;
+
+use sr_data::{Row, Value};
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only; NaN would still be totally ordered by
+        // total_cmp but makes the equal-hash assertions noisy.
+        (-1e15f64..1e15).prop_map(Value::Float),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::str),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn ordering_is_total_and_consistent(a in value(), b in value(), c in value()) {
+        use std::cmp::Ordering::*;
+        // Antisymmetry.
+        match a.cmp(&b) {
+            Less => prop_assert_eq!(b.cmp(&a), Greater),
+            Greater => prop_assert_eq!(b.cmp(&a), Less),
+            Equal => prop_assert_eq!(b.cmp(&a), Equal),
+        }
+        // Transitivity.
+        if a.cmp(&b) != Greater && b.cmp(&c) != Greater {
+            prop_assert_ne!(a.cmp(&c), Greater);
+        }
+        // NULL is the global minimum.
+        prop_assert_ne!(Value::Null.cmp(&a), Greater);
+    }
+
+    #[test]
+    fn equal_values_hash_equally(a in value(), b in value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        if a == b {
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+
+    #[test]
+    fn sql_eq_is_never_true_for_null(a in value()) {
+        prop_assert!(!Value::Null.sql_eq(&a));
+        prop_assert!(!a.sql_eq(&Value::Null));
+        if !a.is_null() {
+            prop_assert!(a.sql_eq(&a));
+        }
+    }
+
+    #[test]
+    fn row_ops_are_consistent(
+        xs in proptest::collection::vec(value(), 0..6),
+        ys in proptest::collection::vec(value(), 0..6),
+    ) {
+        let a = Row::new(xs.clone());
+        let b = Row::new(ys.clone());
+        let c = a.concat(&b);
+        prop_assert_eq!(c.arity(), a.arity() + b.arity());
+        // Projection of the concatenation recovers the parts.
+        let left_idx: Vec<usize> = (0..a.arity()).collect();
+        prop_assert_eq!(c.project(&left_idx), a.clone());
+        let right_idx: Vec<usize> = (a.arity()..c.arity()).collect();
+        prop_assert_eq!(c.project(&right_idx), b.clone());
+        // Wire width is additive.
+        prop_assert_eq!(c.wire_width(), a.wire_width() + b.wire_width());
+    }
+
+    #[test]
+    fn row_ordering_is_lexicographic(
+        xs in proptest::collection::vec(value(), 1..4),
+        ys in proptest::collection::vec(value(), 1..4),
+    ) {
+        let a = Row::new(xs.clone());
+        let b = Row::new(ys.clone());
+        let expected = xs.iter().cmp(ys.iter());
+        prop_assert_eq!(a.cmp(&b), expected);
+    }
+}

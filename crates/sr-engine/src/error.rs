@@ -1,0 +1,83 @@
+//! Engine error type.
+
+use std::fmt;
+
+use sr_data::DataError;
+
+/// Errors raised by planning, parsing, or executing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Underlying data-layer error.
+    Data(DataError),
+    /// SQL lexing error with byte offset.
+    Lex {
+        /// Byte offset in the source text.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// SQL parsing error.
+    Parse {
+        /// Byte offset in the source text.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Name-resolution / typing error while binding SQL to algebra.
+    Bind(String),
+    /// Plan is structurally invalid (e.g. join key missing from input).
+    InvalidPlan(String),
+    /// Wire decoding failed.
+    Wire(String),
+    /// Query execution exceeded the configured timeout.
+    Timeout {
+        /// How long the query actually ran.
+        elapsed_ms: u64,
+        /// The configured limit.
+        limit_ms: u64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Data(e) => write!(f, "{e}"),
+            EngineError::Lex { offset, message } => {
+                write!(f, "lex error at byte {offset}: {message}")
+            }
+            EngineError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            EngineError::Bind(m) => write!(f, "bind error: {m}"),
+            EngineError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+            EngineError::Wire(m) => write!(f, "wire error: {m}"),
+            EngineError::Timeout { elapsed_ms, limit_ms } => {
+                write!(f, "query timed out after {elapsed_ms}ms (limit {limit_ms}ms)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<DataError> for EngineError {
+    fn from(e: DataError) -> Self {
+        EngineError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = EngineError::Parse {
+            offset: 7,
+            message: "expected FROM".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at byte 7: expected FROM");
+        let e: EngineError = DataError::UnknownTable("T".into()).into();
+        assert_eq!(e.to_string(), "unknown table: T");
+    }
+}

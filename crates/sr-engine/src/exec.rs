@@ -1,0 +1,425 @@
+//! Plan execution.
+//!
+//! Operators are intentionally simple and fully materializing: the paper's
+//! measurements attribute query-only time to server-side work that must
+//! finish before the first tuple of a *sorted* stream can be returned
+//! ("the time to first tuple is comparable to the time to count all tuples
+//! in the result on the server", §4) — which is exactly the behaviour of a
+//! materializing executor whose final operator is a sort.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+use sr_data::{Database, Row, Schema, Value};
+
+use crate::error::EngineError;
+use crate::plan::{JoinKind, Plan};
+
+/// A fully materialized query result.
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    /// Output schema.
+    pub schema: Schema,
+    /// Output rows.
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total simulated wire size of all rows.
+    pub fn wire_bytes(&self) -> usize {
+        self.rows.iter().map(Row::wire_width).sum()
+    }
+}
+
+/// Execute a plan against a database.
+pub fn execute(plan: &Plan, db: &Database) -> Result<ResultSet, EngineError> {
+    execute_env(plan, db, &HashMap::new())
+}
+
+/// Execute with a CTE environment (each definition's materialized result,
+/// computed exactly once by the enclosing [`Plan::With`]).
+fn execute_env(
+    plan: &Plan,
+    db: &Database,
+    env: &HashMap<String, ResultSet>,
+) -> Result<ResultSet, EngineError> {
+    match plan {
+        Plan::Scan { table, alias: _ } => {
+            let t = db.table(table)?;
+            Ok(ResultSet {
+                schema: plan.schema(db)?,
+                rows: t.rows().to_vec(),
+            })
+        }
+        Plan::Filter { input, predicates } => {
+            let mut rs = execute_env(input, db, env)?;
+            let bound = predicates
+                .iter()
+                .map(|p| p.bind(&rs.schema))
+                .collect::<Result<Vec<_>, _>>()?;
+            rs.rows.retain(|r| bound.iter().all(|p| p.eval(r)));
+            Ok(rs)
+        }
+        Plan::Project { input, items } => {
+            let rs = execute_env(input, db, env)?;
+            let bound = items
+                .iter()
+                .map(|(_, e)| e.bind(&rs.schema))
+                .collect::<Result<Vec<_>, _>>()?;
+            let schema = plan.schema(db)?;
+            let rows = rs
+                .rows
+                .iter()
+                .map(|r| Row::new(bound.iter().map(|e| e.eval(r).clone()).collect()))
+                .collect();
+            Ok(ResultSet { schema, rows })
+        }
+        Plan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
+            let lrs = execute_env(left, db, env)?;
+            let rrs = execute_env(right, db, env)?;
+            let schema = plan.schema(db)?;
+            let rows = hash_join(&lrs, &rrs, *kind, on)?;
+            Ok(ResultSet { schema, rows })
+        }
+        Plan::OuterUnion { inputs } => {
+            let schema = plan.schema(db)?;
+            let mut rows = Vec::new();
+            for input in inputs {
+                let rs = execute_env(input, db, env)?;
+                // Map union position -> branch position (None = NULL pad).
+                let mapping: Vec<Option<usize>> = schema
+                    .names()
+                    .map(|n| rs.schema.position(n))
+                    .collect();
+                rows.extend(rs.rows.iter().map(|r| {
+                    Row::new(
+                        mapping
+                            .iter()
+                            .map(|m| match m {
+                                Some(i) => r.get(*i).clone(),
+                                None => Value::Null,
+                            })
+                            .collect(),
+                    )
+                }));
+            }
+            Ok(ResultSet { schema, rows })
+        }
+        Plan::Sort { input, keys } => {
+            let mut rs = execute_env(input, db, env)?;
+            let idx: Vec<usize> = keys
+                .iter()
+                .map(|k| rs.schema.require(k).map_err(EngineError::from))
+                .collect::<Result<_, _>>()?;
+            rs.rows.sort_by(|a, b| {
+                for &i in &idx {
+                    let ord = a.get(i).cmp(b.get(i));
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(rs)
+        }
+        Plan::Distinct { input } => {
+            let mut rs = execute_env(input, db, env)?;
+            let mut seen: HashSet<Row> = HashSet::with_capacity(rs.rows.len());
+            rs.rows.retain(|r| seen.insert(r.clone()));
+            Ok(rs)
+        }
+        Plan::With { ctes, body } => {
+            // Materialize each definition once, visible to later
+            // definitions and the body — this is the sharing the paper's
+            // with-clause footnote is after.
+            let mut local = env.clone();
+            for (name, def) in ctes {
+                let rs = execute_env(def, db, &local)?;
+                local.insert(name.clone(), rs);
+            }
+            execute_env(body, db, &local)
+        }
+        Plan::CteScan { cte, alias: _, schema: _ } => {
+            let rs = env.get(cte).ok_or_else(|| {
+                EngineError::InvalidPlan(format!("CTE {cte} referenced outside WITH"))
+            })?;
+            Ok(ResultSet {
+                schema: plan.schema(db)?,
+                rows: rs.rows.clone(),
+            })
+        }
+    }
+}
+
+/// Hash equi-join. Builds on the right input, probes from the left. NULL
+/// join keys never match (SQL semantics); for [`JoinKind::LeftOuter`],
+/// unmatched left rows are padded with NULLs on the right.
+fn hash_join(
+    left: &ResultSet,
+    right: &ResultSet,
+    kind: JoinKind,
+    on: &[(String, String)],
+) -> Result<Vec<Row>, EngineError> {
+    let lidx: Vec<usize> = on
+        .iter()
+        .map(|(l, _)| left.schema.require(l).map_err(EngineError::from))
+        .collect::<Result<_, _>>()?;
+    let ridx: Vec<usize> = on
+        .iter()
+        .map(|(_, r)| right.schema.require(r).map_err(EngineError::from))
+        .collect::<Result<_, _>>()?;
+
+    // Cross join when there are no equality pairs.
+    if on.is_empty() {
+        let mut out = Vec::with_capacity(left.rows.len() * right.rows.len().max(1));
+        for l in &left.rows {
+            if right.rows.is_empty() && kind == JoinKind::LeftOuter {
+                out.push(l.concat(&Row::nulls(right.schema.arity())));
+            }
+            for r in &right.rows {
+                out.push(l.concat(r));
+            }
+        }
+        return Ok(out);
+    }
+
+    let mut build: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(right.rows.len());
+    'rows: for (i, r) in right.rows.iter().enumerate() {
+        let mut key = Vec::with_capacity(ridx.len());
+        for &c in &ridx {
+            let v = r.get(c);
+            if v.is_null() {
+                continue 'rows;
+            }
+            key.push(v.clone());
+        }
+        match build.entry(key) {
+            Entry::Occupied(mut e) => e.get_mut().push(i),
+            Entry::Vacant(e) => {
+                e.insert(vec![i]);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let pad = Row::nulls(right.schema.arity());
+    'probe: for l in &left.rows {
+        let mut key = Vec::with_capacity(lidx.len());
+        for &c in &lidx {
+            let v = l.get(c);
+            if v.is_null() {
+                if kind == JoinKind::LeftOuter {
+                    out.push(l.concat(&pad));
+                }
+                continue 'probe;
+            }
+            key.push(v.clone());
+        }
+        match build.get(&key) {
+            Some(matches) => {
+                for &i in matches {
+                    out.push(l.concat(&right.rows[i]));
+                }
+            }
+            None => {
+                if kind == JoinKind::LeftOuter {
+                    out.push(l.concat(&pad));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Expr, Predicate};
+    use sr_data::{row, DataType, Table};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut s = Table::new(
+            "Supplier",
+            Schema::of(&[("suppkey", DataType::Int), ("name", DataType::Str)]),
+        );
+        s.insert_all([row![1i64, "Acme"], row![2i64, "Bolt"], row![3i64, "Coil"]])
+            .unwrap();
+        let mut ps = Table::new(
+            "PartSupp",
+            Schema::of(&[("partkey", DataType::Int), ("suppkey", DataType::Int)]),
+        );
+        ps.insert_all([row![10i64, 1i64], row![11i64, 1i64], row![12i64, 3i64]])
+            .unwrap();
+        db.add_table(s);
+        db.add_table(ps);
+        db
+    }
+
+    #[test]
+    fn scan_returns_all_rows() {
+        let db = db();
+        let rs = execute(&Plan::scan("Supplier", "s"), &db).unwrap();
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs.schema.names().collect::<Vec<_>>(), vec!["s_suppkey", "s_name"]);
+    }
+
+    #[test]
+    fn filter_by_literal() {
+        let db = db();
+        let p = Plan::scan("Supplier", "s").filter(vec![Predicate::new(
+            Expr::col("s_suppkey"),
+            CmpOp::Ge,
+            Expr::lit(2i64),
+        )]);
+        let rs = execute(&p, &db).unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn inner_join_matches() {
+        let db = db();
+        let p = Plan::scan("Supplier", "s").join(
+            Plan::scan("PartSupp", "ps"),
+            JoinKind::Inner,
+            vec![("s_suppkey".into(), "ps_suppkey".into())],
+        );
+        let rs = execute(&p, &db).unwrap();
+        assert_eq!(rs.len(), 3, "supplier 1 has two parts, 3 has one");
+    }
+
+    #[test]
+    fn left_outer_join_pads() {
+        let db = db();
+        let p = Plan::scan("Supplier", "s").join(
+            Plan::scan("PartSupp", "ps"),
+            JoinKind::LeftOuter,
+            vec![("s_suppkey".into(), "ps_suppkey".into())],
+        );
+        let rs = execute(&p, &db).unwrap();
+        assert_eq!(rs.len(), 4, "supplier 2 kept with NULL part");
+        let padded: Vec<&Row> = rs
+            .rows
+            .iter()
+            .filter(|r| r.get(2).is_null())
+            .collect();
+        assert_eq!(padded.len(), 1);
+        assert_eq!(padded[0].get(0), &Value::Int(2));
+    }
+
+    #[test]
+    fn cross_join_when_no_keys() {
+        let db = db();
+        let p = Plan::scan("Supplier", "s").join(
+            Plan::scan("PartSupp", "ps"),
+            JoinKind::Inner,
+            vec![],
+        );
+        let rs = execute(&p, &db).unwrap();
+        assert_eq!(rs.len(), 9);
+    }
+
+    #[test]
+    fn sort_orders_rows() {
+        let db = db();
+        let p = Plan::scan("PartSupp", "ps").sort(vec!["ps_suppkey".into(), "ps_partkey".into()]);
+        let rs = execute(&p, &db).unwrap();
+        let keys: Vec<i64> = rs.rows.iter().map(|r| r.get(1).as_int().unwrap()).collect();
+        assert_eq!(keys, vec![1, 1, 3]);
+    }
+
+    #[test]
+    fn outer_union_pads_missing_columns() {
+        let db = db();
+        let a = Plan::scan("Supplier", "s").project(vec![
+            ("k".into(), Expr::col("s_suppkey")),
+            ("name".into(), Expr::col("s_name")),
+        ]);
+        let b = Plan::scan("PartSupp", "ps").project(vec![
+            ("k".into(), Expr::col("ps_suppkey")),
+            ("part".into(), Expr::col("ps_partkey")),
+        ]);
+        let u = Plan::OuterUnion { inputs: vec![a, b] };
+        let rs = execute(&u, &db).unwrap();
+        assert_eq!(rs.len(), 6);
+        assert_eq!(rs.schema.names().collect::<Vec<_>>(), vec!["k", "name", "part"]);
+        // Supplier branch rows have NULL part; PartSupp branch rows NULL name.
+        assert!(rs.rows[0].get(2).is_null());
+        assert!(rs.rows[3].get(1).is_null());
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let db = db();
+        let p = Plan::scan("PartSupp", "ps").project(vec![("s".into(), Expr::col("ps_suppkey"))]);
+        let d = Plan::Distinct { input: Box::new(p) };
+        let rs = execute(&d, &db).unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn project_literals_and_nulls() {
+        let db = db();
+        let p = Plan::scan("Supplier", "s").project(vec![
+            ("L1".into(), Expr::lit(1i64)),
+            ("s".into(), Expr::col("s_suppkey")),
+            ("pad".into(), Expr::TypedNull(DataType::Str)),
+        ]);
+        let rs = execute(&p, &db).unwrap();
+        assert_eq!(rs.rows[0].get(0), &Value::Int(1));
+        assert!(rs.rows[0].get(2).is_null());
+    }
+
+    #[test]
+    fn null_keys_do_not_join() {
+        let mut db = Database::new();
+        let mut l = Table::new(
+            "L",
+            Schema::new(vec![sr_data::Column::nullable("k", DataType::Int)]).unwrap(),
+        );
+        l.insert(Row::new(vec![Value::Null])).unwrap();
+        l.insert(row![1i64]).unwrap();
+        let mut r = Table::new(
+            "R",
+            Schema::new(vec![sr_data::Column::nullable("k", DataType::Int)]).unwrap(),
+        );
+        r.insert(Row::new(vec![Value::Null])).unwrap();
+        r.insert(row![1i64]).unwrap();
+        db.add_table(l);
+        db.add_table(r);
+        let inner = Plan::scan("L", "l").join(
+            Plan::scan("R", "r"),
+            JoinKind::Inner,
+            vec![("l_k".into(), "r_k".into())],
+        );
+        assert_eq!(execute(&inner, &db).unwrap().len(), 1, "NULL != NULL");
+        let outer = Plan::scan("L", "l").join(
+            Plan::scan("R", "r"),
+            JoinKind::LeftOuter,
+            vec![("l_k".into(), "r_k".into())],
+        );
+        assert_eq!(execute(&outer, &db).unwrap().len(), 2, "NULL left row padded");
+    }
+
+    #[test]
+    fn wire_bytes_nonzero() {
+        let db = db();
+        let rs = execute(&Plan::scan("Supplier", "s"), &db).unwrap();
+        assert!(rs.wire_bytes() > 0);
+    }
+}

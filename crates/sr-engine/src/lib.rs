@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! # sr-engine
+//!
+//! The in-memory relational engine that stands in for the paper's target
+//! RDBMS ("Efficient Evaluation of XML Middle-ware Queries", SIGMOD 2001).
+//!
+//! The paper's middle-ware interacts with the database exclusively through
+//! two channels, and this crate provides exactly those:
+//!
+//! * **SQL execution** — [`server::Server::execute_sql`] parses a SQL string
+//!   (the subset the paper's generated queries need: comma inner joins,
+//!   `LEFT OUTER JOIN … ON`, derived tables, `UNION ALL`, `ORDER BY`,
+//!   `CAST(NULL AS t)`), plans it with predicate push-down, executes it,
+//!   and returns a wire-encoded, sorted [`server::TupleStream`].
+//! * **Cost estimation** — [`server::Server::estimate_sql`] answers the
+//!   greedy planner's oracle requests (`evaluation_cost`, `cardinality`)
+//!   from catalog statistics, System-R style.
+//!
+//! The executable algebra ([`plan::Plan`]) is also public so the SQL
+//! generator can build plans directly and print them ([`sql::to_sql`]).
+
+pub mod cost;
+pub mod error;
+pub mod exec;
+pub mod optimize;
+pub mod expr;
+pub mod plan;
+pub mod server;
+pub mod sql;
+pub mod wire;
+
+pub use cost::{estimate, ColInfo, Estimate};
+pub use error::EngineError;
+pub use exec::{execute, ResultSet};
+pub use optimize::push_filters;
+pub use expr::{CmpOp, Expr, Predicate};
+pub use plan::{JoinKind, Plan};
+pub use server::{Server, TupleStream};

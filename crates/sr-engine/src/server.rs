@@ -1,0 +1,236 @@
+//! The "target RDBMS": executes SQL strings and answers cost-estimate
+//! requests, exposing results as encoded tuple streams.
+//!
+//! This is the black box the paper's middle-ware talks to. The interface is
+//! deliberately string-based: the planner/translator layers above must
+//! produce real SQL text, exactly as SilkRoute had to (§3.4). The server:
+//!
+//! 1. parses and binds the SQL (`query` phase — measured),
+//! 2. executes and **encodes** the sorted result into the wire format, and
+//! 3. hands back a [`TupleStream`] that the client decodes row by row (the
+//!    "bind and transfer" phase of the paper's *total time*).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use sr_data::{Database, Row, Schema};
+
+use crate::cost::{estimate, Estimate};
+use crate::error::EngineError;
+use crate::exec::execute;
+use crate::sql::binder::plan_sql;
+use crate::wire::{decode_row, encode_rows};
+
+/// A sorted tuple stream returned by the server.
+///
+/// Decoding happens lazily on the client: each [`TupleStream::next_row`] call
+/// pays the per-cell binding cost, so "total time" measurements naturally
+/// include transfer work proportional to tuple count × width.
+#[derive(Debug, Clone)]
+pub struct TupleStream {
+    /// Result schema.
+    pub schema: Schema,
+    /// Number of encoded rows.
+    pub row_count: usize,
+    /// Encoded size in bytes.
+    pub byte_size: usize,
+    /// Server-side time: parse + bind + execute + encode.
+    pub query_time: Duration,
+    data: Bytes,
+}
+
+impl TupleStream {
+    /// Decode the next row, or `None` at end of stream.
+    pub fn next_row(&mut self) -> Result<Option<Row>, EngineError> {
+        decode_row(&mut self.data)
+    }
+
+    /// Decode every remaining row (convenience for tests).
+    pub fn collect_rows(mut self) -> Result<Vec<Row>, EngineError> {
+        let mut rows = Vec::with_capacity(self.row_count);
+        while let Some(r) = self.next_row()? {
+            rows.push(r);
+        }
+        Ok(rows)
+    }
+}
+
+/// The database server.
+///
+/// ```
+/// use sr_data::{row, Database, DataType, Schema, Table};
+/// use sr_engine::Server;
+/// let mut db = Database::new();
+/// let mut t = Table::new("T", Schema::of(&[("x", DataType::Int)]));
+/// t.insert(row![7i64]).unwrap();
+/// db.add_table(t);
+/// let server = Server::new(std::sync::Arc::new(db));
+/// let stream = server.execute_sql("SELECT t.x AS x FROM T t ORDER BY x").unwrap();
+/// assert_eq!(stream.row_count, 1);
+/// let est = server.estimate_sql("SELECT t.x AS x FROM T t").unwrap();
+/// assert!(est.cardinality >= 1.0);
+/// ```
+pub struct Server {
+    db: Arc<Database>,
+    /// Per-query timeout; queries exceeding it report
+    /// [`EngineError::Timeout`] (the paper used 5 minutes, §4).
+    pub timeout: Option<Duration>,
+}
+
+impl Server {
+    /// A server over a database, with no timeout.
+    pub fn new(db: Arc<Database>) -> Self {
+        Server { db, timeout: None }
+    }
+
+    /// Set the per-query timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// The underlying database (for direct catalog access in tests).
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Execute a SQL string, returning an encoded tuple stream.
+    pub fn execute_sql(&self, sql: &str) -> Result<TupleStream, EngineError> {
+        let start = Instant::now();
+        let plan = plan_sql(sql, &self.db)?;
+        let plan = crate::optimize::push_filters(plan, &self.db)?;
+        let rs = execute(&plan, &self.db)?;
+        let data = encode_rows(&rs.rows);
+        let query_time = start.elapsed();
+        if let Some(limit) = self.timeout {
+            if query_time > limit {
+                return Err(EngineError::Timeout {
+                    elapsed_ms: query_time.as_millis() as u64,
+                    limit_ms: limit.as_millis() as u64,
+                });
+            }
+        }
+        Ok(TupleStream {
+            schema: rs.schema,
+            row_count: rs.rows.len(),
+            byte_size: data.len(),
+            query_time,
+            data,
+        })
+    }
+
+    /// Execute several SQL queries concurrently, one worker thread per
+    /// query, preserving input order in the result. Mirrors a middle-ware
+    /// client opening several JDBC connections at once.
+    pub fn execute_all_parallel(
+        &self,
+        queries: &[String],
+    ) -> Vec<Result<TupleStream, EngineError>> {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .iter()
+                .map(|q| scope.spawn(move |_| self.execute_sql(q)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query worker panicked"))
+                .collect()
+        })
+        .expect("thread scope")
+    }
+
+    /// Cost-estimate endpoint: the paper's oracle. Parses and binds the SQL,
+    /// then estimates from catalog statistics without executing.
+    pub fn estimate_sql(&self, sql: &str) -> Result<Estimate, EngineError> {
+        let plan = plan_sql(sql, &self.db)?;
+        let plan = crate::optimize::push_filters(plan, &self.db)?;
+        estimate(&plan, &self.db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_data::{row, DataType, Table, Value};
+
+    fn server() -> Server {
+        let mut db = Database::new();
+        let mut t = Table::new(
+            "Item",
+            Schema::of(&[("id", DataType::Int), ("label", DataType::Str)]),
+        );
+        for i in 0..50i64 {
+            t.insert(row![i, format!("item-{i}")]).unwrap();
+        }
+        db.add_table(t);
+        Server::new(Arc::new(db))
+    }
+
+    #[test]
+    fn execute_returns_decodable_stream() {
+        let s = server();
+        let stream = s
+            .execute_sql("SELECT i.id AS id, i.label AS label FROM Item i ORDER BY id")
+            .unwrap();
+        assert_eq!(stream.row_count, 50);
+        assert!(stream.byte_size > 0);
+        let rows = stream.collect_rows().unwrap();
+        assert_eq!(rows.len(), 50);
+        assert_eq!(rows[0].get(0), &Value::Int(0));
+        assert_eq!(rows[49].get(1), &Value::str("item-49"));
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let s = server();
+        assert!(s.execute_sql("SELECT FROM").is_err());
+        assert!(s.execute_sql("SELECT x.y FROM Item i").is_err());
+    }
+
+    #[test]
+    fn estimate_without_execution() {
+        let s = server();
+        let e = s
+            .estimate_sql("SELECT i.id AS id FROM Item i WHERE i.id = 7")
+            .unwrap();
+        assert!((e.cardinality - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_execution_preserves_order() {
+        let s = server();
+        let queries = vec![
+            "SELECT i.id AS id FROM Item i WHERE i.id < 10 ORDER BY id".to_string(),
+            "SELECT i.id AS id FROM Item i WHERE i.id >= 40 ORDER BY id".to_string(),
+        ];
+        let results = s.execute_all_parallel(&queries);
+        assert_eq!(results.len(), 2);
+        let a = results[0].as_ref().unwrap();
+        let b = results[1].as_ref().unwrap();
+        assert_eq!(a.row_count, 10);
+        assert_eq!(b.row_count, 10);
+    }
+
+    #[test]
+    fn zero_timeout_trips() {
+        let s = server().with_timeout(Duration::from_nanos(1));
+        match s.execute_sql("SELECT i.id AS id FROM Item i") {
+            Err(EngineError::Timeout { .. }) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_iteration_matches_row_count() {
+        let s = server();
+        let mut stream = s
+            .execute_sql("SELECT i.id AS id FROM Item i WHERE i.id < 5 ORDER BY id")
+            .unwrap();
+        let mut n = 0;
+        while stream.next_row().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 5);
+    }
+}

@@ -1,0 +1,13 @@
+//! SQL subset: AST, lexer, parser, binder (SQL → plan) and lowering
+//! (plan → SQL).
+
+pub mod ast;
+pub mod binder;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ast::{FromItem, JoinClause, Query, SelectItem, SelectStmt, SqlCond, SqlExpr};
+pub use binder::{bind, plan_sql};
+pub use lower::to_sql;
+pub use parser::parse;

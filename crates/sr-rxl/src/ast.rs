@@ -1,0 +1,318 @@
+//! RXL abstract syntax.
+//!
+//! RXL (Relational to XML transformation Language) "combines the extraction
+//! part of SQL (the `from` and `where` clauses) with the construction part of
+//! XML-QL (the `construct` clause)" (§2). A query is a *block*:
+//!
+//! ```text
+//! from Supplier $s
+//! where $s.suppkey > 100
+//! construct
+//!   <supplier>
+//!     <name>$s.name</name>
+//!     { from Nation $n
+//!       where $s.nationkey = $n.nationkey
+//!       construct <nation>$n.name</nation> }
+//!   </supplier>
+//! ```
+//!
+//! Nested blocks in `{…}` build sets of sub-elements; *parallel* blocks under
+//! one element express union; explicit Skolem terms (`<supplier ID=S1($s.suppkey)>`)
+//! control element fusion across blocks.
+
+use std::fmt;
+
+/// A comparison operator in a `where` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxlCmp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for RxlCmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RxlCmp::Eq => "=",
+            RxlCmp::Ne => "!=",
+            RxlCmp::Lt => "<",
+            RxlCmp::Le => "<=",
+            RxlCmp::Gt => ">",
+            RxlCmp::Ge => ">=",
+        })
+    }
+}
+
+/// An operand in a condition or text position.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// `$var.field`.
+    Field {
+        /// Tuple variable (without the `$`).
+        var: String,
+        /// Column name.
+        field: String,
+    },
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+}
+
+impl Operand {
+    /// `$var.field` shorthand.
+    pub fn field(var: impl Into<String>, field: impl Into<String>) -> Operand {
+        Operand::Field {
+            var: var.into(),
+            field: field.into(),
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Field { var, field } => write!(f, "${var}.{field}"),
+            Operand::Int(i) => write!(f, "{i}"),
+            // Keep a decimal point so the literal re-parses as a float.
+            Operand::Float(x) if x.fract() == 0.0 && x.is_finite() => write!(f, "{x:.1}"),
+            Operand::Float(x) => write!(f, "{x}"),
+            Operand::Str(s) => write!(f, "\"{}\"", s.replace('"', "\\\"")),
+        }
+    }
+}
+
+/// A tuple-variable binding: `Table $var`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binding {
+    /// Relation name.
+    pub table: String,
+    /// Variable name (without the `$`).
+    pub var: String,
+}
+
+/// A `where`-clause condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    /// Left operand.
+    pub left: Operand,
+    /// Operator.
+    pub op: RxlCmp,
+    /// Right operand.
+    pub right: Operand,
+}
+
+impl Condition {
+    /// Join condition `$a.x = $b.y`.
+    pub fn join(a: (&str, &str), b: (&str, &str)) -> Condition {
+        Condition {
+            left: Operand::field(a.0, a.1),
+            op: RxlCmp::Eq,
+            right: Operand::field(b.0, b.1),
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+/// An explicit Skolem term `Name($a.x, $b.y, …)` attached to an element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkolemTerm {
+    /// Skolem function name (e.g. `S1`).
+    pub name: String,
+    /// Argument fields.
+    pub args: Vec<Operand>,
+}
+
+impl fmt::Display for SkolemTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Content of an element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// A literal child element.
+    Element(Element),
+    /// A text expression (`$var.field` or a literal).
+    Text(Operand),
+    /// A nested sub-query block `{ from … construct … }`.
+    Block(Block),
+}
+
+/// An XML element template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    /// Tag name.
+    pub tag: String,
+    /// Optional explicit Skolem term (`<tag ID=F(args)>`).
+    pub skolem: Option<SkolemTerm>,
+    /// Ordered content.
+    pub content: Vec<Content>,
+}
+
+impl Element {
+    /// An element with content and no explicit Skolem term.
+    pub fn new(tag: impl Into<String>, content: Vec<Content>) -> Element {
+        Element {
+            tag: tag.into(),
+            skolem: None,
+            content,
+        }
+    }
+
+    /// Direct sub-query blocks of this element.
+    pub fn blocks(&self) -> impl Iterator<Item = &Block> {
+        self.content.iter().filter_map(|c| match c {
+            Content::Block(b) => Some(b),
+            _ => None,
+        })
+    }
+}
+
+/// A query block: `from` bindings, `where` conditions, and one constructed
+/// element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// `from` clause (may be empty for a constant root element).
+    pub bindings: Vec<Binding>,
+    /// `where` clause.
+    pub conditions: Vec<Condition>,
+    /// `construct` clause.
+    pub element: Element,
+}
+
+/// A complete RXL view query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RxlQuery {
+    /// The outermost block.
+    pub root: Block,
+}
+
+impl RxlQuery {
+    /// Count the total number of element templates in the query.
+    pub fn element_count(&self) -> usize {
+        fn count_element(e: &Element) -> usize {
+            1 + e
+                .content
+                .iter()
+                .map(|c| match c {
+                    Content::Element(e) => count_element(e),
+                    Content::Block(b) => count_element(&b.element),
+                    Content::Text(_) => 0,
+                })
+                .sum::<usize>()
+        }
+        count_element(&self.root.element)
+    }
+
+    /// Count the total number of blocks (sub-queries), including the root.
+    pub fn block_count(&self) -> usize {
+        fn count_in_element(e: &Element) -> usize {
+            e.content
+                .iter()
+                .map(|c| match c {
+                    Content::Element(e) => count_in_element(e),
+                    Content::Block(b) => 1 + count_in_element(&b.element),
+                    Content::Text(_) => 0,
+                })
+                .sum::<usize>()
+        }
+        1 + count_in_element(&self.root.element)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RxlQuery {
+        // from Supplier $s construct
+        //   <supplier><name>$s.name</name>
+        //     { from Nation $n where $s.nationkey = $n.nationkey
+        //       construct <nation>$n.name</nation> }</supplier>
+        RxlQuery {
+            root: Block {
+                bindings: vec![Binding {
+                    table: "Supplier".into(),
+                    var: "s".into(),
+                }],
+                conditions: vec![],
+                element: Element::new(
+                    "supplier",
+                    vec![
+                        Content::Element(Element::new(
+                            "name",
+                            vec![Content::Text(Operand::field("s", "name"))],
+                        )),
+                        Content::Block(Block {
+                            bindings: vec![Binding {
+                                table: "Nation".into(),
+                                var: "n".into(),
+                            }],
+                            conditions: vec![Condition::join(
+                                ("s", "nationkey"),
+                                ("n", "nationkey"),
+                            )],
+                            element: Element::new(
+                                "nation",
+                                vec![Content::Text(Operand::field("n", "name"))],
+                            ),
+                        }),
+                    ],
+                ),
+            },
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let q = sample();
+        assert_eq!(q.element_count(), 3);
+        assert_eq!(q.block_count(), 2);
+    }
+
+    #[test]
+    fn blocks_iterator() {
+        let q = sample();
+        assert_eq!(q.root.element.blocks().count(), 1);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Operand::field("s", "name").to_string(), "$s.name");
+        assert_eq!(Operand::Str("a\"b".into()).to_string(), "\"a\\\"b\"");
+        assert_eq!(
+            Condition::join(("s", "k"), ("n", "k")).to_string(),
+            "$s.k = $n.k"
+        );
+        let sk = SkolemTerm {
+            name: "S1".into(),
+            args: vec![Operand::field("s", "suppkey")],
+        };
+        assert_eq!(sk.to_string(), "S1($s.suppkey)");
+    }
+}

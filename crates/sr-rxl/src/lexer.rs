@@ -1,0 +1,361 @@
+//! RXL tokenizer.
+//!
+//! `<` is overloaded (tag opener vs. comparison); the lexer resolves the
+//! multi-character forms greedily (`</`, `<=`, `/>`, `>=`, `!=`) and leaves
+//! the single-character ambiguity to the parser, which knows whether it is
+//! in a `where` clause or a `construct` template.
+
+use std::fmt;
+
+/// RXL lexical error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RxlError {
+    /// Byte offset.
+    pub offset: usize,
+    /// Message.
+    pub message: String,
+}
+
+impl fmt::Display for RxlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RXL error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for RxlError {}
+
+/// An RXL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier / keyword.
+    Ident(String),
+    /// `$var`.
+    Var(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Double-quoted string literal.
+    Str(String),
+    /// `<`
+    LAngle,
+    /// `</`
+    LAngleSlash,
+    /// `>`
+    RAngle,
+    /// `/>`
+    SlashRAngle,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset.
+    pub offset: usize,
+}
+
+/// Tokenize RXL source.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, RxlError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let push = |out: &mut Vec<Spanned>, token, offset| out.push(Spanned { token, offset });
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '{' => {
+                push(&mut out, Token::LBrace, i);
+                i += 1;
+            }
+            '}' => {
+                push(&mut out, Token::RBrace, i);
+                i += 1;
+            }
+            '(' => {
+                push(&mut out, Token::LParen, i);
+                i += 1;
+            }
+            ')' => {
+                push(&mut out, Token::RParen, i);
+                i += 1;
+            }
+            ',' => {
+                push(&mut out, Token::Comma, i);
+                i += 1;
+            }
+            '.' => {
+                push(&mut out, Token::Dot, i);
+                i += 1;
+            }
+            '=' => {
+                push(&mut out, Token::Eq, i);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(&mut out, Token::Ne, i);
+                    i += 2;
+                } else {
+                    return Err(RxlError {
+                        offset: i,
+                        message: "unexpected '!'".into(),
+                    });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'/') => {
+                    push(&mut out, Token::LAngleSlash, i);
+                    i += 2;
+                }
+                Some(b'=') => {
+                    push(&mut out, Token::Le, i);
+                    i += 2;
+                }
+                _ => {
+                    push(&mut out, Token::LAngle, i);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(&mut out, Token::Ge, i);
+                    i += 2;
+                } else {
+                    push(&mut out, Token::RAngle, i);
+                    i += 1;
+                }
+            }
+            '/' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    push(&mut out, Token::SlashRAngle, i);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'/') {
+                    // Line comment.
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    return Err(RxlError {
+                        offset: i,
+                        message: "unexpected '/'".into(),
+                    });
+                }
+            }
+            '$' => {
+                let start = i;
+                i += 1;
+                let name_start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                if i == name_start {
+                    return Err(RxlError {
+                        offset: start,
+                        message: "expected variable name after '$'".into(),
+                    });
+                }
+                push(&mut out, Token::Var(src[name_start..i].to_string()), start);
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(RxlError {
+                                offset: start,
+                                message: "unterminated string".into(),
+                            });
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') if bytes.get(i + 1) == Some(&b'"') => {
+                            s.push('"');
+                            i += 2;
+                        }
+                        Some(_) => {
+                            let ch_len = match bytes[i] {
+                                0x00..=0x7f => 1,
+                                0xc0..=0xdf => 2,
+                                0xe0..=0xef => 3,
+                                _ => 4,
+                            };
+                            s.push_str(&src[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                push(&mut out, Token::Str(s), start);
+            }
+            '0'..='9' | '-' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if bytes.get(i) == Some(&b'.') && matches!(bytes.get(i + 1), Some(b'0'..=b'9')) {
+                    is_float = true;
+                    i += 1;
+                    while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                let token = if is_float {
+                    Token::Float(text.parse().map_err(|e| RxlError {
+                        offset: start,
+                        message: format!("bad float: {e}"),
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|e| RxlError {
+                        offset: start,
+                        message: format!("bad int: {e}"),
+                    })?)
+                };
+                push(&mut out, token, start);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                push(&mut out, Token::Ident(src[start..i].to_string()), start);
+            }
+            other => {
+                return Err(RxlError {
+                    offset: i,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    out.push(Spanned {
+        token: Token::Eof,
+        offset: src.len(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn basic_query_tokens() {
+        assert_eq!(
+            toks("from Supplier $s construct <name>$s.name</name>"),
+            vec![
+                Token::Ident("from".into()),
+                Token::Ident("Supplier".into()),
+                Token::Var("s".into()),
+                Token::Ident("construct".into()),
+                Token::LAngle,
+                Token::Ident("name".into()),
+                Token::RAngle,
+                Token::Var("s".into()),
+                Token::Dot,
+                Token::Ident("name".into()),
+                Token::LAngleSlash,
+                Token::Ident("name".into()),
+                Token::RAngle,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn angle_disambiguation() {
+        assert_eq!(
+            toks("< </ <= > >= />"),
+            vec![
+                Token::LAngle,
+                Token::LAngleSlash,
+                Token::Le,
+                Token::RAngle,
+                Token::Ge,
+                Token::SlashRAngle,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("from // a comment\nSupplier $s"),
+            vec![
+                Token::Ident("from".into()),
+                Token::Ident("Supplier".into()),
+                Token::Var("s".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#""say \"hi\"""#),
+            vec![Token::Str("say \"hi\"".into()), Token::Eof]
+        );
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("12 -5 2.5"),
+            vec![Token::Int(12), Token::Int(-5), Token::Float(2.5), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn dollar_needs_name() {
+        assert!(lex("$ x").is_err());
+    }
+
+    #[test]
+    fn bad_char_reports_offset() {
+        let err = lex("from @").unwrap_err();
+        assert_eq!(err.offset, 5);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # sr-rxl
+//!
+//! RXL — the *Relational to XML transformation Language* of SilkRoute
+//! ("Efficient Evaluation of XML Middle-ware Queries", SIGMOD 2001, §2).
+//!
+//! An RXL view query combines SQL-style data extraction (`from`, `where`)
+//! with XML-QL-style construction (`construct` templates), supporting the
+//! three features the paper highlights: **nested queries** (blocks inside
+//! `construct`), **block structure** (parallel blocks = union), and
+//! **Skolem functions** (explicit element identity / fusion).
+//!
+//! This crate provides the concrete syntax: [`parse()`](parser::parse), the [`ast`],
+//! [`validate()`](validate::validate) against a catalog, and a canonical [`pretty()`](pretty::pretty) printer.
+//! Translation to the view-tree IR lives in `sr-viewtree`.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod validate;
+
+pub use ast::{
+    Binding, Block, Condition, Content, Element, Operand, RxlCmp, RxlQuery, SkolemTerm,
+};
+pub use lexer::RxlError;
+pub use parser::parse;
+pub use pretty::pretty;
+pub use validate::validate;

@@ -1,0 +1,364 @@
+//! Recursive-descent parser for RXL.
+//!
+//! ```text
+//! query    := block
+//! block    := [from binding (, binding)*] [where cond (, cond)*] construct element
+//! binding  := Table $var
+//! cond     := operand cmp operand          cmp ∈ { = != < <= > >= }
+//! operand  := $var.field | int | float | string
+//! element  := '<' tag [ID = Name(operand, …)] ('/>' | '>' content* '</' tag '>')
+//! content  := element | '{' block '}' | $var.field | string
+//! ```
+
+use crate::ast::{
+    Binding, Block, Condition, Content, Element, Operand, RxlCmp, RxlQuery, SkolemTerm,
+};
+use crate::lexer::{lex, RxlError, Spanned, Token};
+
+/// Parse RXL source into a query.
+///
+/// ```
+/// let q = sr_rxl::parse(
+///     "from Supplier $s
+///      where $s.suppkey > 10
+///      construct <supplier><name>$s.name</name></supplier>",
+/// ).unwrap();
+/// assert_eq!(q.root.bindings[0].table, "Supplier");
+/// assert_eq!(q.element_count(), 2);
+/// ```
+pub fn parse(src: &str) -> Result<RxlQuery, RxlError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let root = p.block()?;
+    p.expect_eof()?;
+    Ok(RxlQuery { root })
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> RxlError {
+        RxlError {
+            offset: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), RxlError> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), RxlError> {
+        if *self.peek() == Token::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!("trailing input: {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, RxlError> {
+        match self.peek() {
+            Token::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn block(&mut self) -> Result<Block, RxlError> {
+        let mut bindings = Vec::new();
+        if self.eat_kw("from") {
+            loop {
+                let table = self.ident()?;
+                let var = match self.bump() {
+                    Token::Var(v) => v,
+                    other => {
+                        return Err(self.err(format!("expected $variable, found {other:?}")));
+                    }
+                };
+                bindings.push(Binding { table, var });
+                if *self.peek() == Token::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut conditions = Vec::new();
+        if self.eat_kw("where") {
+            loop {
+                conditions.push(self.condition()?);
+                if *self.peek() == Token::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        if !self.eat_kw("construct") {
+            return Err(self.err(format!("expected construct, found {:?}", self.peek())));
+        }
+        let element = self.element()?;
+        Ok(Block {
+            bindings,
+            conditions,
+            element,
+        })
+    }
+
+    fn condition(&mut self) -> Result<Condition, RxlError> {
+        let left = self.operand()?;
+        let op = match self.bump() {
+            Token::Eq => RxlCmp::Eq,
+            Token::Ne => RxlCmp::Ne,
+            Token::LAngle => RxlCmp::Lt,
+            Token::Le => RxlCmp::Le,
+            Token::RAngle => RxlCmp::Gt,
+            Token::Ge => RxlCmp::Ge,
+            other => return Err(self.err(format!("expected comparison, found {other:?}"))),
+        };
+        let right = self.operand()?;
+        Ok(Condition { left, op, right })
+    }
+
+    fn operand(&mut self) -> Result<Operand, RxlError> {
+        match self.bump() {
+            Token::Var(v) => {
+                self.expect(Token::Dot)?;
+                let field = self.ident()?;
+                Ok(Operand::Field { var: v, field })
+            }
+            Token::Int(i) => Ok(Operand::Int(i)),
+            Token::Float(x) => Ok(Operand::Float(x)),
+            Token::Str(s) => Ok(Operand::Str(s)),
+            other => Err(self.err(format!("expected operand, found {other:?}"))),
+        }
+    }
+
+    fn element(&mut self) -> Result<Element, RxlError> {
+        self.expect(Token::LAngle)?;
+        let tag = self.ident()?;
+        let skolem = if self.at_kw("ID") {
+            self.bump();
+            self.expect(Token::Eq)?;
+            let name = self.ident()?;
+            self.expect(Token::LParen)?;
+            let mut args = Vec::new();
+            if *self.peek() != Token::RParen {
+                loop {
+                    args.push(self.operand()?);
+                    if *self.peek() == Token::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(Token::RParen)?;
+            Some(SkolemTerm { name, args })
+        } else {
+            None
+        };
+        if *self.peek() == Token::SlashRAngle {
+            self.bump();
+            return Ok(Element {
+                tag,
+                skolem,
+                content: Vec::new(),
+            });
+        }
+        self.expect(Token::RAngle)?;
+        let mut content = Vec::new();
+        loop {
+            match self.peek() {
+                Token::LAngleSlash => {
+                    self.bump();
+                    let close = self.ident()?;
+                    if close != tag {
+                        return Err(self.err(format!(
+                            "closing tag </{close}> does not match <{tag}>"
+                        )));
+                    }
+                    self.expect(Token::RAngle)?;
+                    break;
+                }
+                Token::LAngle => content.push(Content::Element(self.element()?)),
+                Token::LBrace => {
+                    self.bump();
+                    content.push(Content::Block(self.block()?));
+                    self.expect(Token::RBrace)?;
+                }
+                Token::Var(_) => {
+                    let op = self.operand()?;
+                    content.push(Content::Text(op));
+                }
+                Token::Str(s) => {
+                    let s = s.clone();
+                    self.bump();
+                    content.push(Content::Text(Operand::Str(s)));
+                }
+                Token::Int(i) => {
+                    let i = *i;
+                    self.bump();
+                    content.push(Content::Text(Operand::Int(i)));
+                }
+                Token::Float(x) => {
+                    let x = *x;
+                    self.bump();
+                    content.push(Content::Text(Operand::Float(x)));
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "unexpected {other:?} in <{tag}> content (expected </{tag}>)"
+                    )));
+                }
+            }
+        }
+        Ok(Element {
+            tag,
+            skolem,
+            content,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal() {
+        let q = parse("from Supplier $s construct <supplier>$s.name</supplier>").unwrap();
+        assert_eq!(q.root.bindings.len(), 1);
+        assert_eq!(q.root.element.tag, "supplier");
+        assert_eq!(q.root.element.content.len(), 1);
+    }
+
+    #[test]
+    fn parse_nested_blocks_and_conditions() {
+        let q = parse(
+            r#"
+            from Supplier $s
+            construct
+              <supplier>
+                <name>$s.name</name>
+                { from Nation $n
+                  where $s.nationkey = $n.nationkey
+                  construct <nation>$n.name</nation> }
+                { from PartSupp $ps, Part $p
+                  where $s.suppkey = $ps.suppkey, $ps.partkey = $p.partkey
+                  construct <part><name>$p.name</name></part> }
+              </supplier>
+            "#,
+        )
+        .unwrap();
+        assert_eq!(q.block_count(), 3);
+        assert_eq!(q.element_count(), 5);
+        let blocks: Vec<_> = q.root.element.blocks().collect();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[1].bindings.len(), 2);
+        assert_eq!(blocks[1].conditions.len(), 2);
+    }
+
+    #[test]
+    fn parse_skolem_term() {
+        let q = parse(
+            "from Supplier $s construct <supplier ID=S1($s.suppkey)>$s.name</supplier>",
+        )
+        .unwrap();
+        let sk = q.root.element.skolem.as_ref().unwrap();
+        assert_eq!(sk.name, "S1");
+        assert_eq!(sk.args, vec![Operand::field("s", "suppkey")]);
+    }
+
+    #[test]
+    fn parse_constant_root_without_from() {
+        let q = parse(
+            "construct <root>{ from Region $r construct <region>$r.name</region> }</root>",
+        )
+        .unwrap();
+        assert!(q.root.bindings.is_empty());
+        assert_eq!(q.root.element.tag, "root");
+    }
+
+    #[test]
+    fn parse_empty_element() {
+        let q = parse("from Region $r construct <marker/>").unwrap();
+        assert!(q.root.element.content.is_empty());
+    }
+
+    #[test]
+    fn parse_comparisons_in_where() {
+        let q = parse(
+            "from Part $p where $p.size >= 10, $p.size < 20, $p.name != \"x\" \
+             construct <part>$p.name</part>",
+        )
+        .unwrap();
+        assert_eq!(q.root.conditions.len(), 3);
+        assert_eq!(q.root.conditions[0].op, RxlCmp::Ge);
+        assert_eq!(q.root.conditions[1].op, RxlCmp::Lt);
+        assert_eq!(q.root.conditions[2].op, RxlCmp::Ne);
+    }
+
+    #[test]
+    fn mismatched_close_tag_rejected() {
+        let err = parse("from Region $r construct <a>$r.name</b>").unwrap_err();
+        assert!(err.message.contains("does not match"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("from Region $r construct <a/> extra").is_err());
+    }
+
+    #[test]
+    fn text_literals_in_content() {
+        let q = parse("construct <x>\"hello\" 42</x>").unwrap();
+        assert_eq!(
+            q.root.element.content,
+            vec![
+                Content::Text(Operand::Str("hello".into())),
+                Content::Text(Operand::Int(42))
+            ]
+        );
+    }
+}

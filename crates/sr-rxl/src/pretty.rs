@@ -1,0 +1,124 @@
+//! Pretty-printer for RXL queries.
+//!
+//! `parse(pretty(q)) == q` — the printer produces canonical source that the
+//! parser accepts, which the property tests rely on.
+
+use std::fmt::Write as _;
+
+use crate::ast::{Block, Content, Element, RxlQuery};
+
+/// Render a query as canonical RXL source.
+pub fn pretty(query: &RxlQuery) -> String {
+    let mut out = String::new();
+    print_block(&query.root, 0, &mut out);
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn print_block(b: &Block, depth: usize, out: &mut String) {
+    if !b.bindings.is_empty() {
+        indent(out, depth);
+        out.push_str("from ");
+        for (i, binding) in b.bindings.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{} ${}", binding.table, binding.var);
+        }
+        out.push('\n');
+    }
+    if !b.conditions.is_empty() {
+        indent(out, depth);
+        out.push_str("where ");
+        for (i, c) in b.conditions.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{c}");
+        }
+        out.push('\n');
+    }
+    indent(out, depth);
+    out.push_str("construct\n");
+    print_element(&b.element, depth + 1, out);
+}
+
+fn print_element(e: &Element, depth: usize, out: &mut String) {
+    indent(out, depth);
+    let _ = write!(out, "<{}", e.tag);
+    if let Some(sk) = &e.skolem {
+        let _ = write!(out, " ID={sk}");
+    }
+    if e.content.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    out.push_str(">\n");
+    for c in &e.content {
+        match c {
+            Content::Element(child) => print_element(child, depth + 1, out),
+            Content::Text(op) => {
+                indent(out, depth + 1);
+                let _ = writeln!(out, "{op}");
+            }
+            Content::Block(b) => {
+                indent(out, depth + 1);
+                out.push_str("{\n");
+                print_block(b, depth + 2, out);
+                indent(out, depth + 1);
+                out.push_str("}\n");
+            }
+        }
+    }
+    indent(out, depth);
+    let _ = writeln!(out, "</{}>", e.tag);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SAMPLE: &str = r#"
+        from Supplier $s
+        where $s.suppkey >= 1
+        construct
+          <supplier ID=S1($s.suppkey)>
+            <name>$s.name</name>
+            { from Nation $n
+              where $s.nationkey = $n.nationkey
+              construct <nation>$n.name</nation> }
+            <empty/>
+          </supplier>
+    "#;
+
+    #[test]
+    fn roundtrip_parse_pretty_parse() {
+        let q1 = parse(SAMPLE).unwrap();
+        let printed = pretty(&q1);
+        let q2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed ({e}) for:\n{printed}"));
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn pretty_contains_structure() {
+        let q = parse(SAMPLE).unwrap();
+        let p = pretty(&q);
+        assert!(p.contains("from Supplier $s"));
+        assert!(p.contains("where $s.suppkey >= 1"));
+        assert!(p.contains("ID=S1($s.suppkey)"));
+        assert!(p.contains("<empty/>"));
+    }
+
+    #[test]
+    fn string_literals_roundtrip() {
+        let q1 = parse("construct <x>\"a \\\"quoted\\\" word\"</x>").unwrap();
+        let q2 = parse(&pretty(&q1)).unwrap();
+        assert_eq!(q1, q2);
+    }
+}

@@ -1,0 +1,203 @@
+//! Semantic validation of RXL queries against a database catalog.
+//!
+//! Checks performed:
+//!
+//! * every `from` table exists in the catalog;
+//! * tuple-variable names are unique along each scope chain (no shadowing);
+//! * every `$var.field` reference resolves to a column of the variable's
+//!   table, in the block where the variable is in scope;
+//! * explicit Skolem-term arguments are in-scope field references;
+//! * element tags are valid XML names.
+
+use std::collections::HashMap;
+
+use sr_data::Database;
+
+use crate::ast::{Block, Content, Element, Operand, RxlQuery};
+use crate::lexer::RxlError;
+
+/// Validate a query against a catalog. Returns the number of blocks checked.
+pub fn validate(query: &RxlQuery, db: &Database) -> Result<usize, RxlError> {
+    let mut counter = 0usize;
+    let scope = HashMap::new();
+    validate_block(&query.root, db, &scope, &mut counter)?;
+    Ok(counter)
+}
+
+fn err(message: String) -> RxlError {
+    RxlError { offset: 0, message }
+}
+
+fn validate_block(
+    block: &Block,
+    db: &Database,
+    outer: &HashMap<String, String>,
+    counter: &mut usize,
+) -> Result<(), RxlError> {
+    *counter += 1;
+    let mut scope = outer.clone();
+    for b in &block.bindings {
+        let table = db
+            .table(&b.table)
+            .map_err(|_| err(format!("unknown table {} in from clause", b.table)))?;
+        let _ = table;
+        if scope.insert(b.var.clone(), b.table.clone()).is_some() {
+            return Err(err(format!("variable ${} shadows an outer binding", b.var)));
+        }
+    }
+    for c in &block.conditions {
+        validate_operand(&c.left, db, &scope)?;
+        validate_operand(&c.right, db, &scope)?;
+    }
+    validate_element(&block.element, db, &scope, counter)
+}
+
+fn validate_operand(
+    op: &Operand,
+    db: &Database,
+    scope: &HashMap<String, String>,
+) -> Result<(), RxlError> {
+    if let Operand::Field { var, field } = op {
+        let table = scope
+            .get(var)
+            .ok_or_else(|| err(format!("unbound variable ${var}")))?;
+        let t = db
+            .table(table)
+            .map_err(|_| err(format!("unknown table {table}")))?;
+        if !t.schema().contains(field) {
+            return Err(err(format!("table {table} has no column {field} (in ${var}.{field})")));
+        }
+    }
+    Ok(())
+}
+
+fn validate_element(
+    e: &Element,
+    db: &Database,
+    scope: &HashMap<String, String>,
+    counter: &mut usize,
+) -> Result<(), RxlError> {
+    if !is_xml_name(&e.tag) {
+        return Err(err(format!("invalid element tag {:?}", e.tag)));
+    }
+    if let Some(sk) = &e.skolem {
+        if !is_xml_name(&sk.name) {
+            return Err(err(format!("invalid Skolem function name {:?}", sk.name)));
+        }
+        for a in &sk.args {
+            validate_operand(a, db, scope)?;
+        }
+    }
+    for c in &e.content {
+        match c {
+            Content::Element(child) => validate_element(child, db, scope, counter)?,
+            Content::Text(op) => validate_operand(op, db, scope)?,
+            Content::Block(b) => validate_block(b, db, scope, counter)?,
+        }
+    }
+    Ok(())
+}
+
+/// A conservative XML-name check: letter or underscore first, then letters,
+/// digits, hyphens, underscores, dots.
+fn is_xml_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use sr_data::{DataType, Schema, Table};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_table(Table::new(
+            "Supplier",
+            Schema::of(&[
+                ("suppkey", DataType::Int),
+                ("name", DataType::Str),
+                ("nationkey", DataType::Int),
+            ]),
+        ));
+        db.add_table(Table::new(
+            "Nation",
+            Schema::of(&[("nationkey", DataType::Int), ("name", DataType::Str)]),
+        ));
+        db
+    }
+
+    #[test]
+    fn valid_query_passes() {
+        let q = parse(
+            "from Supplier $s construct <supplier><name>$s.name</name>\
+             { from Nation $n where $s.nationkey = $n.nationkey \
+               construct <nation>$n.name</nation> }</supplier>",
+        )
+        .unwrap();
+        assert_eq!(validate(&q, &db()).unwrap(), 2);
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let q = parse("from Widget $w construct <w>$w.x</w>").unwrap();
+        let e = validate(&q, &db()).unwrap_err();
+        assert!(e.message.contains("unknown table Widget"));
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let q = parse("from Supplier $s construct <x>$s.bogus</x>").unwrap();
+        let e = validate(&q, &db()).unwrap_err();
+        assert!(e.message.contains("no column bogus"));
+    }
+
+    #[test]
+    fn unbound_variable_rejected() {
+        let q = parse("from Supplier $s construct <x>$t.name</x>").unwrap();
+        let e = validate(&q, &db()).unwrap_err();
+        assert!(e.message.contains("unbound variable $t"));
+    }
+
+    #[test]
+    fn shadowing_rejected() {
+        let q = parse(
+            "from Supplier $s construct <a>{ from Nation $s construct <b>$s.name</b> }</a>",
+        )
+        .unwrap();
+        let e = validate(&q, &db()).unwrap_err();
+        assert!(e.message.contains("shadows"));
+    }
+
+    #[test]
+    fn outer_variables_visible_in_nested_blocks() {
+        let q = parse(
+            "from Supplier $s construct <a>{ from Nation $n \
+             where $s.nationkey = $n.nationkey construct <b>$s.name</b> }</a>",
+        )
+        .unwrap();
+        assert!(validate(&q, &db()).is_ok());
+    }
+
+    #[test]
+    fn skolem_args_validated() {
+        let q = parse("from Supplier $s construct <a ID=S1($s.nope)>$s.name</a>").unwrap();
+        assert!(validate(&q, &db()).is_err());
+        let ok = parse("from Supplier $s construct <a ID=S1($s.suppkey)>$s.name</a>").unwrap();
+        assert!(validate(&ok, &db()).is_ok());
+    }
+
+    #[test]
+    fn xml_name_rules() {
+        assert!(is_xml_name("supplier"));
+        assert!(is_xml_name("_x-1.y"));
+        assert!(!is_xml_name("1bad"));
+        assert!(!is_xml_name(""));
+        assert!(!is_xml_name("has space"));
+    }
+}

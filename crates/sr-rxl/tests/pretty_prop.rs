@@ -1,0 +1,138 @@
+//! Property test: the pretty-printer and parser are inverse on arbitrary
+//! RXL ASTs — `parse(pretty(q)) == q`.
+
+use proptest::prelude::*;
+
+use sr_rxl::{
+    parse, pretty, Binding, Block, Condition, Content, Element, Operand, RxlCmp, RxlQuery,
+    SkolemTerm,
+};
+
+fn ident() -> impl Strategy<Value = String> + Clone {
+    "[a-z][a-z0-9_]{0,5}".prop_map(|s| s)
+}
+
+fn operand() -> impl Strategy<Value = Operand> + Clone {
+    prop_oneof![
+        (ident(), ident()).prop_map(|(v, f)| Operand::Field { var: v, field: f }),
+        any::<i32>().prop_map(|i| Operand::Int(i as i64)),
+        // Exact binary fractions print finitely and re-parse exactly.
+        (0i64..4000).prop_map(|n| Operand::Float(n as f64 / 8.0)),
+        // No backslashes: the lexer's only escape is \" .
+        "[ -!#-\\[\\]-~]{0,8}".prop_map(Operand::Str),
+    ]
+}
+
+fn cmp() -> impl Strategy<Value = RxlCmp> + Clone {
+    prop_oneof![
+        Just(RxlCmp::Eq),
+        Just(RxlCmp::Ne),
+        Just(RxlCmp::Lt),
+        Just(RxlCmp::Le),
+        Just(RxlCmp::Gt),
+        Just(RxlCmp::Ge),
+    ]
+}
+
+fn condition() -> impl Strategy<Value = Condition> + Clone {
+    (operand(), cmp(), operand()).prop_map(|(left, op, right)| Condition { left, op, right })
+}
+
+fn binding() -> impl Strategy<Value = Binding> + Clone {
+    (ident(), ident()).prop_map(|(t, v)| Binding {
+        table: {
+            let mut t = t;
+            if let Some(c) = t.get_mut(0..1) {
+                c.make_ascii_uppercase();
+            }
+            t
+        },
+        var: v,
+    })
+}
+
+fn skolem() -> impl Strategy<Value = Option<SkolemTerm>> {
+    proptest::option::of(
+        (
+            ident(),
+            proptest::collection::vec((ident(), ident()), 0..3),
+        )
+            .prop_map(|(name, args)| SkolemTerm {
+                name,
+                args: args
+                    .into_iter()
+                    .map(|(v, f)| Operand::Field { var: v, field: f })
+                    .collect(),
+            }),
+    )
+}
+
+fn element(depth: u32) -> BoxedStrategy<Element> {
+    let text = operand().prop_map(Content::Text);
+    if depth == 0 {
+        (ident(), skolem(), proptest::collection::vec(text, 0..3))
+            .prop_map(|(tag, skolem, content)| Element {
+                tag,
+                skolem,
+                content,
+            })
+            .boxed()
+    } else {
+        let content = prop_oneof![
+            3 => operand().prop_map(Content::Text),
+            2 => element(depth - 1).prop_map(Content::Element),
+            2 => block(depth - 1).prop_map(Content::Block),
+        ];
+        (ident(), skolem(), proptest::collection::vec(content, 0..4))
+            .prop_map(|(tag, skolem, content)| Element {
+                tag,
+                skolem,
+                content,
+            })
+            .boxed()
+    }
+}
+
+fn block(depth: u32) -> BoxedStrategy<Block> {
+    (
+        proptest::collection::vec(binding(), 0..3),
+        proptest::collection::vec(condition(), 0..3),
+        element(depth),
+    )
+        .prop_map(|(bindings, mut conditions, element)| {
+            // `where` without `from` is unusual but syntactically legal;
+            // keep conditions only when something is bound, to mirror the
+            // printer's canonical form.
+            if bindings.is_empty() {
+                conditions.clear();
+            }
+            Block {
+                bindings,
+                conditions,
+                element,
+            }
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_pretty_roundtrip(root in block(3)) {
+        let q = RxlQuery { root };
+        let printed = pretty(&q);
+        let back = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed ({e}) for:\n{printed}"));
+        prop_assert_eq!(q, back, "printed form:\n{}", printed);
+    }
+
+    #[test]
+    fn pretty_is_stable(root in block(2)) {
+        // pretty ∘ parse ∘ pretty == pretty (canonical form is a fixpoint).
+        let q = RxlQuery { root };
+        let once = pretty(&q);
+        let twice = pretty(&parse(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+}

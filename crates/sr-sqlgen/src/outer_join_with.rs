@@ -1,0 +1,455 @@
+//! `WITH`-clause plan construction (paper §3.4, footnote 1: "We also can
+//! use the SQL 'with' clause to construct partitioned relations").
+//!
+//! The plain outer-join translation evaluates each class's **full** rule
+//! body — so a child class re-joins every ancestor relation its scope
+//! mentions. Here each class becomes a CTE defined *incrementally*: the
+//! root class materializes its body once, and every child CTE joins its
+//! parent's CTE with only the atoms its block adds, on the block's linking
+//! conditions. The engine evaluates each CTE exactly once, so ancestor
+//! join work is shared across all sibling branches — the genuine saving
+//! the with-clause buys.
+//!
+//! CTE output columns: the class's Skolem arguments under their `v{p}_{q}`
+//! names, plus any parent-body fields that descendant blocks' conditions
+//! reference (exported under `alias_col` names, threaded down the chain).
+
+use std::collections::HashMap;
+
+use sr_data::Database;
+use sr_engine::{CmpOp, EngineError, Expr, JoinKind, Plan, Predicate};
+use sr_rxl::RxlCmp;
+use sr_viewtree::{BodyOperand, ReducedComponent, ViewTree};
+
+use crate::body::{body_plan, field_col};
+use crate::outer_join::{assemble, BaseFn, IdentityFn};
+
+/// A relational field `(alias, column)`.
+type Field = (String, String);
+
+/// Build the WITH-style outer-join plan for one reduced component.
+/// Single-class components degrade to the plain translation (a CTE would
+/// add nothing).
+pub fn outer_join_with_plan(
+    tree: &ViewTree,
+    rc: &ReducedComponent,
+    db: &Database,
+) -> Result<Plan, EngineError> {
+    if rc.nodes.len() == 1 {
+        return crate::outer_join::outer_join_plan(tree, rc, db);
+    }
+
+    // ---- 1. Per-class requirements: parent-body fields referenced by the
+    // class's extra predicates, propagated up the chain to whichever
+    // ancestor binds the alias locally.
+    let n = rc.nodes.len();
+    let mut required: Vec<Vec<Field>> = vec![Vec::new(); n];
+    for idx in 1..n {
+        let class = &rc.nodes[idx];
+        let parent = class.parent.expect("non-root class");
+        let parent_body = &rc.nodes[parent].body;
+        let local: Vec<&str> = class
+            .body
+            .extra_atoms(parent_body)
+            .iter()
+            .map(|a| a.alias.as_str())
+            .collect();
+        // Ancestor-resident fields this class needs: operands of its extra
+        // predicates AND the fields behind its own Skolem-argument
+        // variables (e.g. a merged `<name>$s.name</name>` child whose
+        // content variable lives on the parent's tuple variable).
+        let mut needed: Vec<Field> = Vec::new();
+        for pred in class.body.extra_preds(parent_body) {
+            for op in [&pred.left, &pred.right] {
+                if let Some((a, c)) = op.as_field() {
+                    if !local.contains(&a) {
+                        needed.push((a.to_string(), c.to_string()));
+                    }
+                }
+            }
+        }
+        for &v in &class.args {
+            let var = tree.var(v);
+            if !local.contains(&var.alias.as_str()) && parent_body.binds(&var.alias) {
+                needed.push((var.alias.clone(), var.column.clone()));
+            }
+        }
+        for (a, c) in needed {
+            // Record on every class from the parent up to the binder.
+            let mut j = parent;
+            loop {
+                let f = (a.clone(), c.clone());
+                if !required[j].contains(&f) {
+                    required[j].push(f);
+                }
+                let binds_locally = match rc.nodes[j].parent {
+                    Some(p) => !rc.nodes[p].body.binds(&a),
+                    None => true,
+                };
+                if binds_locally {
+                    break;
+                }
+                j = rc.nodes[j].parent.expect("checked");
+            }
+        }
+    }
+
+    // ---- 2. Export lists: v-named args first, then required extra fields
+    // (skipping fields already covered by an arg's canonical field).
+    // exports[idx] = (output column, source field).
+    let mut exports: Vec<Vec<(String, Field)>> = Vec::with_capacity(n);
+    for (idx, class) in rc.nodes.iter().enumerate() {
+        let mut list: Vec<(String, Field)> = class
+            .args
+            .iter()
+            .map(|&v| {
+                let var = tree.var(v);
+                (
+                    var.plan_name(),
+                    (var.alias.clone(), var.column.clone()),
+                )
+            })
+            .collect();
+        for f in &required[idx] {
+            if !list.iter().any(|(_, ef)| ef == f) {
+                list.push((field_col(&f.0, &f.1), f.clone()));
+            }
+        }
+        exports.push(list);
+    }
+
+    // ---- 3. Build the CTE definitions, parents before children.
+    let cte_name = |idx: usize| format!("cte{idx}");
+    let mut ctes: Vec<(String, Plan)> = Vec::with_capacity(n);
+    let mut cte_schemas = Vec::with_capacity(n);
+    for idx in 0..n {
+        let class = &rc.nodes[idx];
+        let (plan, env) = match class.parent {
+            None => {
+                // Root class: its full body, evaluated once.
+                let plan = body_plan(&class.body)?;
+                let mut env: HashMap<Field, String> = HashMap::new();
+                for atom in &class.body.atoms {
+                    if let Ok(t) = db.table(&atom.table) {
+                        for c in t.schema().names() {
+                            env.insert(
+                                (atom.alias.clone(), c.to_string()),
+                                field_col(&atom.alias, c),
+                            );
+                        }
+                    }
+                }
+                (plan, env)
+            }
+            Some(parent) => {
+                // Child class: parent CTE ⋈ the block's extra atoms.
+                let parent_schema: &sr_data::Schema = &cte_schemas[parent];
+                let mut palias_probe = "p".to_string();
+                while class.body.binds(&palias_probe) {
+                    palias_probe.push('_');
+                }
+                let mut env: HashMap<Field, String> = HashMap::new();
+                for (outcol, field) in &exports[parent] {
+                    env.insert(field.clone(), format!("{palias_probe}_{outcol}"));
+                }
+                // A parent alias that cannot collide with RXL tuple
+                // variables in this class's body.
+                let mut palias = "p".to_string();
+                while class.body.binds(&palias) {
+                    palias.push('_');
+                }
+                let start = Plan::CteScan {
+                    cte: cte_name(parent),
+                    alias: palias.clone(),
+                    schema: parent_schema.clone(),
+                };
+                let parent_body = rc.nodes[parent].body.clone();
+                let atoms: Vec<_> = class
+                    .body
+                    .extra_atoms(&parent_body)
+                    .into_iter()
+                    .cloned()
+                    .collect();
+                let preds: Vec<_> = class
+                    .body
+                    .extra_preds(&parent_body)
+                    .into_iter()
+                    .cloned()
+                    .collect();
+                join_increment(db, start, env, &atoms, &preds)?
+            }
+        };
+        // Project the export list.
+        let items = exports[idx]
+            .iter()
+            .map(|(out, field)| {
+                let col = env.get(field).ok_or_else(|| {
+                    EngineError::InvalidPlan(format!(
+                        "field {}.{} unavailable in CTE for class {idx}",
+                        field.0, field.1
+                    ))
+                })?;
+                Ok((out.clone(), Expr::col(col.clone())))
+            })
+            .collect::<Result<Vec<_>, EngineError>>()?;
+        let def = plan.project(items);
+        cte_schemas.push(def.schema(db)?);
+        ctes.push((cte_name(idx), def));
+    }
+
+    // ---- 4. Assemble the component body over CteScans of the classes.
+    let base: BaseFn = &|idx, parent_depth| {
+        let class = &rc.nodes[idx];
+        let root = tree.node(class.root);
+        let alias = format!("c{idx}");
+        let scan = Plan::CteScan {
+            cte: cte_name(idx),
+            alias: alias.clone(),
+            schema: cte_schemas[idx].clone(),
+        };
+        let mut items: Vec<(String, Expr)> = Vec::new();
+        for p in (parent_depth + 1)..=(root.sfi.len() as u16) {
+            items.push((
+                format!("L{p}"),
+                Expr::lit(root.sfi[p as usize - 1] as i64),
+            ));
+        }
+        for &v in &class.args {
+            let name = tree.var(v).plan_name();
+            items.push((name.clone(), Expr::col(format!("{alias}_{name}"))));
+        }
+        Ok(scan.project(items))
+    };
+    let identity: IdentityFn = &|idx| {
+        let class = &rc.nodes[idx];
+        let root = tree.node(class.root);
+        let alias = format!("i{idx}");
+        let scan = Plan::CteScan {
+            cte: cte_name(idx),
+            alias: alias.clone(),
+            schema: cte_schemas[idx].clone(),
+        };
+        Ok(scan.project(
+            root.key_args
+                .iter()
+                .map(|&v| {
+                    let name = tree.var(v).plan_name();
+                    (name.clone(), Expr::col(format!("{alias}_{name}")))
+                })
+                .collect(),
+        ))
+    };
+    let body = assemble(tree, rc, db, base, identity)?;
+    Ok(Plan::With {
+        ctes,
+        body: Box::new(body),
+    })
+}
+
+fn cmp_op(op: RxlCmp) -> CmpOp {
+    match op {
+        RxlCmp::Eq => CmpOp::Eq,
+        RxlCmp::Ne => CmpOp::Ne,
+        RxlCmp::Lt => CmpOp::Lt,
+        RxlCmp::Le => CmpOp::Le,
+        RxlCmp::Gt => CmpOp::Gt,
+        RxlCmp::Ge => CmpOp::Ge,
+    }
+}
+
+/// Join `atoms` onto `start` using `preds`: equality predicates whose sides
+/// resolve on the two sides become hash-join keys (greedy, connected atoms
+/// first); everything else becomes a filter once all its fields resolve.
+/// Returns the joined plan and the extended field → column environment.
+fn join_increment(
+    db: &Database,
+    start: Plan,
+    mut env: HashMap<Field, String>,
+    atoms: &[sr_viewtree::Atom],
+    preds: &[sr_viewtree::BodyPred],
+) -> Result<(Plan, HashMap<Field, String>), EngineError> {
+    let operand_field = |o: &BodyOperand| -> Option<Field> {
+        o.as_field().map(|(a, c)| (a.to_string(), c.to_string()))
+    };
+    let mut plan = start;
+    let mut pending: Vec<&sr_viewtree::Atom> = atoms.iter().collect();
+    let mut used = vec![false; preds.len()];
+
+    while !pending.is_empty() {
+        // Prefer an atom connected by an unused equality to the current env.
+        let pick = pending
+            .iter()
+            .position(|atom| {
+                preds.iter().enumerate().any(|(i, p)| {
+                    if used[i] {
+                        return false;
+                    }
+                    match (operand_field(&p.left), operand_field(&p.right)) {
+                        (Some(l), Some(r)) if p.op == RxlCmp::Eq => {
+                            (env.contains_key(&l) && r.0 == atom.alias)
+                                || (env.contains_key(&r) && l.0 == atom.alias)
+                        }
+                        _ => false,
+                    }
+                })
+            })
+            .unwrap_or(0);
+        let atom = pending.remove(pick);
+        let mut keys = Vec::new();
+        for (i, p) in preds.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            if let (Some(l), Some(r)) = (operand_field(&p.left), operand_field(&p.right)) {
+                if p.op == RxlCmp::Eq {
+                    if env.contains_key(&l) && r.0 == atom.alias {
+                        keys.push((env[&l].clone(), field_col(&r.0, &r.1)));
+                        used[i] = true;
+                    } else if env.contains_key(&r) && l.0 == atom.alias {
+                        keys.push((env[&r].clone(), field_col(&l.0, &l.1)));
+                        used[i] = true;
+                    }
+                }
+            }
+        }
+        plan = plan.join(
+            Plan::scan(atom.table.clone(), atom.alias.clone()),
+            JoinKind::Inner,
+            keys,
+        );
+        let t = db.table(&atom.table)?;
+        for c in t.schema().names() {
+            env.insert(
+                (atom.alias.clone(), c.to_string()),
+                field_col(&atom.alias, c),
+            );
+        }
+    }
+
+    // Remaining predicates become filters, with fields rewritten via env.
+    let mut filters = Vec::new();
+    for (i, p) in preds.iter().enumerate() {
+        if used[i] {
+            continue;
+        }
+        let to_expr = |o: &BodyOperand| -> Result<Expr, EngineError> {
+            Ok(match o {
+                BodyOperand::Field { alias, column } => {
+                    let f = (alias.clone(), column.clone());
+                    Expr::col(env.get(&f).cloned().ok_or_else(|| {
+                        EngineError::InvalidPlan(format!(
+                            "predicate field {alias}.{column} not exported to this CTE"
+                        ))
+                    })?)
+                }
+                BodyOperand::Int(i) => Expr::lit(*i),
+                BodyOperand::Float(x) => Expr::lit(*x),
+                BodyOperand::Str(s) => Expr::lit(s.as_str()),
+            })
+        };
+        filters.push(Predicate::new(to_expr(&p.left)?, cmp_op(p.op), to_expr(&p.right)?));
+    }
+    Ok((plan.filter(filters), env))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genplan::{generate_queries, PlanSpec, QueryStyle};
+    use sr_engine::execute;
+    use sr_tpch::{generate, Scale};
+    use sr_viewtree::{build, components, reduce_component, EdgeSet};
+
+    fn setup() -> (ViewTree, Database) {
+        let db = generate(Scale::mb(0.05)).unwrap();
+        let q = sr_rxl::parse(
+            "from Supplier $s construct <supplier>\
+               <name>$s.name</name>\
+               { from Nation $n where $s.nationkey = $n.nationkey \
+                 construct <nation>$n.name</nation> }\
+               { from PartSupp $ps, Part $p \
+                 where $s.suppkey = $ps.suppkey, $ps.partkey = $p.partkey \
+                 construct <part>$p.name</part> }\
+             </supplier>",
+        )
+        .unwrap();
+        let tree = build(&q, &db).unwrap();
+        (tree, db)
+    }
+
+    #[test]
+    fn with_plan_matches_plain_plan() {
+        let (tree, db) = setup();
+        for reduce in [false, true] {
+            for edges in sr_viewtree::all_edge_sets(&tree) {
+                let comps = components(&tree, edges);
+                for comp in &comps {
+                    let rc = reduce_component(&tree, comp, edges, reduce);
+                    let plain = crate::outer_join::outer_join_plan(&tree, &rc, &db).unwrap();
+                    let with = outer_join_with_plan(&tree, &rc, &db).unwrap();
+                    let a = execute(&plain, &db).unwrap();
+                    let b = execute(&with, &db).unwrap();
+                    assert_eq!(
+                        a.schema.names().collect::<Vec<_>>(),
+                        b.schema.names().collect::<Vec<_>>(),
+                        "edges={edges} reduce={reduce}"
+                    );
+                    assert_eq!(a.rows, b.rows, "edges={edges} reduce={reduce}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn with_sql_contains_with_clause() {
+        let (tree, db) = setup();
+        let qs = generate_queries(
+            &tree,
+            &db,
+            PlanSpec {
+                edges: EdgeSet::full(&tree),
+                reduce: false,
+                style: QueryStyle::OuterJoinWith,
+            },
+        )
+        .unwrap();
+        assert_eq!(qs.len(), 1);
+        assert!(qs[0].sql.starts_with("WITH cte0 AS ("), "{}", qs[0].sql);
+        assert!(qs[0].sql.contains("cte1"), "{}", qs[0].sql);
+        // Child CTEs reference the parent CTE instead of re-joining its body.
+        assert!(qs[0].sql.contains("FROM cte0 p"), "{}", qs[0].sql);
+    }
+
+    #[test]
+    fn with_sql_executes_on_server() {
+        let (tree, db) = setup();
+        let server = sr_engine::Server::new(std::sync::Arc::new(db));
+        let qs = generate_queries(
+            &tree,
+            server.database(),
+            PlanSpec {
+                edges: EdgeSet::full(&tree),
+                reduce: true,
+                style: QueryStyle::OuterJoinWith,
+            },
+        )
+        .unwrap();
+        for q in qs {
+            let stream = server
+                .execute_sql(&q.sql)
+                .unwrap_or_else(|e| panic!("{e}: {}", q.sql));
+            let direct = execute(&q.plan, server.database()).unwrap();
+            assert_eq!(stream.collect_rows().unwrap(), direct.rows);
+        }
+    }
+
+    #[test]
+    fn single_class_component_needs_no_cte() {
+        let (tree, db) = setup();
+        let edges = EdgeSet::empty();
+        let comps = components(&tree, edges);
+        let rc = reduce_component(&tree, &comps[0], edges, true);
+        let plan = outer_join_with_plan(&tree, &rc, &db).unwrap();
+        assert!(!matches!(plan, Plan::With { .. }));
+    }
+}

@@ -1,0 +1,156 @@
+//! Sorted outer-union query plans (Shanmugasundaram et al. \[9\], paper §3.4).
+//!
+//! "(R ⟕ S) ∪ (R ⟕ T)" — one union branch per class, each a self-contained
+//! select over the class's full rule body (which already contains every
+//! ancestor join), tagged with its complete `L1…Ld` literal prefix. Parent
+//! element instances get their **own** tuples (unlike the outer-join plan,
+//! where parent columns ride along on child tuples); NULL-first sorting
+//! places each parent tuple immediately before its children.
+
+use sr_data::Database;
+use sr_engine::{EngineError, Plan};
+use sr_viewtree::{ReducedComponent, ViewTree};
+
+use crate::outer_join::{class_base, finalize};
+
+/// Build the outer-union plan for one reduced component (final projection
+/// and sort included).
+pub fn outer_union_plan(
+    tree: &ViewTree,
+    rc: &ReducedComponent,
+    db: &Database,
+) -> Result<Plan, EngineError> {
+    let branches = (0..rc.nodes.len())
+        .map(|idx| class_base(tree, rc, idx, 0))
+        .collect::<Result<Vec<_>, _>>()?;
+    let plan = if branches.len() == 1 {
+        branches.into_iter().next().expect("one branch")
+    } else {
+        Plan::OuterUnion { inputs: branches }
+    };
+    finalize(tree, rc, plan, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_data::{row, DataType, ForeignKey, Schema, Table, Value};
+    use sr_engine::execute;
+    use sr_viewtree::{build, components, reduce_component, EdgeSet};
+
+    fn setup() -> (ViewTree, Database) {
+        let mut db = Database::new();
+        let mut s = Table::new(
+            "Supplier",
+            Schema::of(&[
+                ("suppkey", DataType::Int),
+                ("name", DataType::Str),
+                ("nationkey", DataType::Int),
+            ]),
+        );
+        s.insert_all([
+            row![1i64, "USA Metalworks", 24i64],
+            row![2i64, "Romana Espanola", 3i64],
+        ])
+        .unwrap();
+        let mut n = Table::new(
+            "Nation",
+            Schema::of(&[("nationkey", DataType::Int), ("name", DataType::Str)]),
+        );
+        n.insert_all([row![24i64, "USA"], row![3i64, "Spain"]]).unwrap();
+        let mut ps = Table::new(
+            "PartSupp",
+            Schema::of(&[("partkey", DataType::Int), ("suppkey", DataType::Int)]),
+        );
+        ps.insert_all([row![4i64, 1i64], row![12i64, 1i64]]).unwrap();
+        db.add_table(s);
+        db.add_table(n);
+        db.add_table(ps);
+        db.declare_key("Supplier", &["suppkey"]).unwrap();
+        db.declare_key("Nation", &["nationkey"]).unwrap();
+        db.declare_key("PartSupp", &["partkey", "suppkey"]).unwrap();
+        db.declare_foreign_key(ForeignKey::new(
+            "Supplier",
+            &["nationkey"],
+            "Nation",
+            &["nationkey"],
+        ))
+        .unwrap();
+        let q = sr_rxl::parse(
+            "from Supplier $s construct <supplier>\
+               { from Nation $n where $s.nationkey = $n.nationkey \
+                 construct <nation>$n.name</nation> }\
+               { from PartSupp $ps where $s.suppkey = $ps.suppkey \
+                 construct <part>$ps.partkey</part> }\
+             </supplier>",
+        )
+        .unwrap();
+        let t = build(&q, &db).unwrap();
+        (t, db)
+    }
+
+    #[test]
+    fn union_has_one_tuple_per_element_instance() {
+        let (t, db) = setup();
+        let full = EdgeSet::full(&t);
+        let comps = components(&t, full);
+        let rc = reduce_component(&t, &comps[0], full, false);
+        let plan = outer_union_plan(&t, &rc, &db).unwrap();
+        let rs = execute(&plan, &db).unwrap();
+        // Elements: 2 suppliers + 2 nations + 2 parts = 6 tuples.
+        assert_eq!(rs.len(), 6);
+    }
+
+    #[test]
+    fn parent_tuples_sort_before_children() {
+        let (t, db) = setup();
+        let full = EdgeSet::full(&t);
+        let comps = components(&t, full);
+        let rc = reduce_component(&t, &comps[0], full, false);
+        let plan = outer_union_plan(&t, &rc, &db).unwrap();
+        let rs = execute(&plan, &db).unwrap();
+        let l2 = rs.schema.position("L2").unwrap();
+        let k = rs.schema.position("v1_1").unwrap();
+        // First tuple: supplier 1's own row (L2 NULL), then its children.
+        assert_eq!(rs.rows[0].get(k), &Value::Int(1));
+        assert!(rs.rows[0].get(l2).is_null());
+        assert_eq!(rs.rows[1].get(l2), &Value::Int(1), "nation child next");
+    }
+
+    #[test]
+    fn outer_union_and_outer_join_cover_same_children() {
+        let (t, db) = setup();
+        let full = EdgeSet::full(&t);
+        let comps = components(&t, full);
+        let rc = reduce_component(&t, &comps[0], full, false);
+        let ou = execute(&outer_union_plan(&t, &rc, &db).unwrap(), &db).unwrap();
+        let oj = execute(
+            &crate::outer_join::outer_join_plan(&t, &rc, &db).unwrap(),
+            &db,
+        )
+        .unwrap();
+        // Same schemas (the §3.2 layout) and the same non-NULL child rows.
+        assert_eq!(
+            ou.schema.names().collect::<Vec<_>>(),
+            oj.schema.names().collect::<Vec<_>>()
+        );
+        let l2 = ou.schema.position("L2").unwrap();
+        let child_rows = |rows: &[sr_data::Row]| {
+            rows.iter().filter(|r| !r.get(l2).is_null()).count()
+        };
+        assert_eq!(child_rows(&ou.rows), child_rows(&oj.rows));
+    }
+
+    #[test]
+    fn reduced_outer_union_merges_one_classes() {
+        let (t, db) = setup();
+        let full = EdgeSet::full(&t);
+        let comps = components(&t, full);
+        let rc = reduce_component(&t, &comps[0], full, true);
+        assert_eq!(rc.nodes.len(), 2);
+        let plan = outer_union_plan(&t, &rc, &db).unwrap();
+        let rs = execute(&plan, &db).unwrap();
+        // supplier+nation rows (2) + part rows (2).
+        assert_eq!(rs.len(), 4);
+    }
+}

@@ -1,0 +1,245 @@
+//! Partitioned-relation schemas (paper §3.2).
+//!
+//! For a component `Ti`, the relation `Ri` has attributes
+//! `SFIattrs ∪ STVattrs`: the level labels `L1…L_SFImax(Ti)` and the
+//! Skolem-term variables of the component's nodes. Columns are laid out in
+//! the **sort order** of §3.2 — `L1, V(1,1)…V(1,n1), L2, V(2,1)…` — so the
+//! relation's column order *is* its ORDER BY list, and the k-way merge in
+//! the tagger can compare tuples from different streams positionally via
+//! the global layout.
+
+use sr_data::{Database, DataType};
+use sr_viewtree::{NodeId, ReducedComponent, VarId, ViewTree};
+
+/// One column of a partitioned relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnSpec {
+    /// A level label `L{p}`.
+    Level(u16),
+    /// A Skolem-term variable `v{p}_{q}`.
+    Var(VarId),
+}
+
+impl ColumnSpec {
+    /// The column's name in generated SQL and result schemas.
+    pub fn name(&self, tree: &ViewTree) -> String {
+        match self {
+            ColumnSpec::Level(p) => format!("L{p}"),
+            ColumnSpec::Var(v) => tree.var(*v).plan_name(),
+        }
+    }
+
+    /// The level this column belongs to in the interleaved sort order.
+    pub fn level(&self, tree: &ViewTree) -> u16 {
+        match self {
+            ColumnSpec::Level(p) => *p,
+            ColumnSpec::Var(v) => tree.var(*v).index.0,
+        }
+    }
+}
+
+/// The table a tuple-variable alias ranges over, found by scanning bodies.
+pub fn alias_table<'t>(tree: &'t ViewTree, alias: &str) -> Option<&'t str> {
+    tree.nodes
+        .iter()
+        .flat_map(|n| n.body.atoms.iter())
+        .find(|a| a.alias == alias)
+        .map(|a| a.table.as_str())
+}
+
+/// The data type of a Skolem-term variable, from the catalog.
+pub fn var_dtype(tree: &ViewTree, db: &Database, v: VarId) -> DataType {
+    let var = tree.var(v);
+    alias_table(tree, &var.alias)
+        .and_then(|t| db.table(t).ok())
+        .and_then(|t| {
+            t.schema()
+                .position(&var.column)
+                .map(|i| t.schema().column(i).dtype)
+        })
+        .unwrap_or(DataType::Str)
+}
+
+/// Interleaved column layout for a set of variables and a maximum
+/// class-root depth: `L1, V(1,*), L2, V(2,*), …`. Levels beyond
+/// `max_label_level` get no `L` column (no branch to distinguish there),
+/// but their variables still appear.
+fn layout(tree: &ViewTree, vars: &[VarId], max_label_level: u16) -> Vec<ColumnSpec> {
+    let max_var_level = vars
+        .iter()
+        .map(|&v| tree.var(v).index.0)
+        .max()
+        .unwrap_or(0);
+    let mut cols = Vec::new();
+    for p in 1..=max_label_level.max(max_var_level) {
+        if p <= max_label_level {
+            cols.push(ColumnSpec::Level(p));
+        }
+        let mut level_vars: Vec<VarId> = vars
+            .iter()
+            .copied()
+            .filter(|&v| tree.var(v).index.0 == p)
+            .collect();
+        level_vars.sort_by_key(|&v| tree.var(v).index.1);
+        cols.extend(level_vars.into_iter().map(ColumnSpec::Var));
+    }
+    cols
+}
+
+/// Column layout of one component's partitioned relation.
+pub fn component_columns(tree: &ViewTree, rc: &ReducedComponent) -> Vec<ColumnSpec> {
+    let mut vars: Vec<VarId> = Vec::new();
+    for class in &rc.nodes {
+        for &v in &class.args {
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+    }
+    let max_label = rc
+        .nodes
+        .iter()
+        .map(|c| tree.node(c.root).sfi.len() as u16)
+        .max()
+        .unwrap_or(1);
+    layout(tree, &vars, max_label)
+}
+
+/// The *global* layout over the entire view tree — every level label and
+/// every variable. The tagger lifts each stream's tuples into this layout
+/// to merge streams in document order.
+pub fn global_columns(tree: &ViewTree) -> Vec<ColumnSpec> {
+    let vars: Vec<VarId> = (0..tree.vars.len()).collect();
+    let max_label = tree
+        .nodes
+        .iter()
+        .map(|n| n.sfi.len() as u16)
+        .max()
+        .unwrap_or(1);
+    layout(tree, &vars, max_label)
+}
+
+/// The depth (SFI length) of a node.
+pub fn depth(tree: &ViewTree, node: NodeId) -> u16 {
+    tree.node(node).sfi.len() as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_data::{ForeignKey, Schema, Table};
+    use sr_viewtree::{build, components, reduce_component, EdgeSet};
+
+    fn setup() -> (ViewTree, Database) {
+        let mut db = Database::new();
+        db.add_table(Table::new(
+            "Supplier",
+            Schema::of(&[
+                ("suppkey", DataType::Int),
+                ("name", DataType::Str),
+                ("nationkey", DataType::Int),
+            ]),
+        ));
+        db.add_table(Table::new(
+            "Nation",
+            Schema::of(&[("nationkey", DataType::Int), ("name", DataType::Str)]),
+        ));
+        db.add_table(Table::new(
+            "PartSupp",
+            Schema::of(&[("partkey", DataType::Int), ("suppkey", DataType::Int)]),
+        ));
+        db.declare_key("Supplier", &["suppkey"]).unwrap();
+        db.declare_key("Nation", &["nationkey"]).unwrap();
+        db.declare_key("PartSupp", &["partkey", "suppkey"]).unwrap();
+        db.declare_foreign_key(ForeignKey::new(
+            "Supplier",
+            &["nationkey"],
+            "Nation",
+            &["nationkey"],
+        ))
+        .unwrap();
+        let q = sr_rxl::parse(
+            "from Supplier $s construct <supplier>\
+               <name>$s.name</name>\
+               { from Nation $n where $s.nationkey = $n.nationkey \
+                 construct <nation>$n.name</nation> }\
+               { from PartSupp $ps where $s.suppkey = $ps.suppkey \
+                 construct <part>$ps.partkey</part> }\
+             </supplier>",
+        )
+        .unwrap();
+        let t = build(&q, &db).unwrap();
+        (t, db)
+    }
+
+    #[test]
+    fn unified_component_layout_interleaves() {
+        let (t, _db) = setup();
+        let full = EdgeSet::full(&t);
+        let comps = components(&t, full);
+        let rc = reduce_component(&t, &comps[0], full, false);
+        let cols = component_columns(&t, &rc);
+        let names: Vec<String> = cols.iter().map(|c| c.name(&t)).collect();
+        // L1, suppkey(1,1), L2, then the level-2 vars in q order.
+        assert_eq!(names[0], "L1");
+        assert_eq!(names[1], "v1_1");
+        assert_eq!(names[2], "L2");
+        assert!(names.len() > 4);
+        // Levels never decrease along the layout.
+        let mut last = 0;
+        for c in &cols {
+            let l = c.level(&t);
+            assert!(l >= last, "layout must be level-monotone");
+            last = l;
+        }
+    }
+
+    #[test]
+    fn single_node_component_has_its_levels() {
+        let (t, _db) = setup();
+        let empty = EdgeSet::empty();
+        let comps = components(&t, empty);
+        // Component for the `part` node (a level-2 node).
+        let part_comp = comps.iter().find(|c| t.node(c.root).tag == "part").unwrap();
+        let rc = reduce_component(&t, part_comp, empty, false);
+        let cols = component_columns(&t, &rc);
+        let names: Vec<String> = cols.iter().map(|c| c.name(&t)).collect();
+        // Carries L1 and L2 plus its own vars (incl. ancestor key suppkey).
+        assert!(names.contains(&"L1".to_string()));
+        assert!(names.contains(&"L2".to_string()));
+        assert!(names.contains(&"v1_1".to_string()));
+    }
+
+    #[test]
+    fn global_layout_covers_all_vars() {
+        let (t, _db) = setup();
+        let cols = global_columns(&t);
+        let var_count = cols
+            .iter()
+            .filter(|c| matches!(c, ColumnSpec::Var(_)))
+            .count();
+        assert_eq!(var_count, t.vars.len());
+    }
+
+    #[test]
+    fn var_dtype_resolves_from_catalog() {
+        let (t, db) = setup();
+        // v1_1 is suppkey: Int. Find the s.name var: Str.
+        let name_var = (0..t.vars.len())
+            .find(|&v| t.var(v).alias == "s" && t.var(v).column == "name")
+            .unwrap();
+        assert_eq!(var_dtype(&t, &db, name_var), DataType::Str);
+        let suppkey = (0..t.vars.len())
+            .find(|&v| t.var(v).column == "suppkey")
+            .unwrap();
+        assert_eq!(var_dtype(&t, &db, suppkey), DataType::Int);
+    }
+
+    #[test]
+    fn alias_table_lookup() {
+        let (t, _db) = setup();
+        assert_eq!(alias_table(&t, "s"), Some("Supplier"));
+        assert_eq!(alias_table(&t, "ps"), Some("PartSupp"));
+        assert_eq!(alias_table(&t, "zz"), None);
+    }
+}

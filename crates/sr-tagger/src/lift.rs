@@ -1,0 +1,237 @@
+//! Lifting stream tuples into the global sort-key layout.
+//!
+//! Every partitioned relation is sorted by *its own* columns in the §3.2
+//! interleaved order, which is exactly the global layout restricted to the
+//! stream's columns. Lifting a tuple inserts NULLs at the positions of the
+//! columns the stream lacks; because within-stream comparisons are
+//! unaffected by constant NULL positions, a stream sorted by its own layout
+//! is also sorted by the lifted key — which makes the k-way merge a simple
+//! smallest-key pop.
+
+use sr_data::{Row, Schema, Value};
+use sr_sqlgen::{global_columns, ColumnSpec};
+use sr_viewtree::{NodeId, VarId, ViewTree};
+
+/// Precomputed global layout and SFI lookup for one view tree.
+pub struct GlobalLayout {
+    /// The global column layout.
+    pub columns: Vec<ColumnSpec>,
+    /// `levels[p-1]` = global position of `L{p}`.
+    pub level_pos: Vec<usize>,
+    /// `var_pos[var]` = global position of that variable.
+    pub var_pos: Vec<usize>,
+    /// `key_args_by_node[n]` = the key variables identifying node `n`.
+    key_args_by_node: Vec<Vec<VarId>>,
+    /// Maximum tree level.
+    max_level: usize,
+    /// Node lookup by SFI path.
+    sfi_index: Vec<(Vec<u32>, NodeId)>,
+}
+
+impl GlobalLayout {
+    /// Build the layout for a tree.
+    pub fn new(tree: &ViewTree) -> GlobalLayout {
+        let columns = global_columns(tree);
+        let max_level = tree.max_level();
+        let mut level_pos = vec![usize::MAX; max_level];
+        let mut var_pos = vec![usize::MAX; tree.vars.len()];
+        for (i, c) in columns.iter().enumerate() {
+            match c {
+                ColumnSpec::Level(p) => level_pos[*p as usize - 1] = i,
+                ColumnSpec::Var(v) => var_pos[*v] = i,
+            }
+        }
+        let key_args_by_node = tree.nodes.iter().map(|n| n.key_args.clone()).collect();
+        let sfi_index = tree
+            .nodes
+            .iter()
+            .map(|n| (n.sfi.clone(), n.id))
+            .collect();
+        GlobalLayout {
+            columns,
+            level_pos,
+            var_pos,
+            key_args_by_node,
+            max_level,
+            sfi_index,
+        }
+    }
+
+    /// Compare two lifted rows in document order.
+    ///
+    /// The comparison follows each row's *structural path*: at every level,
+    /// first the `L` ordinal (NULL = path ends, sorting parents before
+    /// children), then — only if both rows sit on the same node — that
+    /// node's own key variables. Comparing whole rows column-by-column
+    /// would be wrong across streams: a reduced component carries merged
+    /// members' keys and content on every row, while other components lift
+    /// those columns as NULL. Path keys are carried by every stream whose
+    /// tuples pass through the node, so this order is consistent.
+    pub fn cmp_lifted(&self, a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        let mut sfi: Vec<u32> = Vec::with_capacity(self.max_level);
+        for p in 1..=self.max_level {
+            let la = self.level_value(a, p);
+            let lb = self.level_value(b, p);
+            let ord = la.cmp(lb);
+            if ord != Ordering::Equal {
+                return ord;
+            }
+            let step = match la {
+                Value::Null => return Ordering::Equal,
+                Value::Int(i) => *i as u32,
+                _ => return Ordering::Equal, // malformed; reported later
+            };
+            sfi.push(step);
+            if let Some(node) = self.node_by_sfi(&sfi) {
+                for &k in &self.key_args_by_node[node] {
+                    let ord = self.var_value(a, k).cmp(self.var_value(b, k));
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Total number of global columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Look up a node by SFI prefix.
+    pub fn node_by_sfi(&self, sfi: &[u32]) -> Option<NodeId> {
+        self.sfi_index
+            .iter()
+            .find(|(s, _)| s.as_slice() == sfi)
+            .map(|(_, id)| *id)
+    }
+
+    /// The `L{p}` value in a lifted row (1-based level).
+    pub fn level_value<'r>(&self, lifted: &'r [Value], p: usize) -> &'r Value {
+        &lifted[self.level_pos[p - 1]]
+    }
+
+    /// A variable's value in a lifted row.
+    pub fn var_value<'r>(&self, lifted: &'r [Value], v: VarId) -> &'r Value {
+        &lifted[self.var_pos[v]]
+    }
+}
+
+/// Mapping from one stream's schema to the global layout.
+pub struct StreamLift {
+    /// `mapping[g]` = stream column index providing global column `g`.
+    mapping: Vec<Option<usize>>,
+}
+
+impl StreamLift {
+    /// Build the mapping by column name.
+    pub fn new(tree: &ViewTree, layout: &GlobalLayout, schema: &Schema) -> StreamLift {
+        let mapping = layout
+            .columns
+            .iter()
+            .map(|c| schema.position(&c.name(tree)))
+            .collect();
+        StreamLift { mapping }
+    }
+
+    /// Lift a stream row into the global layout (missing columns → NULL).
+    pub fn lift(&self, row: &Row) -> Vec<Value> {
+        self.mapping
+            .iter()
+            .map(|m| match m {
+                Some(i) => row.get(*i).clone(),
+                None => Value::Null,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_data::{row, DataType, Database, ForeignKey, Table};
+    use sr_viewtree::build;
+
+    fn setup() -> (ViewTree, Database) {
+        let mut db = Database::new();
+        db.add_table(Table::new(
+            "Supplier",
+            Schema::of(&[
+                ("suppkey", DataType::Int),
+                ("name", DataType::Str),
+                ("nationkey", DataType::Int),
+            ]),
+        ));
+        db.add_table(Table::new(
+            "Nation",
+            Schema::of(&[("nationkey", DataType::Int), ("name", DataType::Str)]),
+        ));
+        db.declare_key("Supplier", &["suppkey"]).unwrap();
+        db.declare_key("Nation", &["nationkey"]).unwrap();
+        db.declare_foreign_key(ForeignKey::new(
+            "Supplier",
+            &["nationkey"],
+            "Nation",
+            &["nationkey"],
+        ))
+        .unwrap();
+        let q = sr_rxl::parse(
+            "from Supplier $s construct <supplier><name>$s.name</name>\
+             { from Nation $n where $s.nationkey = $n.nationkey \
+               construct <nation>$n.name</nation> }</supplier>",
+        )
+        .unwrap();
+        let t = build(&q, &db).unwrap();
+        (t, db)
+    }
+
+    #[test]
+    fn layout_positions_cover_everything() {
+        let (t, _) = setup();
+        let layout = GlobalLayout::new(&t);
+        assert!(layout.level_pos.iter().all(|&p| p != usize::MAX));
+        assert!(layout.var_pos.iter().all(|&p| p != usize::MAX));
+        assert_eq!(
+            layout.width(),
+            t.max_level() + t.vars.len(),
+            "one L per level plus every var"
+        );
+    }
+
+    #[test]
+    fn sfi_lookup() {
+        let (t, _) = setup();
+        let layout = GlobalLayout::new(&t);
+        assert_eq!(layout.node_by_sfi(&[1]), Some(0));
+        assert!(layout.node_by_sfi(&[1, 1]).is_some());
+        assert_eq!(layout.node_by_sfi(&[9, 9]), None);
+    }
+
+    #[test]
+    fn lift_inserts_nulls_for_missing_columns() {
+        let (t, _) = setup();
+        let layout = GlobalLayout::new(&t);
+        // A fake stream with only L1 and v1_1.
+        let schema = Schema::of(&[("L1", DataType::Int), ("v1_1", DataType::Int)]);
+        let lift = StreamLift::new(&t, &layout, &schema);
+        let lifted = lift.lift(&row![1i64, 42i64]);
+        assert_eq!(lifted.len(), layout.width());
+        assert_eq!(layout.level_value(&lifted, 1), &Value::Int(1));
+        assert!(layout.level_value(&lifted, 2).is_null());
+        let non_null = lifted.iter().filter(|v| !v.is_null()).count();
+        assert_eq!(non_null, 2);
+    }
+
+    #[test]
+    fn lifted_order_consistent_with_stream_order() {
+        let (t, _) = setup();
+        let layout = GlobalLayout::new(&t);
+        let schema = Schema::of(&[("L1", DataType::Int), ("v1_1", DataType::Int)]);
+        let lift = StreamLift::new(&t, &layout, &schema);
+        let a = lift.lift(&row![1i64, 1i64]);
+        let b = lift.lift(&row![1i64, 2i64]);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,390 @@
+//! The constant-space tagger (paper §3.3).
+//!
+//! "The tagging algorithm merges the partitioned tuple streams into one
+//! tuple stream, nests the tuples, and tags their values. The required
+//! memory size depends only on the number of nodes and Skolem-term
+//! variables in the view tree" — here: one lifted head row per stream plus
+//! an open-element stack bounded by the view-tree depth, each entry holding
+//! one lifted snapshot.
+//!
+//! Mechanics: every tuple is lifted into the global §3.2 sort layout; a
+//! k-way merge pops tuples in document order; each tuple's non-NULL `L`
+//! prefix identifies a root-to-node path whose instances are opened/closed
+//! against a stack. Merged (`1`-labeled) class members and literal/variable
+//! text are emitted by a per-element cursor over the element's content
+//! layout, so interleaved text and out-of-order sibling branches come out
+//! in document order.
+
+use std::fmt;
+use std::io::Write;
+
+use sr_data::{Row, Schema, Value};
+use sr_engine::{EngineError, TupleStream};
+use sr_viewtree::{NodeContent, NodeId, ReducedComponent, TextSource, ViewTree};
+
+use crate::lift::{GlobalLayout, StreamLift};
+use crate::xml::XmlWriter;
+
+/// Tagger errors.
+#[derive(Debug)]
+pub enum TagError {
+    /// Output write failure.
+    Io(std::io::Error),
+    /// Stream decode failure.
+    Engine(EngineError),
+    /// Structural inconsistency (malformed stream contents).
+    Structure(String),
+}
+
+impl fmt::Display for TagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TagError::Io(e) => write!(f, "io error: {e}"),
+            TagError::Engine(e) => write!(f, "stream error: {e}"),
+            TagError::Structure(m) => write!(f, "structure error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TagError {}
+
+impl From<std::io::Error> for TagError {
+    fn from(e: std::io::Error) -> Self {
+        TagError::Io(e)
+    }
+}
+
+impl From<EngineError> for TagError {
+    fn from(e: EngineError) -> Self {
+        TagError::Engine(e)
+    }
+}
+
+/// A source of sorted rows.
+pub enum RowSource {
+    /// Already materialized rows.
+    Materialized(std::vec::IntoIter<Row>),
+    /// A server tuple stream (decoded lazily — this is where "transfer
+    /// time" is spent).
+    Stream(TupleStream),
+}
+
+impl RowSource {
+    fn next_row(&mut self) -> Result<Option<Row>, EngineError> {
+        match self {
+            RowSource::Materialized(it) => Ok(it.next()),
+            RowSource::Stream(s) => s.next_row(),
+        }
+    }
+}
+
+/// One input stream: rows, their schema, and the component metadata that
+/// maps columns back to view-tree structure.
+pub struct StreamInput {
+    /// Sorted rows.
+    pub rows: RowSource,
+    /// Stream schema (column names `L{p}` / `v{p}_{q}`).
+    pub schema: Schema,
+    /// The component's (possibly reduced) class tree.
+    pub reduced: ReducedComponent,
+}
+
+/// Statistics from one tagging run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TagStats {
+    /// Tuples consumed across all streams.
+    pub tuples: u64,
+    /// XML elements emitted.
+    pub elements: u64,
+    /// Maximum open-element stack depth (≤ view-tree depth).
+    pub max_open_depth: usize,
+    /// Bytes of XML written.
+    pub bytes: u64,
+}
+
+struct StreamState {
+    rows: RowSource,
+    lift: StreamLift,
+    /// member node → class index (within this stream's component).
+    class_of: Vec<Option<usize>>,
+    /// Current head, lifted into the global layout.
+    head: Option<Vec<Value>>,
+}
+
+struct Open {
+    node: NodeId,
+    key: Vec<Value>,
+    /// Cursor into the node's content layout.
+    cursor: usize,
+    /// Highest child ordinal already opened as a streamed instance.
+    last_child_ordinal: u32,
+    /// Lifted snapshot from the opening tuple (payload for text and merged
+    /// members).
+    snapshot: Vec<Value>,
+    /// Which stream opened it (for class metadata).
+    stream: usize,
+}
+
+/// The tagging machine; holds the pieces every emission step needs.
+struct Tagger<'t, W: Write> {
+    tree: &'t ViewTree,
+    layout: GlobalLayout,
+    streams: Vec<StreamState>,
+    stack: Vec<Open>,
+    writer: XmlWriter<W>,
+    stats: TagStats,
+}
+
+/// Merge the streams and write the XML document (a forest of root-element
+/// instances). Returns statistics and the writer's inner output.
+pub fn tag_streams<W: Write>(
+    tree: &ViewTree,
+    inputs: Vec<StreamInput>,
+    out: W,
+    pretty: bool,
+) -> Result<(TagStats, W), TagError> {
+    let layout = GlobalLayout::new(tree);
+    let mut writer = XmlWriter::new(out);
+    writer.pretty = pretty;
+
+    let streams: Vec<StreamState> = inputs
+        .into_iter()
+        .map(|input| {
+            let lift = StreamLift::new(tree, &layout, &input.schema);
+            let mut class_of = vec![None; tree.nodes.len()];
+            for (ci, class) in input.reduced.nodes.iter().enumerate() {
+                for &m in &class.members {
+                    class_of[m] = Some(ci);
+                }
+            }
+            StreamState {
+                rows: input.rows,
+                lift,
+                class_of,
+                head: None,
+            }
+        })
+        .collect();
+
+    let mut t = Tagger {
+        tree,
+        layout,
+        streams,
+        stack: Vec::new(),
+        writer,
+        stats: TagStats::default(),
+    };
+    t.run()?;
+    t.stats.bytes = t.writer.bytes_written();
+    let stats = t.stats;
+    let out = t.writer.finish()?;
+    Ok((stats, out))
+}
+
+impl<'t, W: Write> Tagger<'t, W> {
+    fn run(&mut self) -> Result<(), TagError> {
+        // Prime heads.
+        for s in &mut self.streams {
+            if let Some(row) = s.rows.next_row()? {
+                s.head = Some(s.lift.lift(&row));
+            }
+        }
+
+        // Guard against servers that violate the sortedness contract: the
+        // merged sequence of lifted keys must be non-decreasing, otherwise
+        // the constant-space re-nesting would silently emit a corrupted
+        // document.
+        let mut last: Option<Vec<Value>> = None;
+
+        loop {
+            // Pick the stream with the smallest lifted key (ties: lower
+            // stream index — streams arrive in component preorder).
+            let mut best: Option<usize> = None;
+            for (i, s) in self.streams.iter().enumerate() {
+                if let Some(h) = &s.head {
+                    let better = match best {
+                        None => true,
+                        Some(b) => {
+                            let bh = self.streams[b].head.as_ref().expect("has head");
+                            self.layout.cmp_lifted(h, bh) == std::cmp::Ordering::Less
+                        }
+                    };
+                    if better {
+                        best = Some(i);
+                    }
+                }
+            }
+            let Some(si) = best else { break };
+            let lifted = self.streams[si].head.take().expect("picked head");
+            if let Some(prev) = &last {
+                if self.layout.cmp_lifted(&lifted, prev) == std::cmp::Ordering::Less {
+                    return Err(TagError::Structure(format!(
+                        "stream {si} is not sorted in document order (tuple regressed)"
+                    )));
+                }
+            }
+            last = Some(lifted.clone());
+            if let Some(row) = self.streams[si].rows.next_row()? {
+                let next = self.streams[si].lift.lift(&row);
+                self.streams[si].head = Some(next);
+            }
+            self.stats.tuples += 1;
+            self.process_tuple(si, &lifted)?;
+            self.stats.max_open_depth = self.stats.max_open_depth.max(self.stack.len());
+        }
+
+        // Close everything left open.
+        while let Some(mut open) = self.stack.pop() {
+            self.advance_cursor(&mut open, None)?;
+            self.writer.close(&self.tree.node(open.node).tag)?;
+        }
+        Ok(())
+    }
+
+    fn process_tuple(&mut self, si: usize, lifted: &[Value]) -> Result<(), TagError> {
+        // Decode the tuple's node path from its non-NULL L prefix.
+        let mut path: Vec<(NodeId, Vec<Value>)> = Vec::new();
+        let mut sfi: Vec<u32> = Vec::new();
+        for p in 1..=self.tree.max_level() {
+            let ord = match self.layout.level_value(lifted, p) {
+                Value::Null => break,
+                Value::Int(i) => *i as u32,
+                other => {
+                    return Err(TagError::Structure(format!(
+                        "non-integer level label L{p}: {other}"
+                    )));
+                }
+            };
+            sfi.push(ord);
+            let node = self.layout.node_by_sfi(&sfi).ok_or_else(|| {
+                TagError::Structure(format!("no view-tree node with SFI {sfi:?}"))
+            })?;
+            let key: Vec<Value> = self
+                .tree
+                .node(node)
+                .key_args
+                .iter()
+                .map(|&v| self.layout.var_value(lifted, v).clone())
+                .collect();
+            path.push((node, key));
+        }
+        if path.is_empty() {
+            return Err(TagError::Structure("tuple with NULL L1".into()));
+        }
+
+        // Longest common prefix with the open stack.
+        let mut cpl = 0;
+        while cpl < self.stack.len()
+            && cpl < path.len()
+            && self.stack[cpl].node == path[cpl].0
+            && self.stack[cpl].key == path[cpl].1
+        {
+            cpl += 1;
+        }
+
+        // Close elements beyond the common prefix.
+        while self.stack.len() > cpl {
+            let mut open = self.stack.pop().expect("non-empty");
+            self.advance_cursor(&mut open, None)?;
+            self.writer.close(&self.tree.node(open.node).tag)?;
+        }
+
+        // Open the remainder of the path.
+        for (node, key) in path.into_iter().skip(cpl) {
+            let ordinal = *self.tree.node(node).sfi.last().expect("non-empty SFI");
+            if let Some(mut parent) = self.stack.pop() {
+                self.advance_cursor(&mut parent, Some(ordinal))?;
+                parent.last_child_ordinal = parent.last_child_ordinal.max(ordinal);
+                self.stack.push(parent);
+            }
+            self.writer.open(&self.tree.node(node).tag)?;
+            self.stats.elements += 1;
+            self.stack.push(Open {
+                node,
+                key,
+                cursor: 0,
+                last_child_ordinal: 0,
+                snapshot: lifted.to_vec(),
+                stream: si,
+            });
+        }
+        Ok(())
+    }
+
+    /// Advance an element's content cursor up to (but excluding) the child
+    /// slot with ordinal `target`; `None` means to the end. Emits text and
+    /// fully materializes merged class members along the way.
+    fn advance_cursor(&mut self, open: &mut Open, target: Option<u32>) -> Result<(), TagError> {
+        let layout_len = self.tree.node(open.node).content.len();
+        while open.cursor < layout_len {
+            let item = self.tree.node(open.node).content[open.cursor].clone();
+            match item {
+                NodeContent::Text(src) => {
+                    self.emit_text(&src, &open.snapshot)?;
+                    open.cursor += 1;
+                }
+                NodeContent::Child(c) => {
+                    let ord = *self.tree.node(c).sfi.last().expect("non-empty SFI");
+                    if let Some(t) = target {
+                        if ord >= t {
+                            return Ok(());
+                        }
+                    }
+                    if ord > open.last_child_ordinal && self.same_class(open.stream, open.node, c)
+                    {
+                        // A merged (`1`-labeled) member with no streamed
+                        // instances of its own: materialize it from the
+                        // snapshot. Non-member children with no streamed
+                        // instances are simply absent (`*`/`?` semantics).
+                        let snapshot = open.snapshot.clone();
+                        self.emit_member(open.stream, c, &snapshot)?;
+                    }
+                    open.cursor += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn same_class(&self, stream: usize, a: NodeId, b: NodeId) -> bool {
+        let s = &self.streams[stream];
+        s.class_of[a].is_some() && s.class_of[a] == s.class_of[b]
+    }
+
+    /// Emit a merged member subtree entirely from a snapshot.
+    fn emit_member(
+        &mut self,
+        stream: usize,
+        node: NodeId,
+        snapshot: &[Value],
+    ) -> Result<(), TagError> {
+        self.writer.open(&self.tree.node(node).tag)?;
+        self.stats.elements += 1;
+        for item in self.tree.node(node).content.clone() {
+            match item {
+                NodeContent::Text(src) => self.emit_text(&src, snapshot)?,
+                NodeContent::Child(c) => {
+                    if self.same_class(stream, node, c) {
+                        self.emit_member(stream, c, snapshot)?;
+                    }
+                }
+            }
+        }
+        self.writer.close(&self.tree.node(node).tag)?;
+        Ok(())
+    }
+
+    fn emit_text(&mut self, src: &TextSource, snapshot: &[Value]) -> Result<(), TagError> {
+        match src {
+            TextSource::Lit(s) => self.writer.text(s)?,
+            TextSource::Var(v) => match self.layout.var_value(snapshot, *v) {
+                Value::Null => {}
+                value => {
+                    let s = value.to_string();
+                    self.writer.text(&s)?;
+                }
+            },
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,199 @@
+//! Streaming XML writer with escaping.
+
+use std::io::{self, Write};
+
+/// A streaming XML emitter. Tracks element nesting for well-formedness and
+/// reports the maximum depth reached (the tagger's constant-space claim is
+//  checked against it in tests).
+pub struct XmlWriter<W: Write> {
+    out: W,
+    stack: Vec<String>,
+    max_depth: usize,
+    bytes: u64,
+    /// Pretty-print with newlines and two-space indentation.
+    pub pretty: bool,
+}
+
+impl<W: Write> XmlWriter<W> {
+    /// A compact (non-pretty) writer.
+    pub fn new(out: W) -> Self {
+        XmlWriter {
+            out,
+            stack: Vec::new(),
+            max_depth: 0,
+            bytes: 0,
+            pretty: false,
+        }
+    }
+
+    /// Current nesting depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Maximum nesting depth reached.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    fn write(&mut self, s: &str) -> io::Result<()> {
+        self.out.write_all(s.as_bytes())?;
+        self.bytes += s.len() as u64;
+        Ok(())
+    }
+
+    fn newline_indent(&mut self, depth: usize) -> io::Result<()> {
+        if self.pretty {
+            self.write("\n")?;
+            for _ in 0..depth {
+                self.write("  ")?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Open `<tag>`.
+    pub fn open(&mut self, tag: &str) -> io::Result<()> {
+        let depth = self.stack.len();
+        if depth > 0 || self.bytes > 0 {
+            self.newline_indent(depth)?;
+        }
+        self.write("<")?;
+        self.write(tag)?;
+        self.write(">")?;
+        self.stack.push(tag.to_string());
+        self.max_depth = self.max_depth.max(self.stack.len());
+        Ok(())
+    }
+
+    /// Close the innermost element, which must be `tag`.
+    pub fn close(&mut self, tag: &str) -> io::Result<()> {
+        let top = self.stack.pop().unwrap_or_else(|| {
+            panic!("close </{tag}> with no open element");
+        });
+        assert_eq!(top, tag, "mismatched close: <{top}> vs </{tag}>");
+        self.write("</")?;
+        self.write(tag)?;
+        self.write(">")?;
+        Ok(())
+    }
+
+    /// Emit escaped character data.
+    pub fn text(&mut self, data: &str) -> io::Result<()> {
+        let mut buf = String::with_capacity(data.len());
+        for c in data.chars() {
+            match c {
+                '&' => buf.push_str("&amp;"),
+                '<' => buf.push_str("&lt;"),
+                '>' => buf.push_str("&gt;"),
+                _ => buf.push(c),
+            }
+        }
+        self.write(&buf)
+    }
+
+    /// Finish: every element must be closed.
+    pub fn finish(mut self) -> io::Result<W> {
+        assert!(
+            self.stack.is_empty(),
+            "unclosed elements at finish: {:?}",
+            self.stack
+        );
+        if self.pretty && self.bytes > 0 {
+            self.write("\n")?;
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capture<F: FnOnce(&mut XmlWriter<Vec<u8>>)>(f: F) -> String {
+        let mut w = XmlWriter::new(Vec::new());
+        f(&mut w);
+        String::from_utf8(w.finish().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn nested_elements() {
+        let s = capture(|w| {
+            w.open("a").unwrap();
+            w.open("b").unwrap();
+            w.text("hi").unwrap();
+            w.close("b").unwrap();
+            w.close("a").unwrap();
+        });
+        assert_eq!(s, "<a><b>hi</b></a>");
+    }
+
+    #[test]
+    fn escaping() {
+        let s = capture(|w| {
+            w.open("x").unwrap();
+            w.text("a < b & c > d").unwrap();
+            w.close("x").unwrap();
+        });
+        assert_eq!(s, "<x>a &lt; b &amp; c &gt; d</x>");
+    }
+
+    #[test]
+    fn max_depth_tracked() {
+        let mut w = XmlWriter::new(Vec::new());
+        w.open("a").unwrap();
+        w.open("b").unwrap();
+        w.close("b").unwrap();
+        w.open("c").unwrap();
+        w.close("c").unwrap();
+        w.close("a").unwrap();
+        assert_eq!(w.max_depth(), 2);
+        assert_eq!(w.depth(), 0);
+        w.finish().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched close")]
+    fn mismatched_close_panics() {
+        let mut w = XmlWriter::new(Vec::new());
+        w.open("a").unwrap();
+        let _ = w.close("b");
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed elements")]
+    fn unclosed_finish_panics() {
+        let mut w = XmlWriter::new(Vec::new());
+        w.open("a").unwrap();
+        let _ = w.finish();
+    }
+
+    #[test]
+    fn pretty_mode_indents() {
+        let mut w = XmlWriter::new(Vec::new());
+        w.pretty = true;
+        w.open("a").unwrap();
+        w.open("b").unwrap();
+        w.close("b").unwrap();
+        w.close("a").unwrap();
+        let s = String::from_utf8(w.finish().unwrap()).unwrap();
+        assert_eq!(s, "<a>\n  <b></b></a>\n");
+    }
+
+    #[test]
+    fn forest_of_roots_separated() {
+        let s = capture(|w| {
+            w.open("r").unwrap();
+            w.close("r").unwrap();
+            w.open("r").unwrap();
+            w.close("r").unwrap();
+        });
+        assert_eq!(s, "<r></r><r></r>");
+    }
+}

@@ -1,0 +1,154 @@
+//! Failure-injection tests: the tagger must reject malformed streams with a
+//! clear error instead of emitting a corrupted document.
+
+use sr_data::{row, DataType, Database, Row, Schema, Table};
+use sr_engine::execute;
+use sr_sqlgen::{generate_queries, PlanSpec};
+use sr_tagger::{tag_streams, RowSource, StreamInput, TagError};
+use sr_viewtree::{build, ViewTree};
+
+fn setup() -> (ViewTree, Database) {
+    let mut db = Database::new();
+    let mut p = Table::new(
+        "Parent",
+        Schema::of(&[("pid", DataType::Int), ("pval", DataType::Str)]),
+    );
+    p.insert_all([row![1i64, "a"], row![2i64, "b"], row![3i64, "c"]])
+        .unwrap();
+    let mut c = Table::new(
+        "Child",
+        Schema::of(&[("cid", DataType::Int), ("pid", DataType::Int)]),
+    );
+    c.insert_all([row![10i64, 1i64], row![11i64, 1i64], row![12i64, 3i64]])
+        .unwrap();
+    db.add_table(p);
+    db.add_table(c);
+    db.declare_key("Parent", &["pid"]).unwrap();
+    db.declare_key("Child", &["cid"]).unwrap();
+    let q = sr_rxl::parse(
+        "from Parent $p construct <parent><v>$p.pval</v>\
+         { from Child $c where $p.pid = $c.pid \
+           construct <child>$c.cid</child> }</parent>",
+    )
+    .unwrap();
+    let tree = build(&q, &db).unwrap();
+    (tree, db)
+}
+
+/// Execute the unified plan and return (rows, schema, reduced).
+fn unified_stream(
+    tree: &ViewTree,
+    db: &Database,
+) -> (Vec<Row>, sr_data::Schema, sr_viewtree::ReducedComponent) {
+    let q = generate_queries(tree, db, PlanSpec::unified(tree))
+        .unwrap()
+        .remove(0);
+    let rs = execute(&q.plan, db).unwrap();
+    (rs.rows, rs.schema, q.reduced)
+}
+
+#[test]
+fn well_formed_stream_tags_cleanly() {
+    let (tree, db) = setup();
+    let (rows, schema, reduced) = unified_stream(&tree, &db);
+    let input = StreamInput {
+        rows: RowSource::Materialized(rows.into_iter()),
+        schema,
+        reduced,
+    };
+    let (stats, out) = tag_streams(&tree, vec![input], Vec::new(), false).unwrap();
+    let xml = String::from_utf8(out).unwrap();
+    assert_eq!(stats.elements, 3 + 3 + 3, "3 parents, 3 v, 3 children");
+    assert!(xml.contains("<child>10</child>"));
+}
+
+#[test]
+fn unsorted_stream_is_rejected() {
+    let (tree, db) = setup();
+    let (mut rows, schema, reduced) = unified_stream(&tree, &db);
+    assert!(rows.len() >= 2);
+    rows.reverse(); // violate the sortedness contract
+    let input = StreamInput {
+        rows: RowSource::Materialized(rows.into_iter()),
+        schema,
+        reduced,
+    };
+    let err = tag_streams(&tree, vec![input], Vec::new(), false).unwrap_err();
+    match err {
+        TagError::Structure(m) => assert!(m.contains("not sorted"), "{m}"),
+        other => panic!("expected structure error, got {other}"),
+    }
+}
+
+#[test]
+fn bogus_level_label_is_rejected() {
+    let (tree, db) = setup();
+    let (rows, schema, reduced) = unified_stream(&tree, &db);
+    // Corrupt a tuple: L1 points at a nonexistent sibling ordinal.
+    let mut bad = rows[0].to_vec();
+    let l1 = schema.position("L1").unwrap();
+    bad[l1] = sr_data::Value::Int(99);
+    let rows = vec![Row::new(bad)];
+    let input = StreamInput {
+        rows: RowSource::Materialized(rows.into_iter()),
+        schema,
+        reduced,
+    };
+    let err = tag_streams(&tree, vec![input], Vec::new(), false).unwrap_err();
+    match err {
+        TagError::Structure(m) => assert!(m.contains("SFI"), "{m}"),
+        other => panic!("expected structure error, got {other}"),
+    }
+}
+
+#[test]
+fn null_root_label_is_rejected() {
+    let (tree, db) = setup();
+    let (rows, schema, reduced) = unified_stream(&tree, &db);
+    let mut bad = rows[0].to_vec();
+    let l1 = schema.position("L1").unwrap();
+    bad[l1] = sr_data::Value::Null;
+    let input = StreamInput {
+        rows: RowSource::Materialized(vec![Row::new(bad)].into_iter()),
+        schema,
+        reduced,
+    };
+    let err = tag_streams(&tree, vec![input], Vec::new(), false).unwrap_err();
+    match err {
+        TagError::Structure(m) => assert!(m.contains("NULL L1"), "{m}"),
+        other => panic!("expected structure error, got {other}"),
+    }
+}
+
+#[test]
+fn non_integer_label_is_rejected() {
+    let (tree, db) = setup();
+    let (rows, schema, reduced) = unified_stream(&tree, &db);
+    let mut bad = rows[0].to_vec();
+    let l1 = schema.position("L1").unwrap();
+    bad[l1] = sr_data::Value::str("oops");
+    let input = StreamInput {
+        rows: RowSource::Materialized(vec![Row::new(bad)].into_iter()),
+        schema,
+        reduced,
+    };
+    let err = tag_streams(&tree, vec![input], Vec::new(), false).unwrap_err();
+    match err {
+        TagError::Structure(m) => assert!(m.contains("non-integer"), "{m}"),
+        other => panic!("expected structure error, got {other}"),
+    }
+}
+
+#[test]
+fn empty_streams_produce_empty_document() {
+    let (tree, db) = setup();
+    let (_, schema, reduced) = unified_stream(&tree, &db);
+    let input = StreamInput {
+        rows: RowSource::Materialized(Vec::new().into_iter()),
+        schema,
+        reduced,
+    };
+    let (stats, out) = tag_streams(&tree, vec![input], Vec::new(), false).unwrap();
+    assert_eq!(stats.elements, 0);
+    assert!(out.is_empty());
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! # sr-tpch
+//!
+//! Deterministic generator for the TPC-H fragment used by the paper
+//! (Fig. 1):
+//!
+//! ```text
+//! Supplier(*suppkey, name, addr, nationkey)
+//! PartSupp(*partkey, *suppkey, availqty)
+//! Part(*partkey, name, mfgr, brand, size, retail)
+//! Customer(*custkey, name, addr, nationkey, ph)
+//! LineItem(*orderkey, partkey, suppkey, *lno, qty, prc)
+//! Orders(*orderkey, custkey, status, price, date)
+//! Nation(*nationkey, name, regionkey)
+//! Region(*regionkey, name)
+//! ```
+//!
+//! The paper runs on 1 MB (Config A) and 100 MB (Config B) TPC-H databases.
+//! [`generate`] is parameterized by a target size in MB and keeps TPC-H's
+//! relative cardinalities, so the join fan-outs that decide plan costs match
+//! the benchmark's. Generation is fully deterministic for a given [`Scale`]
+//! (seeded `StdRng`), so experiments are reproducible run to run.
+
+pub mod gen;
+pub mod scale;
+pub mod schema;
+pub mod text;
+
+pub use gen::generate;
+pub use scale::Scale;
+pub use schema::install_schema;

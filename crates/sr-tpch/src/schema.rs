@@ -1,0 +1,135 @@
+//! The Fig. 1 schema, with the source-description constraints (keys and
+//! foreign keys) that drive view-tree labeling (§3.5).
+
+use sr_data::{DataError, Database, DataType, ForeignKey, Schema, Table};
+
+/// Create all eight empty tables and declare their keys and foreign keys.
+pub fn install_schema(db: &mut Database) -> Result<(), DataError> {
+    db.add_table(Table::new(
+        "Region",
+        Schema::of(&[("regionkey", DataType::Int), ("name", DataType::Str)]),
+    ));
+    db.add_table(Table::new(
+        "Nation",
+        Schema::of(&[
+            ("nationkey", DataType::Int),
+            ("name", DataType::Str),
+            ("regionkey", DataType::Int),
+        ]),
+    ));
+    db.add_table(Table::new(
+        "Supplier",
+        Schema::of(&[
+            ("suppkey", DataType::Int),
+            ("name", DataType::Str),
+            ("addr", DataType::Str),
+            ("nationkey", DataType::Int),
+        ]),
+    ));
+    db.add_table(Table::new(
+        "Part",
+        Schema::of(&[
+            ("partkey", DataType::Int),
+            ("name", DataType::Str),
+            ("mfgr", DataType::Str),
+            ("brand", DataType::Str),
+            ("size", DataType::Int),
+            ("retail", DataType::Float),
+        ]),
+    ));
+    db.add_table(Table::new(
+        "PartSupp",
+        Schema::of(&[
+            ("partkey", DataType::Int),
+            ("suppkey", DataType::Int),
+            ("availqty", DataType::Int),
+        ]),
+    ));
+    db.add_table(Table::new(
+        "Customer",
+        Schema::of(&[
+            ("custkey", DataType::Int),
+            ("name", DataType::Str),
+            ("addr", DataType::Str),
+            ("nationkey", DataType::Int),
+            ("ph", DataType::Str),
+        ]),
+    ));
+    db.add_table(Table::new(
+        "Orders",
+        Schema::of(&[
+            ("orderkey", DataType::Int),
+            ("custkey", DataType::Int),
+            ("status", DataType::Str),
+            ("price", DataType::Float),
+            ("date", DataType::Str),
+        ]),
+    ));
+    db.add_table(Table::new(
+        "LineItem",
+        Schema::of(&[
+            ("orderkey", DataType::Int),
+            ("partkey", DataType::Int),
+            ("suppkey", DataType::Int),
+            ("lno", DataType::Int),
+            ("qty", DataType::Int),
+            ("prc", DataType::Float),
+        ]),
+    ));
+
+    db.declare_key("Region", &["regionkey"])?;
+    db.declare_key("Nation", &["nationkey"])?;
+    db.declare_key("Supplier", &["suppkey"])?;
+    db.declare_key("Part", &["partkey"])?;
+    db.declare_key("PartSupp", &["partkey", "suppkey"])?;
+    db.declare_key("Customer", &["custkey"])?;
+    db.declare_key("Orders", &["orderkey"])?;
+    // Fig. 1 stars only orderkey, but the paper's Skolem terms for the
+    // order element use (suppkey, partkey, orderkey) — i.e. a lineitem is
+    // identified by which partsupp it orders: key (orderkey, partkey,
+    // suppkey). The generator enforces this (one line per part/supplier
+    // pair within an order).
+    db.declare_key("LineItem", &["orderkey", "partkey", "suppkey"])?;
+
+    for fk in [
+        ForeignKey::new("Nation", &["regionkey"], "Region", &["regionkey"]),
+        ForeignKey::new("Supplier", &["nationkey"], "Nation", &["nationkey"]),
+        ForeignKey::new("PartSupp", &["partkey"], "Part", &["partkey"]),
+        ForeignKey::new("PartSupp", &["suppkey"], "Supplier", &["suppkey"]),
+        ForeignKey::new("Customer", &["nationkey"], "Nation", &["nationkey"]),
+        ForeignKey::new("Orders", &["custkey"], "Customer", &["custkey"]),
+        ForeignKey::new("LineItem", &["orderkey"], "Orders", &["orderkey"]),
+        ForeignKey::new(
+            "LineItem",
+            &["partkey", "suppkey"],
+            "PartSupp",
+            &["partkey", "suppkey"],
+        ),
+    ] {
+        db.declare_foreign_key(fk)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn installs_eight_tables() {
+        let mut db = Database::new();
+        install_schema(&mut db).unwrap();
+        assert_eq!(db.table_names().count(), 8);
+        assert_eq!(db.key_of("PartSupp"), &["partkey".to_string(), "suppkey".to_string()]);
+        assert_eq!(db.foreign_keys().len(), 8);
+    }
+
+    #[test]
+    fn key_fds_cover_all_columns() {
+        let mut db = Database::new();
+        install_schema(&mut db).unwrap();
+        let fds = db.fds_of("Supplier");
+        assert_eq!(fds.len(), 1);
+        assert_eq!(fds[0].dependent.len(), 4);
+    }
+}

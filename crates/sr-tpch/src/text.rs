@@ -1,0 +1,184 @@
+//! Deterministic text synthesis in TPC-H's style (part names are
+//! adjective+material phrases like "plated brass", suppliers and customers
+//! get numbered names, nations and regions use the benchmark's fixed lists).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// TPC-H's five regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// TPC-H's 25 nations with their region index.
+pub const NATIONS: [(&str, usize); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// Part-name adjectives (TPC-H P_NAME word list, abbreviated).
+pub const PART_ADJECTIVES: [&str; 20] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "blanched", "blush",
+    "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral", "cornflower",
+    "cream", "cyan", "dark", "deep", "dim",
+];
+
+/// Part-name finishes.
+pub const PART_FINISHES: [&str; 10] = [
+    "anodized", "brushed", "burnished", "plated", "polished", "lacquered", "forged",
+    "hammered", "etched", "tempered",
+];
+
+/// Part materials.
+pub const PART_MATERIALS: [&str; 8] = [
+    "brass", "copper", "nickel", "steel", "tin", "zinc", "bronze", "pewter",
+];
+
+/// Street names for addresses.
+pub const STREETS: [&str; 12] = [
+    "Oak", "Maple", "Cedar", "Pine", "Elm", "Birch", "Walnut", "Chestnut", "Spruce", "Ash",
+    "Hickory", "Willow",
+];
+
+/// Pick a uniformly random element.
+pub fn pick<'a>(rng: &mut StdRng, items: &'a [&'a str]) -> &'a str {
+    items[rng.gen_range(0..items.len())]
+}
+
+/// A part name: `finish material` (e.g. "plated brass"), optionally
+/// prefixed by an adjective for larger vocabularies.
+pub fn part_name(rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.5) {
+        format!(
+            "{} {} {}",
+            pick(rng, &PART_ADJECTIVES),
+            pick(rng, &PART_FINISHES),
+            pick(rng, &PART_MATERIALS)
+        )
+    } else {
+        format!(
+            "{} {}",
+            pick(rng, &PART_FINISHES),
+            pick(rng, &PART_MATERIALS)
+        )
+    }
+}
+
+/// A numbered supplier name, TPC-H style.
+pub fn supplier_name(key: i64) -> String {
+    format!("Supplier#{key:09}")
+}
+
+/// A numbered customer name, TPC-H style.
+pub fn customer_name(key: i64) -> String {
+    format!("Customer#{key:09}")
+}
+
+/// A street address.
+pub fn address(rng: &mut StdRng) -> String {
+    format!("{} {} St", rng.gen_range(1..9999), pick(rng, &STREETS))
+}
+
+/// A phone number keyed to a nation, TPC-H style (`NN-XXX-XXX-XXXX`).
+pub fn phone(rng: &mut StdRng, nationkey: i64) -> String {
+    format!(
+        "{:02}-{:03}-{:03}-{:04}",
+        10 + nationkey,
+        rng.gen_range(100..1000),
+        rng.gen_range(100..1000),
+        rng.gen_range(1000..10000)
+    )
+}
+
+/// An order date within the benchmark's 1992–1998 window.
+pub fn order_date(rng: &mut StdRng) -> String {
+    format!(
+        "{:04}-{:02}-{:02}",
+        rng.gen_range(1992..1999),
+        rng.gen_range(1..13),
+        rng.gen_range(1..29)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn nations_reference_valid_regions() {
+        for (name, region) in NATIONS {
+            assert!(region < REGIONS.len(), "{name} has bad region {region}");
+        }
+        assert_eq!(NATIONS.len(), 25);
+    }
+
+    #[test]
+    fn part_names_look_like_tpch() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let n = part_name(&mut r);
+            let words: Vec<&str> = n.split(' ').collect();
+            assert!(words.len() == 2 || words.len() == 3, "bad name {n}");
+            assert!(PART_MATERIALS.contains(words.last().unwrap()));
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut a = rng();
+        let mut b = rng();
+        assert_eq!(part_name(&mut a), part_name(&mut b));
+        assert_eq!(address(&mut a), address(&mut b));
+        assert_eq!(order_date(&mut a), order_date(&mut b));
+    }
+
+    #[test]
+    fn numbered_names_are_unique_per_key() {
+        assert_ne!(supplier_name(1), supplier_name(2));
+        assert_eq!(supplier_name(7), "Supplier#000000007");
+        assert_eq!(customer_name(12), "Customer#000000012");
+    }
+
+    #[test]
+    fn phone_embeds_nation() {
+        let mut r = rng();
+        let p = phone(&mut r, 5);
+        assert!(p.starts_with("15-"), "got {p}");
+    }
+
+    #[test]
+    fn dates_in_window() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let d = order_date(&mut r);
+            let year: i32 = d[0..4].parse().unwrap();
+            assert!((1992..=1998).contains(&year));
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! Building a view tree from an RXL query (paper §3.1).
+//!
+//! * One node per element template; nested blocks extend the datalog body.
+//! * Skolem terms: where not given explicitly, "the system introduces them
+//!   automatically: … its arguments are all keys of all tuple variables
+//!   whose scope includes the XML element and all variables that are
+//!   contained in that element."
+//! * Key arguments are de-duplicated through the block's equality
+//!   conditions (the paper's FD-based simplification of `S1.1`/`S1.2`
+//!   argument lists), using a union-find over `a.x = b.y` predicates.
+//! * Skolem-function indices are assigned breadth-first; Skolem-term
+//!   variable indices `(p, q)` take `p` from the variable's closest node
+//!   and a per-level first-free `q`.
+
+use std::collections::HashMap;
+
+use sr_data::Database;
+use sr_rxl::{Block, Content, Element, Operand, RxlError, RxlQuery};
+
+use crate::label::label_tree;
+use crate::tree::{
+    Atom, BodyOperand, BodyPred, Mult, NodeContent, RuleBody, TextSource, Var, ViewNode, ViewTree,
+};
+
+/// Build and label a view tree from a validated RXL query.
+pub fn build(query: &RxlQuery, db: &Database) -> Result<ViewTree, RxlError> {
+    sr_rxl::validate(query, db)?;
+    let mut b = Builder {
+        db,
+        nodes: Vec::new(),
+        vars: Vec::new(),
+        var_ids: HashMap::new(),
+    };
+    let body = b.extend_body(RuleBody::default(), &query.root);
+    b.element(&query.root.element, &body, None, vec![1])?;
+    let mut tree = ViewTree {
+        nodes: b.nodes,
+        vars: b.vars,
+    };
+    assign_var_indices(&mut tree);
+    label_tree(&mut tree, db).map_err(|m| RxlError {
+        offset: 0,
+        message: m,
+    })?;
+    Ok(tree)
+}
+
+struct Builder<'a> {
+    db: &'a Database,
+    nodes: Vec<ViewNode>,
+    vars: Vec<Var>,
+    /// canonical (alias, column) → VarId
+    var_ids: HashMap<(String, String), usize>,
+}
+
+impl<'a> Builder<'a> {
+    /// Append a block's bindings and conditions to a body.
+    fn extend_body(&self, mut body: RuleBody, block: &Block) -> RuleBody {
+        for binding in &block.bindings {
+            body.atoms.push(Atom {
+                table: binding.table.clone(),
+                alias: binding.var.clone(),
+            });
+        }
+        for c in &block.conditions {
+            body.preds.push(BodyPred {
+                left: operand(&c.left),
+                op: c.op,
+                right: operand(&c.right),
+            });
+        }
+        body
+    }
+
+    /// Canonicalize a field through the body's equality conditions: the
+    /// representative is the field of the earliest-bound alias (ties broken
+    /// by column name), so `ps.suppkey` collapses onto `s.suppkey` when the
+    /// body contains `s.suppkey = ps.suppkey`.
+    fn canonical(&self, body: &RuleBody, alias: &str, column: &str) -> (String, String) {
+        // Build equivalence classes once per call; bodies are tiny.
+        let mut classes: Vec<Vec<(String, String)>> = Vec::new();
+        let find = |classes: &Vec<Vec<(String, String)>>, f: &(String, String)| {
+            classes.iter().position(|c| c.contains(f))
+        };
+        for p in &body.preds {
+            if let Some(((la, lc), (ra, rc))) = p.as_field_equality() {
+                let l = (la.to_string(), lc.to_string());
+                let r = (ra.to_string(), rc.to_string());
+                match (find(&classes, &l), find(&classes, &r)) {
+                    (Some(i), Some(j)) if i != j => {
+                        let moved = classes[j].clone();
+                        classes[i].extend(moved);
+                        classes.remove(j);
+                    }
+                    (Some(_), Some(_)) => {}
+                    (Some(i), None) => classes[i].push(r),
+                    (None, Some(j)) => classes[j].push(l),
+                    (None, None) => classes.push(vec![l, r]),
+                }
+            }
+        }
+        let target = (alias.to_string(), column.to_string());
+        match find(&classes, &target) {
+            None => target,
+            Some(i) => {
+                let alias_rank = |a: &str| body.atoms.iter().position(|x| x.alias == a);
+                classes[i]
+                    .iter()
+                    .min_by_key(|(a, c)| (alias_rank(a), c.clone()))
+                    .cloned()
+                    .unwrap_or(target)
+            }
+        }
+    }
+
+    fn var_id(&mut self, body: &RuleBody, alias: &str, column: &str) -> usize {
+        let canon = self.canonical(body, alias, column);
+        if let Some(&id) = self.var_ids.get(&canon) {
+            return id;
+        }
+        let id = self.vars.len();
+        self.vars.push(Var {
+            alias: canon.0.clone(),
+            column: canon.1.clone(),
+            index: (0, 0), // assigned later
+        });
+        self.var_ids.insert(canon, id);
+        id
+    }
+
+    /// The de-duplicated key variables of every tuple variable in scope.
+    fn scope_keys(&mut self, body: &RuleBody) -> Vec<usize> {
+        let atoms = body.atoms.clone();
+        let mut keys = Vec::new();
+        for atom in &atoms {
+            for keycol in self.db.key_of(&atom.table).to_vec() {
+                let id = self.var_id(body, &atom.alias, &keycol);
+                if !keys.contains(&id) {
+                    keys.push(id);
+                }
+            }
+        }
+        keys
+    }
+
+    fn element(
+        &mut self,
+        e: &Element,
+        body: &RuleBody,
+        parent: Option<usize>,
+        sfi: Vec<u32>,
+    ) -> Result<usize, RxlError> {
+        let id = self.nodes.len();
+        // Reserve the slot so children get larger ids (and BFS/preorder both
+        // see parents before children).
+        self.nodes.push(ViewNode {
+            id,
+            parent,
+            children: Vec::new(),
+            tag: e.tag.clone(),
+            sfi: sfi.clone(),
+            args: Vec::new(),
+            key_args: Vec::new(),
+            content: Vec::new(),
+            body: body.clone(),
+            label: Mult::One,
+        });
+
+        // Key arguments: explicit Skolem term if given, else scope keys.
+        let key_args = match &e.skolem {
+            Some(sk) => {
+                let mut ids = Vec::new();
+                for a in &sk.args {
+                    match a {
+                        Operand::Field { var, field } => {
+                            let id = self.var_id(body, var, field);
+                            if !ids.contains(&id) {
+                                ids.push(id);
+                            }
+                        }
+                        other => {
+                            return Err(RxlError {
+                                offset: 0,
+                                message: format!(
+                                    "Skolem argument must be a field, got {other}"
+                                ),
+                            });
+                        }
+                    }
+                }
+                ids
+            }
+            None => self.scope_keys(body),
+        };
+
+        // Content: interleaved text and children, assigning child SFIs.
+        let mut content = Vec::new();
+        let mut content_vars = Vec::new();
+        let mut child_ordinal = 0u32;
+        for c in &e.content {
+            match c {
+                Content::Text(Operand::Field { var, field }) => {
+                    let vid = self.var_id(body, var, field);
+                    if !key_args.contains(&vid) && !content_vars.contains(&vid) {
+                        content_vars.push(vid);
+                    }
+                    content.push(NodeContent::Text(TextSource::Var(vid)));
+                }
+                Content::Text(Operand::Str(s)) => {
+                    content.push(NodeContent::Text(TextSource::Lit(s.clone())));
+                }
+                Content::Text(Operand::Int(i)) => {
+                    content.push(NodeContent::Text(TextSource::Lit(i.to_string())));
+                }
+                Content::Text(Operand::Float(x)) => {
+                    content.push(NodeContent::Text(TextSource::Lit(x.to_string())));
+                }
+                Content::Element(child) => {
+                    child_ordinal += 1;
+                    let mut child_sfi = sfi.clone();
+                    child_sfi.push(child_ordinal);
+                    let cid = self.element(child, body, Some(id), child_sfi)?;
+                    self.nodes[id].children.push(cid);
+                    content.push(NodeContent::Child(cid));
+                }
+                Content::Block(block) => {
+                    child_ordinal += 1;
+                    let mut child_sfi = sfi.clone();
+                    child_sfi.push(child_ordinal);
+                    let child_body = self.extend_body(body.clone(), block);
+                    let cid = self.element(&block.element, &child_body, Some(id), child_sfi)?;
+                    self.nodes[id].children.push(cid);
+                    content.push(NodeContent::Child(cid));
+                }
+            }
+        }
+
+        let mut args = key_args.clone();
+        args.extend(content_vars);
+        let node = &mut self.nodes[id];
+        node.key_args = key_args;
+        node.args = args;
+        node.content = content;
+        Ok(id)
+    }
+}
+
+fn operand(o: &Operand) -> BodyOperand {
+    match o {
+        Operand::Field { var, field } => BodyOperand::field(var.clone(), field.clone()),
+        Operand::Int(i) => BodyOperand::Int(*i),
+        Operand::Float(x) => BodyOperand::Float(*x),
+        Operand::Str(s) => BodyOperand::Str(s.clone()),
+    }
+}
+
+/// Assign `(p, q)` Skolem-term variable indices: BFS over nodes; a variable
+/// takes its level from the closest-to-root node whose Skolem term contains
+/// it, and the next free ordinal at that level.
+fn assign_var_indices(tree: &mut ViewTree) {
+    let mut next_q: HashMap<u16, u16> = HashMap::new();
+    let mut assigned = vec![false; tree.vars.len()];
+    for id in tree.bfs() {
+        let level = tree.nodes[id].level() as u16;
+        for &v in &tree.nodes[id].args.clone() {
+            if !assigned[v] {
+                assigned[v] = true;
+                let q = next_q.entry(level).or_insert(1);
+                tree.vars[v].index = (level, *q);
+                *q += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_data::{DataType, ForeignKey, Schema, Table};
+    use sr_rxl::parse;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_table(Table::new(
+            "Supplier",
+            Schema::of(&[
+                ("suppkey", DataType::Int),
+                ("name", DataType::Str),
+                ("nationkey", DataType::Int),
+            ]),
+        ));
+        db.add_table(Table::new(
+            "Nation",
+            Schema::of(&[("nationkey", DataType::Int), ("name", DataType::Str)]),
+        ));
+        db.add_table(Table::new(
+            "PartSupp",
+            Schema::of(&[("partkey", DataType::Int), ("suppkey", DataType::Int)]),
+        ));
+        db.add_table(Table::new(
+            "Part",
+            Schema::of(&[("partkey", DataType::Int), ("name", DataType::Str)]),
+        ));
+        db.declare_key("Supplier", &["suppkey"]).unwrap();
+        db.declare_key("Nation", &["nationkey"]).unwrap();
+        db.declare_key("PartSupp", &["partkey", "suppkey"]).unwrap();
+        db.declare_key("Part", &["partkey"]).unwrap();
+        db.declare_foreign_key(ForeignKey::new(
+            "Supplier",
+            &["nationkey"],
+            "Nation",
+            &["nationkey"],
+        ))
+        .unwrap();
+        db.declare_foreign_key(ForeignKey::new(
+            "PartSupp",
+            &["suppkey"],
+            "Supplier",
+            &["suppkey"],
+        ))
+        .unwrap();
+        db.declare_foreign_key(ForeignKey::new(
+            "PartSupp",
+            &["partkey"],
+            "Part",
+            &["partkey"],
+        ))
+        .unwrap();
+        db
+    }
+
+    /// The paper's boxed query fragment (Fig. 3 boxes / Fig. 4 view tree).
+    fn fragment() -> &'static str {
+        r#"
+        from Supplier $s
+        construct
+          <supplier>
+            { from Nation $n
+              where $s.nationkey = $n.nationkey
+              construct <name>$n.name</name> }
+            { from PartSupp $ps, Part $p
+              where $s.suppkey = $ps.suppkey, $ps.partkey = $p.partkey
+              construct <part>$p.name</part> }
+          </supplier>
+        "#
+    }
+
+    #[test]
+    fn fragment_matches_fig4() {
+        let db = db();
+        let q = parse(fragment()).unwrap();
+        let t = build(&q, &db).unwrap();
+        assert_eq!(t.nodes.len(), 3);
+        assert_eq!(t.edge_count(), 2);
+        let root = t.node(t.root());
+        assert_eq!(root.skolem_name(), "S1");
+        assert_eq!(root.tag, "supplier");
+        // S1's argument is suppkey(1,1).
+        assert_eq!(root.args.len(), 1);
+        assert_eq!(t.var(root.args[0]).display_name(), "suppkey(1,1)");
+
+        let name = t.node(root.children[0]);
+        assert_eq!(name.skolem_name(), "S1.1");
+        // Paper simplification: S1.1's args are suppkey(1,1), nationkey and
+        // name(2,...) — we keep nationkey as a key of $n (no FD elimination
+        // of key columns), so args = suppkey, nationkey, name.
+        let arg_names: Vec<String> = name.args.iter().map(|&v| t.var(v).column.clone()).collect();
+        assert_eq!(arg_names, vec!["suppkey", "nationkey", "name"]);
+
+        let part = t.node(root.children[1]);
+        assert_eq!(part.skolem_name(), "S1.2");
+        let arg_names: Vec<String> = part.args.iter().map(|&v| t.var(v).column.clone()).collect();
+        // ps.suppkey collapses onto s.suppkey; ps.partkey is the
+        // representative for p.partkey.
+        assert_eq!(arg_names, vec!["suppkey", "partkey", "name"]);
+        let aliases: Vec<String> = part.args.iter().map(|&v| t.var(v).alias.clone()).collect();
+        assert_eq!(aliases, vec!["s", "ps", "p"]);
+    }
+
+    #[test]
+    fn var_indices_bfs_per_level() {
+        let db = db();
+        let q = parse(fragment()).unwrap();
+        let t = build(&q, &db).unwrap();
+        // Level 1: suppkey(1,1). Level 2: nationkey(2,1), name(2,2),
+        // partkey(2,3), pname(2,4).
+        let suppkey = &t.vars[t.node(0).args[0]];
+        assert_eq!(suppkey.index, (1, 1));
+        let lvl2 = t.level_vars(2);
+        assert_eq!(lvl2.len(), 4);
+        let cols: Vec<&str> = lvl2.iter().map(|&v| t.var(v).column.as_str()).collect();
+        assert_eq!(cols, vec!["nationkey", "name", "partkey", "name"]);
+    }
+
+    #[test]
+    fn labels_one_for_fk_join_and_star_for_fanout() {
+        let db = db();
+        let q = parse(fragment()).unwrap();
+        let t = build(&q, &db).unwrap();
+        let root = t.node(0);
+        assert_eq!(t.node(root.children[0]).label, Mult::One, "nation via FK");
+        assert_eq!(t.node(root.children[1]).label, Mult::ZeroOrMore, "parts fan out");
+    }
+
+    #[test]
+    fn same_block_child_is_one_labeled() {
+        let db = db();
+        let q = parse(
+            "from Supplier $s construct <supplier><name>$s.name</name></supplier>",
+        )
+        .unwrap();
+        let t = build(&q, &db).unwrap();
+        assert_eq!(t.nodes.len(), 2);
+        assert_eq!(t.node(1).label, Mult::One);
+        // name's args: suppkey + content var s.name.
+        assert_eq!(t.node(1).key_args.len(), 1);
+        assert_eq!(t.node(1).content_vars().len(), 1);
+    }
+
+    #[test]
+    fn explicit_skolem_term_respected() {
+        let db = db();
+        let q = parse(
+            "from Supplier $s construct <supplier ID=SX($s.suppkey)>$s.name</supplier>",
+        )
+        .unwrap();
+        let t = build(&q, &db).unwrap();
+        assert_eq!(t.node(0).key_args.len(), 1);
+        assert_eq!(t.var(t.node(0).key_args[0]).column, "suppkey");
+    }
+
+    #[test]
+    fn content_layout_preserves_order() {
+        let db = db();
+        let q = parse(
+            "from Supplier $s construct <x>\"pre\" <y>$s.name</y> $s.suppkey</x>",
+        )
+        .unwrap();
+        let t = build(&q, &db).unwrap();
+        let root = t.node(0);
+        assert_eq!(root.content.len(), 3);
+        assert!(matches!(root.content[0], NodeContent::Text(TextSource::Lit(_))));
+        assert!(matches!(root.content[1], NodeContent::Child(_)));
+        assert!(matches!(root.content[2], NodeContent::Text(TextSource::Var(_))));
+    }
+
+    #[test]
+    fn sfi_assignment_matches_structure() {
+        let db = db();
+        let q = parse(fragment()).unwrap();
+        let t = build(&q, &db).unwrap();
+        assert_eq!(t.node(0).sfi, vec![1]);
+        assert_eq!(t.node(t.node(0).children[0]).sfi, vec![1, 1]);
+        assert_eq!(t.node(t.node(0).children[1]).sfi, vec![1, 2]);
+        assert_eq!(t.max_level(), 2);
+    }
+
+    #[test]
+    fn invalid_rxl_rejected() {
+        let db = db();
+        let q = parse("from Missing $m construct <x>$m.y</x>").unwrap();
+        assert!(build(&q, &db).is_err());
+    }
+}

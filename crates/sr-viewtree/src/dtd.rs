@@ -1,0 +1,225 @@
+//! Deriving the DTD a view tree publishes (paper §2, Fig. 2).
+//!
+//! The labeled view tree contains exactly the information a DTD needs: the
+//! element nesting, the `1/?/+/*` multiplicities, and whether an element
+//! carries character data. The paper's Fig. 2 DTD for Query 1 comes out as
+//!
+//! ```text
+//! <!ELEMENT supplier (name, nation, region, part*)>
+//! <!ELEMENT name (#PCDATA)>
+//! …
+//! ```
+//!
+//! Two XML-DTD quirks are handled conservatively: *mixed content* (text
+//! interleaved with children) must be declared as `(#PCDATA | a | b)*`,
+//! losing multiplicities; and a tag used with different shapes at different
+//! positions gets the union declaration `ANY`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::tree::{Mult, NodeContent, NodeId, ViewTree};
+
+/// The content model of one element declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ContentModel {
+    Empty,
+    Pcdata,
+    /// `(a, b?, c*)` — children with multiplicity suffixes.
+    Sequence(Vec<(String, Mult)>),
+    /// `(#PCDATA | a | b)*`.
+    Mixed(Vec<String>),
+    /// Conflicting uses of one tag.
+    Any,
+}
+
+impl ContentModel {
+    fn render(&self) -> String {
+        match self {
+            ContentModel::Empty => "EMPTY".to_string(),
+            ContentModel::Pcdata => "(#PCDATA)".to_string(),
+            ContentModel::Sequence(children) => {
+                let parts: Vec<String> = children
+                    .iter()
+                    .map(|(tag, m)| {
+                        let suffix = match m {
+                            Mult::One => "",
+                            Mult::ZeroOrOne => "?",
+                            Mult::OneOrMore => "+",
+                            Mult::ZeroOrMore => "*",
+                        };
+                        format!("{tag}{suffix}")
+                    })
+                    .collect();
+                format!("({})", parts.join(", "))
+            }
+            ContentModel::Mixed(children) => {
+                let mut parts = vec!["#PCDATA".to_string()];
+                parts.extend(children.iter().cloned());
+                format!("({})*", parts.join(" | "))
+            }
+            ContentModel::Any => "ANY".to_string(),
+        }
+    }
+}
+
+fn model_of(tree: &ViewTree, id: NodeId) -> ContentModel {
+    let node = tree.node(id);
+    let mut has_text = false;
+    let mut children: Vec<(String, Mult)> = Vec::new();
+    for c in &node.content {
+        match c {
+            NodeContent::Text(_) => has_text = true,
+            NodeContent::Child(cid) => {
+                let child = tree.node(*cid);
+                children.push((child.tag.clone(), child.label));
+            }
+        }
+    }
+    match (has_text, children.is_empty()) {
+        (false, true) => ContentModel::Empty,
+        (true, true) => ContentModel::Pcdata,
+        (false, false) => ContentModel::Sequence(children),
+        (true, false) => {
+            let mut tags: Vec<String> = children.into_iter().map(|(t, _)| t).collect();
+            tags.dedup();
+            ContentModel::Mixed(tags)
+        }
+    }
+}
+
+/// Render the DTD implied by a labeled view tree.
+pub fn to_dtd(tree: &ViewTree) -> String {
+    // One declaration per tag, in first-appearance (BFS) order; conflicting
+    // models collapse to ANY.
+    let mut order: Vec<String> = Vec::new();
+    let mut models: BTreeMap<String, ContentModel> = BTreeMap::new();
+    for id in tree.bfs() {
+        let tag = tree.node(id).tag.clone();
+        let model = model_of(tree, id);
+        match models.get(&tag) {
+            None => {
+                order.push(tag.clone());
+                models.insert(tag, model);
+            }
+            Some(existing) if *existing == model => {}
+            Some(_) => {
+                models.insert(tag, ContentModel::Any);
+            }
+        }
+    }
+    let mut out = String::new();
+    for tag in order {
+        let _ = writeln!(out, "<!ELEMENT {tag} {}>", models[&tag].render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build;
+    use sr_data::{Database, DataType, ForeignKey, Schema, Table};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_table(Table::new(
+            "Supplier",
+            Schema::of(&[
+                ("suppkey", DataType::Int),
+                ("name", DataType::Str),
+                ("nationkey", DataType::Int),
+            ]),
+        ));
+        db.add_table(Table::new(
+            "Nation",
+            Schema::of(&[("nationkey", DataType::Int), ("name", DataType::Str)]),
+        ));
+        db.add_table(Table::new(
+            "PartSupp",
+            Schema::of(&[("partkey", DataType::Int), ("suppkey", DataType::Int)]),
+        ));
+        db.declare_key("Supplier", &["suppkey"]).unwrap();
+        db.declare_key("Nation", &["nationkey"]).unwrap();
+        db.declare_key("PartSupp", &["partkey", "suppkey"]).unwrap();
+        db.declare_foreign_key(ForeignKey::new(
+            "Supplier",
+            &["nationkey"],
+            "Nation",
+            &["nationkey"],
+        ))
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn fig2_style_dtd() {
+        let db = db();
+        let q = sr_rxl::parse(
+            "from Supplier $s construct <supplier>\
+               <name>$s.name</name>\
+               { from Nation $n where $s.nationkey = $n.nationkey \
+                 construct <nation>$n.name</nation> }\
+               { from PartSupp $ps where $s.suppkey = $ps.suppkey \
+                 construct <part>$ps.partkey</part> }\
+             </supplier>",
+        )
+        .unwrap();
+        let tree = build(&q, &db).unwrap();
+        let dtd = to_dtd(&tree);
+        assert_eq!(
+            dtd,
+            "<!ELEMENT supplier (name, nation, part*)>\n\
+             <!ELEMENT name (#PCDATA)>\n\
+             <!ELEMENT nation (#PCDATA)>\n\
+             <!ELEMENT part (#PCDATA)>\n"
+        );
+    }
+
+    #[test]
+    fn empty_and_mixed_content() {
+        let db = db();
+        let q = sr_rxl::parse(
+            "from Supplier $s construct <supplier>\"pre\" <marker/> \
+             { from PartSupp $ps where $s.suppkey = $ps.suppkey \
+               construct <part>$ps.partkey</part> }</supplier>",
+        )
+        .unwrap();
+        let tree = build(&q, &db).unwrap();
+        let dtd = to_dtd(&tree);
+        assert!(dtd.contains("<!ELEMENT supplier (#PCDATA | marker | part)*>"), "{dtd}");
+        assert!(dtd.contains("<!ELEMENT marker EMPTY>"), "{dtd}");
+    }
+
+    #[test]
+    fn conflicting_tags_collapse_to_any() {
+        let db = db();
+        // <x> used once with text, once with a child element.
+        let q = sr_rxl::parse(
+            "from Supplier $s construct <root>\
+               <x>$s.name</x>\
+               <x><y>$s.suppkey</y></x>\
+             </root>",
+        )
+        .unwrap();
+        let tree = build(&q, &db).unwrap();
+        let dtd = to_dtd(&tree);
+        assert!(dtd.contains("<!ELEMENT x ANY>"), "{dtd}");
+    }
+
+    #[test]
+    fn question_mark_label_renders() {
+        let mut db = db();
+        // Make the FK nullable: nation becomes `?`.
+        let q = sr_rxl::parse(
+            "from Supplier $s construct <supplier>\
+             { from Nation $n where $s.nationkey = $n.nationkey, $n.nationkey > 0 \
+               construct <nation>$n.name</nation> }</supplier>",
+        )
+        .unwrap();
+        let _ = &mut db;
+        let tree = build(&q, &db).unwrap();
+        let dtd = to_dtd(&tree);
+        assert!(dtd.contains("<!ELEMENT supplier (nation?)>"), "{dtd}");
+    }
+}

@@ -1,0 +1,432 @@
+//! Edge-multiplicity labeling (paper §3.5).
+//!
+//! For an edge with parent query `F(x1…xm) :- Qp` and child query
+//! `G(x1…xm…xn) :- Qc`:
+//!
+//! * **C1** holds iff the functional dependency
+//!   `Rc: x1…xm → xm+1…xn` holds — checked with the linear-time
+//!   Beeri–Bernstein membership algorithm over FDs derived from declared
+//!   keys and the body's equality predicates. Per the paper, inclusion
+//!   dependencies are *not* used when deriving FDs (keeps the check
+//!   decidable and linear).
+//! * **C2** holds iff the inclusion dependency
+//!   `Rp[x1…xm] ⊆ Rc[x1…xm]` holds — checked conservatively: every atom the
+//!   child adds must be justified by a chain of non-nullable foreign keys
+//!   (or explicitly declared inclusion dependencies), and every added
+//!   predicate must be consumed by one of those justifications (a leftover
+//!   filter could drop parent rows).
+//!
+//! Labels follow the paper's table: `(C1,C2) → 1 / ? / + / *`.
+
+use std::collections::{HashMap, HashSet};
+
+use sr_data::constraints::{fd_implies, FunctionalDependency};
+use sr_data::Database;
+
+use crate::tree::{Mult, NodeId, RuleBody, ViewTree};
+
+/// Label every edge of the tree. The root keeps [`Mult::One`].
+pub fn label_tree(tree: &mut ViewTree, db: &Database) -> Result<(), String> {
+    for id in 1..tree.nodes.len() {
+        let parent_id = tree.nodes[id].parent.expect("non-root node has parent");
+        let label = label_edge(tree, parent_id, id, db)?;
+        tree.nodes[id].label = label;
+    }
+    Ok(())
+}
+
+/// Compute the label of one edge.
+pub fn label_edge(
+    tree: &ViewTree,
+    parent: NodeId,
+    child: NodeId,
+    db: &Database,
+) -> Result<Mult, String> {
+    let p = tree.node(parent);
+    let c = tree.node(child);
+    let c1 = check_functional(tree, parent, child, db)?;
+    let c2 = check_inclusion(&p.body, &c.body, db)?;
+    Ok(Mult::from_conditions(c1, c2))
+}
+
+/// C1: do the parent's Skolem arguments functionally determine the child's?
+fn check_functional(
+    tree: &ViewTree,
+    parent: NodeId,
+    child: NodeId,
+    db: &Database,
+) -> Result<bool, String> {
+    let c = tree.node(child);
+    let fds = body_fds(&c.body, db)?;
+    let det: Vec<String> = tree
+        .node(parent)
+        .args
+        .iter()
+        .map(|&v| tree.var(v).field())
+        .collect();
+    let dep: Vec<String> = c.args.iter().map(|&v| tree.var(v).field()).collect();
+    Ok(fd_implies(&fds, &det, &dep))
+}
+
+/// FDs that hold on a rule body's relation, over `alias.column` attributes:
+/// per-atom key FDs plus both directions of every field equality.
+pub fn body_fds(body: &RuleBody, db: &Database) -> Result<Vec<FunctionalDependency>, String> {
+    let mut fds = Vec::new();
+    for atom in &body.atoms {
+        let table = db
+            .table(&atom.table)
+            .map_err(|e| format!("labeling: {e}"))?;
+        let key = db.key_of(&atom.table);
+        if key.is_empty() {
+            continue;
+        }
+        let det: Vec<String> = key.iter().map(|k| format!("{}.{k}", atom.alias)).collect();
+        let dep: Vec<String> = table
+            .schema()
+            .names()
+            .map(|c| format!("{}.{c}", atom.alias))
+            .collect();
+        fds.push(FunctionalDependency {
+            determinant: det,
+            dependent: dep,
+        });
+        // Declared extra FDs on the table.
+        for fd in db.fds_of(&atom.table) {
+            fds.push(FunctionalDependency {
+                determinant: fd
+                    .determinant
+                    .iter()
+                    .map(|c| format!("{}.{c}", atom.alias))
+                    .collect(),
+                dependent: fd
+                    .dependent
+                    .iter()
+                    .map(|c| format!("{}.{c}", atom.alias))
+                    .collect(),
+            });
+        }
+    }
+    for p in &body.preds {
+        if let Some(((la, lc), (ra, rc))) = p.as_field_equality() {
+            let l = format!("{la}.{lc}");
+            let r = format!("{ra}.{rc}");
+            fds.push(FunctionalDependency {
+                determinant: vec![l.clone()],
+                dependent: vec![r.clone()],
+            });
+            fds.push(FunctionalDependency {
+                determinant: vec![r],
+                dependent: vec![l],
+            });
+        }
+    }
+    Ok(fds)
+}
+
+/// C2: is the child body a *total* extension of the parent body?
+fn check_inclusion(parent: &RuleBody, child: &RuleBody, db: &Database) -> Result<bool, String> {
+    let extra_atoms = child.extra_atoms(parent);
+    let extra_preds = child.extra_preds(parent);
+    if extra_atoms.is_empty() && extra_preds.is_empty() {
+        return Ok(true);
+    }
+    // Any non-equality or literal predicate can filter parent rows.
+    let mut links: Vec<((String, String), (String, String))> = Vec::new();
+    for p in &extra_preds {
+        match p.as_field_equality() {
+            Some(((la, lc), (ra, rc))) => links.push((
+                (la.to_string(), lc.to_string()),
+                (ra.to_string(), rc.to_string()),
+            )),
+            None => return Ok(false),
+        }
+    }
+
+    let alias_table: HashMap<&str, &str> = child
+        .atoms
+        .iter()
+        .map(|a| (a.alias.as_str(), a.table.as_str()))
+        .collect();
+    let mut justified: HashSet<String> = parent.aliases().map(str::to_string).collect();
+    let mut pending: Vec<String> = extra_atoms.iter().map(|a| a.alias.clone()).collect();
+    let mut consumed = vec![false; links.len()];
+
+    // Candidate total inclusions: non-nullable FKs plus declared inclusion
+    // dependencies that do not come from a (possibly nullable) FK.
+    struct Inc {
+        from_table: String,
+        from_cols: Vec<String>,
+        to_table: String,
+        to_cols: Vec<String>,
+    }
+    let mut incs: Vec<Inc> = db
+        .foreign_keys()
+        .iter()
+        .filter(|fk| !fk.nullable)
+        .map(|fk| Inc {
+            from_table: fk.table.clone(),
+            from_cols: fk.columns.clone(),
+            to_table: fk.ref_table.clone(),
+            to_cols: fk.ref_columns.clone(),
+        })
+        .collect();
+    for ind in db.inclusions() {
+        let from_fk = db
+            .foreign_keys()
+            .iter()
+            .any(|fk| fk.table == ind.from_table && fk.columns == ind.from_cols);
+        if !from_fk {
+            incs.push(Inc {
+                from_table: ind.from_table.clone(),
+                from_cols: ind.from_cols.clone(),
+                to_table: ind.to_table.clone(),
+                to_cols: ind.to_cols.clone(),
+            });
+        }
+    }
+
+    let mut progress = true;
+    while progress && !pending.is_empty() {
+        progress = false;
+        let mut i = 0;
+        'atoms: while i < pending.len() {
+            let a = pending[i].clone();
+            let a_table = alias_table[a.as_str()];
+            // Collect unconsumed links between some justified alias and `a`,
+            // oriented as (justified alias, justified col, a col, link idx).
+            let mut cand: Vec<(String, String, String, usize)> = Vec::new();
+            for (li, ((xa, xc), (ya, yc))) in links.iter().enumerate() {
+                if consumed[li] {
+                    continue;
+                }
+                if justified.contains(xa) && *ya == a {
+                    cand.push((xa.clone(), xc.clone(), yc.clone(), li));
+                } else if justified.contains(ya) && *xa == a {
+                    cand.push((ya.clone(), yc.clone(), xc.clone(), li));
+                }
+            }
+            for inc in &incs {
+                if inc.to_table != a_table {
+                    continue;
+                }
+                // Try every justified alias of the inclusion's source table.
+                let sources: HashSet<&String> = cand
+                    .iter()
+                    .map(|(j, _, _, _)| j)
+                    .filter(|j| alias_table.get(j.as_str()) == Some(&inc.from_table.as_str()))
+                    .collect();
+                for j in sources {
+                    // All (from_col, to_col) pairs of the inclusion must be
+                    // present as links from alias `j` to `a`.
+                    let mut use_links = Vec::new();
+                    let all = inc
+                        .from_cols
+                        .iter()
+                        .zip(&inc.to_cols)
+                        .all(|(fc, tc)| {
+                            cand.iter()
+                                .find(|(jj, jc, ac, li)| {
+                                    jj == j && jc == fc && ac == tc && !consumed[*li]
+                                })
+                                .map(|(_, _, _, li)| use_links.push(*li))
+                                .is_some()
+                        });
+                    if all {
+                        for li in use_links {
+                            consumed[li] = true;
+                        }
+                        justified.insert(a.clone());
+                        pending.remove(i);
+                        progress = true;
+                        continue 'atoms;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    Ok(pending.is_empty() && consumed.iter().all(|&c| c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build;
+    use sr_data::{Column, DataType, ForeignKey, Schema, Table};
+    use sr_rxl::parse;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_table(Table::new(
+            "Supplier",
+            Schema::of(&[
+                ("suppkey", DataType::Int),
+                ("name", DataType::Str),
+                ("nationkey", DataType::Int),
+            ]),
+        ));
+        db.add_table(Table::new(
+            "Nation",
+            Schema::of(&[
+                ("nationkey", DataType::Int),
+                ("name", DataType::Str),
+                ("regionkey", DataType::Int),
+            ]),
+        ));
+        db.add_table(Table::new(
+            "Region",
+            Schema::of(&[("regionkey", DataType::Int), ("name", DataType::Str)]),
+        ));
+        db.add_table(Table::new(
+            "PartSupp",
+            Schema::of(&[("partkey", DataType::Int), ("suppkey", DataType::Int)]),
+        ));
+        db.declare_key("Supplier", &["suppkey"]).unwrap();
+        db.declare_key("Nation", &["nationkey"]).unwrap();
+        db.declare_key("Region", &["regionkey"]).unwrap();
+        db.declare_key("PartSupp", &["partkey", "suppkey"]).unwrap();
+        db.declare_foreign_key(ForeignKey::new(
+            "Supplier",
+            &["nationkey"],
+            "Nation",
+            &["nationkey"],
+        ))
+        .unwrap();
+        db.declare_foreign_key(ForeignKey::new(
+            "Nation",
+            &["regionkey"],
+            "Region",
+            &["regionkey"],
+        ))
+        .unwrap();
+        db
+    }
+
+    fn labels_of(src: &str, db: &Database) -> Vec<Mult> {
+        let q = parse(src).unwrap();
+        let t = build(&q, db).unwrap();
+        (1..t.nodes.len()).map(|i| t.node(i).label).collect()
+    }
+
+    #[test]
+    fn fk_chain_gives_one() {
+        let db = db();
+        // region reached via Nation ⨝ Region, both total FK hops.
+        let labels = labels_of(
+            "from Supplier $s construct <supplier>\
+             { from Nation $n, Region $r \
+               where $s.nationkey = $n.nationkey, $n.regionkey = $r.regionkey \
+               construct <region>$r.name</region> }</supplier>",
+            &db,
+        );
+        assert_eq!(labels, vec![Mult::One]);
+    }
+
+    #[test]
+    fn reverse_fk_gives_star() {
+        let db = db();
+        let labels = labels_of(
+            "from Supplier $s construct <supplier>\
+             { from PartSupp $ps where $s.suppkey = $ps.suppkey \
+               construct <part>$ps.partkey</part> }</supplier>",
+            &db,
+        );
+        assert_eq!(labels, vec![Mult::ZeroOrMore]);
+    }
+
+    #[test]
+    fn nullable_fk_gives_question_mark() {
+        let mut db = Database::new();
+        db.add_table(Table::new(
+            "Emp",
+            Schema::new(vec![
+                Column::new("id", DataType::Int),
+                Column::nullable("deptid", DataType::Int),
+            ])
+            .unwrap(),
+        ));
+        db.add_table(Table::new(
+            "Dept",
+            Schema::of(&[("id", DataType::Int), ("name", DataType::Str)]),
+        ));
+        db.declare_key("Emp", &["id"]).unwrap();
+        db.declare_key("Dept", &["id"]).unwrap();
+        let mut fk = ForeignKey::new("Emp", &["deptid"], "Dept", &["id"]);
+        fk.nullable = true;
+        db.declare_foreign_key(fk).unwrap();
+        let labels = labels_of(
+            "from Emp $e construct <emp>\
+             { from Dept $d where $e.deptid = $d.id \
+               construct <dept>$d.name</dept> }</emp>",
+            &db,
+        );
+        // FD holds (deptid → dept row) but inclusion does not (NULL deptid).
+        assert_eq!(labels, vec![Mult::ZeroOrOne]);
+    }
+
+    #[test]
+    fn declared_inclusion_gives_plus() {
+        let mut db = db();
+        // Business rule: every supplier has at least one part.
+        db.declare_inclusion(sr_data::InclusionDependency::new(
+            "Supplier",
+            &["suppkey"],
+            "PartSupp",
+            &["suppkey"],
+        ));
+        let labels = labels_of(
+            "from Supplier $s construct <supplier>\
+             { from PartSupp $ps where $s.suppkey = $ps.suppkey \
+               construct <part>$ps.partkey</part> }</supplier>",
+            &db,
+        );
+        assert_eq!(labels, vec![Mult::OneOrMore]);
+    }
+
+    #[test]
+    fn literal_filter_breaks_inclusion() {
+        let db = db();
+        let labels = labels_of(
+            "from Supplier $s construct <supplier>\
+             { from Nation $n \
+               where $s.nationkey = $n.nationkey, $n.nationkey > 5 \
+               construct <nation>$n.name</nation> }</supplier>",
+            &db,
+        );
+        // FD still holds; totality does not.
+        assert_eq!(labels, vec![Mult::ZeroOrOne]);
+    }
+
+    #[test]
+    fn same_block_text_child_is_one() {
+        let db = db();
+        let labels = labels_of(
+            "from Supplier $s construct <supplier><name>$s.name</name></supplier>",
+            &db,
+        );
+        assert_eq!(labels, vec![Mult::One]);
+    }
+
+    #[test]
+    fn body_fds_include_equalities_both_ways() {
+        let db = db();
+        let q = parse(
+            "from Supplier $s construct <x>{ from Nation $n \
+             where $s.nationkey = $n.nationkey construct <y>$n.name</y> }</x>",
+        )
+        .unwrap();
+        let t = build(&q, &db).unwrap();
+        let fds = body_fds(&t.node(1).body, &db).unwrap();
+        assert!(fd_implies(
+            &fds,
+            &["s.nationkey".to_string()],
+            &["n.name".to_string()]
+        ));
+        assert!(fd_implies(
+            &fds,
+            &["n.nationkey".to_string()],
+            &["s.nationkey".to_string()]
+        ));
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! # sr-viewtree
+//!
+//! The **view tree** — the paper's intermediate representation for RXL view
+//! queries ("Efficient Evaluation of XML Middle-ware Queries", SIGMOD 2001,
+//! §3): a global XML template whose nodes carry Skolem terms and
+//! non-recursive datalog rules.
+//!
+//! Pipeline stages provided here:
+//!
+//! 1. [`build()`](build::build) — RXL query → view tree, with automatic Skolem-term
+//!    introduction, equality-based argument de-duplication, breadth-first
+//!    Skolem-function indices and `(p, q)` variable indices (§3.1);
+//! 2. [`label`] — edge multiplicities `1 / ? / + / *` from functional and
+//!    inclusion dependencies (§3.5);
+//! 3. [`partition`] — the `2^|E|` spanning-forest plan space (§3.2);
+//! 4. [`reduce`] — per-component collapse of `1`-labeled classes (§3.5);
+//! 5. [`dtd`] — the published DTD implied by the labeled tree (§2).
+//!
+//! SQL generation from partitioned/reduced components lives in `sr-sqlgen`.
+
+pub mod build;
+pub mod dtd;
+pub mod label;
+pub mod partition;
+pub mod reduce;
+pub mod tree;
+
+pub use build::build;
+pub use dtd::to_dtd;
+pub use label::{label_edge, label_tree};
+pub use partition::{all_edge_sets, components, Component, EdgeSet};
+pub use reduce::{reduce_component, ReducedComponent, ReducedNode};
+pub use tree::{
+    Atom, BodyOperand, BodyPred, Mult, NodeContent, NodeId, RuleBody, TextSource, Var, VarId,
+    ViewNode, ViewTree,
+};

@@ -1,0 +1,267 @@
+//! View-tree partitioning (paper §3.2).
+//!
+//! "The planner produces one plan for each spanning forest of the view tree,
+//! so it produces 2^|E| plans." A plan is a subset of edges; the connected
+//! components of the chosen edges are the sub-trees, and each sub-tree
+//! becomes one SQL query / tuple stream.
+
+use std::fmt;
+
+use crate::tree::{NodeId, ViewTree};
+
+/// A subset of view-tree edges, as a bitset. Edge *e* is identified by its
+/// child node id; bit `e-1` is set when the edge is **included** (its two
+/// endpoints stay in the same component / SQL query).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeSet(u64);
+
+impl EdgeSet {
+    /// The fully partitioned plan: no edges included, every node its own
+    /// query.
+    pub fn empty() -> EdgeSet {
+        EdgeSet(0)
+    }
+
+    /// The unified plan: all edges included, one query for the whole tree.
+    pub fn full(tree: &ViewTree) -> EdgeSet {
+        assert!(tree.nodes.len() <= 64, "view tree too large for EdgeSet");
+        EdgeSet(if tree.edge_count() == 0 {
+            0
+        } else {
+            (1u64 << tree.edge_count()) - 1
+        })
+    }
+
+    /// Build from raw bits (bit `i` = edge to node `i+1`).
+    pub fn from_bits(bits: u64) -> EdgeSet {
+        EdgeSet(bits)
+    }
+
+    /// Raw bits.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Is the edge into `child` included?
+    pub fn contains(self, child: NodeId) -> bool {
+        child >= 1 && (self.0 >> (child - 1)) & 1 == 1
+    }
+
+    /// Include the edge into `child`.
+    pub fn insert(&mut self, child: NodeId) {
+        assert!(child >= 1, "the root has no parent edge");
+        self.0 |= 1 << (child - 1);
+    }
+
+    /// Exclude the edge into `child`.
+    pub fn remove(&mut self, child: NodeId) {
+        if child >= 1 {
+            self.0 &= !(1 << (child - 1));
+        }
+    }
+
+    /// Number of included edges.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` iff no edge is included.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Included edges (child node ids), ascending.
+    pub fn iter(self) -> impl Iterator<Item = NodeId> {
+        (0..64u32)
+            .filter(move |i| (self.0 >> i) & 1 == 1)
+            .map(|i| i as NodeId + 1)
+    }
+}
+
+impl fmt::Display for EdgeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Every possible plan: all `2^|E|` edge subsets.
+pub fn all_edge_sets(tree: &ViewTree) -> impl Iterator<Item = EdgeSet> {
+    let e = tree.edge_count();
+    assert!(e < 64, "too many edges to enumerate");
+    (0..(1u64 << e)).map(EdgeSet::from_bits)
+}
+
+/// One connected component of a partitioned view tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// The component's root (its parent edge, if any, is excluded).
+    pub root: NodeId,
+    /// All nodes of the component, in preorder (root first).
+    pub nodes: Vec<NodeId>,
+}
+
+impl Component {
+    /// Is `node` in this component?
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+}
+
+/// Split the tree into the connected components induced by the included
+/// edges. Components are returned in preorder of their roots, which is also
+/// ascending SFI order — the stream order the tagger expects.
+pub fn components(tree: &ViewTree, set: EdgeSet) -> Vec<Component> {
+    let mut comps = Vec::new();
+    // Preorder walk; a node roots a component iff it is the tree root or its
+    // parent edge is excluded.
+    fn preorder(tree: &ViewTree, id: NodeId, out: &mut Vec<NodeId>) {
+        out.push(id);
+        for &c in &tree.node(id).children {
+            preorder(tree, c, out);
+        }
+    }
+    let mut order = Vec::with_capacity(tree.nodes.len());
+    preorder(tree, tree.root(), &mut order);
+
+    for &id in &order {
+        let is_root = id == tree.root() || !set.contains(id);
+        if is_root {
+            // Collect the subtree reachable via included edges.
+            let mut nodes = Vec::new();
+            let mut stack = vec![id];
+            while let Some(n) = stack.pop() {
+                nodes.push(n);
+                // Children in reverse so preorder comes out ascending.
+                for &c in tree.node(n).children.iter().rev() {
+                    if set.contains(c) {
+                        stack.push(c);
+                    }
+                }
+            }
+            comps.push(Component { root: id, nodes });
+        }
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{Mult, RuleBody, ViewNode};
+
+    /// A hand-built tree:     0
+    ///                       / \
+    ///                      1   2
+    ///                         / \
+    ///                        3   4
+    fn tree() -> ViewTree {
+        let mk = |id, parent, children: Vec<NodeId>, sfi: Vec<u32>| ViewNode {
+            id,
+            parent,
+            children,
+            tag: format!("t{id}"),
+            sfi,
+            args: vec![],
+            key_args: vec![],
+            content: vec![],
+            body: RuleBody::default(),
+            label: Mult::One,
+        };
+        ViewTree {
+            nodes: vec![
+                mk(0, None, vec![1, 2], vec![1]),
+                mk(1, Some(0), vec![], vec![1, 1]),
+                mk(2, Some(0), vec![3, 4], vec![1, 2]),
+                mk(3, Some(2), vec![], vec![1, 2, 1]),
+                mk(4, Some(2), vec![], vec![1, 2, 2]),
+            ],
+            vars: vec![],
+        }
+    }
+
+    #[test]
+    fn full_and_empty_sets() {
+        let t = tree();
+        let full = EdgeSet::full(&t);
+        assert_eq!(full.len(), 4);
+        assert!(full.contains(1) && full.contains(4));
+        let empty = EdgeSet::empty();
+        assert!(empty.is_empty());
+        assert!(!empty.contains(1));
+    }
+
+    #[test]
+    fn insert_remove_iter() {
+        let mut s = EdgeSet::empty();
+        s.insert(2);
+        s.insert(4);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 4]);
+        s.remove(2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![4]);
+        assert_eq!(s.to_string(), "{4}");
+    }
+
+    #[test]
+    fn enumeration_covers_plan_space() {
+        let t = tree();
+        let sets: Vec<EdgeSet> = all_edge_sets(&t).collect();
+        assert_eq!(sets.len(), 16, "2^4 plans");
+        // All distinct.
+        let uniq: std::collections::HashSet<u64> = sets.iter().map(|s| s.bits()).collect();
+        assert_eq!(uniq.len(), 16);
+    }
+
+    #[test]
+    fn unified_plan_is_one_component() {
+        let t = tree();
+        let comps = components(&t, EdgeSet::full(&t));
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].root, 0);
+        assert_eq!(comps[0].nodes, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fully_partitioned_plan_is_one_component_per_node() {
+        let t = tree();
+        let comps = components(&t, EdgeSet::empty());
+        assert_eq!(comps.len(), 5);
+        assert!(comps.iter().all(|c| c.nodes.len() == 1));
+        // Preorder of roots.
+        let roots: Vec<NodeId> = comps.iter().map(|c| c.root).collect();
+        assert_eq!(roots, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn mixed_partition() {
+        let t = tree();
+        // Include edges to 2 and 3: components {0,2,3}, {1}, {4}.
+        let mut s = EdgeSet::empty();
+        s.insert(2);
+        s.insert(3);
+        let comps = components(&t, s);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0].nodes, vec![0, 2, 3]);
+        assert_eq!(comps[1].nodes, vec![1]);
+        assert_eq!(comps[2].nodes, vec![4]);
+    }
+
+    #[test]
+    fn component_count_is_edges_excluded_plus_one() {
+        let t = tree();
+        for set in all_edge_sets(&t) {
+            let comps = components(&t, set);
+            assert_eq!(comps.len(), t.edge_count() - set.len() + 1);
+            // Every node appears in exactly one component.
+            let mut all: Vec<NodeId> = comps.iter().flat_map(|c| c.nodes.clone()).collect();
+            all.sort();
+            assert_eq!(all, vec![0, 1, 2, 3, 4]);
+        }
+    }
+}

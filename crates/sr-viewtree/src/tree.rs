@@ -1,0 +1,475 @@
+//! View-tree data model (paper §3.1).
+//!
+//! A view tree is the intermediate representation of an RXL view: a *global
+//! XML template* (one node per element template, each with a Skolem term
+//! identifying its instances) plus one *non-recursive datalog rule* per node
+//! whose body is the conjunction of all `from`/`where` clauses in scope.
+//!
+//! Terminology mapped to the paper:
+//!
+//! * **Skolem-function index (SFI)** — [`ViewNode::sfi`], e.g. `[1, 4, 2]`
+//!   printed as `S1.4.2`; assigned breadth-first, uniquely identifying the
+//!   tag and location of a node.
+//! * **Skolem-term variable index (STV)** — [`Var::index`] `(p, q)`: `p` is
+//!   the level of the variable's closest-to-root node, `q` a per-level
+//!   ordinal. Printed like the paper's `suppkey(1,1)`.
+//! * **Edge labels** — [`Mult`]: `1`, `?`, `+`, `*` (§3.5).
+
+use std::fmt;
+
+use sr_rxl::RxlCmp;
+
+/// Node identifier: index into [`ViewTree::nodes`].
+pub type NodeId = usize;
+
+/// Variable identifier: index into [`ViewTree::vars`].
+pub type VarId = usize;
+
+/// A Skolem-term variable: one column of one bound tuple variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Var {
+    /// RXL tuple-variable alias (e.g. `s`).
+    pub alias: String,
+    /// Source column (e.g. `suppkey`).
+    pub column: String,
+    /// The paper's `(p, q)` Skolem-term variable index.
+    pub index: (u16, u16),
+}
+
+impl Var {
+    /// The SQL-safe column name used for this variable in generated queries
+    /// and partitioned relations: `v{p}_{q}`.
+    pub fn plan_name(&self) -> String {
+        format!("v{}_{}", self.index.0, self.index.1)
+    }
+
+    /// The paper's display form, e.g. `suppkey(1,1)`.
+    pub fn display_name(&self) -> String {
+        format!("{}({},{})", self.column, self.index.0, self.index.1)
+    }
+
+    /// The underlying field as `alias.column`.
+    pub fn field(&self) -> String {
+        format!("{}.{}", self.alias, self.column)
+    }
+}
+
+/// One relational atom of a rule body: `Table` bound under `alias`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Relation name.
+    pub table: String,
+    /// RXL tuple-variable alias.
+    pub alias: String,
+}
+
+/// An operand of a body predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BodyOperand {
+    /// `alias.column`.
+    Field {
+        /// Tuple variable alias.
+        alias: String,
+        /// Column.
+        column: String,
+    },
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+}
+
+impl BodyOperand {
+    /// Field shorthand.
+    pub fn field(alias: impl Into<String>, column: impl Into<String>) -> Self {
+        BodyOperand::Field {
+            alias: alias.into(),
+            column: column.into(),
+        }
+    }
+
+    /// The `alias.column` form if this is a field.
+    pub fn as_field(&self) -> Option<(&str, &str)> {
+        match self {
+            BodyOperand::Field { alias, column } => Some((alias, column)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BodyOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BodyOperand::Field { alias, column } => write!(f, "{alias}.{column}"),
+            BodyOperand::Int(i) => write!(f, "{i}"),
+            BodyOperand::Float(x) => write!(f, "{x}"),
+            BodyOperand::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// A filter/join predicate in a rule body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BodyPred {
+    /// Left operand.
+    pub left: BodyOperand,
+    /// Comparison.
+    pub op: RxlCmp,
+    /// Right operand.
+    pub right: BodyOperand,
+}
+
+/// A pair of `(alias, column)` fields, as returned by
+/// [`BodyPred::as_field_equality`].
+pub type FieldPair<'a> = ((&'a str, &'a str), (&'a str, &'a str));
+
+impl BodyPred {
+    /// Is this `a.x = b.y` between two fields?
+    pub fn as_field_equality(&self) -> Option<FieldPair<'_>> {
+        if self.op != RxlCmp::Eq {
+            return None;
+        }
+        Some((self.left.as_field()?, self.right.as_field()?))
+    }
+}
+
+impl fmt::Display for BodyPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+/// A non-recursive datalog rule body: conjunction of atoms and predicates.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RuleBody {
+    /// Relational atoms in scope order.
+    pub atoms: Vec<Atom>,
+    /// Predicates.
+    pub preds: Vec<BodyPred>,
+}
+
+impl RuleBody {
+    /// Aliases bound by this body.
+    pub fn aliases(&self) -> impl Iterator<Item = &str> {
+        self.atoms.iter().map(|a| a.alias.as_str())
+    }
+
+    /// Does this body bind `alias`?
+    pub fn binds(&self, alias: &str) -> bool {
+        self.atoms.iter().any(|a| a.alias == alias)
+    }
+
+    /// The atoms of `self` that are not in `parent` (by alias).
+    pub fn extra_atoms<'a>(&'a self, parent: &RuleBody) -> Vec<&'a Atom> {
+        self.atoms
+            .iter()
+            .filter(|a| !parent.binds(&a.alias))
+            .collect()
+    }
+
+    /// The predicates of `self` that are not in `parent`.
+    pub fn extra_preds<'a>(&'a self, parent: &RuleBody) -> Vec<&'a BodyPred> {
+        self.preds
+            .iter()
+            .filter(|p| !parent.preds.contains(p))
+            .collect()
+    }
+}
+
+impl fmt::Display for RuleBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}({})", a.table, a.alias)?;
+        }
+        for p in &self.preds {
+            write!(f, ", {p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Edge multiplicity labels (§3.5): how many child elements a parent element
+/// instance may have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mult {
+    /// Exactly one (`1`): inner join, reducible.
+    One,
+    /// Zero or one (`?`).
+    ZeroOrOne,
+    /// One or more (`+`).
+    OneOrMore,
+    /// Zero or more (`*`): requires a left outer join.
+    ZeroOrMore,
+}
+
+impl Mult {
+    /// C1 (functional dependency holds) × C2 (inclusion holds) → label, the
+    /// paper's §3.5 table.
+    pub fn from_conditions(c1: bool, c2: bool) -> Mult {
+        match (c1, c2) {
+            (true, true) => Mult::One,
+            (true, false) => Mult::ZeroOrOne,
+            (false, true) => Mult::OneOrMore,
+            (false, false) => Mult::ZeroOrMore,
+        }
+    }
+
+    /// Does this label admit an absent child (needs an outer join)?
+    pub fn optional(self) -> bool {
+        matches!(self, Mult::ZeroOrOne | Mult::ZeroOrMore)
+    }
+
+    /// Does this label admit multiple children?
+    pub fn many(self) -> bool {
+        matches!(self, Mult::OneOrMore | Mult::ZeroOrMore)
+    }
+}
+
+impl fmt::Display for Mult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Mult::One => "1",
+            Mult::ZeroOrOne => "?",
+            Mult::OneOrMore => "+",
+            Mult::ZeroOrMore => "*",
+        })
+    }
+}
+
+/// Where an element's text content comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TextSource {
+    /// A Skolem-term variable.
+    Var(VarId),
+    /// A constant string.
+    Lit(String),
+}
+
+/// Ordered content layout of an element: interleaved text and child
+/// elements, preserved for faithful XML reconstruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeContent {
+    /// Text (variable or literal).
+    Text(TextSource),
+    /// A child node.
+    Child(NodeId),
+}
+
+/// One node of the view tree.
+#[derive(Debug, Clone)]
+pub struct ViewNode {
+    /// This node's id.
+    pub id: NodeId,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Children in document order.
+    pub children: Vec<NodeId>,
+    /// Element tag.
+    pub tag: String,
+    /// Skolem-function index, e.g. `[1, 4, 2]`.
+    pub sfi: Vec<u32>,
+    /// Skolem-term arguments: key variables of all in-scope tuple variables
+    /// (equality-deduplicated) followed by this element's content variables.
+    pub args: Vec<VarId>,
+    /// The key prefix of `args` (identity; excludes content variables).
+    pub key_args: Vec<VarId>,
+    /// Ordered element content (text and child references).
+    pub content: Vec<NodeContent>,
+    /// Datalog rule body.
+    pub body: RuleBody,
+    /// Multiplicity label of the edge from the parent ([`Mult::One`] for the
+    /// root, by convention).
+    pub label: Mult,
+}
+
+impl ViewNode {
+    /// The level of the node (root = 1), i.e. `sfi.len()`.
+    pub fn level(&self) -> usize {
+        self.sfi.len()
+    }
+
+    /// The paper's Skolem-function name, e.g. `S1.4.2`.
+    pub fn skolem_name(&self) -> String {
+        let parts: Vec<String> = self.sfi.iter().map(|x| x.to_string()).collect();
+        format!("S{}", parts.join("."))
+    }
+
+    /// Content variables (the non-key suffix of `args`).
+    pub fn content_vars(&self) -> &[VarId] {
+        &self.args[self.key_args.len()..]
+    }
+}
+
+/// A complete view tree.
+#[derive(Debug, Clone)]
+pub struct ViewTree {
+    /// Nodes; index = [`NodeId`]. The root is node 0.
+    pub nodes: Vec<ViewNode>,
+    /// Skolem-term variables; index = [`VarId`].
+    pub vars: Vec<Var>,
+}
+
+impl ViewTree {
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> &ViewNode {
+        &self.nodes[id]
+    }
+
+    /// Variable accessor.
+    pub fn var(&self, id: VarId) -> &Var {
+        &self.vars[id]
+    }
+
+    /// All edges, identified by their child node id (every non-root node).
+    pub fn edges(&self) -> Vec<NodeId> {
+        (1..self.nodes.len()).collect()
+    }
+
+    /// Number of edges (`|E|`; the paper's plan space is `2^|E|`).
+    pub fn edge_count(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+
+    /// Maximum level (depth) in the tree.
+    pub fn max_level(&self) -> usize {
+        self.nodes.iter().map(ViewNode::level).max().unwrap_or(0)
+    }
+
+    /// Nodes in breadth-first order.
+    pub fn bfs(&self) -> Vec<NodeId> {
+        let mut order = vec![self.root()];
+        let mut i = 0;
+        while i < order.len() {
+            order.extend(self.nodes[order[i]].children.iter().copied());
+            i += 1;
+        }
+        order
+    }
+
+    /// The variables at a given level, ordered by their `q` ordinal. These
+    /// are the `V(p,1)…V(p,n_p)` groups of the global sort key (§3.2).
+    pub fn level_vars(&self, level: u16) -> Vec<VarId> {
+        let mut v: Vec<VarId> = (0..self.vars.len())
+            .filter(|&i| self.vars[i].index.0 == level)
+            .collect();
+        v.sort_by_key(|&i| self.vars[i].index.1);
+        v
+    }
+
+    /// Render the labeled tree (for docs and debugging), e.g.
+    /// `S1 supplier ─ *→ S1.4 part …`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        fn go(t: &ViewTree, id: NodeId, depth: usize, out: &mut String) {
+            let n = t.node(id);
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+            let args: Vec<String> = n.args.iter().map(|&v| t.var(v).display_name()).collect();
+            let _ = writeln!(
+                out,
+                "[{}] {} <{}> ({})",
+                n.label,
+                n.skolem_name(),
+                n.tag,
+                args.join(", ")
+            );
+            for &c in &n.children {
+                go(t, c, depth + 1, out);
+            }
+        }
+        go(self, self.root(), 0, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mult_table_matches_paper() {
+        assert_eq!(Mult::from_conditions(true, true), Mult::One);
+        assert_eq!(Mult::from_conditions(true, false), Mult::ZeroOrOne);
+        assert_eq!(Mult::from_conditions(false, true), Mult::OneOrMore);
+        assert_eq!(Mult::from_conditions(false, false), Mult::ZeroOrMore);
+    }
+
+    #[test]
+    fn mult_predicates() {
+        assert!(Mult::ZeroOrMore.optional() && Mult::ZeroOrMore.many());
+        assert!(Mult::ZeroOrOne.optional() && !Mult::ZeroOrOne.many());
+        assert!(!Mult::One.optional() && !Mult::One.many());
+        assert!(!Mult::OneOrMore.optional() && Mult::OneOrMore.many());
+    }
+
+    #[test]
+    fn var_names() {
+        let v = Var {
+            alias: "s".into(),
+            column: "suppkey".into(),
+            index: (1, 1),
+        };
+        assert_eq!(v.plan_name(), "v1_1");
+        assert_eq!(v.display_name(), "suppkey(1,1)");
+        assert_eq!(v.field(), "s.suppkey");
+    }
+
+    #[test]
+    fn body_extras() {
+        let parent = RuleBody {
+            atoms: vec![Atom {
+                table: "Supplier".into(),
+                alias: "s".into(),
+            }],
+            preds: vec![],
+        };
+        let child = RuleBody {
+            atoms: vec![
+                Atom {
+                    table: "Supplier".into(),
+                    alias: "s".into(),
+                },
+                Atom {
+                    table: "Nation".into(),
+                    alias: "n".into(),
+                },
+            ],
+            preds: vec![BodyPred {
+                left: BodyOperand::field("s", "nationkey"),
+                op: RxlCmp::Eq,
+                right: BodyOperand::field("n", "nationkey"),
+            }],
+        };
+        assert_eq!(child.extra_atoms(&parent).len(), 1);
+        assert_eq!(child.extra_preds(&parent).len(), 1);
+        assert!(child.binds("n") && !parent.binds("n"));
+    }
+
+    #[test]
+    fn field_equality_extraction() {
+        let p = BodyPred {
+            left: BodyOperand::field("a", "x"),
+            op: RxlCmp::Eq,
+            right: BodyOperand::field("b", "y"),
+        };
+        assert_eq!(p.as_field_equality(), Some((("a", "x"), ("b", "y"))));
+        let lit = BodyPred {
+            left: BodyOperand::field("a", "x"),
+            op: RxlCmp::Eq,
+            right: BodyOperand::Int(1),
+        };
+        assert!(lit.as_field_equality().is_none());
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for partitioning and reduction invariants over randomly
+//! shaped view trees.
+
+use proptest::prelude::*;
+
+use sr_viewtree::{
+    all_edge_sets, components, reduce_component, EdgeSet, Mult, NodeContent, RuleBody,
+    TextSource, ViewNode, ViewTree,
+};
+
+/// Build a random tree shape: `children[i]` = number of children of node
+/// created at BFS position i (bounded so trees stay small).
+fn tree_from_shape(shape: &[usize], labels: &[Mult]) -> ViewTree {
+    let mut nodes: Vec<ViewNode> = vec![ViewNode {
+        id: 0,
+        parent: None,
+        children: Vec::new(),
+        tag: "n0".into(),
+        sfi: vec![1],
+        args: vec![],
+        key_args: vec![],
+        content: vec![NodeContent::Text(TextSource::Lit("x".into()))],
+        body: RuleBody::default(),
+        label: Mult::One,
+    }];
+    let mut queue = vec![0usize];
+    let mut shape_i = 0;
+    while let Some(parent) = queue.pop() {
+        if nodes.len() >= 12 {
+            break;
+        }
+        let n_children = shape.get(shape_i).copied().unwrap_or(0).min(3);
+        shape_i += 1;
+        for k in 0..n_children {
+            if nodes.len() >= 12 {
+                break;
+            }
+            let id = nodes.len();
+            let mut sfi = nodes[parent].sfi.clone();
+            sfi.push(k as u32 + 1);
+            let label = labels[id % labels.len()];
+            nodes.push(ViewNode {
+                id,
+                parent: Some(parent),
+                children: Vec::new(),
+                tag: format!("n{id}"),
+                sfi,
+                args: vec![],
+                key_args: vec![],
+                content: vec![],
+                body: RuleBody::default(),
+                label,
+            });
+            nodes[parent].children.push(id);
+            nodes[parent]
+                .content
+                .push(NodeContent::Child(id));
+            queue.push(id);
+        }
+    }
+    ViewTree {
+        nodes,
+        vars: vec![],
+    }
+}
+
+fn label_pool() -> Vec<Mult> {
+    vec![Mult::One, Mult::ZeroOrMore, Mult::One, Mult::OneOrMore, Mult::ZeroOrOne]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn components_partition_the_node_set(shape in proptest::collection::vec(0usize..4, 1..12)) {
+        let tree = tree_from_shape(&shape, &label_pool());
+        for edges in all_edge_sets(&tree) {
+            let comps = components(&tree, edges);
+            // Component count formula (§3.2).
+            prop_assert_eq!(comps.len(), tree.edge_count() - edges.len() + 1);
+            // Disjoint cover of all nodes.
+            let mut seen = vec![false; tree.nodes.len()];
+            for c in &comps {
+                for &n in &c.nodes {
+                    prop_assert!(!seen[n], "node {} in two components", n);
+                    seen[n] = true;
+                }
+                // The root's parent edge is excluded (or it is the tree root).
+                prop_assert!(c.root == 0 || !edges.contains(c.root));
+                // Every non-root member's parent edge is included and its
+                // parent is in the same component.
+                for &n in &c.nodes {
+                    if n != c.root {
+                        prop_assert!(edges.contains(n));
+                        let p = tree.node(n).parent.unwrap();
+                        prop_assert!(c.contains(p));
+                    }
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn reduction_classes_partition_each_component(
+        shape in proptest::collection::vec(0usize..4, 1..12),
+        bits in any::<u64>(),
+    ) {
+        let tree = tree_from_shape(&shape, &label_pool());
+        let mask = if tree.edge_count() == 0 { 0 } else { bits & ((1u64 << tree.edge_count()) - 1) };
+        let edges = EdgeSet::from_bits(mask);
+        for comp in components(&tree, edges) {
+            let rc = reduce_component(&tree, &comp, edges, true);
+            // Members partition the component's nodes.
+            let mut all: Vec<usize> = rc.nodes.iter().flat_map(|c| c.members.clone()).collect();
+            all.sort_unstable();
+            let mut expect = comp.nodes.clone();
+            expect.sort_unstable();
+            prop_assert_eq!(all, expect);
+            // Class 0 contains the component root.
+            prop_assert_eq!(rc.nodes[0].root, comp.root);
+            // Only `1`-labeled nodes are merged as non-root members; every
+            // non-root class has a non-One label or an excluded edge.
+            for class in &rc.nodes {
+                for &m in &class.members {
+                    if m != class.root {
+                        prop_assert_eq!(tree.node(m).label, Mult::One);
+                        prop_assert!(edges.contains(m));
+                    }
+                }
+            }
+            // Parent indices are consistent and acyclic (children after
+            // parents).
+            for (i, class) in rc.nodes.iter().enumerate() {
+                if let Some(p) = class.parent {
+                    prop_assert!(p < i);
+                    prop_assert!(rc.nodes[p].children.contains(&i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_reduction_means_singleton_classes(
+        shape in proptest::collection::vec(0usize..4, 1..12),
+    ) {
+        let tree = tree_from_shape(&shape, &label_pool());
+        let edges = EdgeSet::full(&tree);
+        for comp in components(&tree, edges) {
+            let rc = reduce_component(&tree, &comp, edges, false);
+            prop_assert_eq!(rc.nodes.len(), comp.nodes.len());
+            prop_assert!(rc.nodes.iter().all(|c| c.members.len() == 1));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Explore the 2^|E| plan space of the paper's Query 2 interactively-ish:
+//! estimated cost vs. measured time for every plan, the paper's §4 sweep in
+//! miniature.
+//!
+//! ```sh
+//! cargo run --release --example plan_explorer [size-mb]
+//! ```
+
+use std::sync::Arc;
+
+use silkroute::{
+    bucket_by_streams, calibrated_params, query2_tree, run_plan, Oracle, PlanSpec, QueryStyle,
+    Server,
+};
+use sr_plan::rank_all_plans;
+use sr_tpch::{generate, Scale};
+use sr_viewtree::EdgeSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mb: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    let scale = Scale::mb(mb);
+    let server = Server::new(Arc::new(generate(scale)?));
+    let tree = query2_tree(server.database());
+    println!("Query 2 view tree:");
+    print!("{}", tree.render());
+
+    // Rank all 512 plans by estimated cost.
+    let oracle = Oracle::new(&server, calibrated_params(scale));
+    let ranked = rank_all_plans(&tree, server.database(), &oracle, true)?;
+    println!(
+        "\nEstimated ranking of {} plans ({} oracle requests):",
+        ranked.len(),
+        oracle.requests()
+    );
+    println!("{:>12} {:>8} {:>14}", "edges", "streams", "est. cost");
+    for p in ranked.iter().take(8) {
+        println!(
+            "{:>12} {:>8} {:>14.0}",
+            EdgeSet::from_bits(p.edge_bits).to_string(),
+            p.streams,
+            p.estimated_cost
+        );
+    }
+
+    // Measure every plan and summarize per stream count.
+    println!("\nMeasuring all {} plans…", ranked.len());
+    let mut measurements = Vec::new();
+    for p in &ranked {
+        let spec = PlanSpec {
+            edges: EdgeSet::from_bits(p.edge_bits),
+            reduce: true,
+            style: QueryStyle::OuterJoin,
+        };
+        measurements.push(run_plan(&tree, &server, spec, None)?);
+    }
+    println!(
+        "{:>8} {:>6} {:>12} {:>12}",
+        "streams", "plans", "min query", "min total"
+    );
+    for b in bucket_by_streams(&measurements) {
+        println!(
+            "{:>8} {:>6} {:>10.1}ms {:>10.1}ms",
+            b.streams, b.plans, b.min_query_ms, b.min_total_ms
+        );
+    }
+
+    // How good was the estimator? Compare its best against the measured best.
+    let est_best = &ranked[0];
+    let measured_best = measurements
+        .iter()
+        .min_by(|a, b| a.total_ms.total_cmp(&b.total_ms))
+        .expect("non-empty");
+    let est_best_measured = measurements
+        .iter()
+        .find(|m| m.edge_bits == est_best.edge_bits)
+        .expect("present");
+    println!(
+        "\nestimated-best plan {} measured at {:.1}ms; true best {} at {:.1}ms ({:.2}x)",
+        EdgeSet::from_bits(est_best.edge_bits),
+        est_best_measured.total_ms,
+        EdgeSet::from_bits(measured_best.edge_bits),
+        measured_best.total_ms,
+        est_best_measured.total_ms / measured_best.total_ms
+    );
+    Ok(())
+}

@@ -1,0 +1,225 @@
+//! Replays the paper's worked examples verbatim: the Fig. 3 boxed query
+//! fragment over the Fig. 8 database instance, the Fig. 5 plan shapes, and
+//! the §3.4 SQL structure.
+
+use std::sync::Arc;
+
+use silkroute::{materialize_to_string, PlanSpec, QueryStyle, Server};
+use sr_data::{row, Database, Row, Value};
+use sr_sqlgen::generate_queries;
+use sr_viewtree::{build, EdgeSet, ViewTree};
+
+/// Fig. 8's database fragment, loaded into the full Fig. 1 schema.
+fn fig8_db() -> Database {
+    let mut db = Database::new();
+    sr_tpch::install_schema(&mut db).unwrap();
+    db.table_mut("Supplier")
+        .unwrap()
+        .insert_all([
+            row![1i64, "USA Metalworks", "New York", 24i64],
+            row![2i64, "Romana Espanola", "Madrid", 3i64],
+            row![3i64, "Fonderie Francais", "Paris", 19i64],
+        ])
+        .unwrap();
+    db.table_mut("Nation")
+        .unwrap()
+        .insert_all([
+            row![24i64, "USA", 1i64],
+            row![3i64, "Spain", 2i64],
+            row![19i64, "France", 3i64],
+        ])
+        .unwrap();
+    db.table_mut("PartSupp")
+        .unwrap()
+        .insert_all([
+            row![4i64, 1i64, 100i64],
+            row![12i64, 1i64, 320i64],
+            row![20i64, 3i64, 64i64],
+        ])
+        .unwrap();
+    db.table_mut("Part")
+        .unwrap()
+        .insert_all([
+            Row::new(vec![
+                Value::Int(4),
+                Value::str("plated brass"),
+                Value::str("mfgr#3"),
+                Value::str("Brand1"),
+                Value::Int(1),
+                Value::Float(904.00),
+            ]),
+            Row::new(vec![
+                Value::Int(12),
+                Value::str("anodized steel"),
+                Value::str("mfgr#4"),
+                Value::str("Brand2"),
+                Value::Int(2),
+                Value::Float(912.01),
+            ]),
+            Row::new(vec![
+                Value::Int(20),
+                Value::str("polished nickel"),
+                Value::str("mfgr#1"),
+                Value::str("Brand3"),
+                Value::Int(3),
+                Value::Float(920.02),
+            ]),
+        ])
+        .unwrap();
+    db
+}
+
+/// The boxed RXL fragment of Fig. 3 (name via Nation, part via
+/// PartSupp ⋈ Part).
+const FRAGMENT: &str = "
+from Supplier $s
+construct
+  <supplier>
+    { from Nation $n
+      where $s.nationkey = $n.nationkey
+      construct <name>$n.name</name> }
+    { from PartSupp $ps, Part $p
+      where $s.suppkey = $ps.suppkey, $ps.partkey = $p.partkey
+      construct <part>$p.name</part> }
+  </supplier>
+";
+
+fn fragment_tree(db: &Database) -> ViewTree {
+    build(&sr_rxl::parse(FRAGMENT).unwrap(), db).unwrap()
+}
+
+/// Fig. 8's result document (right-hand side).
+const FIG8_XML: &str = "<supplier><name>USA</name><part>plated brass</part>\
+<part>anodized steel</part></supplier>\
+<supplier><name>Spain</name></supplier>\
+<supplier><name>France</name><part>polished nickel</part></supplier>";
+
+#[test]
+fn fig8_document_reproduced() {
+    let db = fig8_db();
+    let tree = fragment_tree(&db);
+    let server = Server::new(Arc::new(db));
+    let (_, xml) = materialize_to_string(&tree, &server, PlanSpec::unified(&tree)).unwrap();
+    assert_eq!(xml, FIG8_XML);
+}
+
+#[test]
+fn fig9_integrated_relation_shape() {
+    // Plan (a): 6 tuples, NULL-padded exactly as Fig. 9.
+    let db = fig8_db();
+    let tree = fragment_tree(&db);
+    let spec = PlanSpec {
+        edges: EdgeSet::full(&tree),
+        reduce: false,
+        style: QueryStyle::OuterJoin,
+    };
+    let queries = generate_queries(&tree, &db, spec).unwrap();
+    assert_eq!(queries.len(), 1);
+    let rs = sr_engine::execute(&queries[0].plan, &db).unwrap();
+    assert_eq!(rs.len(), 6, "Fig. 9 has six tuples");
+    // Row 4 (0-indexed 3) is supp#2's single (nation-only) tuple.
+    let suppkey = rs.schema.position("v1_1").unwrap();
+    assert_eq!(rs.rows[3].get(suppkey), &Value::Int(2));
+}
+
+#[test]
+fn fig5b_plan_needs_no_outer_join() {
+    // Plan (b): {supplier, name} together, part separate. The paper notes
+    // "no outer join is needed, because the first query produces all the
+    // values for Supplier".
+    let db = fig8_db();
+    let tree = fragment_tree(&db);
+    let mut edges = EdgeSet::empty();
+    edges.insert(1); // include supplier→name only
+    let spec = PlanSpec {
+        edges,
+        reduce: true,
+        style: QueryStyle::OuterJoin,
+    };
+    let queries = generate_queries(&tree, &db, spec).unwrap();
+    assert_eq!(queries.len(), 2, "two SQL queries");
+    for q in &queries {
+        assert!(
+            !q.sql.contains("LEFT OUTER JOIN"),
+            "plan (b) queries need no outer join: {}",
+            q.sql
+        );
+        assert!(
+            !q.sql.contains("UNION"),
+            "plan (b) queries need no union: {}",
+            q.sql
+        );
+        assert!(q.sql.contains("ORDER BY"), "sorted: {}", q.sql);
+    }
+    // First query joins Supplier with Nation paper-style.
+    assert!(queries[0].sql.contains("FROM Supplier s, Nation n"), "{}", queries[0].sql);
+    // Second query: Supplier ⋈ PartSupp ⋈ Part.
+    assert!(queries[1].sql.contains("PartSupp"), "{}", queries[1].sql);
+    assert!(queries[1].sql.contains("Part"), "{}", queries[1].sql);
+
+    // And the two streams still merge into the Fig. 8 document.
+    let server = Server::new(Arc::new(fig8_db()));
+    let (m, xml) = materialize_to_string(&tree, &server, spec).unwrap();
+    assert_eq!(m.streams, 2);
+    assert_eq!(xml, FIG8_XML);
+}
+
+#[test]
+fn unified_sql_has_the_section_3_4_structure() {
+    // §3.4's example: supplier LEFT OUTER JOIN (nation-branch UNION
+    // part-branch), with typed NULL padding columns.
+    let db = fig8_db();
+    let tree = fragment_tree(&db);
+    let spec = PlanSpec {
+        edges: EdgeSet::full(&tree),
+        reduce: false,
+        style: QueryStyle::OuterJoin,
+    };
+    let queries = generate_queries(&tree, &db, spec).unwrap();
+    let sql = &queries[0].sql;
+    assert!(sql.contains("UNION ALL"), "{sql}");
+    assert!(sql.contains("CAST(NULL AS"), "{sql}");
+    assert!(sql.contains("AS L1"), "{sql}");
+    assert!(sql.contains("AS L2"), "{sql}");
+    // §3.4 join-kind rule, refined: the nation branch is total (`1`), so
+    // the supplier ⟗ union join may be an inner join (comma style). A
+    // view whose only child branch is `*`-labeled must outer join.
+    assert!(!sql.contains("LEFT OUTER JOIN"), "total branch ⇒ inner: {sql}");
+    let star_only = sr_rxl::parse(
+        "from Supplier $s construct <supplier>\
+         { from PartSupp $ps, Part $p \
+           where $s.suppkey = $ps.suppkey, $ps.partkey = $p.partkey \
+           construct <part>$p.name</part> }</supplier>",
+    )
+    .unwrap();
+    let star_tree = build(&star_only, &db).unwrap();
+    let star_sql = &generate_queries(
+        &star_tree,
+        &db,
+        PlanSpec {
+            edges: EdgeSet::full(&star_tree),
+            reduce: false,
+            style: QueryStyle::OuterJoin,
+        },
+    )
+    .unwrap()[0]
+        .sql;
+    assert!(
+        star_sql.contains("LEFT OUTER JOIN"),
+        "* branch ⇒ outer: {star_sql}"
+    );
+}
+
+#[test]
+fn plan_count_is_2_to_the_edges() {
+    // §3.2: "there are 2^|E| possible translations".
+    let db = fig8_db();
+    let tree = fragment_tree(&db);
+    assert_eq!(tree.edge_count(), 2);
+    assert_eq!(sr_viewtree::all_edge_sets(&tree).count(), 4);
+    // And for the full Query 1 tree: 9 edges, 512 plans.
+    let tpch = sr_tpch::generate(sr_tpch::Scale::mb(0.05)).unwrap();
+    let q1 = silkroute::query1_tree(&tpch);
+    assert_eq!(q1.edge_count(), 9);
+    assert_eq!(sr_viewtree::all_edge_sets(&q1).count(), 512);
+}
