@@ -15,15 +15,18 @@
 //!       --no-reduce          disable view-tree reduction
 //!       --out <file>         write the document to a file (materialize)
 //!       --pretty             indent the XML output (materialize)
+//!       --explain            print a per-stream cost table to stderr
+//!                            (materialize)
+//!       --metrics-json       print the cost report plus a metrics snapshot
+//!                            as JSON to stdout; the XML goes to --out or is
+//!                            discarded (materialize)
 //! ```
 
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use silkroute::{
-    calibrated_params, gen_plan, run_plan, Oracle, PlanSpec, QueryStyle, Server,
-};
+use silkroute::{calibrated_params, gen_plan, run_plan, Oracle, PlanSpec, QueryStyle, Server};
 use sr_sqlgen::generate_queries;
 use sr_tpch::Scale;
 use sr_viewtree::{EdgeSet, ViewTree};
@@ -37,12 +40,15 @@ struct Opts {
     reduce: bool,
     out: Option<String>,
     pretty: bool,
+    explain: bool,
+    metrics_json: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: silkroute <tree|sql|materialize|plan|bench> [--mb N] [--plan SPEC] \
-         [--no-reduce] [--out FILE] [--pretty] <VIEW|query1|query2>"
+         [--no-reduce] [--out FILE] [--pretty] [--explain] [--metrics-json] \
+         <VIEW|query1|query2>"
     );
     ExitCode::from(2)
 }
@@ -61,20 +67,21 @@ fn parse_args() -> Result<Opts, ExitCode> {
         reduce: true,
         out: None,
         pretty: false,
+        explain: false,
+        metrics_json: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--mb" => {
-                opts.mb = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or_else(usage)?;
+                opts.mb = args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
             }
             "--plan" => opts.plan = args.next().ok_or_else(usage)?,
             "--style" => opts.style = args.next().ok_or_else(usage)?,
             "--no-reduce" => opts.reduce = false,
             "--out" => opts.out = Some(args.next().ok_or_else(usage)?),
             "--pretty" => opts.pretty = true,
+            "--explain" => opts.explain = true,
+            "--metrics-json" => opts.metrics_json = true,
             other if !other.starts_with('-') && opts.view.is_empty() => {
                 opts.view = other.to_string();
             }
@@ -95,8 +102,8 @@ fn load_view(opts: &Opts, db: &sr_data::Database) -> Result<ViewTree, String> {
         "query1" => Ok(silkroute::query1_tree(db)),
         "query2" => Ok(silkroute::query2_tree(db)),
         path => {
-            let src = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let src =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let q = sr_rxl::parse(&src).map_err(|e| format!("parse error: {e}"))?;
             sr_viewtree::build(&q, db).map_err(|e| format!("build error: {e}"))
         }
@@ -134,9 +141,7 @@ fn resolve_plan(opts: &Opts, tree: &ViewTree, server: &Server) -> Result<PlanSpe
         }
         other => match other.strip_prefix("edges:") {
             Some(bits) => PlanSpec {
-                edges: EdgeSet::from_bits(
-                    bits.parse().map_err(|e| format!("bad edge bits: {e}"))?,
-                ),
+                edges: EdgeSet::from_bits(bits.parse().map_err(|e| format!("bad edge bits: {e}"))?),
                 reduce: opts.reduce,
                 style,
             },
@@ -165,8 +170,8 @@ fn run() -> Result<(), String> {
         }
         "sql" => {
             let spec = resolve_plan(&opts, &tree, &server)?;
-            let queries = generate_queries(&tree, server.database(), spec)
-                .map_err(|e| e.to_string())?;
+            let queries =
+                generate_queries(&tree, server.database(), spec).map_err(|e| e.to_string())?;
             println!(
                 "plan edges={} reduce={} → {} SQL quer{}:\n",
                 spec.edges,
@@ -194,8 +199,10 @@ fn run() -> Result<(), String> {
         }
         "materialize" => {
             let spec = resolve_plan(&opts, &tree, &server)?;
-            let queries = generate_queries(&tree, server.database(), spec)
-                .map_err(|e| e.to_string())?;
+            let start = std::time::Instant::now();
+            let queries =
+                generate_queries(&tree, server.database(), spec).map_err(|e| e.to_string())?;
+            let plan_time = start.elapsed();
             let mut inputs = Vec::new();
             let mut sqls = Vec::new();
             for q in queries {
@@ -207,23 +214,49 @@ fn run() -> Result<(), String> {
                     reduced: q.reduced,
                 });
             }
-            let sink: Box<dyn std::io::Write> = match &opts.out {
-                Some(path) => Box::new(std::io::BufWriter::new(
+            // With --metrics-json the JSON report owns stdout; the document
+            // goes to --out or is discarded.
+            let sink: Box<dyn std::io::Write> = match (&opts.out, opts.metrics_json) {
+                (Some(path), _) => Box::new(std::io::BufWriter::new(
                     std::fs::File::create(path).map_err(|e| e.to_string())?,
                 )),
-                None => Box::new(std::io::stdout().lock()),
+                (None, true) => Box::new(std::io::sink()),
+                (None, false) => Box::new(std::io::stdout().lock()),
             };
-            let (stats, mut sink) =
-                sr_tagger::tag_streams(&tree, inputs, sink, opts.pretty)
-                    .map_err(|e| e.to_string())?;
+            let tag_start = std::time::Instant::now();
+            let (stats, mut sink) = sr_tagger::tag_streams(&tree, inputs, sink, opts.pretty)
+                .map_err(|e| e.to_string())?;
             let _ = sink.flush();
-            eprintln!(
-                "\nmaterialized {} elements / {} bytes from {} tuple(s) over {} stream(s)",
-                stats.elements,
-                stats.bytes,
-                stats.tuples,
-                sqls.len()
+            let report = silkroute::MaterializeReport::assemble(
+                &sqls,
+                &stats,
+                plan_time,
+                tag_start.elapsed(),
+                start.elapsed(),
+                false,
             );
+            if opts.metrics_json {
+                let mut json = report.to_json();
+                if let sr_obs::Json::Obj(fields) = &mut json {
+                    fields.push((
+                        "metrics".to_string(),
+                        server.metrics().snapshot().to_json_value(),
+                    ));
+                }
+                println!("{}", json.render_pretty());
+            }
+            if opts.explain {
+                eprint!("\n{}", report.render_explain());
+            }
+            if !opts.metrics_json && !opts.explain {
+                eprintln!(
+                    "\nmaterialized {} elements / {} bytes from {} tuple(s) over {} stream(s)",
+                    stats.elements,
+                    stats.bytes,
+                    stats.tuples,
+                    sqls.len()
+                );
+            }
         }
         "plan" => {
             let oracle = Oracle::new(&server, calibrated_params(Scale::mb(opts.mb)));
@@ -248,9 +281,12 @@ fn run() -> Result<(), String> {
                 r.recommended()
             );
             println!(
-                "oracle requests: {} (worst case |E|² = {})",
+                "oracle requests: {} distinct of {} evaluations (worst case |E|² = {}), \
+                 {:.2} ms estimating",
                 r.oracle_requests,
-                tree.edge_count() * tree.edge_count()
+                r.oracle_evaluations,
+                tree.edge_count() * tree.edge_count(),
+                r.oracle_time.as_secs_f64() * 1e3
             );
         }
         "bench" => {
@@ -275,14 +311,14 @@ fn run() -> Result<(), String> {
                 ),
             ];
             println!(
-                "{:>14} {:>8} {:>12} {:>12} {:>10}",
-                "plan", "streams", "query (ms)", "total (ms)", "tuples"
+                "{:>14} {:>8} {:>12} {:>11} {:>10} {:>12} {:>10}",
+                "plan", "streams", "query (ms)", "xfer (ms)", "tag (ms)", "total (ms)", "tuples"
             );
             for (label, spec) in specs {
                 let m = run_plan(&tree, &server, spec, None).map_err(|e| e.to_string())?;
                 println!(
-                    "{label:>14} {:>8} {:>12.1} {:>12.1} {:>10}",
-                    m.streams, m.query_ms, m.total_ms, m.tuples
+                    "{label:>14} {:>8} {:>12.1} {:>11.1} {:>10.1} {:>12.1} {:>10}",
+                    m.streams, m.query_ms, m.transfer_ms, m.tag_ms, m.total_ms, m.tuples
                 );
             }
         }

@@ -32,6 +32,11 @@ pub struct Measurement {
     pub style: String,
     /// Server-side query time, milliseconds.
     pub query_ms: f64,
+    /// Client-side decode ("bind and transfer") time, milliseconds.
+    pub transfer_ms: f64,
+    /// Pure tagging time (merge + nest + tag, excluding decode),
+    /// milliseconds.
+    pub tag_ms: f64,
     /// End-to-end time (query + transfer + tagging), milliseconds.
     pub total_ms: f64,
     /// Tuples transferred.
@@ -89,14 +94,19 @@ pub fn run_plan(
             reduced: q.reduced,
         });
     }
+    let tag_start = Instant::now();
     let (stats, _) = tag_streams(tree, inputs, io::sink(), false)?;
+    let tag_wall = tag_start.elapsed();
     let total = start.elapsed();
+    let transfer = stats.total_transfer_time();
     Ok(Measurement {
         edge_bits: spec.edges.bits(),
         streams,
         reduce: spec.reduce,
         style: style_name(spec.style),
         query_ms: query_time.as_secs_f64() * 1e3,
+        transfer_ms: transfer.as_secs_f64() * 1e3,
+        tag_ms: tag_wall.saturating_sub(transfer).as_secs_f64() * 1e3,
         total_ms: total.as_secs_f64() * 1e3,
         tuples: stats.tuples,
         wire_bytes,
@@ -113,6 +123,8 @@ fn timed_out_measurement(tree: &ViewTree, spec: PlanSpec, streams: usize) -> Mea
         reduce: spec.reduce,
         style: style_name(spec.style),
         query_ms: f64::NAN,
+        transfer_ms: f64::NAN,
+        tag_ms: f64::NAN,
         total_ms: f64::NAN,
         tuples: 0,
         wire_bytes: 0,
@@ -241,6 +253,16 @@ mod tests {
         assert!(!m.timed_out);
         assert!(m.query_ms >= 0.0);
         assert!(m.total_ms >= m.query_ms, "total includes query time");
+        assert!(m.transfer_ms >= 0.0 && m.tag_ms >= 0.0);
+        assert!(
+            m.query_ms + m.transfer_ms + m.tag_ms <= m.total_ms + 1.0,
+            "per-stage times fit inside wall time (1ms clock slack): \
+             query={} transfer={} tag={} total={}",
+            m.query_ms,
+            m.transfer_ms,
+            m.tag_ms,
+            m.total_ms
+        );
         assert!(m.tuples > 0);
         assert!(m.wire_bytes > 0);
         assert!(m.xml_bytes > 0);
@@ -259,6 +281,8 @@ mod tests {
         .unwrap();
         assert!(m.timed_out);
         assert!(m.query_ms.is_nan());
+        assert_eq!(m.tuples, 0, "no partial stream survives a timeout");
+        assert_eq!(m.wire_bytes, 0);
     }
 
     #[test]

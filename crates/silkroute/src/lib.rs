@@ -37,17 +37,19 @@ pub mod config;
 pub mod experiment;
 pub mod materialize;
 pub mod queries;
+pub mod report;
 
 pub use config::{calibrated_params, Config};
 pub use experiment::{bucket_by_streams, measure, run_plan, sweep_all_plans, Measurement};
 pub use materialize::{
-    materialize, materialize_fragment, materialize_parallel, materialize_to_string,
-    Materialization,
+    materialize, materialize_fragment, materialize_parallel, materialize_to_string, Materialization,
 };
 pub use queries::{query1, query1_tree, query2, query2_tree, QUERY1_RXL, QUERY2_RXL};
+pub use report::{MaterializeReport, StreamReport};
 
 pub use sr_data as data;
 pub use sr_engine as engine;
+pub use sr_obs as obs;
 pub use sr_plan as plan;
 pub use sr_rxl as rxl;
 pub use sr_sqlgen as sqlgen;

@@ -7,11 +7,14 @@
 //! the document.
 
 use std::io::Write;
+use std::time::Instant;
 
 use sr_engine::Server;
 use sr_sqlgen::{generate_queries, PlanSpec};
 use sr_tagger::{tag_streams, RowSource, StreamInput, TagError, TagStats};
 use sr_viewtree::ViewTree;
+
+use crate::report::MaterializeReport;
 
 /// Result of a materialization.
 #[derive(Debug, Clone)]
@@ -22,6 +25,36 @@ pub struct Materialization {
     pub sql: Vec<String>,
     /// Tagger statistics (tuples, elements, bytes, peak stack).
     pub stats: TagStats,
+    /// Per-stream and total cost breakdown (the paper's §4 decomposition).
+    pub report: MaterializeReport,
+}
+
+/// Shared tail of every materialization: tag the streams, then assemble
+/// statistics and the cost report.
+fn tag_and_report<W: Write>(
+    tree: &ViewTree,
+    sql: Vec<String>,
+    inputs: Vec<StreamInput>,
+    out: W,
+    start: Instant,
+    plan_time: std::time::Duration,
+    parallel: bool,
+) -> Result<(Materialization, W), TagError> {
+    let streams = inputs.len();
+    let tag_start = Instant::now();
+    let (stats, out) = tag_streams(tree, inputs, out, false)?;
+    let tag_wall = tag_start.elapsed();
+    let report =
+        MaterializeReport::assemble(&sql, &stats, plan_time, tag_wall, start.elapsed(), parallel);
+    Ok((
+        Materialization {
+            streams,
+            sql,
+            stats,
+            report,
+        },
+        out,
+    ))
 }
 
 /// Materialize a view into `out` using the given plan.
@@ -31,7 +64,9 @@ pub fn materialize<W: Write>(
     spec: PlanSpec,
     out: W,
 ) -> Result<(Materialization, W), TagError> {
+    let start = Instant::now();
     let queries = generate_queries(tree, server.database(), spec)?;
+    let plan_time = start.elapsed();
     let mut sql = Vec::with_capacity(queries.len());
     let mut inputs = Vec::with_capacity(queries.len());
     for q in queries {
@@ -43,16 +78,7 @@ pub fn materialize<W: Write>(
             reduced: q.reduced,
         });
     }
-    let streams = inputs.len();
-    let (stats, out) = tag_streams(tree, inputs, out, false)?;
-    Ok((
-        Materialization {
-            streams,
-            sql,
-            stats,
-        },
-        out,
-    ))
+    tag_and_report(tree, sql, inputs, out, start, plan_time, false)
 }
 
 /// Materialize a view with all SQL queries executed **concurrently**, one
@@ -65,7 +91,9 @@ pub fn materialize_parallel<W: Write>(
     spec: PlanSpec,
     out: W,
 ) -> Result<(Materialization, W), TagError> {
+    let start = Instant::now();
     let queries = generate_queries(tree, server.database(), spec)?;
+    let plan_time = start.elapsed();
     let sql: Vec<String> = queries.iter().map(|q| q.sql.clone()).collect();
     let results = server.execute_all_parallel(&sql);
     let mut inputs = Vec::with_capacity(queries.len());
@@ -77,16 +105,7 @@ pub fn materialize_parallel<W: Write>(
             reduced: q.reduced,
         });
     }
-    let streams = inputs.len();
-    let (stats, out) = tag_streams(tree, inputs, out, false)?;
-    Ok((
-        Materialization {
-            streams,
-            sql,
-            stats,
-        },
-        out,
-    ))
+    tag_and_report(tree, sql, inputs, out, start, plan_time, true)
 }
 
 /// Materialize only the **fragment** of the view under root elements whose
@@ -101,8 +120,9 @@ pub fn materialize_fragment<W: Write>(
     root_filter: &[(sr_viewtree::VarId, sr_data::Value)],
     out: W,
 ) -> Result<(Materialization, W), TagError> {
-    let queries =
-        sr_sqlgen::generate_queries_filtered(tree, server.database(), spec, root_filter)?;
+    let start = Instant::now();
+    let queries = sr_sqlgen::generate_queries_filtered(tree, server.database(), spec, root_filter)?;
+    let plan_time = start.elapsed();
     let mut sql = Vec::with_capacity(queries.len());
     let mut inputs = Vec::with_capacity(queries.len());
     for q in queries {
@@ -114,16 +134,7 @@ pub fn materialize_fragment<W: Write>(
             reduced: q.reduced,
         });
     }
-    let streams = inputs.len();
-    let (stats, out) = tag_streams(tree, inputs, out, false)?;
-    Ok((
-        Materialization {
-            streams,
-            sql,
-            stats,
-        },
-        out,
-    ))
+    tag_and_report(tree, sql, inputs, out, start, plan_time, false)
 }
 
 /// Materialize into a `String` (convenience for tests and examples).
@@ -196,8 +207,7 @@ mod tests {
     fn fragment_export_selects_one_supplier() {
         let server = server();
         let tree = query1_tree(server.database());
-        let (_, full) =
-            materialize_to_string(&tree, &server, PlanSpec::unified(&tree)).unwrap();
+        let (_, full) = materialize_to_string(&tree, &server, PlanSpec::unified(&tree)).unwrap();
         // Filter on the root key suppkey = 3.
         let suppkey_var = tree.node(tree.root()).key_args[0];
         let filter = [(suppkey_var, sr_data::Value::Int(1))];
@@ -255,11 +265,36 @@ mod tests {
     }
 
     #[test]
+    fn report_breaks_down_per_stream_costs() {
+        let server = server();
+        let tree = query1_tree(server.database());
+        let (m, _) = materialize_to_string(&tree, &server, PlanSpec::fully_partitioned()).unwrap();
+        let r = &m.report;
+        assert_eq!(r.streams.len(), 10);
+        assert_eq!(
+            r.streams.iter().map(|s| s.rows).sum::<u64>(),
+            m.stats.tuples,
+            "per-stream rows sum to total tuples"
+        );
+        assert!(r.streams.iter().all(|s| s.bytes > 0));
+        assert!(r.server_ms() > 0.0);
+        assert!(
+            r.server_ms() + r.transfer_ms() + r.tag_ms <= r.total_ms + 1.0,
+            "decomposition fits inside wall time (1ms clock slack)"
+        );
+        let json = r.to_json().render();
+        assert!(json.contains("\"totals\""), "{json}");
+        // Streams appear in the same order as the SQL strings.
+        for (s, sql) in r.streams.iter().zip(&m.sql) {
+            assert_eq!(&s.sql, sql);
+        }
+    }
+
+    #[test]
     fn sql_strings_are_reported() {
         let server = server();
         let tree = query1_tree(server.database());
-        let (m, _) =
-            materialize_to_string(&tree, &server, PlanSpec::fully_partitioned()).unwrap();
+        let (m, _) = materialize_to_string(&tree, &server, PlanSpec::fully_partitioned()).unwrap();
         assert_eq!(m.sql.len(), 10);
         assert!(m.sql.iter().all(|s| s.contains("ORDER BY")));
     }

@@ -138,10 +138,7 @@ mod tests {
         // order has 3 `1` children.
         let order = t.node(part.children[1]);
         assert_eq!(order.children.len(), 3);
-        assert!(order
-            .children
-            .iter()
-            .all(|&c| t.node(c).label == Mult::One));
+        assert!(order.children.iter().all(|&c| t.node(c).label == Mult::One));
         // SFI names match Fig. 6.
         assert_eq!(order.skolem_name(), "S1.4.2");
         assert_eq!(t.node(order.children[2]).skolem_name(), "S1.4.2.3");

@@ -33,7 +33,14 @@ fn main() {
     println!("-- ablation 1+2: style × reduction (median of 3, total ms) --");
     println!(
         "{:>18} {:>8} | {:>12} {:>12} | {:>12} {:>12} | {:>12} {:>12}",
-        "edges", "streams", "oj+reduce", "oj plain", "ou+reduce", "ou plain", "with+reduce", "with plain"
+        "edges",
+        "streams",
+        "oj+reduce",
+        "oj plain",
+        "ou+reduce",
+        "ou plain",
+        "with+reduce",
+        "with plain"
     );
     for (label, edges) in families {
         let mut cells = Vec::new();
@@ -71,10 +78,10 @@ fn main() {
         );
     }
 
-    println!("\n-- ablation 3: transfer share (reduced outer-join plans) --");
+    println!("\n-- ablation 3: per-stage decomposition (reduced outer-join plans) --");
     println!(
-        "{:>18} {:>8} {:>10} {:>12} {:>12} {:>12} {:>9}",
-        "edges", "streams", "tuples", "wire bytes", "query ms", "total ms", "xfer %"
+        "{:>18} {:>8} {:>10} {:>12} {:>10} {:>9} {:>8} {:>10}",
+        "edges", "streams", "tuples", "wire bytes", "query ms", "xfer ms", "tag ms", "total ms"
     );
     for (label, edges) in families {
         let m = run_plan(
@@ -89,13 +96,8 @@ fn main() {
         )
         .expect("plan");
         println!(
-            "{label:>18} {:>8} {:>10} {:>12} {:>12.1} {:>12.1} {:>8.0}%",
-            m.streams,
-            m.tuples,
-            m.wire_bytes,
-            m.query_ms,
-            m.total_ms,
-            100.0 * (m.total_ms - m.query_ms) / m.total_ms.max(1e-9)
+            "{label:>18} {:>8} {:>10} {:>12} {:>10.1} {:>9.1} {:>8.1} {:>10.1}",
+            m.streams, m.tuples, m.wire_bytes, m.query_ms, m.transfer_ms, m.tag_ms, m.total_ms
         );
     }
     println!(
@@ -112,7 +114,13 @@ fn main() {
         "t1", "t2", "mandatory", "optional", "plans", "best total ms"
     );
     let base = silkroute::calibrated_params(config.scale);
-    for (f1, f2) in [(0.1, 0.1), (1.0, 1.0), (10.0, 10.0), (1.0, 0.0), (100.0, 100.0)] {
+    for (f1, f2) in [
+        (0.1, 0.1),
+        (1.0, 1.0),
+        (10.0, 10.0),
+        (1.0, 0.0),
+        (100.0, 100.0),
+    ] {
         let params = silkroute::CostParams {
             t1: base.t1 * f1,
             t2: base.t2 * f2,
@@ -156,13 +164,9 @@ fn main() {
         let server = silkroute::Server::new(std::sync::Arc::new(db));
         let tree = query1_tree(server.database());
         let t = std::time::Instant::now();
-        let (info, _) = silkroute::materialize(
-            &tree,
-            &server,
-            PlanSpec::unified(&tree),
-            std::io::sink(),
-        )
-        .expect("materialize");
+        let (info, _) =
+            silkroute::materialize(&tree, &server, PlanSpec::unified(&tree), std::io::sink())
+                .expect("materialize");
         println!(
             "{mb:>8} {:>10} {:>12} {:>12.1} {:>11}",
             info.stats.tuples,

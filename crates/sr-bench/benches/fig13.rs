@@ -30,8 +30,18 @@ fn main() {
     let mk_reduced = markers(&tree, &server, true, timeout);
 
     print_panel("(a) query time, non-reduced", &plain, &mk_plain, true);
-    print_panel("(b) query time, with reduction", &reduced, &mk_reduced, true);
-    print_panel("(c) total time, with reduction", &reduced, &mk_reduced, false);
+    print_panel(
+        "(b) query time, with reduction",
+        &reduced,
+        &mk_reduced,
+        true,
+    );
+    print_panel(
+        "(c) total time, with reduction",
+        &reduced,
+        &mk_reduced,
+        false,
+    );
 
     // The paper's headline cross-panel ratio: ten fastest reduced vs ten
     // fastest non-reduced (query time).
@@ -59,14 +69,29 @@ fn main() {
     write_csv("fig13_reduced", &reduced);
     sr_bench::svg::write_svg(
         "fig13a",
-        &sr_bench::svg::scatter_svg("Query 1, Config A: query time (non-reduced)", &plain, &mk_plain, true),
+        &sr_bench::svg::scatter_svg(
+            "Query 1, Config A: query time (non-reduced)",
+            &plain,
+            &mk_plain,
+            true,
+        ),
     );
     sr_bench::svg::write_svg(
         "fig13b",
-        &sr_bench::svg::scatter_svg("Query 1, Config A: query time (reduced)", &reduced, &mk_reduced, true),
+        &sr_bench::svg::scatter_svg(
+            "Query 1, Config A: query time (reduced)",
+            &reduced,
+            &mk_reduced,
+            true,
+        ),
     );
     sr_bench::svg::write_svg(
         "fig13c",
-        &sr_bench::svg::scatter_svg("Query 1, Config A: total time (reduced)", &reduced, &mk_reduced, false),
+        &sr_bench::svg::scatter_svg(
+            "Query 1, Config A: total time (reduced)",
+            &reduced,
+            &mk_reduced,
+            false,
+        ),
     );
 }

@@ -27,8 +27,18 @@ fn main() {
     let mk_reduced = markers(&tree, &server, true, timeout);
 
     print_panel("(a) query time, non-reduced", &plain, &mk_plain, true);
-    print_panel("(b) query time, with reduction", &reduced, &mk_reduced, true);
-    print_panel("(c) total time, with reduction", &reduced, &mk_reduced, false);
+    print_panel(
+        "(b) query time, with reduction",
+        &reduced,
+        &mk_reduced,
+        true,
+    );
+    print_panel(
+        "(c) total time, with reduction",
+        &reduced,
+        &mk_reduced,
+        false,
+    );
 
     let top10 = |ms: &[silkroute::Measurement]| -> f64 {
         let mut q: Vec<f64> = ms
@@ -54,14 +64,29 @@ fn main() {
     write_csv("fig14_reduced", &reduced);
     sr_bench::svg::write_svg(
         "fig14a",
-        &sr_bench::svg::scatter_svg("Query 2, Config A: query time (non-reduced)", &plain, &mk_plain, true),
+        &sr_bench::svg::scatter_svg(
+            "Query 2, Config A: query time (non-reduced)",
+            &plain,
+            &mk_plain,
+            true,
+        ),
     );
     sr_bench::svg::write_svg(
         "fig14b",
-        &sr_bench::svg::scatter_svg("Query 2, Config A: query time (reduced)", &reduced, &mk_reduced, true),
+        &sr_bench::svg::scatter_svg(
+            "Query 2, Config A: query time (reduced)",
+            &reduced,
+            &mk_reduced,
+            true,
+        ),
     );
     sr_bench::svg::write_svg(
         "fig14c",
-        &sr_bench::svg::scatter_svg("Query 2, Config A: total time (reduced)", &reduced, &mk_reduced, false),
+        &sr_bench::svg::scatter_svg(
+            "Query 2, Config A: total time (reduced)",
+            &reduced,
+            &mk_reduced,
+            false,
+        ),
     );
 }

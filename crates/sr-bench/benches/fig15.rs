@@ -7,9 +7,7 @@
 //! the best generated plan (query time); Query 2 — 4.7× and 2.6×. Total
 //! times: outer-union 4.6×, partitioned 3.1×.
 
-use silkroute::{
-    calibrated_params, gen_plan, run_plan, Measurement, Oracle, PlanSpec, QueryStyle,
-};
+use silkroute::{calibrated_params, gen_plan, run_plan, Measurement, Oracle, PlanSpec, QueryStyle};
 use sr_bench::{setup, write_csv};
 use sr_viewtree::EdgeSet;
 
@@ -60,14 +58,8 @@ fn main() {
             );
             all.push(m);
         }
-        let best_q = all
-            .iter()
-            .map(|m| m.query_ms)
-            .fold(f64::INFINITY, f64::min);
-        let best_t = all
-            .iter()
-            .map(|m| m.total_ms)
-            .fold(f64::INFINITY, f64::min);
+        let best_q = all.iter().map(|m| m.query_ms).fold(f64::INFINITY, f64::min);
+        let best_t = all.iter().map(|m| m.total_ms).fold(f64::INFINITY, f64::min);
 
         let ou = run_plan(&tree, &server, PlanSpec::sorted_outer_union(&tree), None)
             .expect("outer-union");

@@ -9,9 +9,7 @@
 //! (Config A only — the paper's "the generated plans correspond directly to
 //! the fastest plans measured").
 
-use silkroute::{
-    calibrated_params, gen_plan, sweep_all_plans, Oracle, PlanSpec, QueryStyle,
-};
+use silkroute::{calibrated_params, gen_plan, sweep_all_plans, Oracle, PlanSpec, QueryStyle};
 use sr_viewtree::{EdgeSet, ViewTree};
 
 fn describe_edges(tree: &ViewTree, set: EdgeSet) -> String {
@@ -31,8 +29,7 @@ fn main() {
         ] {
             for reduce in [false, true] {
                 let oracle = Oracle::new(&server, calibrated_params(config.scale));
-                let r = gen_plan(&tree, server.database(), &oracle, reduce)
-                    .expect("genPlan");
+                let r = gen_plan(&tree, server.database(), &oracle, reduce).expect("genPlan");
                 println!(
                     "{qname}, Config {}, {}:",
                     config.name,

@@ -33,7 +33,9 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| execute(&sort, &db).expect("sort"))
     });
 
-    let rows = execute(&Plan::scan("LineItem", "l"), &db).expect("scan").rows;
+    let rows = execute(&Plan::scan("LineItem", "l"), &db)
+        .expect("scan")
+        .rows;
     c.bench_function("wire/encode_lineitem", |b| {
         b.iter(|| sr_engine::wire::encode_rows(&rows))
     });
@@ -43,7 +45,10 @@ fn bench_engine(c: &mut Criterion) {
             || encoded.clone(),
             |mut buf| {
                 let mut n = 0usize;
-                while sr_engine::wire::decode_row(&mut buf).expect("decode").is_some() {
+                while sr_engine::wire::decode_row(&mut buf)
+                    .expect("decode")
+                    .is_some()
+                {
                     n += 1;
                 }
                 n

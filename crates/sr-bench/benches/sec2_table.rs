@@ -12,9 +12,7 @@
 //! unified outer-union) plus the paper's "several other plans … performed
 //! almost as well" observation via the plan family.
 
-use silkroute::{
-    calibrated_params, gen_plan, query1_tree, run_plan, Oracle, PlanSpec, QueryStyle,
-};
+use silkroute::{calibrated_params, gen_plan, query1_tree, run_plan, Oracle, PlanSpec, QueryStyle};
 use sr_bench::setup;
 
 fn main() {

@@ -131,16 +131,19 @@ pub fn print_panel(title: &str, sweep: &[Measurement], markers: &Markers, query_
 pub fn write_csv(name: &str, sweep: &[Measurement]) {
     let dir = std::path::Path::new("target/bench-results");
     let _ = std::fs::create_dir_all(dir);
-    let mut out =
-        String::from("edge_bits,streams,reduce,style,query_ms,total_ms,tuples,wire_bytes,timed_out\n");
+    let mut out = String::from(
+        "edge_bits,streams,reduce,style,query_ms,transfer_ms,tag_ms,total_ms,tuples,wire_bytes,timed_out\n",
+    );
     for m in sweep {
         out.push_str(&format!(
-            "{},{},{},{},{:.3},{:.3},{},{},{}\n",
+            "{},{},{},{},{:.3},{:.3},{:.3},{:.3},{},{},{}\n",
             m.edge_bits,
             m.streams,
             m.reduce,
             m.style,
             m.query_ms,
+            m.transfer_ms,
+            m.tag_ms,
             m.total_ms,
             m.tuples,
             m.wire_bytes,

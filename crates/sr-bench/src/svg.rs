@@ -183,6 +183,8 @@ mod tests {
             reduce: true,
             style: "outer-join".into(),
             query_ms: ms,
+            transfer_ms: ms * 0.2,
+            tag_ms: ms * 0.2,
             total_ms: ms * 1.4,
             tuples: 10,
             wire_bytes: 100,
@@ -202,7 +204,11 @@ mod tests {
         let svg = scatter_svg("test panel", &sweep, &markers, true);
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>"));
-        assert_eq!(svg.matches("<circle").count(), 10 + 3 + 3, "points + markers + legend");
+        assert_eq!(
+            svg.matches("<circle").count(),
+            10 + 3 + 3,
+            "points + markers + legend"
+        );
         assert!(svg.contains("test panel"));
         // No NaN coordinates.
         assert!(!svg.contains("NaN"));

@@ -7,7 +7,7 @@
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use crate::constraints::{
     validate_columns, ForeignKey, FunctionalDependency, InclusionDependency, TableConstraints,
@@ -53,7 +53,10 @@ impl Database {
 
     /// Add (or replace) a table.
     pub fn add_table(&mut self, table: Table) {
-        self.stats_cache.write().remove(table.name());
+        self.stats_cache
+            .write()
+            .expect("stats lock")
+            .remove(table.name());
         self.tables.insert(table.name().to_string(), table);
     }
 
@@ -110,7 +113,7 @@ impl Database {
 
     /// Mutable access to a table (e.g. for data loading).
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, DataError> {
-        self.stats_cache.write().remove(name);
+        self.stats_cache.write().expect("stats lock").remove(name);
         self.tables
             .get_mut(name)
             .ok_or_else(|| DataError::UnknownTable(name.to_string()))
@@ -167,13 +170,14 @@ impl Database {
 
     /// Statistics for a table, computed on first use and cached.
     pub fn stats(&self, table: &str) -> Result<Arc<TableStats>, DataError> {
-        if let Some(s) = self.stats_cache.read().get(table) {
+        if let Some(s) = self.stats_cache.read().expect("stats lock").get(table) {
             return Ok(Arc::clone(s));
         }
         let t = self.table(table)?;
         let s = Arc::new(TableStats::compute(t));
         self.stats_cache
             .write()
+            .expect("stats lock")
             .insert(table.to_string(), Arc::clone(&s));
         Ok(s)
     }
@@ -265,7 +269,10 @@ mod tests {
         let db = db();
         assert_eq!(db.key_of("Supplier"), &["suppkey".to_string()]);
         assert!(db.table("Missing").is_err());
-        assert_eq!(db.table_names().collect::<Vec<_>>(), vec!["Nation", "Supplier"]);
+        assert_eq!(
+            db.table_names().collect::<Vec<_>>(),
+            vec!["Nation", "Supplier"]
+        );
     }
 
     #[test]
@@ -285,7 +292,9 @@ mod tests {
         assert!(db
             .foreign_key_from("Supplier", &["nationkey".to_string()])
             .is_some());
-        assert!(db.foreign_key_from("Supplier", &["name".to_string()]).is_none());
+        assert!(db
+            .foreign_key_from("Supplier", &["name".to_string()])
+            .is_none());
     }
 
     #[test]
@@ -293,7 +302,12 @@ mod tests {
         let mut db = db();
         assert!(db.declare_key("Supplier", &["nope"]).is_err());
         assert!(db
-            .declare_foreign_key(ForeignKey::new("Supplier", &["zzz"], "Nation", &["nationkey"]))
+            .declare_foreign_key(ForeignKey::new(
+                "Supplier",
+                &["zzz"],
+                "Nation",
+                &["nationkey"]
+            ))
             .is_err());
         assert!(db
             .declare_fd("Nation", FunctionalDependency::new(&["name"], &["bogus"]))

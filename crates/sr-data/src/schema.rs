@@ -152,10 +152,7 @@ impl Schema {
     pub fn project(&self, names: &[&str]) -> Result<Schema, DataError> {
         let cols = names
             .iter()
-            .map(|n| {
-                self.require(n)
-                    .map(|i| self.inner.columns[i].clone())
-            })
+            .map(|n| self.require(n).map(|i| self.inner.columns[i].clone()))
             .collect::<Result<Vec<_>, _>>()?;
         Schema::new(cols)
     }
@@ -176,7 +173,13 @@ impl fmt::Debug for Schema {
             if i > 0 {
                 write!(f, ", ")?;
             }
-            write!(f, "{}:{}{}", c.name, c.dtype, if c.nullable { "?" } else { "" })?;
+            write!(
+                f,
+                "{}:{}{}",
+                c.name,
+                c.dtype,
+                if c.nullable { "?" } else { "" }
+            )?;
         }
         write!(f, ")")
     }

@@ -162,7 +162,9 @@ mod tests {
     #[test]
     fn null_needs_nullable_column() {
         let mut t = t();
-        assert!(t.insert(Row::new(vec![Value::Null, Value::str("a")])).is_err());
+        assert!(t
+            .insert(Row::new(vec![Value::Null, Value::str("a")]))
+            .is_err());
         let mut nt = Table::new("N", t.schema().as_nullable());
         assert!(nt.insert(Row::new(vec![Value::Null, Value::Null])).is_ok());
     }

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use sr_data::{Database, DataType, Value};
+use sr_data::{DataType, Database, Value};
 
 use crate::error::EngineError;
 use crate::expr::{CmpOp, Expr};
@@ -429,7 +429,11 @@ mod tests {
             Expr::lit(3i64),
         )]);
         let e = estimate(&p, &db).unwrap();
-        assert!((e.cardinality - 10.0).abs() < 1e-6, "100/10 = 10, got {}", e.cardinality);
+        assert!(
+            (e.cardinality - 10.0).abs() < 1e-6,
+            "100/10 = 10, got {}",
+            e.cardinality
+        );
     }
 
     #[test]
@@ -526,6 +530,9 @@ mod tests {
         );
         let est = estimate(&p, &db).unwrap().cardinality;
         let actual = crate::exec::execute(&p, &db).unwrap().len() as f64;
-        assert!(est <= actual * 2.0 && est >= actual / 2.0, "est {est} vs actual {actual}");
+        assert!(
+            est <= actual * 2.0 && est >= actual / 2.0,
+            "est {est} vs actual {actual}"
+        );
     }
 }

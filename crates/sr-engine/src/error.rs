@@ -51,8 +51,14 @@ impl fmt::Display for EngineError {
             EngineError::Bind(m) => write!(f, "bind error: {m}"),
             EngineError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
             EngineError::Wire(m) => write!(f, "wire error: {m}"),
-            EngineError::Timeout { elapsed_ms, limit_ms } => {
-                write!(f, "query timed out after {elapsed_ms}ms (limit {limit_ms}ms)")
+            EngineError::Timeout {
+                elapsed_ms,
+                limit_ms,
+            } => {
+                write!(
+                    f,
+                    "query timed out after {elapsed_ms}ms (limit {limit_ms}ms)"
+                )
             }
         }
     }

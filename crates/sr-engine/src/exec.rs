@@ -8,12 +8,70 @@
 //! materializing executor whose final operator is a sort.
 
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use sr_data::{Database, Row, Schema, Value};
 
 use crate::error::EngineError;
 use crate::plan::{JoinKind, Plan};
+
+/// Output statistics for one operator kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStat {
+    /// Times an operator of this kind ran.
+    pub calls: u64,
+    /// Rows it produced in total.
+    pub rows_out: u64,
+}
+
+/// Per-operator execution profile for one (or several) plan executions:
+/// how often each operator kind ran and how many rows it emitted. This is
+/// the server-side half of the paper's "tuples processed" accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecProfile {
+    /// Statistics keyed by operator name (`scan`, `join`, …), sorted.
+    pub ops: BTreeMap<&'static str, OpStat>,
+}
+
+impl ExecProfile {
+    fn record(&mut self, op: &'static str, rows_out: usize) {
+        let stat = self.ops.entry(op).or_default();
+        stat.calls += 1;
+        stat.rows_out += rows_out as u64;
+    }
+
+    /// Total rows produced across all operators.
+    pub fn total_rows(&self) -> u64 {
+        self.ops.values().map(|s| s.rows_out).sum()
+    }
+
+    /// Mirror the profile into a metrics registry as
+    /// `exec.calls.<op>` / `exec.rows.<op>` counters.
+    pub fn export_to(&self, registry: &sr_obs::MetricsRegistry) {
+        for (op, stat) in &self.ops {
+            registry
+                .counter(&format!("exec.calls.{op}"))
+                .add(stat.calls);
+            registry
+                .counter(&format!("exec.rows.{op}"))
+                .add(stat.rows_out);
+        }
+    }
+}
+
+fn op_name(plan: &Plan) -> &'static str {
+    match plan {
+        Plan::Scan { .. } => "scan",
+        Plan::Filter { .. } => "filter",
+        Plan::Project { .. } => "project",
+        Plan::Join { .. } => "join",
+        Plan::OuterUnion { .. } => "outer_union",
+        Plan::Sort { .. } => "sort",
+        Plan::Distinct { .. } => "distinct",
+        Plan::With { .. } => "with",
+        Plan::CteScan { .. } => "cte_scan",
+    }
+}
 
 /// A fully materialized query result.
 #[derive(Debug, Clone)]
@@ -43,7 +101,17 @@ impl ResultSet {
 
 /// Execute a plan against a database.
 pub fn execute(plan: &Plan, db: &Database) -> Result<ResultSet, EngineError> {
-    execute_env(plan, db, &HashMap::new())
+    Ok(execute_profiled(plan, db)?.0)
+}
+
+/// Execute a plan, also collecting a per-operator [`ExecProfile`].
+pub fn execute_profiled(
+    plan: &Plan,
+    db: &Database,
+) -> Result<(ResultSet, ExecProfile), EngineError> {
+    let mut profile = ExecProfile::default();
+    let rs = execute_env(plan, db, &HashMap::new(), &mut profile)?;
+    Ok((rs, profile))
 }
 
 /// Execute with a CTE environment (each definition's materialized result,
@@ -52,6 +120,18 @@ fn execute_env(
     plan: &Plan,
     db: &Database,
     env: &HashMap<String, ResultSet>,
+    profile: &mut ExecProfile,
+) -> Result<ResultSet, EngineError> {
+    let rs = execute_op(plan, db, env, profile)?;
+    profile.record(op_name(plan), rs.len());
+    Ok(rs)
+}
+
+fn execute_op(
+    plan: &Plan,
+    db: &Database,
+    env: &HashMap<String, ResultSet>,
+    profile: &mut ExecProfile,
 ) -> Result<ResultSet, EngineError> {
     match plan {
         Plan::Scan { table, alias: _ } => {
@@ -62,7 +142,7 @@ fn execute_env(
             })
         }
         Plan::Filter { input, predicates } => {
-            let mut rs = execute_env(input, db, env)?;
+            let mut rs = execute_env(input, db, env, profile)?;
             let bound = predicates
                 .iter()
                 .map(|p| p.bind(&rs.schema))
@@ -71,7 +151,7 @@ fn execute_env(
             Ok(rs)
         }
         Plan::Project { input, items } => {
-            let rs = execute_env(input, db, env)?;
+            let rs = execute_env(input, db, env, profile)?;
             let bound = items
                 .iter()
                 .map(|(_, e)| e.bind(&rs.schema))
@@ -90,8 +170,8 @@ fn execute_env(
             kind,
             on,
         } => {
-            let lrs = execute_env(left, db, env)?;
-            let rrs = execute_env(right, db, env)?;
+            let lrs = execute_env(left, db, env, profile)?;
+            let rrs = execute_env(right, db, env, profile)?;
             let schema = plan.schema(db)?;
             let rows = hash_join(&lrs, &rrs, *kind, on)?;
             Ok(ResultSet { schema, rows })
@@ -100,12 +180,10 @@ fn execute_env(
             let schema = plan.schema(db)?;
             let mut rows = Vec::new();
             for input in inputs {
-                let rs = execute_env(input, db, env)?;
+                let rs = execute_env(input, db, env, profile)?;
                 // Map union position -> branch position (None = NULL pad).
-                let mapping: Vec<Option<usize>> = schema
-                    .names()
-                    .map(|n| rs.schema.position(n))
-                    .collect();
+                let mapping: Vec<Option<usize>> =
+                    schema.names().map(|n| rs.schema.position(n)).collect();
                 rows.extend(rs.rows.iter().map(|r| {
                     Row::new(
                         mapping
@@ -121,7 +199,7 @@ fn execute_env(
             Ok(ResultSet { schema, rows })
         }
         Plan::Sort { input, keys } => {
-            let mut rs = execute_env(input, db, env)?;
+            let mut rs = execute_env(input, db, env, profile)?;
             let idx: Vec<usize> = keys
                 .iter()
                 .map(|k| rs.schema.require(k).map_err(EngineError::from))
@@ -138,7 +216,7 @@ fn execute_env(
             Ok(rs)
         }
         Plan::Distinct { input } => {
-            let mut rs = execute_env(input, db, env)?;
+            let mut rs = execute_env(input, db, env, profile)?;
             let mut seen: HashSet<Row> = HashSet::with_capacity(rs.rows.len());
             rs.rows.retain(|r| seen.insert(r.clone()));
             Ok(rs)
@@ -149,12 +227,16 @@ fn execute_env(
             // with-clause footnote is after.
             let mut local = env.clone();
             for (name, def) in ctes {
-                let rs = execute_env(def, db, &local)?;
+                let rs = execute_env(def, db, &local, profile)?;
                 local.insert(name.clone(), rs);
             }
-            execute_env(body, db, &local)
+            execute_env(body, db, &local, profile)
         }
-        Plan::CteScan { cte, alias: _, schema: _ } => {
+        Plan::CteScan {
+            cte,
+            alias: _,
+            schema: _,
+        } => {
             let rs = env.get(cte).ok_or_else(|| {
                 EngineError::InvalidPlan(format!("CTE {cte} referenced outside WITH"))
             })?;
@@ -276,7 +358,10 @@ mod tests {
         let db = db();
         let rs = execute(&Plan::scan("Supplier", "s"), &db).unwrap();
         assert_eq!(rs.len(), 3);
-        assert_eq!(rs.schema.names().collect::<Vec<_>>(), vec!["s_suppkey", "s_name"]);
+        assert_eq!(
+            rs.schema.names().collect::<Vec<_>>(),
+            vec!["s_suppkey", "s_name"]
+        );
     }
 
     #[test]
@@ -313,11 +398,7 @@ mod tests {
         );
         let rs = execute(&p, &db).unwrap();
         assert_eq!(rs.len(), 4, "supplier 2 kept with NULL part");
-        let padded: Vec<&Row> = rs
-            .rows
-            .iter()
-            .filter(|r| r.get(2).is_null())
-            .collect();
+        let padded: Vec<&Row> = rs.rows.iter().filter(|r| r.get(2).is_null()).collect();
         assert_eq!(padded.len(), 1);
         assert_eq!(padded[0].get(0), &Value::Int(2));
     }
@@ -325,11 +406,8 @@ mod tests {
     #[test]
     fn cross_join_when_no_keys() {
         let db = db();
-        let p = Plan::scan("Supplier", "s").join(
-            Plan::scan("PartSupp", "ps"),
-            JoinKind::Inner,
-            vec![],
-        );
+        let p =
+            Plan::scan("Supplier", "s").join(Plan::scan("PartSupp", "ps"), JoinKind::Inner, vec![]);
         let rs = execute(&p, &db).unwrap();
         assert_eq!(rs.len(), 9);
     }
@@ -357,7 +435,10 @@ mod tests {
         let u = Plan::OuterUnion { inputs: vec![a, b] };
         let rs = execute(&u, &db).unwrap();
         assert_eq!(rs.len(), 6);
-        assert_eq!(rs.schema.names().collect::<Vec<_>>(), vec!["k", "name", "part"]);
+        assert_eq!(
+            rs.schema.names().collect::<Vec<_>>(),
+            vec!["k", "name", "part"]
+        );
         // Supplier branch rows have NULL part; PartSupp branch rows NULL name.
         assert!(rs.rows[0].get(2).is_null());
         assert!(rs.rows[3].get(1).is_null());
@@ -413,7 +494,11 @@ mod tests {
             JoinKind::LeftOuter,
             vec![("l_k".into(), "r_k".into())],
         );
-        assert_eq!(execute(&outer, &db).unwrap().len(), 2, "NULL left row padded");
+        assert_eq!(
+            execute(&outer, &db).unwrap().len(),
+            2,
+            "NULL left row padded"
+        );
     }
 
     #[test]

@@ -234,7 +234,10 @@ mod tests {
         let s = schema();
         assert_eq!(Expr::col("a").dtype(&s).unwrap(), DataType::Int);
         assert_eq!(Expr::lit(1.5f64).dtype(&s).unwrap(), DataType::Float);
-        assert_eq!(Expr::TypedNull(DataType::Str).dtype(&s).unwrap(), DataType::Str);
+        assert_eq!(
+            Expr::TypedNull(DataType::Str).dtype(&s).unwrap(),
+            DataType::Str
+        );
         assert!(Expr::Lit(Value::Null).dtype(&s).is_err());
     }
 
@@ -264,7 +267,10 @@ mod tests {
             Predicate::eq_cols("s_suppkey", "ps_suppkey").to_string(),
             "s_suppkey = ps_suppkey"
         );
-        assert_eq!(Expr::TypedNull(DataType::Int).to_string(), "CAST(NULL AS INT)");
+        assert_eq!(
+            Expr::TypedNull(DataType::Int).to_string(),
+            "CAST(NULL AS INT)"
+        );
     }
 
     #[test]

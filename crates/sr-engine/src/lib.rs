@@ -22,8 +22,8 @@
 pub mod cost;
 pub mod error;
 pub mod exec;
-pub mod optimize;
 pub mod expr;
+pub mod optimize;
 pub mod plan;
 pub mod server;
 pub mod sql;
@@ -31,8 +31,8 @@ pub mod wire;
 
 pub use cost::{estimate, ColInfo, Estimate};
 pub use error::EngineError;
-pub use exec::{execute, ResultSet};
-pub use optimize::push_filters;
+pub use exec::{execute, execute_profiled, ExecProfile, OpStat, ResultSet};
 pub use expr::{CmpOp, Expr, Predicate};
+pub use optimize::push_filters;
 pub use plan::{JoinKind, Plan};
-pub use server::{Server, TupleStream};
+pub use server::{QueryPhases, Server, TupleStream};

@@ -168,10 +168,7 @@ fn push_preds_into(
             let mut kept = Vec::new();
             for p in predicates {
                 let cols = pred_cols(&p);
-                if schemas
-                    .iter()
-                    .all(|s| cols.iter().all(|c| s.contains(c)))
-                {
+                if schemas.iter().all(|s| cols.iter().all(|c| s.contains(c))) {
                     pushable.push(p);
                 } else {
                     kept.push(p);
@@ -183,9 +180,7 @@ fn push_preds_into(
                 .collect::<Result<Vec<_>, _>>()?;
             Ok(Plan::OuterUnion { inputs }.filter(kept))
         }
-        Plan::Sort { input, keys } => {
-            Ok(push_preds_into(*input, predicates, db)?.sort(keys))
-        }
+        Plan::Sort { input, keys } => Ok(push_preds_into(*input, predicates, db)?.sort(keys)),
         Plan::Distinct { input } => Ok(Plan::Distinct {
             input: Box::new(push_preds_into(*input, predicates, db)?),
         }),
@@ -311,7 +306,11 @@ mod tests {
                 ("k".into(), Expr::col("a_id")),
                 ("tag".into(), Expr::lit(7i64)),
             ])
-            .filter(vec![Predicate::new(Expr::col("k"), CmpOp::Gt, Expr::lit(3i64))]);
+            .filter(vec![Predicate::new(
+                Expr::col("k"),
+                CmpOp::Gt,
+                Expr::lit(3i64),
+            )]);
         let optimized = push_filters(plan.clone(), &db).unwrap();
         let txt = optimized.to_string();
         assert!(txt.contains("Filter [a_id > 3]\n    Scan A"), "{txt}");
@@ -346,15 +345,9 @@ mod tests {
     fn commutes_below_sort_and_distinct() {
         let db = db();
         let plan = Plan::Distinct {
-            input: Box::new(
-                Plan::scan("A", "a")
-                    .sort(vec!["a_id".into()])
-                    .filter(vec![Predicate::new(
-                        Expr::col("a_g"),
-                        CmpOp::Ne,
-                        Expr::lit(2i64),
-                    )]),
-            ),
+            input: Box::new(Plan::scan("A", "a").sort(vec!["a_id".into()]).filter(vec![
+                Predicate::new(Expr::col("a_g"), CmpOp::Ne, Expr::lit(2i64)),
+            ])),
         };
         let optimized = push_filters(plan.clone(), &db).unwrap();
         let txt = optimized.to_string();

@@ -408,8 +408,7 @@ impl fmt::Display for Plan {
                     kind,
                     on,
                 } => {
-                    let os: Vec<String> =
-                        on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+                    let os: Vec<String> = on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
                     writeln!(f, "{pad}{kind:?}Join [{}]", os.join(" AND "))?;
                     go(left, f, depth + 1)?;
                     go(right, f, depth + 1)

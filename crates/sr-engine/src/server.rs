@@ -15,18 +15,43 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use sr_data::{Database, Row, Schema};
+use sr_obs::MetricsRegistry;
 
 use crate::cost::{estimate, Estimate};
 use crate::error::EngineError;
-use crate::exec::execute;
+use crate::exec::execute_profiled;
 use crate::sql::binder::plan_sql;
 use crate::wire::{decode_row, encode_rows};
+
+/// Per-phase breakdown of one query's server-side time. Summing the fields
+/// gives (within clock noise) [`TupleStream::query_time`]; the split is what
+/// the paper's Figs. 13–15 need to attribute middle-ware cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryPhases {
+    /// SQL text → bound algebra plan.
+    pub parse_bind: Duration,
+    /// Predicate push-down and plan rewrites.
+    pub optimize: Duration,
+    /// Operator execution (the dominant server cost).
+    pub execute: Duration,
+    /// Encoding the sorted result into the wire format.
+    pub encode: Duration,
+}
+
+impl QueryPhases {
+    /// Sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.parse_bind + self.optimize + self.execute + self.encode
+    }
+}
 
 /// A sorted tuple stream returned by the server.
 ///
 /// Decoding happens lazily on the client: each [`TupleStream::next_row`] call
 /// pays the per-cell binding cost, so "total time" measurements naturally
-/// include transfer work proportional to tuple count × width.
+/// include transfer work proportional to tuple count × width. That decode
+/// cost accumulates into [`TupleStream::transfer_time`] — the paper's
+/// "bind and transfer" component.
 #[derive(Debug, Clone)]
 pub struct TupleStream {
     /// Result schema.
@@ -37,13 +62,25 @@ pub struct TupleStream {
     pub byte_size: usize,
     /// Server-side time: parse + bind + execute + encode.
     pub query_time: Duration,
+    /// Server-side time split by phase.
+    pub phases: QueryPhases,
+    /// Client-side decode ("bind and transfer") time accumulated so far.
+    pub transfer_time: Duration,
+    /// Rows decoded by the client so far.
+    pub rows_decoded: usize,
     data: Bytes,
 }
 
 impl TupleStream {
     /// Decode the next row, or `None` at end of stream.
     pub fn next_row(&mut self) -> Result<Option<Row>, EngineError> {
-        decode_row(&mut self.data)
+        let start = Instant::now();
+        let row = decode_row(&mut self.data);
+        self.transfer_time += start.elapsed();
+        if let Ok(Some(_)) = &row {
+            self.rows_decoded += 1;
+        }
+        row
     }
 
     /// Decode every remaining row (convenience for tests).
@@ -76,18 +113,38 @@ pub struct Server {
     /// Per-query timeout; queries exceeding it report
     /// [`EngineError::Timeout`] (the paper used 5 minutes, §4).
     pub timeout: Option<Duration>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Server {
     /// A server over a database, with no timeout.
     pub fn new(db: Arc<Database>) -> Self {
-        Server { db, timeout: None }
+        Server {
+            db,
+            timeout: None,
+            metrics: Arc::new(MetricsRegistry::new()),
+        }
     }
 
     /// Set the per-query timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = Some(timeout);
         self
+    }
+
+    /// Share an external metrics registry (e.g. the middle-ware's) instead
+    /// of the server's own.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The registry all queries record into. Counters: `server.queries`,
+    /// `server.rows`, `server.bytes`, `server.estimates`,
+    /// `exec.{calls,rows}.<op>`. Histograms: `server.<phase>_ns`,
+    /// `server.query_ns`, `server.estimate_ns`.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// The underlying database (for direct catalog access in tests).
@@ -99,12 +156,33 @@ impl Server {
     pub fn execute_sql(&self, sql: &str) -> Result<TupleStream, EngineError> {
         let start = Instant::now();
         let plan = plan_sql(sql, &self.db)?;
+        let parse_bind = start.elapsed();
+        let t_opt = Instant::now();
         let plan = crate::optimize::push_filters(plan, &self.db)?;
-        let rs = execute(&plan, &self.db)?;
+        let optimize = t_opt.elapsed();
+        let t_exec = Instant::now();
+        let (rs, profile) = execute_profiled(&plan, &self.db)?;
+        let execute = t_exec.elapsed();
+        let t_enc = Instant::now();
         let data = encode_rows(&rs.rows);
+        let encode = t_enc.elapsed();
         let query_time = start.elapsed();
+
+        let m = &self.metrics;
+        m.counter("server.queries").inc();
+        m.counter("server.rows").add(rs.rows.len() as u64);
+        m.counter("server.bytes").add(data.len() as u64);
+        m.histogram("server.parse_bind_ns")
+            .record_duration(parse_bind);
+        m.histogram("server.optimize_ns").record_duration(optimize);
+        m.histogram("server.execute_ns").record_duration(execute);
+        m.histogram("server.encode_ns").record_duration(encode);
+        m.histogram("server.query_ns").record_duration(query_time);
+        profile.export_to(m);
+
         if let Some(limit) = self.timeout {
             if query_time > limit {
+                m.counter("server.timeouts").inc();
                 return Err(EngineError::Timeout {
                     elapsed_ms: query_time.as_millis() as u64,
                     limit_ms: limit.as_millis() as u64,
@@ -116,6 +194,14 @@ impl Server {
             row_count: rs.rows.len(),
             byte_size: data.len(),
             query_time,
+            phases: QueryPhases {
+                parse_bind,
+                optimize,
+                execute,
+                encode,
+            },
+            transfer_time: Duration::ZERO,
+            rows_decoded: 0,
             data,
         })
     }
@@ -127,25 +213,30 @@ impl Server {
         &self,
         queries: &[String],
     ) -> Vec<Result<TupleStream, EngineError>> {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = queries
                 .iter()
-                .map(|q| scope.spawn(move |_| self.execute_sql(q)))
+                .map(|q| scope.spawn(move || self.execute_sql(q)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("query worker panicked"))
                 .collect()
         })
-        .expect("thread scope")
     }
 
     /// Cost-estimate endpoint: the paper's oracle. Parses and binds the SQL,
     /// then estimates from catalog statistics without executing.
     pub fn estimate_sql(&self, sql: &str) -> Result<Estimate, EngineError> {
+        let start = Instant::now();
         let plan = plan_sql(sql, &self.db)?;
         let plan = crate::optimize::push_filters(plan, &self.db)?;
-        estimate(&plan, &self.db)
+        let est = estimate(&plan, &self.db);
+        self.metrics.counter("server.estimates").inc();
+        self.metrics
+            .histogram("server.estimate_ns")
+            .record_duration(start.elapsed());
+        est
     }
 }
 
@@ -219,6 +310,37 @@ mod tests {
             Err(EngineError::Timeout { .. }) => {}
             other => panic!("expected timeout, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn phases_sum_to_query_time_and_metrics_record() {
+        let s = server();
+        let stream = s
+            .execute_sql("SELECT i.id AS id FROM Item i ORDER BY id")
+            .unwrap();
+        assert!(stream.phases.total() <= stream.query_time);
+        assert!(stream.phases.execute > Duration::ZERO);
+        let snap = s.metrics().snapshot();
+        assert_eq!(snap.counter("server.queries"), 1);
+        assert_eq!(snap.counter("server.rows"), 50);
+        assert_eq!(snap.counter("exec.rows.scan"), 50);
+        assert_eq!(snap.counter("exec.calls.sort"), 1);
+        assert_eq!(
+            snap.histogram("server.execute_ns").map(|h| h.count),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn transfer_time_accumulates_during_decode() {
+        let s = server();
+        let mut stream = s
+            .execute_sql("SELECT i.id AS id, i.label AS label FROM Item i ORDER BY id")
+            .unwrap();
+        assert_eq!(stream.transfer_time, Duration::ZERO);
+        while stream.next_row().unwrap().is_some() {}
+        assert_eq!(stream.rows_decoded, 50);
+        assert!(stream.transfer_time > Duration::ZERO);
     }
 
     #[test]

@@ -361,7 +361,10 @@ mod tests {
         assert_eq!(SqlExpr::StrLit("a'b".into()).to_string(), "'a''b'");
         assert_eq!(SqlExpr::FloatLit(2.0).to_string(), "2.0");
         assert_eq!(SqlExpr::FloatLit(2.5).to_string(), "2.5");
-        assert_eq!(SqlExpr::Null(DataType::Str).to_string(), "CAST(NULL AS VARCHAR)");
+        assert_eq!(
+            SqlExpr::Null(DataType::Str).to_string(),
+            "CAST(NULL AS VARCHAR)"
+        );
     }
 
     #[test]

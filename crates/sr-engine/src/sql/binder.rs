@@ -126,9 +126,7 @@ impl Scope {
     /// Can this scope resolve the reference?
     fn can_resolve(&self, e: &SqlExpr) -> bool {
         match e {
-            SqlExpr::ColRef { qualifier, name } => {
-                self.resolve(qualifier.as_deref(), name).is_ok()
-            }
+            SqlExpr::ColRef { qualifier, name } => self.resolve(qualifier.as_deref(), name).is_ok(),
             _ => true,
         }
     }
@@ -184,7 +182,9 @@ fn bind_from_item(
         }
         FromItem::Subquery { query, alias } => {
             if !query.ctes.is_empty() {
-                return Err(EngineError::Bind("WITH inside a subquery is not supported".into()));
+                return Err(EngineError::Bind(
+                    "WITH inside a subquery is not supported".into(),
+                ));
             }
             let inner = bind_inner(query, db, reg)?;
             let inner_schema = inner.schema(db)?;
@@ -203,11 +203,7 @@ fn bind_from_item(
 
 /// Does the condition equate a column resolvable only in `left` with one
 /// resolvable only in `right`? Returns plan-level key names `(l, r)`.
-fn as_join_keys(
-    c: &SqlCond,
-    left: &Scope,
-    right: &Scope,
-) -> Option<(String, String)> {
+fn as_join_keys(c: &SqlCond, left: &Scope, right: &Scope) -> Option<(String, String)> {
     if c.op != CmpOp::Eq {
         return None;
     }
@@ -283,7 +279,8 @@ fn bind_select(stmt: &SelectStmt, db: &Database, reg: &CteReg) -> Result<Plan, E
         for c in &j.on {
             if let Some(k) = as_join_keys(c, &acc_scope, &rscope) {
                 keys.push(k);
-            } else if j.kind == JoinKind::Inner && combined.can_resolve(&c.left)
+            } else if j.kind == JoinKind::Inner
+                && combined.can_resolve(&c.left)
                 && combined.can_resolve(&c.right)
             {
                 residual.push(bind_cond(c, &combined)?);
@@ -361,7 +358,8 @@ mod tests {
             "Nation",
             Schema::of(&[("nationkey", DataType::Int), ("name", DataType::Str)]),
         );
-        n.insert_all([row![10i64, "USA"], row![20i64, "Spain"]]).unwrap();
+        n.insert_all([row![10i64, "USA"], row![20i64, "Spain"]])
+            .unwrap();
         let mut ps = Table::new(
             "PartSupp",
             Schema::of(&[("partkey", DataType::Int), ("suppkey", DataType::Int)]),

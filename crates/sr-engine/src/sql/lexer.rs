@@ -57,49 +57,82 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, EngineError> {
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '(' => {
-                out.push(Spanned { token: Token::LParen, offset: i });
+                out.push(Spanned {
+                    token: Token::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { token: Token::RParen, offset: i });
+                out.push(Spanned {
+                    token: Token::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { token: Token::Comma, offset: i });
+                out.push(Spanned {
+                    token: Token::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Spanned { token: Token::Dot, offset: i });
+                out.push(Spanned {
+                    token: Token::Dot,
+                    offset: i,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Spanned { token: Token::Eq, offset: i });
+                out.push(Spanned {
+                    token: Token::Eq,
+                    offset: i,
+                });
                 i += 1;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Spanned { token: Token::Ne, offset: i });
+                    out.push(Spanned {
+                        token: Token::Ne,
+                        offset: i,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { token: Token::Le, offset: i });
+                    out.push(Spanned {
+                        token: Token::Le,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { token: Token::Lt, offset: i });
+                    out.push(Spanned {
+                        token: Token::Lt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { token: Token::Ge, offset: i });
+                    out.push(Spanned {
+                        token: Token::Ge,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { token: Token::Gt, offset: i });
+                    out.push(Spanned {
+                        token: Token::Gt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { token: Token::Ne, offset: i });
+                    out.push(Spanned {
+                        token: Token::Ne,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
                     return Err(EngineError::Lex {
@@ -176,7 +209,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, EngineError> {
                         message: format!("bad integer {text}: {e}"),
                     })?)
                 };
-                out.push(Spanned { token, offset: start });
+                out.push(Spanned {
+                    token,
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;

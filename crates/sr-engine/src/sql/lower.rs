@@ -171,19 +171,18 @@ fn to_select(plan: &Plan, db: &Database, ctx: &mut Ctx) -> Result<SelectStmt, En
             // Identity projection over a gatherable shape.
             let block = gather(other, db, ctx)?;
             let schema = other.schema(db)?;
-            let items = schema
-                .names()
-                .map(|n| {
-                    Ok(SelectItem {
-                        expr: block
-                            .scope
-                            .get(n)
-                            .cloned()
-                            .ok_or_else(|| EngineError::InvalidPlan(format!("lost column {n}")))?,
-                        alias: Some(n.to_string()),
+            let items =
+                schema
+                    .names()
+                    .map(|n| {
+                        Ok(SelectItem {
+                            expr: block.scope.get(n).cloned().ok_or_else(|| {
+                                EngineError::InvalidPlan(format!("lost column {n}"))
+                            })?,
+                            alias: Some(n.to_string()),
+                        })
                     })
-                })
-                .collect::<Result<Vec<_>, EngineError>>()?;
+                    .collect::<Result<Vec<_>, EngineError>>()?;
             Ok(SelectStmt {
                 distinct: false,
                 items,
@@ -394,7 +393,8 @@ mod tests {
             "Nation",
             Schema::of(&[("nationkey", DataType::Int), ("name", DataType::Str)]),
         );
-        n.insert_all([row![10i64, "USA"], row![20i64, "Spain"]]).unwrap();
+        n.insert_all([row![10i64, "USA"], row![20i64, "Spain"]])
+            .unwrap();
         let mut ps = Table::new(
             "PartSupp",
             Schema::of(&[("partkey", DataType::Int), ("suppkey", DataType::Int)]),
@@ -411,7 +411,8 @@ mod tests {
     /// direct execution of the original plan.
     fn assert_roundtrip(plan: &Plan, db: &Database) {
         let sql = to_sql(plan, db).unwrap();
-        let reparsed = plan_sql(&sql, db).unwrap_or_else(|e| panic!("bind failed ({e}) for: {sql}"));
+        let reparsed =
+            plan_sql(&sql, db).unwrap_or_else(|e| panic!("bind failed ({e}) for: {sql}"));
         let mut direct = execute(plan, db).unwrap();
         let mut via_sql = execute(&reparsed, db).unwrap();
         assert_eq!(
@@ -454,7 +455,11 @@ mod tests {
             ("pk".into(), Expr::col("ps_partkey")),
         ]);
         let plan = Plan::scan("Supplier", "s")
-            .join(sub, JoinKind::LeftOuter, vec![("s_suppkey".into(), "sk".into())])
+            .join(
+                sub,
+                JoinKind::LeftOuter,
+                vec![("s_suppkey".into(), "sk".into())],
+            )
             .sort(vec!["s_suppkey".into(), "pk".into()]);
         let sql = to_sql(&plan, &db).unwrap();
         assert!(sql.contains("LEFT OUTER JOIN (SELECT"), "got: {sql}");
@@ -522,8 +527,7 @@ mod tests {
         let db = db();
         let plan = Plan::Distinct {
             input: Box::new(
-                Plan::scan("Supplier", "s")
-                    .project(vec![("nk".into(), Expr::col("s_nationkey"))]),
+                Plan::scan("Supplier", "s").project(vec![("nk".into(), Expr::col("s_nationkey"))]),
             ),
         };
         let sql = to_sql(&plan, &db).unwrap();
@@ -545,7 +549,9 @@ mod tests {
             ("sk".into(), Expr::col("ps_suppkey")),
             ("pk".into(), Expr::col("ps_partkey")),
         ]);
-        let union = Plan::OuterUnion { inputs: vec![c1, c2] };
+        let union = Plan::OuterUnion {
+            inputs: vec![c1, c2],
+        };
         let plan = Plan::scan("Supplier", "s")
             .join(
                 union,

@@ -241,9 +241,11 @@ impl Parser {
     }
 
     fn at_structural_keyword(&self) -> bool {
-        ["FROM", "WHERE", "JOIN", "LEFT", "INNER", "ON", "UNION", "ORDER", "AND"]
-            .iter()
-            .any(|k| self.at_kw(k))
+        [
+            "FROM", "WHERE", "JOIN", "LEFT", "INNER", "ON", "UNION", "ORDER", "AND",
+        ]
+        .iter()
+        .any(|k| self.at_kw(k))
     }
 
     #[allow(clippy::wrong_self_convention)] // parses a FROM item; not a conversion
@@ -262,7 +264,11 @@ impl Parser {
             let name = self.ident()?;
             let has_alias = self.eat_kw("AS")
                 || (matches!(self.peek(), Token::Ident(_)) && !self.at_structural_keyword());
-            let alias = if has_alias { self.ident()? } else { name.clone() };
+            let alias = if has_alias {
+                self.ident()?
+            } else {
+                name.clone()
+            };
             Ok(FromItem::Table { name, alias })
         }
     }
@@ -399,10 +405,7 @@ mod tests {
     #[test]
     fn parse_cast_null() {
         let q = parse("SELECT CAST(NULL AS VARCHAR) AS x FROM Region").unwrap();
-        assert_eq!(
-            q.branches[0].items[0].expr,
-            SqlExpr::Null(DataType::Str)
-        );
+        assert_eq!(q.branches[0].items[0].expr, SqlExpr::Null(DataType::Str));
     }
 
     #[test]
@@ -423,7 +426,9 @@ mod tests {
         assert!(parse("SELECT a FROM").is_err());
         assert!(parse("SELECT a FROM t WHERE a ~ b").is_err());
         assert!(parse("SELECT a FROM t extra garbage ON").is_err());
-        assert!(parse("SELECT a FROM (SELECT b FROM t ORDER BY b) UNION ALL SELECT c FROM u").is_err());
+        assert!(
+            parse("SELECT a FROM (SELECT b FROM t ORDER BY b) UNION ALL SELECT c FROM u").is_err()
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ fn left_outer_join_with_empty_right_pads_everything() {
     );
     let rs = execute(&p, &db).unwrap();
     assert_eq!(rs.len(), 3);
-    assert!(rs.rows.iter().all(|r| r.get(2).is_null() && r.get(3).is_null()));
+    assert!(rs
+        .rows
+        .iter()
+        .all(|r| r.get(2).is_null() && r.get(3).is_null()));
 }
 
 #[test]
@@ -62,6 +65,115 @@ fn cross_join_left_outer_with_empty_right() {
     let p = Plan::scan("A", "a").join(Plan::scan("Empty", "e"), JoinKind::LeftOuter, vec![]);
     let rs = execute(&p, &db).unwrap();
     assert_eq!(rs.len(), 3, "every left row padded once");
+}
+
+#[test]
+fn left_outer_join_against_empty_build_side() {
+    // The hash join builds on the right input. A right side whose join keys
+    // are all NULL yields an *empty build table* even though the input has
+    // rows — every left row must still be padded exactly once.
+    let mut db = db();
+    let mut n = Table::new(
+        "NullKeys",
+        Schema::new(vec![
+            sr_data::Column::nullable("id", DataType::Int),
+            sr_data::Column::nullable("x", DataType::Str),
+        ])
+        .unwrap(),
+    );
+    n.insert(Row::new(vec![Value::Null, Value::str("a")]))
+        .unwrap();
+    n.insert(Row::new(vec![Value::Null, Value::str("b")]))
+        .unwrap();
+    db.add_table(n);
+    let p = Plan::scan("A", "a").join(
+        Plan::scan("NullKeys", "n"),
+        JoinKind::LeftOuter,
+        vec![("a_id".into(), "n_id".into())],
+    );
+    let rs = execute(&p, &db).unwrap();
+    assert_eq!(rs.len(), 3, "one padded row per left row");
+    assert!(rs
+        .rows
+        .iter()
+        .all(|r| r.get(2).is_null() && r.get(3).is_null()));
+    // Inner join over the same empty build side matches nothing.
+    let p = Plan::scan("A", "a").join(
+        Plan::scan("NullKeys", "n"),
+        JoinKind::Inner,
+        vec![("a_id".into(), "n_id".into())],
+    );
+    assert!(execute(&p, &db).unwrap().is_empty());
+}
+
+#[test]
+fn null_join_keys_never_match_mixed_with_values() {
+    // NULL = NULL is not true in SQL: only the non-NULL key pairs join,
+    // whichever side the NULLs are on.
+    let mut db = Database::new();
+    for name in ["L", "R"] {
+        let mut t = Table::new(
+            name,
+            Schema::new(vec![
+                sr_data::Column::nullable("k", DataType::Int),
+                sr_data::Column::nullable("tag", DataType::Str),
+            ])
+            .unwrap(),
+        );
+        t.insert(Row::new(vec![Value::Null, Value::str("null")]))
+            .unwrap();
+        t.insert(row![1i64, format!("{name}-1")]).unwrap();
+        t.insert(row![2i64, format!("{name}-2")]).unwrap();
+        db.add_table(t);
+    }
+    let inner = Plan::scan("L", "l").join(
+        Plan::scan("R", "r"),
+        JoinKind::Inner,
+        vec![("l_k".into(), "r_k".into())],
+    );
+    let rs = execute(&inner, &db).unwrap();
+    assert_eq!(rs.len(), 2, "only k=1 and k=2 pair up");
+    assert!(rs.rows.iter().all(|r| !r.get(0).is_null()));
+    let outer = Plan::scan("L", "l").join(
+        Plan::scan("R", "r"),
+        JoinKind::LeftOuter,
+        vec![("l_k".into(), "r_k".into())],
+    );
+    let rs = execute(&outer, &db).unwrap();
+    assert_eq!(rs.len(), 3, "NULL-keyed left row padded, not matched");
+    let padded: Vec<_> = rs.rows.iter().filter(|r| r.get(2).is_null()).collect();
+    assert_eq!(padded.len(), 1);
+    assert!(
+        padded[0].get(0).is_null(),
+        "the padded row is the NULL-keyed one"
+    );
+}
+
+#[test]
+fn timeout_mid_plan_leaves_no_partial_stream() {
+    // A query that trips the timeout must surface as an error — never as a
+    // truncated TupleStream the tagger could silently consume.
+    let server = Server::new(Arc::new(db())).with_timeout(std::time::Duration::ZERO);
+    match server.execute_sql("SELECT a.id AS id FROM A a ORDER BY id") {
+        Err(sr_engine::EngineError::Timeout { .. }) => {}
+        other => panic!("expected timeout, got {other:?}"),
+    }
+    // Multi-query (mid-plan) execution: every stream reports the timeout;
+    // none comes back partially decoded.
+    let queries = vec![
+        "SELECT a.id AS id FROM A a ORDER BY id".to_string(),
+        "SELECT a.g AS g FROM A a ORDER BY g".to_string(),
+    ];
+    let results = server.execute_all_parallel(&queries);
+    assert_eq!(results.len(), 2);
+    for r in &results {
+        assert!(
+            matches!(r, Err(sr_engine::EngineError::Timeout { .. })),
+            "expected timeout, got {r:?}"
+        );
+    }
+    // The registry counted each trip.
+    assert_eq!(server.metrics().snapshot().counter("server.timeouts"), 3);
 }
 
 #[test]
@@ -200,7 +312,10 @@ fn rows_share_storage_cheaply() {
     let r2 = r.clone();
     assert_eq!(r, r2);
     if let (Value::Str(a), Value::Str(b)) = (r.get(0), r2.get(0)) {
-        assert!(std::sync::Arc::ptr_eq(a, b), "string payload must be shared");
+        assert!(
+            std::sync::Arc::ptr_eq(a, b),
+            "string payload must be shared"
+        );
     } else {
         panic!("expected strings");
     }

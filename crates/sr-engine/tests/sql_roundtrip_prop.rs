@@ -63,11 +63,15 @@ fn gen_strategy() -> impl Strategy<Value = Gen> {
     let leaf = prop_oneof![Just(Gen::ScanA), Just(Gen::ScanB)];
     leaf.prop_recursive(3, 12, 3, |inner| {
         prop_oneof![
-            (inner.clone(), 0i64..20)
-                .prop_map(|(p, n)| Gen::FilterFirstIntGt(Box::new(p), n)),
-            inner.clone().prop_map(|p| Gen::ProjectFirstTwo(Box::new(p))),
-            (inner.clone(), inner.clone(), any::<bool>())
-                .prop_map(|(l, r, outer)| Gen::Join(Box::new(l), Box::new(r), outer)),
+            (inner.clone(), 0i64..20).prop_map(|(p, n)| Gen::FilterFirstIntGt(Box::new(p), n)),
+            inner
+                .clone()
+                .prop_map(|p| Gen::ProjectFirstTwo(Box::new(p))),
+            (inner.clone(), inner.clone(), any::<bool>()).prop_map(|(l, r, outer)| Gen::Join(
+                Box::new(l),
+                Box::new(r),
+                outer
+            )),
             (inner.clone(), inner.clone())
                 .prop_map(|(l, r)| Gen::UnionFirstInt(Box::new(l), Box::new(r))),
             inner.clone().prop_map(|p| Gen::SortAll(Box::new(p))),

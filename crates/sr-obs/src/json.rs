@@ -1,0 +1,193 @@
+//! A minimal JSON value tree and renderer, so reports can be emitted as
+//! machine-readable JSON without an external serialization dependency.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer (rendered without a fraction).
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating point; non-finite values render as `null` per JSON rules.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object from key/value pairs (insertion order preserved).
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// An object from a sorted map of counters.
+    pub fn from_counter_map(map: &BTreeMap<String, u64>) -> Json {
+        Json::Obj(
+            map.iter()
+                .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                .collect(),
+        )
+    }
+
+    /// Render to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Render with two-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Float(x) if x.is_finite() => {
+                let _ = write!(out, "{x}");
+            }
+            Json::Float(_) => out.push_str("null"),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let j = Json::obj(vec![
+            ("a", Json::Int(-3)),
+            ("b", Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("s", Json::Str("x\"y\\z\n".into())),
+            ("f", Json::Float(2.5)),
+            ("nan", Json::Float(f64::NAN)),
+        ]);
+        assert_eq!(
+            j.render(),
+            r#"{"a":-3,"b":[true,null],"s":"x\"y\\z\n","f":2.5,"nan":null}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_is_valid_and_indented() {
+        let j = Json::obj(vec![("outer", Json::obj(vec![("inner", Json::UInt(7))]))]);
+        let p = j.render_pretty();
+        assert!(p.contains("\"outer\": {\n"));
+        assert!(p.contains("    \"inner\": 7"));
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let j = Json::Str("\u{0001}".into());
+        assert_eq!(j.render(), "\"\\u0001\"");
+    }
+}

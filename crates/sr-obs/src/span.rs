@@ -1,0 +1,168 @@
+//! Hierarchical timed spans for single-threaded driver code.
+//!
+//! A [`Spans`] recorder keeps a stack of open span names; entering a span
+//! pushes onto the stack and the RAII [`SpanGuard`] records the elapsed
+//! time against the full `/`-joined path on drop. Repeated visits to the
+//! same path aggregate (call count + total time), which is what the
+//! explain/metrics reports want: one line per pipeline stage, not one per
+//! invocation.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// Aggregate statistics for one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total time spent inside (including children).
+    pub total: Duration,
+}
+
+/// A single-threaded hierarchical span recorder.
+#[derive(Debug, Default)]
+pub struct Spans {
+    stack: RefCell<Vec<&'static str>>,
+    agg: RefCell<BTreeMap<String, SpanStat>>,
+}
+
+impl Spans {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Spans::default()
+    }
+
+    /// Enter a span; it closes (and records) when the guard drops.
+    pub fn enter(&self, name: &'static str) -> SpanGuard<'_> {
+        self.stack.borrow_mut().push(name);
+        SpanGuard {
+            spans: self,
+            start: Instant::now(),
+        }
+    }
+
+    /// Time a closure inside a span.
+    pub fn time<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let _guard = self.enter(name);
+        f()
+    }
+
+    fn record_current(&self, elapsed: Duration) {
+        let path = self.stack.borrow().join("/");
+        self.stack.borrow_mut().pop();
+        let mut agg = self.agg.borrow_mut();
+        let stat = agg.entry(path).or_default();
+        stat.count += 1;
+        stat.total += elapsed;
+    }
+
+    /// Aggregated statistics by `/`-joined path, sorted by path.
+    pub fn stats(&self) -> BTreeMap<String, SpanStat> {
+        self.agg.borrow().clone()
+    }
+
+    /// Total time recorded against one path (zero when absent).
+    pub fn total(&self, path: &str) -> Duration {
+        self.agg
+            .borrow()
+            .get(path)
+            .map(|s| s.total)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// JSON form: `{path: {"count": n, "total_ms": t}}`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.agg
+                .borrow()
+                .iter()
+                .map(|(path, stat)| {
+                    (
+                        path.clone(),
+                        Json::obj(vec![
+                            ("count", Json::UInt(stat.count)),
+                            ("total_ms", Json::Float(stat.total.as_secs_f64() * 1e3)),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Closes its span on drop.
+pub struct SpanGuard<'a> {
+    spans: &'a Spans,
+    start: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.spans.record_current(self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_paths() {
+        let spans = Spans::new();
+        {
+            let _m = spans.enter("materialize");
+            {
+                let _p = spans.enter("plan");
+            }
+            {
+                let _e = spans.enter("execute");
+                {
+                    let _d = spans.enter("decode");
+                }
+            }
+        }
+        let stats = spans.stats();
+        let paths: Vec<&str> = stats.keys().map(String::as_str).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "materialize",
+                "materialize/execute",
+                "materialize/execute/decode",
+                "materialize/plan",
+            ]
+        );
+        // Parent spans include child time.
+        assert!(spans.total("materialize") >= spans.total("materialize/execute"));
+        assert!(spans.total("materialize/execute") >= spans.total("materialize/execute/decode"));
+    }
+
+    #[test]
+    fn repeated_spans_aggregate() {
+        let spans = Spans::new();
+        for _ in 0..3 {
+            spans.time("stage", || {});
+        }
+        let stats = spans.stats();
+        assert_eq!(stats["stage"].count, 3);
+    }
+
+    #[test]
+    fn time_returns_closure_value() {
+        let spans = Spans::new();
+        let v = spans.time("calc", || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(spans.stats()["calc"].count, 1);
+    }
+
+    #[test]
+    fn json_has_count_and_total() {
+        let spans = Spans::new();
+        spans.time("a", || std::thread::sleep(Duration::from_millis(1)));
+        let j = spans.to_json().render();
+        assert!(j.contains("\"a\":{\"count\":1,\"total_ms\":"), "{j}");
+    }
+}

@@ -141,8 +141,8 @@ mod tests {
     #[test]
     fn fully_partitioned_needs_nothing() {
         let (tree, server) = setup();
-        let req = required_features(&tree, server.database(), PlanSpec::fully_partitioned())
-            .unwrap();
+        let req =
+            required_features(&tree, server.database(), PlanSpec::fully_partitioned()).unwrap();
         assert!(!req.outer_join);
         assert!(!req.union_all);
         assert!(req.satisfied_by(Capabilities::minimal()));
@@ -202,7 +202,10 @@ mod tests {
         let plans =
             permissible_plans(&tree, server.database(), Capabilities::minimal(), true).unwrap();
         assert!(!plans.is_empty());
-        assert!(plans.contains(&EdgeSet::empty()), "fully partitioned always works");
+        assert!(
+            plans.contains(&EdgeSet::empty()),
+            "fully partitioned always works"
+        );
         // And every permissible plan really avoids the constructs.
         for edges in &plans {
             let spec = PlanSpec {

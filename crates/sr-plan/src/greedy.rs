@@ -31,6 +31,8 @@ pub struct GreedyResult {
     pub oracle_requests: usize,
     /// Total cost lookups including cache hits.
     pub oracle_evaluations: usize,
+    /// Wall time spent in the server's estimate endpoint while planning.
+    pub oracle_time: std::time::Duration,
 }
 
 /// One greedy step.
@@ -179,6 +181,7 @@ pub fn gen_plan_capable(
         trace,
         oracle_requests: oracle.requests(),
         oracle_evaluations: oracle.evaluations(),
+        oracle_time: oracle.estimate_time(),
     })
 }
 
@@ -295,8 +298,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let r =
-            crate::gen_plan_capable(&tree, server.database(), &oracle, true, caps).unwrap();
+        let r = crate::gen_plan_capable(&tree, server.database(), &oracle, true, caps).unwrap();
         // Every generated plan must avoid outer joins and unions entirely.
         for edges in r.plans() {
             let req = crate::required_features(
@@ -309,7 +311,10 @@ mod tests {
                 },
             )
             .unwrap();
-            assert!(!req.outer_join && !req.union_all, "plan {edges} impermissible");
+            assert!(
+                !req.outer_join && !req.union_all,
+                "plan {edges} impermissible"
+            );
         }
         // With infinite thresholds it still merges the reducible 1-edges
         // (flat inner-join queries need no special constructs).

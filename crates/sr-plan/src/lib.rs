@@ -19,7 +19,9 @@ pub mod enumerate;
 pub mod greedy;
 pub mod oracle;
 
-pub use capabilities::{permissible, permissible_plans, required_features, Capabilities, RequiredFeatures};
+pub use capabilities::{
+    permissible, permissible_plans, required_features, Capabilities, RequiredFeatures,
+};
 pub use enumerate::{estimated_best, rank_all_plans, RankedPlan};
 pub use greedy::{gen_plan, gen_plan_capable, EdgeChoice, GreedyResult};
 pub use oracle::{CostParams, Oracle};

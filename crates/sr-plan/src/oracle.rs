@@ -13,6 +13,7 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use sr_data::Database;
 use sr_engine::{EngineError, Estimate, Server};
@@ -50,12 +51,18 @@ impl Default for CostParams {
 }
 
 /// A counting, caching cost oracle backed by the engine server.
+///
+/// Counts are mirrored into the server's metrics registry (`sr-obs`) as
+/// `oracle.evaluations` / `oracle.requests` / `oracle.cache_hits`, so a
+/// pipeline-wide metrics snapshot shows planning cost next to execution
+/// cost.
 pub struct Oracle<'a> {
     server: &'a Server,
     params: CostParams,
     cache: RefCell<HashMap<String, Estimate>>,
     requests: RefCell<usize>,
     evaluations: RefCell<usize>,
+    estimate_time: RefCell<Duration>,
 }
 
 impl<'a> Oracle<'a> {
@@ -67,6 +74,7 @@ impl<'a> Oracle<'a> {
             cache: RefCell::new(HashMap::new()),
             requests: RefCell::new(0),
             evaluations: RefCell::new(0),
+            estimate_time: RefCell::new(Duration::ZERO),
         }
     }
 
@@ -85,14 +93,26 @@ impl<'a> Oracle<'a> {
         *self.evaluations.borrow()
     }
 
+    /// Wall time spent inside the server's estimate endpoint (cache misses
+    /// only — hits are answered locally).
+    pub fn estimate_time(&self) -> Duration {
+        *self.estimate_time.borrow()
+    }
+
     /// Estimate for a SQL string (cached).
     pub fn estimate_sql(&self, sql: &str) -> Result<Estimate, EngineError> {
         *self.evaluations.borrow_mut() += 1;
+        let metrics = self.server.metrics();
+        metrics.counter("oracle.evaluations").inc();
         if let Some(e) = self.cache.borrow().get(sql) {
+            metrics.counter("oracle.cache_hits").inc();
             return Ok(e.clone());
         }
         *self.requests.borrow_mut() += 1;
+        metrics.counter("oracle.requests").inc();
+        let start = Instant::now();
         let e = self.server.estimate_sql(sql)?;
+        *self.estimate_time.borrow_mut() += start.elapsed();
         self.cache.borrow_mut().insert(sql.to_string(), e.clone());
         Ok(e)
     }
@@ -177,9 +197,13 @@ mod tests {
         let oracle = Oracle::new(&server, CostParams::default());
         let db = server.database();
         let full = EdgeSet::full(&tree);
-        let c1 = oracle.plan_cost(&tree, db, full, true, QueryStyle::OuterJoin).unwrap();
+        let c1 = oracle
+            .plan_cost(&tree, db, full, true, QueryStyle::OuterJoin)
+            .unwrap();
         let r1 = oracle.requests();
-        let c2 = oracle.plan_cost(&tree, db, full, true, QueryStyle::OuterJoin).unwrap();
+        let c2 = oracle
+            .plan_cost(&tree, db, full, true, QueryStyle::OuterJoin)
+            .unwrap();
         assert_eq!(c1, c2);
         assert_eq!(oracle.requests(), r1, "second evaluation fully cached");
         assert!(oracle.evaluations() > r1);
@@ -189,11 +213,29 @@ mod tests {
     fn costs_are_positive_and_monotone_in_b() {
         let (tree, server) = setup();
         let db = server.database();
-        let cheap = Oracle::new(&server, CostParams { a: 1.0, b: 0.0, ..Default::default() });
-        let heavy = Oracle::new(&server, CostParams { a: 1.0, b: 10.0, ..Default::default() });
+        let cheap = Oracle::new(
+            &server,
+            CostParams {
+                a: 1.0,
+                b: 0.0,
+                ..Default::default()
+            },
+        );
+        let heavy = Oracle::new(
+            &server,
+            CostParams {
+                a: 1.0,
+                b: 10.0,
+                ..Default::default()
+            },
+        );
         let full = EdgeSet::full(&tree);
-        let c1 = cheap.plan_cost(&tree, db, full, true, QueryStyle::OuterJoin).unwrap();
-        let c2 = heavy.plan_cost(&tree, db, full, true, QueryStyle::OuterJoin).unwrap();
+        let c1 = cheap
+            .plan_cost(&tree, db, full, true, QueryStyle::OuterJoin)
+            .unwrap();
+        let c2 = heavy
+            .plan_cost(&tree, db, full, true, QueryStyle::OuterJoin)
+            .unwrap();
         assert!(c1 > 0.0);
         assert!(c2 > c1, "adding data-size weight increases cost");
     }

@@ -344,7 +344,12 @@ mod tests {
     fn numbers() {
         assert_eq!(
             toks("12 -5 2.5"),
-            vec![Token::Int(12), Token::Int(-5), Token::Float(2.5), Token::Eof]
+            vec![
+                Token::Int(12),
+                Token::Int(-5),
+                Token::Float(2.5),
+                Token::Eof
+            ]
         );
     }
 

@@ -20,9 +20,7 @@ pub mod parser;
 pub mod pretty;
 pub mod validate;
 
-pub use ast::{
-    Binding, Block, Condition, Content, Element, Operand, RxlCmp, RxlQuery, SkolemTerm,
-};
+pub use ast::{Binding, Block, Condition, Content, Element, Operand, RxlCmp, RxlQuery, SkolemTerm};
 pub use lexer::RxlError;
 pub use parser::parse;
 pub use pretty::pretty;

@@ -214,9 +214,9 @@ impl Parser {
                     self.bump();
                     let close = self.ident()?;
                     if close != tag {
-                        return Err(self.err(format!(
-                            "closing tag </{close}> does not match <{tag}>"
-                        )));
+                        return Err(
+                            self.err(format!("closing tag </{close}> does not match <{tag}>"))
+                        );
                     }
                     self.expect(Token::RAngle)?;
                     break;
@@ -301,10 +301,8 @@ mod tests {
 
     #[test]
     fn parse_skolem_term() {
-        let q = parse(
-            "from Supplier $s construct <supplier ID=S1($s.suppkey)>$s.name</supplier>",
-        )
-        .unwrap();
+        let q = parse("from Supplier $s construct <supplier ID=S1($s.suppkey)>$s.name</supplier>")
+            .unwrap();
         let sk = q.root.element.skolem.as_ref().unwrap();
         assert_eq!(sk.name, "S1");
         assert_eq!(sk.args, vec![Operand::field("s", "suppkey")]);
@@ -312,10 +310,9 @@ mod tests {
 
     #[test]
     fn parse_constant_root_without_from() {
-        let q = parse(
-            "construct <root>{ from Region $r construct <region>$r.name</region> }</root>",
-        )
-        .unwrap();
+        let q =
+            parse("construct <root>{ from Region $r construct <region>$r.name</region> }</root>")
+                .unwrap();
         assert!(q.root.bindings.is_empty());
         assert_eq!(q.root.element.tag, "root");
     }

@@ -65,7 +65,9 @@ fn validate_operand(
             .table(table)
             .map_err(|_| err(format!("unknown table {table}")))?;
         if !t.schema().contains(field) {
-            return Err(err(format!("table {table} has no column {field} (in ${var}.{field})")));
+            return Err(err(format!(
+                "table {table} has no column {field} (in ${var}.{field})"
+            )));
         }
     }
     Ok(())
@@ -166,10 +168,9 @@ mod tests {
 
     #[test]
     fn shadowing_rejected() {
-        let q = parse(
-            "from Supplier $s construct <a>{ from Nation $s construct <b>$s.name</b> }</a>",
-        )
-        .unwrap();
+        let q =
+            parse("from Supplier $s construct <a>{ from Nation $s construct <b>$s.name</b> }</a>")
+                .unwrap();
         let e = validate(&q, &db()).unwrap_err();
         assert!(e.message.contains("shadows"));
     }

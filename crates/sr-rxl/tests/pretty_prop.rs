@@ -53,17 +53,15 @@ fn binding() -> impl Strategy<Value = Binding> + Clone {
 
 fn skolem() -> impl Strategy<Value = Option<SkolemTerm>> {
     proptest::option::of(
-        (
-            ident(),
-            proptest::collection::vec((ident(), ident()), 0..3),
-        )
-            .prop_map(|(name, args)| SkolemTerm {
+        (ident(), proptest::collection::vec((ident(), ident()), 0..3)).prop_map(|(name, args)| {
+            SkolemTerm {
                 name,
                 args: args
                     .into_iter()
                     .map(|(v, f)| Operand::Field { var: v, field: f })
                     .collect(),
-            }),
+            }
+        }),
     )
 }
 

@@ -7,8 +7,8 @@
 //! printed from these plans round-trips through the server identically.
 
 use sr_engine::{CmpOp, EngineError, Expr, JoinKind, Plan, Predicate};
-use sr_viewtree::{BodyOperand, RuleBody};
 use sr_rxl::RxlCmp;
+use sr_viewtree::{BodyOperand, RuleBody};
 
 /// Engine-level column name for a body field: `alias_column`.
 pub fn field_col(alias: &str, column: &str) -> String {
@@ -136,7 +136,8 @@ mod tests {
             "S",
             Schema::of(&[("k", DataType::Int), ("n", DataType::Int)]),
         );
-        s.insert_all([row![1i64, 10i64], row![2i64, 20i64]]).unwrap();
+        s.insert_all([row![1i64, 10i64], row![2i64, 20i64]])
+            .unwrap();
         let mut n = Table::new(
             "N",
             Schema::of(&[("n", DataType::Int), ("name", DataType::Str)]),

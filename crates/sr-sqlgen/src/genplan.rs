@@ -190,7 +190,8 @@ mod tests {
             "Nation",
             Schema::of(&[("nationkey", DataType::Int), ("name", DataType::Str)]),
         );
-        n.insert_all([row![10i64, "USA"], row![20i64, "Spain"]]).unwrap();
+        n.insert_all([row![10i64, "USA"], row![20i64, "Spain"]])
+            .unwrap();
         let mut ps = Table::new(
             "PartSupp",
             Schema::of(&[("partkey", DataType::Int), ("suppkey", DataType::Int)]),

@@ -24,7 +24,9 @@ pub mod outer_union;
 pub mod relation;
 
 pub use body::body_plan;
-pub use genplan::{generate_queries, generate_queries_filtered, GeneratedQuery, PlanSpec, QueryStyle};
+pub use genplan::{
+    generate_queries, generate_queries_filtered, GeneratedQuery, PlanSpec, QueryStyle,
+};
 pub use outer_join::outer_join_plan;
 pub use outer_join_with::outer_join_with_plan;
 pub use outer_union::outer_union_plan;

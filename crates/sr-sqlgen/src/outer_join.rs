@@ -12,7 +12,7 @@
 
 use std::collections::HashSet;
 
-use sr_data::{Database, DataType};
+use sr_data::{DataType, Database};
 use sr_engine::{EngineError, Expr, JoinKind, Plan};
 use sr_viewtree::{ReducedComponent, ViewTree};
 
@@ -131,10 +131,7 @@ pub fn class_base(
     let base = body_plan(&class.body)?;
     let mut items: Vec<(String, Expr)> = Vec::new();
     for p in (parent_depth + 1)..=(root.sfi.len() as u16) {
-        items.push((
-            format!("L{p}"),
-            Expr::lit(root.sfi[p as usize - 1] as i64),
-        ));
+        items.push((format!("L{p}"), Expr::lit(root.sfi[p as usize - 1] as i64)));
     }
     for &v in &class.args {
         let var = tree.var(v);
@@ -320,8 +317,12 @@ mod tests {
             "Nation",
             Schema::of(&[("nationkey", DataType::Int), ("name", DataType::Str)]),
         );
-        n.insert_all([row![24i64, "USA"], row![3i64, "Spain"], row![19i64, "France"]])
-            .unwrap();
+        n.insert_all([
+            row![24i64, "USA"],
+            row![3i64, "Spain"],
+            row![19i64, "France"],
+        ])
+        .unwrap();
         let mut ps = Table::new(
             "PartSupp",
             Schema::of(&[("partkey", DataType::Int), ("suppkey", DataType::Int)]),

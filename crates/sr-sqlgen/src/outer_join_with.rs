@@ -104,10 +104,7 @@ pub fn outer_join_with_plan(
             .iter()
             .map(|&v| {
                 let var = tree.var(v);
-                (
-                    var.plan_name(),
-                    (var.alias.clone(), var.column.clone()),
-                )
+                (var.plan_name(), (var.alias.clone(), var.column.clone()))
             })
             .collect();
         for f in &required[idx] {
@@ -209,10 +206,7 @@ pub fn outer_join_with_plan(
         };
         let mut items: Vec<(String, Expr)> = Vec::new();
         for p in (parent_depth + 1)..=(root.sfi.len() as u16) {
-            items.push((
-                format!("L{p}"),
-                Expr::lit(root.sfi[p as usize - 1] as i64),
-            ));
+            items.push((format!("L{p}"), Expr::lit(root.sfi[p as usize - 1] as i64)));
         }
         for &v in &class.args {
             let name = tree.var(v).plan_name();
@@ -347,7 +341,11 @@ fn join_increment(
                 BodyOperand::Str(s) => Expr::lit(s.as_str()),
             })
         };
-        filters.push(Predicate::new(to_expr(&p.left)?, cmp_op(p.op), to_expr(&p.right)?));
+        filters.push(Predicate::new(
+            to_expr(&p.left)?,
+            cmp_op(p.op),
+            to_expr(&p.right)?,
+        ));
     }
     Ok((plan.filter(filters), env))
 }

@@ -57,12 +57,14 @@ mod tests {
             "Nation",
             Schema::of(&[("nationkey", DataType::Int), ("name", DataType::Str)]),
         );
-        n.insert_all([row![24i64, "USA"], row![3i64, "Spain"]]).unwrap();
+        n.insert_all([row![24i64, "USA"], row![3i64, "Spain"]])
+            .unwrap();
         let mut ps = Table::new(
             "PartSupp",
             Schema::of(&[("partkey", DataType::Int), ("suppkey", DataType::Int)]),
         );
-        ps.insert_all([row![4i64, 1i64], row![12i64, 1i64]]).unwrap();
+        ps.insert_all([row![4i64, 1i64], row![12i64, 1i64]])
+            .unwrap();
         db.add_table(s);
         db.add_table(n);
         db.add_table(ps);
@@ -135,9 +137,8 @@ mod tests {
             oj.schema.names().collect::<Vec<_>>()
         );
         let l2 = ou.schema.position("L2").unwrap();
-        let child_rows = |rows: &[sr_data::Row]| {
-            rows.iter().filter(|r| !r.get(l2).is_null()).count()
-        };
+        let child_rows =
+            |rows: &[sr_data::Row]| rows.iter().filter(|r| !r.get(l2).is_null()).count();
         assert_eq!(child_rows(&ou.rows), child_rows(&oj.rows));
     }
 

@@ -8,7 +8,7 @@
 //! the tagger can compare tuples from different streams positionally via
 //! the global layout.
 
-use sr_data::{Database, DataType};
+use sr_data::{DataType, Database};
 use sr_viewtree::{NodeId, ReducedComponent, VarId, ViewTree};
 
 /// One column of a partitioned relation.
@@ -65,11 +65,7 @@ pub fn var_dtype(tree: &ViewTree, db: &Database, v: VarId) -> DataType {
 /// `max_label_level` get no `L` column (no branch to distinguish there),
 /// but their variables still appear.
 fn layout(tree: &ViewTree, vars: &[VarId], max_label_level: u16) -> Vec<ColumnSpec> {
-    let max_var_level = vars
-        .iter()
-        .map(|&v| tree.var(v).index.0)
-        .max()
-        .unwrap_or(0);
+    let max_var_level = vars.iter().map(|&v| tree.var(v).index.0).max().unwrap_or(0);
     let mut cols = Vec::new();
     for p in 1..=max_label_level.max(max_var_level) {
         if p <= max_label_level {

@@ -16,5 +16,5 @@ pub mod tagger;
 pub mod xml;
 
 pub use lift::{GlobalLayout, StreamLift};
-pub use tagger::{tag_streams, RowSource, StreamInput, TagError, TagStats};
+pub use tagger::{tag_streams, RowSource, StreamInput, StreamTagStats, TagError, TagStats};
 pub use xml::XmlWriter;

@@ -42,11 +42,7 @@ impl GlobalLayout {
             }
         }
         let key_args_by_node = tree.nodes.iter().map(|n| n.key_args.clone()).collect();
-        let sfi_index = tree
-            .nodes
-            .iter()
-            .map(|n| (n.sfi.clone(), n.id))
-            .collect();
+        let sfi_index = tree.nodes.iter().map(|n| (n.sfi.clone(), n.id)).collect();
         GlobalLayout {
             columns,
             level_pos,

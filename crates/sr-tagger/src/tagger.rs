@@ -17,6 +17,7 @@
 
 use std::fmt;
 use std::io::Write;
+use std::time::Duration;
 
 use sr_data::{Row, Schema, Value};
 use sr_engine::{EngineError, TupleStream};
@@ -89,8 +90,22 @@ pub struct StreamInput {
     pub reduced: ReducedComponent,
 }
 
-/// Statistics from one tagging run.
+/// Per-input-stream breakdown of a tagging run — the raw material for the
+/// paper's query-time vs. transfer vs. tagging decomposition (Figs. 13–15).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamTagStats {
+    /// Tuples consumed from this stream.
+    pub tuples: u64,
+    /// Encoded wire size of the stream (zero for materialized inputs).
+    pub wire_bytes: u64,
+    /// Server-side query time (zero for materialized inputs).
+    pub server_time: Duration,
+    /// Client-side decode ("bind and transfer") time spent on this stream.
+    pub transfer_time: Duration,
+}
+
+/// Statistics from one tagging run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TagStats {
     /// Tuples consumed across all streams.
     pub tuples: u64,
@@ -100,6 +115,20 @@ pub struct TagStats {
     pub max_open_depth: usize,
     /// Bytes of XML written.
     pub bytes: u64,
+    /// Per-input-stream breakdowns, in input order.
+    pub per_stream: Vec<StreamTagStats>,
+}
+
+impl TagStats {
+    /// Total server-side query time across all streams.
+    pub fn total_server_time(&self) -> Duration {
+        self.per_stream.iter().map(|s| s.server_time).sum()
+    }
+
+    /// Total client-side decode ("bind and transfer") time across streams.
+    pub fn total_transfer_time(&self) -> Duration {
+        self.per_stream.iter().map(|s| s.transfer_time).sum()
+    }
 }
 
 struct StreamState {
@@ -166,16 +195,30 @@ pub fn tag_streams<W: Write>(
         })
         .collect();
 
+    let n = streams.len();
     let mut t = Tagger {
         tree,
         layout,
         streams,
         stack: Vec::new(),
         writer,
-        stats: TagStats::default(),
+        stats: TagStats {
+            per_stream: vec![StreamTagStats::default(); n],
+            ..TagStats::default()
+        },
     };
     t.run()?;
     t.stats.bytes = t.writer.bytes_written();
+    // Harvest per-stream server/transfer costs now that the streams are
+    // fully decoded.
+    for (i, s) in t.streams.iter().enumerate() {
+        if let RowSource::Stream(ts) = &s.rows {
+            let ps = &mut t.stats.per_stream[i];
+            ps.wire_bytes = ts.byte_size as u64;
+            ps.server_time = ts.query_time;
+            ps.transfer_time = ts.transfer_time;
+        }
+    }
     let stats = t.stats;
     let out = t.writer.finish()?;
     Ok((stats, out))
@@ -229,6 +272,7 @@ impl<'t, W: Write> Tagger<'t, W> {
                 self.streams[si].head = Some(next);
             }
             self.stats.tuples += 1;
+            self.stats.per_stream[si].tuples += 1;
             self.process_tuple(si, &lifted)?;
             self.stats.max_open_depth = self.stats.max_open_depth.max(self.stack.len());
         }
@@ -330,8 +374,7 @@ impl<'t, W: Write> Tagger<'t, W> {
                             return Ok(());
                         }
                     }
-                    if ord > open.last_child_ordinal && self.same_class(open.stream, open.node, c)
-                    {
+                    if ord > open.last_child_ordinal && self.same_class(open.stream, open.node, c) {
                         // A merged (`1`-labeled) member with no streamed
                         // instances of its own: materialize it from the
                         // snapshot. Non-member children with no streamed

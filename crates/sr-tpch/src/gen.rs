@@ -64,7 +64,11 @@ pub fn generate(scale: Scale) -> Result<Database, DataError> {
                 Value::Int(k),
                 Value::from(text::part_name(&mut rng)),
                 Value::from(format!("Manufacturer#{}", rng.gen_range(1..6))),
-                Value::from(format!("Brand#{}{}", rng.gen_range(1..6), rng.gen_range(1..6))),
+                Value::from(format!(
+                    "Brand#{}{}",
+                    rng.gen_range(1..6),
+                    rng.gen_range(1..6)
+                )),
                 Value::Int(rng.gen_range(1..51)),
                 Value::Float((900.0 + k as f64 % 200.0 + rng.gen_range(0..100) as f64) / 1.0),
             ]))?;
@@ -117,7 +121,7 @@ pub fn generate(scale: Scale) -> Result<Database, DataError> {
             t.insert(Row::new(vec![
                 Value::Int(k),
                 Value::Int(rng.gen_range(1..=n_cust as i64)),
-                Value::from(["O", "F", "P"][rng.gen_range(0..3)]),
+                Value::from(["O", "F", "P"][rng.gen_range(0..3usize)]),
                 Value::Float(rng.gen_range(1000..500000) as f64 / 100.0),
                 Value::from(text::order_date(&mut rng)),
             ]))?;
@@ -185,14 +189,22 @@ mod tests {
         let a = generate(Scale::mb(0.2)).unwrap();
         let b = generate(Scale::mb(0.2)).unwrap();
         for t in ["Supplier", "Orders", "LineItem"] {
-            assert_eq!(a.table(t).unwrap().rows(), b.table(t).unwrap().rows(), "{t} differs");
+            assert_eq!(
+                a.table(t).unwrap().rows(),
+                b.table(t).unwrap().rows(),
+                "{t} differs"
+            );
         }
     }
 
     #[test]
     fn different_seeds_differ() {
         let a = generate(Scale::mb(0.2)).unwrap();
-        let b = generate(Scale { seed: 99, ..Scale::mb(0.2) }).unwrap();
+        let b = generate(Scale {
+            seed: 99,
+            ..Scale::mb(0.2)
+        })
+        .unwrap();
         assert_ne!(
             a.table("Supplier").unwrap().rows(),
             b.table("Supplier").unwrap().rows()
@@ -221,7 +233,10 @@ mod tests {
             .collect();
         for r in db.table("LineItem").unwrap().rows() {
             let pair = (r.get(1).as_int().unwrap(), r.get(2).as_int().unwrap());
-            assert!(pairs.contains(&pair), "lineitem references missing partsupp {pair:?}");
+            assert!(
+                pairs.contains(&pair),
+                "lineitem references missing partsupp {pair:?}"
+            );
         }
     }
 

@@ -18,7 +18,10 @@ pub struct Scale {
 impl Scale {
     /// A scale of `mb` megabytes with the default seed.
     pub fn mb(mb: f64) -> Scale {
-        Scale { mb, seed: 0x51_1c_60_07 }
+        Scale {
+            mb,
+            seed: 0x51_1c_60_07,
+        }
     }
 
     /// The paper's Config A (1 MB).

@@ -1,7 +1,7 @@
 //! The Fig. 1 schema, with the source-description constraints (keys and
 //! foreign keys) that drive view-tree labeling (§3.5).
 
-use sr_data::{DataError, Database, DataType, ForeignKey, Schema, Table};
+use sr_data::{DataError, DataType, Database, ForeignKey, Schema, Table};
 
 /// Create all eight empty tables and declare their keys and foreign keys.
 pub fn install_schema(db: &mut Database) -> Result<(), DataError> {
@@ -120,7 +120,10 @@ mod tests {
         let mut db = Database::new();
         install_schema(&mut db).unwrap();
         assert_eq!(db.table_names().count(), 8);
-        assert_eq!(db.key_of("PartSupp"), &["partkey".to_string(), "suppkey".to_string()]);
+        assert_eq!(
+            db.key_of("PartSupp"),
+            &["partkey".to_string(), "suppkey".to_string()]
+        );
         assert_eq!(db.foreign_keys().len(), 8);
     }
 

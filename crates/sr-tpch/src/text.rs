@@ -39,15 +39,40 @@ pub const NATIONS: [(&str, usize); 25] = [
 
 /// Part-name adjectives (TPC-H P_NAME word list, abbreviated).
 pub const PART_ADJECTIVES: [&str; 20] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "blanched", "blush",
-    "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral", "cornflower",
-    "cream", "cyan", "dark", "deep", "dim",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "blanched",
+    "blush",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
 ];
 
 /// Part-name finishes.
 pub const PART_FINISHES: [&str; 10] = [
-    "anodized", "brushed", "burnished", "plated", "polished", "lacquered", "forged",
-    "hammered", "etched", "tempered",
+    "anodized",
+    "brushed",
+    "burnished",
+    "plated",
+    "polished",
+    "lacquered",
+    "forged",
+    "hammered",
+    "etched",
+    "tempered",
 ];
 
 /// Part materials.

@@ -181,9 +181,7 @@ impl<'a> Builder<'a> {
                         other => {
                             return Err(RxlError {
                                 offset: 0,
-                                message: format!(
-                                    "Skolem argument must be a field, got {other}"
-                                ),
+                                message: format!("Skolem argument must be a field, got {other}"),
                             });
                         }
                     }
@@ -399,16 +397,18 @@ mod tests {
         let t = build(&q, &db).unwrap();
         let root = t.node(0);
         assert_eq!(t.node(root.children[0]).label, Mult::One, "nation via FK");
-        assert_eq!(t.node(root.children[1]).label, Mult::ZeroOrMore, "parts fan out");
+        assert_eq!(
+            t.node(root.children[1]).label,
+            Mult::ZeroOrMore,
+            "parts fan out"
+        );
     }
 
     #[test]
     fn same_block_child_is_one_labeled() {
         let db = db();
-        let q = parse(
-            "from Supplier $s construct <supplier><name>$s.name</name></supplier>",
-        )
-        .unwrap();
+        let q =
+            parse("from Supplier $s construct <supplier><name>$s.name</name></supplier>").unwrap();
         let t = build(&q, &db).unwrap();
         assert_eq!(t.nodes.len(), 2);
         assert_eq!(t.node(1).label, Mult::One);
@@ -420,10 +420,8 @@ mod tests {
     #[test]
     fn explicit_skolem_term_respected() {
         let db = db();
-        let q = parse(
-            "from Supplier $s construct <supplier ID=SX($s.suppkey)>$s.name</supplier>",
-        )
-        .unwrap();
+        let q = parse("from Supplier $s construct <supplier ID=SX($s.suppkey)>$s.name</supplier>")
+            .unwrap();
         let t = build(&q, &db).unwrap();
         assert_eq!(t.node(0).key_args.len(), 1);
         assert_eq!(t.var(t.node(0).key_args[0]).column, "suppkey");
@@ -432,16 +430,20 @@ mod tests {
     #[test]
     fn content_layout_preserves_order() {
         let db = db();
-        let q = parse(
-            "from Supplier $s construct <x>\"pre\" <y>$s.name</y> $s.suppkey</x>",
-        )
-        .unwrap();
+        let q =
+            parse("from Supplier $s construct <x>\"pre\" <y>$s.name</y> $s.suppkey</x>").unwrap();
         let t = build(&q, &db).unwrap();
         let root = t.node(0);
         assert_eq!(root.content.len(), 3);
-        assert!(matches!(root.content[0], NodeContent::Text(TextSource::Lit(_))));
+        assert!(matches!(
+            root.content[0],
+            NodeContent::Text(TextSource::Lit(_))
+        ));
         assert!(matches!(root.content[1], NodeContent::Child(_)));
-        assert!(matches!(root.content[2], NodeContent::Text(TextSource::Var(_))));
+        assert!(matches!(
+            root.content[2],
+            NodeContent::Text(TextSource::Var(_))
+        ));
     }
 
     #[test]

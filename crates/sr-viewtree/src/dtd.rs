@@ -119,7 +119,7 @@ pub fn to_dtd(tree: &ViewTree) -> String {
 mod tests {
     use super::*;
     use crate::build::build;
-    use sr_data::{Database, DataType, ForeignKey, Schema, Table};
+    use sr_data::{DataType, Database, ForeignKey, Schema, Table};
 
     fn db() -> Database {
         let mut db = Database::new();
@@ -187,7 +187,10 @@ mod tests {
         .unwrap();
         let tree = build(&q, &db).unwrap();
         let dtd = to_dtd(&tree);
-        assert!(dtd.contains("<!ELEMENT supplier (#PCDATA | marker | part)*>"), "{dtd}");
+        assert!(
+            dtd.contains("<!ELEMENT supplier (#PCDATA | marker | part)*>"),
+            "{dtd}"
+        );
         assert!(dtd.contains("<!ELEMENT marker EMPTY>"), "{dtd}");
     }
 

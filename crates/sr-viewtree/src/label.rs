@@ -219,18 +219,14 @@ fn check_inclusion(parent: &RuleBody, child: &RuleBody, db: &Database) -> Result
                     // All (from_col, to_col) pairs of the inclusion must be
                     // present as links from alias `j` to `a`.
                     let mut use_links = Vec::new();
-                    let all = inc
-                        .from_cols
-                        .iter()
-                        .zip(&inc.to_cols)
-                        .all(|(fc, tc)| {
-                            cand.iter()
-                                .find(|(jj, jc, ac, li)| {
-                                    jj == j && jc == fc && ac == tc && !consumed[*li]
-                                })
-                                .map(|(_, _, _, li)| use_links.push(*li))
-                                .is_some()
-                        });
+                    let all = inc.from_cols.iter().zip(&inc.to_cols).all(|(fc, tc)| {
+                        cand.iter()
+                            .find(|(jj, jc, ac, li)| {
+                                jj == j && jc == fc && ac == tc && !consumed[*li]
+                            })
+                            .map(|(_, _, _, li)| use_links.push(*li))
+                            .is_some()
+                    });
                     if all {
                         for li in use_links {
                             consumed[li] = true;

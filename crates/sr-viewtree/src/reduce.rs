@@ -239,7 +239,12 @@ mod tests {
         let rc = reduce_component(&t, &comps[0], full, true);
         let root_class = &rc.nodes[0];
         // Atoms: Supplier + Nation (no PartSupp).
-        let tables: Vec<&str> = root_class.body.atoms.iter().map(|a| a.table.as_str()).collect();
+        let tables: Vec<&str> = root_class
+            .body
+            .atoms
+            .iter()
+            .map(|a| a.table.as_str())
+            .collect();
         assert_eq!(tables, vec!["Supplier", "Nation"]);
         // Args include suppkey, s.name, nationkey, n.name — ordered by (p,q).
         assert_eq!(root_class.args.len(), 4);

@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use sr_viewtree::{
-    all_edge_sets, components, reduce_component, EdgeSet, Mult, NodeContent, RuleBody,
-    TextSource, ViewNode, ViewTree,
+    all_edge_sets, components, reduce_component, EdgeSet, Mult, NodeContent, RuleBody, TextSource,
+    ViewNode, ViewTree,
 };
 
 /// Build a random tree shape: `children[i]` = number of children of node
@@ -52,9 +52,7 @@ fn tree_from_shape(shape: &[usize], labels: &[Mult]) -> ViewTree {
                 label,
             });
             nodes[parent].children.push(id);
-            nodes[parent]
-                .content
-                .push(NodeContent::Child(id));
+            nodes[parent].content.push(NodeContent::Child(id));
             queue.push(id);
         }
     }
@@ -65,7 +63,13 @@ fn tree_from_shape(shape: &[usize], labels: &[Mult]) -> ViewTree {
 }
 
 fn label_pool() -> Vec<Mult> {
-    vec![Mult::One, Mult::ZeroOrMore, Mult::One, Mult::OneOrMore, Mult::ZeroOrOne]
+    vec![
+        Mult::One,
+        Mult::ZeroOrMore,
+        Mult::One,
+        Mult::OneOrMore,
+        Mult::ZeroOrOne,
+    ]
 }
 
 proptest! {

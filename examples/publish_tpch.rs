@@ -80,7 +80,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (info, _) = materialize(&tree, &server, with_spec, std::io::sink())?;
     println!(
         "{:>20}: {} stream(s), {:>8} tuples, {:>9} XML bytes, {:>8.1?} total",
-        "greedy (WITH ctes)", info.streams, info.stats.tuples, info.stats.bytes, t.elapsed()
+        "greedy (WITH ctes)",
+        info.streams,
+        info.stats.tuples,
+        info.stats.bytes,
+        t.elapsed()
     );
 
     // Fragment export (§7): a single supplier subtree.

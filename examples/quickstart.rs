@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use silkroute::{materialize_to_string, PlanSpec, Server};
-use sr_data::{row, Database, DataType, ForeignKey, Schema, Table};
+use sr_data::{row, DataType, Database, ForeignKey, Schema, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A small relational database: albums and their tracks.
@@ -60,7 +60,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Artist",
         &["artistid"],
     ))?;
-    db.declare_foreign_key(ForeignKey::new("Track", &["albumid"], "Album", &["albumid"]))?;
+    db.declare_foreign_key(ForeignKey::new(
+        "Track",
+        &["albumid"],
+        "Album",
+        &["albumid"],
+    ))?;
 
     // 3. An RXL view: nested XML from flat relations.
     let view = sr_rxl::parse(
@@ -85,15 +90,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Build the labeled view tree and inspect it.
     let tree = sr_viewtree::build(&view, &db)?;
-    println!("View tree ({} nodes, {} edges → {} possible plans):",
-        tree.nodes.len(), tree.edge_count(), 1u64 << tree.edge_count());
+    println!(
+        "View tree ({} nodes, {} edges → {} possible plans):",
+        tree.nodes.len(),
+        tree.edge_count(),
+        1u64 << tree.edge_count()
+    );
     print!("{}", tree.render());
 
     // 5. Materialize under two plans and see the SQL that was shipped.
     let server = Server::new(Arc::new(db));
     for (label, spec) in [
         ("unified (1 SQL query)", PlanSpec::unified(&tree)),
-        ("fully partitioned (1 query per node)", PlanSpec::fully_partitioned()),
+        (
+            "fully partitioned (1 query per node)",
+            PlanSpec::fully_partitioned(),
+        ),
     ] {
         let (info, xml) = materialize_to_string(&tree, &server, spec)?;
         println!("\n=== {label}: {} stream(s) ===", info.streams);

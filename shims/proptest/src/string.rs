@@ -1,0 +1,241 @@
+//! Regex-literal string strategies: `"[a-z][a-z0-9_]{0,5}"` used as a
+//! `Strategy<Value = String>`, like real proptest's `StrategyFromRegex`.
+//!
+//! Supports the subset of regex syntax the workspace's tests use:
+//! literal characters, escapes, character classes with ranges, and the
+//! quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (the unbounded ones capped at
+//! 8 repetitions).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// One generatable unit: a set of candidate characters.
+#[derive(Debug, Clone)]
+struct CharSet {
+    /// Inclusive ranges.
+    ranges: Vec<(char, char)>,
+}
+
+impl CharSet {
+    fn single(c: char) -> CharSet {
+        CharSet {
+            ranges: vec![(c, c)],
+        }
+    }
+
+    fn size(&self) -> u64 {
+        self.ranges
+            .iter()
+            .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+            .sum()
+    }
+
+    fn pick(&self, rng: &mut TestRng) -> char {
+        let mut idx = rng.gen_u64_below(self.size());
+        for (lo, hi) in &self.ranges {
+            let span = (*hi as u64) - (*lo as u64) + 1;
+            if idx < span {
+                return char::from_u32(*lo as u32 + idx as u32).expect("valid scalar");
+            }
+            idx -= span;
+        }
+        unreachable!("pick out of range")
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    set: CharSet,
+    min: u32,
+    max: u32,
+}
+
+fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars>) -> CharSet {
+    let c = chars.next().expect("regex: dangling escape");
+    match c {
+        'd' => CharSet {
+            ranges: vec![('0', '9')],
+        },
+        'w' => CharSet {
+            ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+        },
+        's' => CharSet {
+            ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n')],
+        },
+        'n' => CharSet::single('\n'),
+        't' => CharSet::single('\t'),
+        other => CharSet::single(other),
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> CharSet {
+    let mut members: Vec<char> = Vec::new();
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    loop {
+        let c = match chars.next() {
+            Some(']') => break,
+            Some('\\') => {
+                let set = parse_escape(chars);
+                if set.ranges.len() == 1 && set.ranges[0].0 == set.ranges[0].1 {
+                    set.ranges[0].0
+                } else {
+                    ranges.extend(set.ranges);
+                    continue;
+                }
+            }
+            Some(c) => c,
+            None => panic!("regex: unterminated character class"),
+        };
+        // A '-' between two members denotes a range (unless it is the last
+        // character before ']').
+        if chars.peek() == Some(&'-') {
+            let mut ahead = chars.clone();
+            ahead.next(); // consume '-'
+            match ahead.peek() {
+                Some(']') | None => members.push(c), // trailing '-' is literal
+                _ => {
+                    chars.next(); // '-'
+                    let hi = match chars.next() {
+                        Some('\\') => {
+                            let set = parse_escape(chars);
+                            assert!(
+                                set.ranges.len() == 1 && set.ranges[0].0 == set.ranges[0].1,
+                                "regex: class shorthand cannot end a range"
+                            );
+                            set.ranges[0].0
+                        }
+                        Some(h) => h,
+                        None => panic!("regex: unterminated range"),
+                    };
+                    assert!(c <= hi, "regex: inverted range {c}-{hi}");
+                    ranges.push((c, hi));
+                    continue;
+                }
+            }
+        } else {
+            members.push(c);
+        }
+    }
+    for m in members {
+        ranges.push((m, m));
+    }
+    assert!(!ranges.is_empty(), "regex: empty character class");
+    CharSet { ranges }
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars>) -> (u32, u32) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => {
+                    let m: u32 = m.trim().parse().expect("regex: bad quantifier");
+                    let n: u32 = n.trim().parse().expect("regex: bad quantifier");
+                    assert!(m <= n, "regex: inverted quantifier {{{m},{n}}}");
+                    (m, n)
+                }
+                None => {
+                    let n: u32 = spec.trim().parse().expect("regex: bad quantifier");
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '[' => parse_class(&mut chars),
+            '\\' => parse_escape(&mut chars),
+            '.' => CharSet {
+                ranges: vec![(' ', '~')],
+            },
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!("regex shim: unsupported construct '{c}' in {pattern:?}")
+            }
+            other => CharSet::single(other),
+        };
+        let (min, max) = parse_quantifier(&mut chars);
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = rng.gen_range_int(atom.min as i128, atom.max as i128) as u32;
+            for _ in 0..n {
+                out.push(atom.set.pick(rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ident_pattern_shape() {
+        let mut rng = TestRng::deterministic("ident");
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,5}".generate(&mut rng);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_class_with_escapes() {
+        let mut rng = TestRng::deterministic("printable");
+        for _ in 0..200 {
+            let s = "[ -!#-\\[\\]-~]{0,8}".generate(&mut rng);
+            assert!(s.len() <= 8);
+            assert!(
+                s.chars()
+                    .all(|c| (' '..='~').contains(&c) && c != '"' && c != '\\'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_count_and_shorthand() {
+        let mut rng = TestRng::deterministic("fixed");
+        let s = "x{3}\\d\\d".generate(&mut rng);
+        assert_eq!(&s[..3], "xxx");
+        assert!(s[3..].chars().all(|c| c.is_ascii_digit()));
+        assert_eq!(s.len(), 5);
+    }
+}

@@ -1,0 +1,77 @@
+//! Test configuration and the deterministic RNG driving generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration (subset: case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic generator: seeded from the property name, so every run of
+/// a given test explores the same cases (reproducible failures without
+/// persistence files).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seed deterministically from an arbitrary label (the test name).
+    pub fn deterministic(label: &str) -> Self {
+        // FNV-1a over the label.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Raw word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub fn gen_u64_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.inner.next_u64() % bound
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive), computed in `i128` so all
+    /// primitive ranges fit.
+    pub fn gen_range_int(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo <= hi, "empty range");
+        let span = (hi - lo) as u128 + 1;
+        let wide = ((self.inner.next_u64() as u128) << 64) | self.inner.next_u64() as u128;
+        lo + (wide % span) as i128
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn gen_unit_f64(&mut self) -> f64 {
+        (self.inner.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p)
+    }
+}

@@ -1,0 +1,17 @@
+//! Minimal offline stand-in for the `serde` facade.
+//!
+//! Provides the `Serialize`/`Deserialize` *names* in both the macro
+//! namespace (no-op derives, with the `derive` feature) and the trait
+//! namespace, so `use serde::{Serialize, Deserialize}` and
+//! `#[derive(serde::Serialize)]` both compile unchanged. Nothing in this
+//! workspace serializes through serde — JSON output is hand-rendered — so
+//! the traits are deliberately empty.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Empty marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Empty marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

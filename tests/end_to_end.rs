@@ -4,9 +4,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use silkroute::{
-    materialize_to_string, query1_tree, query2_tree, PlanSpec, QueryStyle, Server,
-};
+use silkroute::{materialize_to_string, query1_tree, query2_tree, PlanSpec, QueryStyle, Server};
 use sr_tpch::{generate, Scale};
 use sr_viewtree::EdgeSet;
 
@@ -24,7 +22,9 @@ fn assert_well_formed(xml: &str) {
         let tag = &rest[..end];
         rest = &rest[end + 1..];
         if let Some(name) = tag.strip_prefix('/') {
-            let top = stack.pop().unwrap_or_else(|| panic!("stray closer </{name}>"));
+            let top = stack
+                .pop()
+                .unwrap_or_else(|| panic!("stray closer </{name}>"));
             assert_eq!(top, name, "mismatched nesting");
         } else if !tag.ends_with('/') {
             stack.push(tag);
@@ -88,8 +88,7 @@ fn query2_canonical_plans_agree() {
     let server = server(0.2);
     let tree = query2_tree(server.database());
     let (a, xml_a) = materialize_to_string(&tree, &server, PlanSpec::unified(&tree)).unwrap();
-    let (b, xml_b) =
-        materialize_to_string(&tree, &server, PlanSpec::fully_partitioned()).unwrap();
+    let (b, xml_b) = materialize_to_string(&tree, &server, PlanSpec::fully_partitioned()).unwrap();
     assert_eq!(a.streams, 1);
     assert_eq!(b.streams, 10);
     assert_eq!(xml_a, xml_b);
@@ -106,7 +105,10 @@ fn query2_orders_attach_to_suppliers_directly() {
     // supplier, as a direct child of supplier (no nesting inside part).
     let lineitems = db.table("LineItem").unwrap().len();
     assert_eq!(xml.matches("<order>").count(), lineitems);
-    assert!(!xml.contains("<part><order>"), "orders must not nest in parts");
+    assert!(
+        !xml.contains("<part><order>"),
+        "orders must not nest in parts"
+    );
 }
 
 #[test]
@@ -127,7 +129,10 @@ fn suppliers_without_parts_still_appear() {
         .map(|r| r.get(1).as_int().unwrap())
         .collect();
     let total = db.table("Supplier").unwrap().len();
-    assert!(with_parts.len() < total, "fixture needs part-less suppliers");
+    assert!(
+        with_parts.len() < total,
+        "fixture needs part-less suppliers"
+    );
     assert_eq!(xml.matches("<supplier>").count(), total);
     // A part-less supplier renders as
     // <supplier>…<region>…</region></supplier> with no part element.
@@ -141,8 +146,7 @@ fn suppliers_without_parts_still_appear() {
 fn mid_size_plans_also_agree_with_unified() {
     let server = server(0.1);
     let tree = query1_tree(server.database());
-    let (_, reference) =
-        materialize_to_string(&tree, &server, PlanSpec::unified(&tree)).unwrap();
+    let (_, reference) = materialize_to_string(&tree, &server, PlanSpec::unified(&tree)).unwrap();
     // The paper's interesting plans: cut each `*` edge individually. Edge
     // ids: 4 = part, 6 = order (child ids in the view tree).
     for cut in [vec![4usize], vec![6], vec![4, 6]] {
@@ -158,7 +162,10 @@ fn mid_size_plans_also_agree_with_unified() {
                     style,
                 };
                 let (_, xml) = materialize_to_string(&tree, &server, spec).unwrap();
-                assert_eq!(xml, reference, "edges={edges} reduce={reduce} style={style:?}");
+                assert_eq!(
+                    xml, reference,
+                    "edges={edges} reduce={reduce} style={style:?}"
+                );
             }
         }
     }
@@ -215,7 +222,10 @@ fn sql_goes_over_the_wire_as_text() {
     let (m, _) = materialize_to_string(&tree, &server, PlanSpec::unified(&tree)).unwrap();
     assert_eq!(m.sql.len(), 1);
     let sql = &m.sql[0];
-    assert!(sql.contains("LEFT OUTER JOIN"), "unified plan outer-joins: {sql}");
+    assert!(
+        sql.contains("LEFT OUTER JOIN"),
+        "unified plan outer-joins: {sql}"
+    );
     assert!(sql.contains("ORDER BY"), "sorted stream: {sql}");
     assert!(sql.contains("FROM Supplier s"), "paper-style FROM: {sql}");
     // Query 1's reduced class tree is a chain, so no union is needed
@@ -228,5 +238,9 @@ fn sql_goes_over_the_wire_as_text() {
         style: QueryStyle::OuterJoin,
     };
     let (m2, _) = materialize_to_string(&tree, &server, spec).unwrap();
-    assert!(m2.sql[0].contains("UNION ALL"), "sibling branches union: {}", m2.sql[0]);
+    assert!(
+        m2.sql[0].contains("UNION ALL"),
+        "sibling branches union: {}",
+        m2.sql[0]
+    );
 }

@@ -4,8 +4,8 @@
 use std::sync::Arc;
 
 use silkroute::{
-    calibrated_params, gen_plan, materialize_to_string, query1_tree, query2_tree, run_plan,
-    Oracle, PlanSpec, QueryStyle, Server,
+    calibrated_params, gen_plan, materialize_to_string, query1_tree, query2_tree, run_plan, Oracle,
+    PlanSpec, QueryStyle, Server,
 };
 use sr_tpch::{generate, Scale};
 use sr_viewtree::Mult;
@@ -52,8 +52,7 @@ fn greedy_plans_execute_and_match_reference() {
     let tree = query2_tree(server.database());
     let oracle = Oracle::new(&server, calibrated_params(scale));
     let r = gen_plan(&tree, server.database(), &oracle, true).unwrap();
-    let (_, reference) =
-        materialize_to_string(&tree, &server, PlanSpec::unified(&tree)).unwrap();
+    let (_, reference) = materialize_to_string(&tree, &server, PlanSpec::unified(&tree)).unwrap();
     assert!(!r.plans().is_empty());
     for edges in r.plans() {
         let spec = PlanSpec {
@@ -115,7 +114,10 @@ fn request_counts_match_paper_scale() {
     // estimates were much smaller than the expected number (9² = 81)".
     let scale = Scale::mb(0.1);
     let server = server(0.1);
-    for tree in [query1_tree(server.database()), query2_tree(server.database())] {
+    for tree in [
+        query1_tree(server.database()),
+        query2_tree(server.database()),
+    ] {
         for reduce in [false, true] {
             let oracle = Oracle::new(&server, calibrated_params(scale));
             let r = gen_plan(&tree, server.database(), &oracle, reduce).unwrap();

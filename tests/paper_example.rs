@@ -152,7 +152,11 @@ fn fig5b_plan_needs_no_outer_join() {
         assert!(q.sql.contains("ORDER BY"), "sorted: {}", q.sql);
     }
     // First query joins Supplier with Nation paper-style.
-    assert!(queries[0].sql.contains("FROM Supplier s, Nation n"), "{}", queries[0].sql);
+    assert!(
+        queries[0].sql.contains("FROM Supplier s, Nation n"),
+        "{}",
+        queries[0].sql
+    );
     // Second query: Supplier ⋈ PartSupp ⋈ Part.
     assert!(queries[1].sql.contains("PartSupp"), "{}", queries[1].sql);
     assert!(queries[1].sql.contains("Part"), "{}", queries[1].sql);
@@ -184,7 +188,10 @@ fn unified_sql_has_the_section_3_4_structure() {
     // §3.4 join-kind rule, refined: the nation branch is total (`1`), so
     // the supplier ⟗ union join may be an inner join (comma style). A
     // view whose only child branch is `*`-labeled must outer join.
-    assert!(!sql.contains("LEFT OUTER JOIN"), "total branch ⇒ inner: {sql}");
+    assert!(
+        !sql.contains("LEFT OUTER JOIN"),
+        "total branch ⇒ inner: {sql}"
+    );
     let star_only = sr_rxl::parse(
         "from Supplier $s construct <supplier>\
          { from PartSupp $ps, Part $p \

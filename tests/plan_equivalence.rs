@@ -13,8 +13,7 @@ fn server() -> Server {
 }
 
 fn check_all(tree: &ViewTree, server: &Server, styles: &[QueryStyle], stride: u64) {
-    let (_, reference) =
-        materialize_to_string(tree, server, PlanSpec::unified(tree)).unwrap();
+    let (_, reference) = materialize_to_string(tree, server, PlanSpec::unified(tree)).unwrap();
     assert!(!reference.is_empty());
     for edges in all_edge_sets(tree) {
         if edges.bits() % stride != 0 && edges.bits() != EdgeSet::full(tree).bits() {
@@ -95,5 +94,8 @@ fn stream_counts_span_one_to_ten() {
         let streams = tree.edge_count() - edges.len() + 1;
         seen[streams] = true;
     }
-    assert!(seen[1..=10].iter().all(|&s| s), "plans cover 1..=10 streams");
+    assert!(
+        seen[1..=10].iter().all(|&s| s),
+        "plans cover 1..=10 streams"
+    );
 }

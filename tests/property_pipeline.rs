@@ -9,7 +9,7 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use silkroute::{materialize_to_string, PlanSpec, QueryStyle, Server};
-use sr_data::{row, Database, DataType, Schema, Table};
+use sr_data::{row, DataType, Database, Schema, Table};
 use sr_viewtree::{all_edge_sets, build, ViewTree};
 
 /// Catalog: Parent(pid, pval), ChildA(aid, pid, aval), Grand(gid, aid,
@@ -99,8 +99,7 @@ fn val_string() -> impl Strategy<Value = String> + Clone {
         Just("x".to_string()), // boost duplicate probability
         Just("a&b".to_string()),
         Just("<tag>".to_string()),
-        proptest::sample::select(vec!["a", "b", "c", "ab", "bc"])
-            .prop_map(str::to_string),
+        proptest::sample::select(vec!["a", "b", "c", "ab", "bc"]).prop_map(str::to_string),
     ]
 }
 
