@@ -206,7 +206,11 @@ fn run() -> Result<(), String> {
             let mut inputs = Vec::new();
             let mut sqls = Vec::new();
             for q in queries {
-                let stream = server.execute_sql(&q.sql).map_err(|e| e.to_string())?;
+                // Pipelined execution: every stream's worker starts now and
+                // overlaps with tagging below.
+                let stream = server
+                    .execute_sql_streaming(&q.sql)
+                    .map_err(|e| e.to_string())?;
                 sqls.push(q.sql);
                 inputs.push(sr_tagger::StreamInput {
                     schema: stream.schema.clone(),
@@ -233,7 +237,7 @@ fn run() -> Result<(), String> {
                 plan_time,
                 tag_start.elapsed(),
                 start.elapsed(),
-                false,
+                true,
             );
             if opts.metrics_json {
                 let mut json = report.to_json();

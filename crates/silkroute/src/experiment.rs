@@ -9,6 +9,12 @@
 //! * **total time** — wall-clock from submitting the first SQL query until
 //!   the tagger has consumed the last tuple (i.e. query time plus decode /
 //!   bind / merge / tag work — the "transfer" share).
+//!
+//! Under the pipelined default ([`run_plan`]) all streams execute
+//! concurrently and overlap with tagging, so the per-stream server times
+//! are *not* disjoint wall-clock intervals: `query_ms` can exceed
+//! `total_ms`. [`run_plan_buffered`] preserves the sequential model where
+//! `query_ms + transfer_ms + tag_ms <= total_ms`.
 
 use std::io;
 use std::time::{Duration, Instant};
@@ -60,24 +66,58 @@ fn style_name(style: QueryStyle) -> String {
 
 /// Execute one plan and measure it. Timeouts produce a `Measurement` with
 /// `timed_out = true` rather than an error.
+///
+/// Execution is **pipelined**: every component query is submitted up front
+/// via the server's streaming path and decoded as chunks arrive, so
+/// server-side execution overlaps with tagging. `query_ms` still sums
+/// per-stream server times, which under pipelining may exceed `total_ms`.
+/// Use [`run_plan_buffered`] for the sequential (disjoint-interval)
+/// decomposition.
 pub fn run_plan(
     tree: &ViewTree,
     server: &Server,
     spec: PlanSpec,
     timeout: Option<Duration>,
 ) -> Result<Measurement, TagError> {
+    run_plan_mode(tree, server, spec, timeout, true)
+}
+
+/// [`run_plan`] with each query executed sequentially to completion before
+/// the next is submitted — the pre-pipelining behaviour, where
+/// `query_ms + transfer_ms + tag_ms <= total_ms` holds.
+pub fn run_plan_buffered(
+    tree: &ViewTree,
+    server: &Server,
+    spec: PlanSpec,
+    timeout: Option<Duration>,
+) -> Result<Measurement, TagError> {
+    run_plan_mode(tree, server, spec, timeout, false)
+}
+
+fn run_plan_mode(
+    tree: &ViewTree,
+    server: &Server,
+    spec: PlanSpec,
+    timeout: Option<Duration>,
+    streaming: bool,
+) -> Result<Measurement, TagError> {
     let queries = generate_queries(tree, server.database(), spec)?;
     let streams = queries.len();
     let start = Instant::now();
-    let mut query_time = Duration::ZERO;
-    let mut wire_bytes = 0u64;
     let mut inputs = Vec::with_capacity(streams);
     for q in queries {
         // Apply the per-query timeout the way the paper did: a query that
-        // exceeds it voids the plan's measurement.
-        let result = server.execute_sql(&q.sql);
+        // exceeds it voids the plan's measurement. On the streaming path
+        // the server reports a timeout at end-of-stream, surfacing below
+        // as `EngineError::Timeout` out of the tagger or in the post-tag
+        // per-stream check.
+        let result = if streaming {
+            server.execute_sql_streaming(&q.sql)
+        } else {
+            server.execute_sql(&q.sql)
+        };
         let stream = match (result, timeout) {
-            (Ok(s), Some(limit)) if s.query_time > limit => {
+            (Ok(s), Some(limit)) if !streaming && s.query_time > limit => {
                 return Ok(timed_out_measurement(tree, spec, streams));
             }
             (Ok(s), _) => s,
@@ -86,8 +126,6 @@ pub fn run_plan(
             }
             (Err(e), _) => return Err(e.into()),
         };
-        query_time += stream.query_time;
-        wire_bytes += stream.byte_size as u64;
         inputs.push(StreamInput {
             schema: stream.schema.clone(),
             rows: RowSource::Stream(stream),
@@ -95,10 +133,26 @@ pub fn run_plan(
         });
     }
     let tag_start = Instant::now();
-    let (stats, _) = tag_streams(tree, inputs, io::sink(), false)?;
+    let (stats, _) = match tag_streams(tree, inputs, io::sink(), false) {
+        Ok(r) => r,
+        Err(TagError::Engine(EngineError::Timeout { .. })) => {
+            return Ok(timed_out_measurement(tree, spec, streams));
+        }
+        Err(e) => return Err(e),
+    };
     let tag_wall = tag_start.elapsed();
     let total = start.elapsed();
+    if let Some(limit) = timeout {
+        // Pipelined streams only report their server time once fully
+        // consumed; check the per-stream costs after tagging.
+        if stats.per_stream.iter().any(|ps| ps.server_time > limit) {
+            return Ok(timed_out_measurement(tree, spec, streams));
+        }
+    }
+    let query_time: Duration = stats.per_stream.iter().map(|ps| ps.server_time).sum();
+    let wire_bytes: u64 = stats.per_stream.iter().map(|ps| ps.wire_bytes).sum();
     let transfer = stats.total_transfer_time();
+    let stall = stats.total_stall_time();
     Ok(Measurement {
         edge_bits: spec.edges.bits(),
         streams,
@@ -106,7 +160,7 @@ pub fn run_plan(
         style: style_name(spec.style),
         query_ms: query_time.as_secs_f64() * 1e3,
         transfer_ms: transfer.as_secs_f64() * 1e3,
-        tag_ms: tag_wall.saturating_sub(transfer).as_secs_f64() * 1e3,
+        tag_ms: tag_wall.saturating_sub(transfer + stall).as_secs_f64() * 1e3,
         total_ms: total.as_secs_f64() * 1e3,
         tuples: stats.tuples,
         wire_bytes,
@@ -245,10 +299,10 @@ mod tests {
     }
 
     #[test]
-    fn run_plan_produces_sane_measurement() {
+    fn run_plan_buffered_produces_sane_measurement() {
         let server = server();
         let tree = query2_tree(server.database());
-        let m = run_plan(&tree, &server, PlanSpec::unified(&tree), None).unwrap();
+        let m = run_plan_buffered(&tree, &server, PlanSpec::unified(&tree), None).unwrap();
         assert_eq!(m.streams, 1);
         assert!(!m.timed_out);
         assert!(m.query_ms >= 0.0);
@@ -266,6 +320,25 @@ mod tests {
         assert!(m.tuples > 0);
         assert!(m.wire_bytes > 0);
         assert!(m.xml_bytes > 0);
+    }
+
+    #[test]
+    fn run_plan_streaming_matches_buffered_volume() {
+        let server = server();
+        let tree = query2_tree(server.database());
+        for spec in [PlanSpec::unified(&tree), PlanSpec::fully_partitioned()] {
+            let s = run_plan(&tree, &server, spec, None).unwrap();
+            let b = run_plan_buffered(&tree, &server, spec, None).unwrap();
+            assert!(!s.timed_out && !b.timed_out);
+            // The data volume is identical regardless of execution mode;
+            // only the timing decomposition differs (pipelined per-stream
+            // server times overlap, so query_ms may exceed total_ms).
+            assert_eq!(s.tuples, b.tuples);
+            assert_eq!(s.wire_bytes, b.wire_bytes);
+            assert_eq!(s.xml_bytes, b.xml_bytes);
+            assert!(s.query_ms >= 0.0 && s.transfer_ms >= 0.0 && s.tag_ms >= 0.0);
+            assert!(s.total_ms > 0.0);
+        }
     }
 
     #[test]

@@ -57,7 +57,56 @@ fn tag_and_report<W: Write>(
     ))
 }
 
+/// How the component SQL queries are executed against the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecMode {
+    /// Pipelined: every query is submitted immediately via
+    /// [`Server::execute_sql_streaming`], so server-side execution and
+    /// encoding overlap with client-side decode + tagging.
+    Streaming,
+    /// Sequential: each query runs to completion via
+    /// [`Server::execute_sql`] before the next is submitted. Kept for
+    /// apples-to-apples cost decomposition (per-stream server times are
+    /// disjoint wall-clock intervals).
+    Buffered,
+}
+
+/// Shared head of every materialization: generate the component queries and
+/// turn each into a tagger [`StreamInput`] under the chosen execution mode.
+fn run_pipeline<W: Write>(
+    tree: &ViewTree,
+    server: &Server,
+    queries: Vec<sr_sqlgen::GeneratedQuery>,
+    out: W,
+    start: Instant,
+    plan_time: std::time::Duration,
+    mode: ExecMode,
+) -> Result<(Materialization, W), TagError> {
+    let mut sql = Vec::with_capacity(queries.len());
+    let mut inputs = Vec::with_capacity(queries.len());
+    for q in queries {
+        let stream = match mode {
+            ExecMode::Streaming => server.execute_sql_streaming(&q.sql)?,
+            ExecMode::Buffered => server.execute_sql(&q.sql)?,
+        };
+        sql.push(q.sql);
+        inputs.push(StreamInput {
+            schema: stream.schema.clone(),
+            rows: RowSource::Stream(stream),
+            reduced: q.reduced,
+        });
+    }
+    let parallel = mode == ExecMode::Streaming;
+    tag_and_report(tree, sql, inputs, out, start, plan_time, parallel)
+}
+
 /// Materialize a view into `out` using the given plan.
+///
+/// Execution is **pipelined** (the default since the streaming executor
+/// landed): every component query is submitted up front and runs on its own
+/// server worker, while the tagger consumes the resulting tuple streams in
+/// document order as chunks arrive. Use [`materialize_buffered`] to force
+/// the old run-to-completion-per-stream behaviour.
 pub fn materialize<W: Write>(
     tree: &ViewTree,
     server: &Server,
@@ -67,25 +116,22 @@ pub fn materialize<W: Write>(
     let start = Instant::now();
     let queries = generate_queries(tree, server.database(), spec)?;
     let plan_time = start.elapsed();
-    let mut sql = Vec::with_capacity(queries.len());
-    let mut inputs = Vec::with_capacity(queries.len());
-    for q in queries {
-        let stream = server.execute_sql(&q.sql)?;
-        sql.push(q.sql);
-        inputs.push(StreamInput {
-            schema: stream.schema.clone(),
-            rows: RowSource::Stream(stream),
-            reduced: q.reduced,
-        });
-    }
-    tag_and_report(tree, sql, inputs, out, start, plan_time, false)
+    run_pipeline(
+        tree,
+        server,
+        queries,
+        out,
+        start,
+        plan_time,
+        ExecMode::Streaming,
+    )
 }
 
-/// Materialize a view with all SQL queries executed **concurrently**, one
-/// server worker per stream — the middle-ware client opening several
-/// connections at once. The tagger still consumes the streams in document
-/// order; only server-side execution overlaps.
-pub fn materialize_parallel<W: Write>(
+/// Materialize a view with each SQL query executed sequentially and fully
+/// buffered before the next is submitted — the pre-pipelining behaviour.
+/// Per-stream server times are disjoint wall-clock intervals under this
+/// mode, which the cost-decomposition reports rely on.
+pub fn materialize_buffered<W: Write>(
     tree: &ViewTree,
     server: &Server,
     spec: PlanSpec,
@@ -94,18 +140,29 @@ pub fn materialize_parallel<W: Write>(
     let start = Instant::now();
     let queries = generate_queries(tree, server.database(), spec)?;
     let plan_time = start.elapsed();
-    let sql: Vec<String> = queries.iter().map(|q| q.sql.clone()).collect();
-    let results = server.execute_all_parallel(&sql);
-    let mut inputs = Vec::with_capacity(queries.len());
-    for (q, result) in queries.into_iter().zip(results) {
-        let stream = result?;
-        inputs.push(StreamInput {
-            schema: stream.schema.clone(),
-            rows: RowSource::Stream(stream),
-            reduced: q.reduced,
-        });
-    }
-    tag_and_report(tree, sql, inputs, out, start, plan_time, true)
+    run_pipeline(
+        tree,
+        server,
+        queries,
+        out,
+        start,
+        plan_time,
+        ExecMode::Buffered,
+    )
+}
+
+/// Materialize a view with all SQL queries executed **concurrently**, one
+/// server worker per stream — the middle-ware client opening several
+/// connections at once. Since pipelined execution became the default this
+/// is equivalent to [`materialize`]: submitting every streaming query up
+/// front already overlaps all server-side work with tagging.
+pub fn materialize_parallel<W: Write>(
+    tree: &ViewTree,
+    server: &Server,
+    spec: PlanSpec,
+    out: W,
+) -> Result<(Materialization, W), TagError> {
+    materialize(tree, server, spec, out)
 }
 
 /// Materialize only the **fragment** of the view under root elements whose
@@ -123,18 +180,15 @@ pub fn materialize_fragment<W: Write>(
     let start = Instant::now();
     let queries = sr_sqlgen::generate_queries_filtered(tree, server.database(), spec, root_filter)?;
     let plan_time = start.elapsed();
-    let mut sql = Vec::with_capacity(queries.len());
-    let mut inputs = Vec::with_capacity(queries.len());
-    for q in queries {
-        let stream = server.execute_sql(&q.sql)?;
-        sql.push(q.sql);
-        inputs.push(StreamInput {
-            schema: stream.schema.clone(),
-            rows: RowSource::Stream(stream),
-            reduced: q.reduced,
-        });
-    }
-    tag_and_report(tree, sql, inputs, out, start, plan_time, false)
+    run_pipeline(
+        tree,
+        server,
+        queries,
+        out,
+        start,
+        plan_time,
+        ExecMode::Streaming,
+    )
 }
 
 /// Materialize into a `String` (convenience for tests and examples).
@@ -265,10 +319,36 @@ mod tests {
     }
 
     #[test]
+    fn streaming_default_matches_buffered() {
+        let server = server();
+        for tree in [
+            query1_tree(server.database()),
+            query2_tree(server.database()),
+        ] {
+            for spec in [PlanSpec::unified(&tree), PlanSpec::fully_partitioned()] {
+                let (s_info, s_bytes) = materialize(&tree, &server, spec, Vec::new()).unwrap();
+                let (b_info, b_bytes) =
+                    materialize_buffered(&tree, &server, spec, Vec::new()).unwrap();
+                assert_eq!(s_bytes, b_bytes, "pipelined output is byte-identical");
+                assert_eq!(s_info.streams, b_info.streams);
+                assert_eq!(s_info.stats.tuples, b_info.stats.tuples);
+                assert!(s_info.report.parallel, "streaming reports as pipelined");
+                assert!(!b_info.report.parallel);
+            }
+        }
+    }
+
+    #[test]
     fn report_breaks_down_per_stream_costs() {
         let server = server();
         let tree = query1_tree(server.database());
-        let (m, _) = materialize_to_string(&tree, &server, PlanSpec::fully_partitioned()).unwrap();
+        // Buffered mode: streams execute sequentially, so the per-stage
+        // decomposition below is guaranteed to fit inside wall time. (Under
+        // the pipelined default, per-stream server times overlap and their
+        // sum may exceed the wall clock.)
+        let (m, _) =
+            materialize_buffered(&tree, &server, PlanSpec::fully_partitioned(), Vec::new())
+                .unwrap();
         let r = &m.report;
         assert_eq!(r.streams.len(), 10);
         assert_eq!(

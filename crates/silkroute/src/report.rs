@@ -52,8 +52,10 @@ fn ms(d: Duration) -> f64 {
 impl MaterializeReport {
     /// Assemble a report from the tagger's statistics and the wall-clock
     /// phases measured around the pipeline. `tag_wall` is the time spent
-    /// inside the tagger including stream decode; the decode share (from
-    /// [`TagStats::total_transfer_time`]) is subtracted to isolate tagging.
+    /// inside the tagger including stream decode and any time spent stalled
+    /// waiting on pipelined streams; the decode share (from
+    /// [`TagStats::total_transfer_time`]) and the stall share (from
+    /// [`TagStats::total_stall_time`]) are subtracted to isolate tagging.
     pub fn assemble(
         sql: &[String],
         stats: &TagStats,
@@ -76,7 +78,9 @@ impl MaterializeReport {
         MaterializeReport {
             streams,
             plan_ms: ms(plan_time),
-            tag_ms: ms(tag_wall.saturating_sub(stats.total_transfer_time())),
+            tag_ms: ms(
+                tag_wall.saturating_sub(stats.total_transfer_time() + stats.total_stall_time())
+            ),
             total_ms: ms(total),
             parallel,
             tuples: stats.tuples,
@@ -200,12 +204,14 @@ mod tests {
                     wire_bytes: 800,
                     server_time: Duration::from_millis(4),
                     transfer_time: Duration::from_millis(1),
+                    stall_time: Duration::from_millis(1),
                 },
                 StreamTagStats {
                     tuples: 2,
                     wire_bytes: 100,
                     server_time: Duration::from_millis(2),
                     transfer_time: Duration::from_millis(1),
+                    stall_time: Duration::ZERO,
                 },
             ],
         };
@@ -228,8 +234,9 @@ mod tests {
         assert_eq!(r.streams[1].bytes, 100);
         assert!((r.server_ms() - 6.0).abs() < 1e-9);
         assert!((r.transfer_ms() - 2.0).abs() < 1e-9);
-        // tag time = tagger wall (5ms) minus decode share (2ms).
-        assert!((r.tag_ms - 3.0).abs() < 1e-9);
+        // tag time = tagger wall (5ms) minus decode share (2ms) minus the
+        // pipeline stall share (1ms).
+        assert!((r.tag_ms - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Pipelined streaming execution vs. the pre-PR baseline, over the
+//! Fig. 13/14 plan families.
+//!
+//! This bench is not a figure from the paper: it measures the two halves of
+//! the executor hot-path work against the configuration that predates them.
+//! Three modes are compared on every marker plan of Query 1 and Query 2:
+//!
+//! * **baseline** — the pre-PR configuration: sort elision and the
+//!   prepared-plan cache disabled (`Server::with_sort_elision(false)`,
+//!   `with_plan_cache(false)`) and sequential buffered execution
+//!   (`run_plan_buffered`, each component query executed to completion
+//!   before the next).
+//! * **sequential** — elision and plan cache enabled, still buffered.
+//!   Isolates the win from the planning-side work alone.
+//! * **pipelined** — the default `run_plan` path: elision enabled, every
+//!   component query submitted up front as a stream, tagging overlapping
+//!   with server-side execution.
+//!
+//! The headline number is baseline vs. pipelined on the multi-stream
+//! plans, i.e. "what did this PR buy end to end". Per-stage
+//! `server_ms` / `transfer_ms` / `tag_ms` decompositions and the elided
+//! sort counts are recorded per point. Note that on a single-CPU host the
+//! streaming path degrades to inline execution (no worker threads), so the
+//! pipelined-vs-sequential delta there reflects elision plus the leaner
+//! chunk-encode path, not true overlap; the JSON records the host's
+//! available parallelism so readers can tell which regime produced it.
+//!
+//! Set `SR_BENCH_QUICK=1` for a CI-sized run (small scale, Query 1 only,
+//! single repetition). Results land in
+//! `target/bench-results/BENCH_pipeline.json`.
+
+use std::sync::Arc;
+
+use silkroute::{run_plan, run_plan_buffered, Config, Measurement, PlanSpec, QueryStyle, Server};
+use sr_obs::Json;
+use sr_tpch::Scale;
+use sr_viewtree::{EdgeSet, ViewTree};
+
+/// One measured plan point: the same spec run in all three modes.
+struct Point {
+    query: &'static str,
+    plan: &'static str,
+    streams: usize,
+    sorts_elided: u64,
+    baseline: Measurement,
+    sequential: Measurement,
+    pipelined: Measurement,
+}
+
+impl Point {
+    /// End-to-end: pre-PR configuration vs. the new default path.
+    fn speedup(&self) -> f64 {
+        self.baseline.total_ms / self.pipelined.total_ms
+    }
+}
+
+fn keep_min(slot: &mut Option<Measurement>, m: Measurement) {
+    assert!(!m.timed_out, "untimed plan reported a timeout");
+    if slot
+        .as_ref()
+        .map(|b| m.total_ms < b.total_ms)
+        .unwrap_or(true)
+    {
+        *slot = Some(m);
+    }
+}
+
+fn measure_point(
+    query: &'static str,
+    plan: &'static str,
+    tree: &ViewTree,
+    server: &Server,
+    baseline_server: &Server,
+    edges: EdgeSet,
+    reps: usize,
+) -> Point {
+    let spec = PlanSpec {
+        edges,
+        reduce: true,
+        style: QueryStyle::OuterJoin,
+    };
+    // Count the elisions contributed by one full pass over the plan's
+    // component queries (warm-up run), not reps× that.
+    let before = server.metrics().snapshot().counter("exec.sorts_elided");
+    let warm = run_plan(tree, server, spec, None).expect("warm-up");
+    let sorts_elided = server.metrics().snapshot().counter("exec.sorts_elided") - before;
+    let _ = run_plan_buffered(tree, baseline_server, spec, None).expect("baseline warm-up");
+    // Interleave the three modes and keep each one's fastest repetition, so
+    // drift (scheduler noise, allocator state) hits every mode equally.
+    let mut baseline: Option<Measurement> = None;
+    let mut sequential: Option<Measurement> = None;
+    let mut pipelined: Option<Measurement> = None;
+    for _ in 0..reps {
+        keep_min(
+            &mut baseline,
+            run_plan_buffered(tree, baseline_server, spec, None).expect("baseline run"),
+        );
+        keep_min(
+            &mut sequential,
+            run_plan_buffered(tree, server, spec, None).expect("sequential run"),
+        );
+        keep_min(
+            &mut pipelined,
+            run_plan(tree, server, spec, None).expect("pipelined run"),
+        );
+    }
+    Point {
+        query,
+        plan,
+        streams: warm.streams,
+        sorts_elided,
+        baseline: baseline.expect("at least one repetition"),
+        sequential: sequential.expect("at least one repetition"),
+        pipelined: pipelined.expect("at least one repetition"),
+    }
+}
+
+fn stage_json(m: &Measurement) -> Json {
+    Json::obj(vec![
+        ("server_ms", Json::Float(m.query_ms)),
+        ("transfer_ms", Json::Float(m.transfer_ms)),
+        ("tag_ms", Json::Float(m.tag_ms)),
+        ("total_ms", Json::Float(m.total_ms)),
+        ("tuples", Json::UInt(m.tuples)),
+        ("wire_bytes", Json::UInt(m.wire_bytes)),
+    ])
+}
+
+fn main() {
+    let quick = std::env::var("SR_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let (config, reps) = if quick {
+        (
+            Config {
+                name: "A (quick)",
+                scale: Scale::mb(0.2),
+                timeout: std::time::Duration::from_secs(300),
+            },
+            1,
+        )
+    } else {
+        (Config::a(), 7)
+    };
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("=== Pipelined streaming vs. pre-PR baseline (host parallelism {parallelism}) ===\n");
+    let server = sr_bench::setup(&config);
+    // The baseline server shares the generated database but reproduces the
+    // pre-PR configuration: no order-property pass, no prepared-plan cache,
+    // buffered execution only.
+    let baseline_server = Server::new(Arc::clone(server.database()))
+        .with_sort_elision(false)
+        .with_plan_cache(false);
+    let db = server.database();
+
+    let mut trees: Vec<(&'static str, ViewTree)> = vec![("query1", silkroute::query1_tree(db))];
+    if !quick {
+        trees.push(("query2", silkroute::query2_tree(db)));
+    }
+
+    let mut points: Vec<Point> = Vec::new();
+    for (qname, tree) in &trees {
+        let full = EdgeSet::full(tree);
+        // A mid-cut plan: keep the lower half of the edge bits, giving a
+        // plan with roughly edge_count/2 + 1 streams.
+        let half = EdgeSet::from_bits(full.bits() & ((1u64 << (tree.edge_count() / 2)) - 1));
+        let mut plans: Vec<(&'static str, EdgeSet)> =
+            vec![("unified", full), ("partitioned", EdgeSet::empty())];
+        if !quick {
+            plans.insert(1, ("half", half));
+        }
+        for (pname, edges) in plans {
+            let p = measure_point(qname, pname, tree, &server, &baseline_server, edges, reps);
+            println!(
+                "{:<7} {:<12} {:>2} stream(s)  sorts elided {:>2}  \
+                 baseline {:>8.1} ms  sequential {:>8.1} ms  pipelined {:>8.1} ms  ({:.2}x)",
+                p.query,
+                p.plan,
+                p.streams,
+                p.sorts_elided,
+                p.baseline.total_ms,
+                p.sequential.total_ms,
+                p.pipelined.total_ms,
+                p.speedup()
+            );
+            points.push(p);
+        }
+    }
+
+    // The headline number: wall-time ratio on the multi-stream plans, where
+    // the pipeline actually has several component queries in flight.
+    let multi: Vec<&Point> = points.iter().filter(|p| p.streams > 1).collect();
+    let base: f64 = multi.iter().map(|p| p.baseline.total_ms).sum();
+    let seq: f64 = multi.iter().map(|p| p.sequential.total_ms).sum();
+    let pipe: f64 = multi.iter().map(|p| p.pipelined.total_ms).sum();
+    println!(
+        "\nmulti-stream plans ({} plan(s)): baseline {base:.1} ms, sequential {seq:.1} ms, \
+         pipelined {pipe:.1} ms",
+        multi.len()
+    );
+    println!(
+        "  end-to-end speedup (baseline -> pipelined): {:.2}x \
+         (elision alone: {:.2}x, pipeline alone: {:.2}x)",
+        base / pipe,
+        base / seq,
+        seq / pipe
+    );
+    let elided: u64 = points.iter().map(|p| p.sorts_elided).sum();
+    println!("sorts elided across all measured plans: {elided}");
+
+    let json = Json::obj(vec![
+        ("bench", Json::Str("pipeline".to_string())),
+        ("quick", Json::Bool(quick)),
+        ("config", Json::Str(config.describe())),
+        ("repetitions", Json::UInt(reps as u64)),
+        ("host_parallelism", Json::UInt(parallelism as u64)),
+        (
+            "baseline_definition",
+            Json::Str(
+                "sort elision and plan cache disabled + sequential buffered execution \
+                 (pre-PR configuration)"
+                    .to_string(),
+            ),
+        ),
+        (
+            "plans",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("query", Json::Str(p.query.to_string())),
+                            ("plan", Json::Str(p.plan.to_string())),
+                            ("streams", Json::UInt(p.streams as u64)),
+                            ("sorts_elided", Json::UInt(p.sorts_elided)),
+                            ("baseline", stage_json(&p.baseline)),
+                            ("sequential", stage_json(&p.sequential)),
+                            ("pipelined", stage_json(&p.pipelined)),
+                            ("speedup", Json::Float(p.speedup())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "multi_stream",
+            Json::obj(vec![
+                ("plans", Json::UInt(multi.len() as u64)),
+                ("baseline_total_ms", Json::Float(base)),
+                ("sequential_total_ms", Json::Float(seq)),
+                ("pipelined_total_ms", Json::Float(pipe)),
+                ("speedup", Json::Float(base / pipe)),
+                ("speedup_elision_only", Json::Float(base / seq)),
+                ("speedup_pipeline_only", Json::Float(seq / pipe)),
+            ]),
+        ),
+        ("sorts_elided_total", Json::UInt(elided)),
+    ]);
+    let dir = std::path::Path::new("target/bench-results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join("BENCH_pipeline.json");
+    std::fs::write(&path, json.render_pretty() + "\n").expect("write BENCH_pipeline.json");
+    println!("(results written to {})", path.display());
+}

@@ -34,6 +34,7 @@ use crate::table::Table;
 pub struct Database {
     tables: BTreeMap<String, Table>,
     constraints: BTreeMap<String, TableConstraints>,
+    clustering: BTreeMap<String, Vec<String>>,
     foreign_keys: Vec<ForeignKey>,
     inclusions: Vec<InclusionDependency>,
     stats_cache: RwLock<BTreeMap<String, Arc<TableStats>>>,
@@ -45,6 +46,7 @@ impl Database {
         Database {
             tables: BTreeMap::new(),
             constraints: BTreeMap::new(),
+            clustering: BTreeMap::new(),
             foreign_keys: Vec::new(),
             inclusions: Vec::new(),
             stats_cache: RwLock::new(BTreeMap::new()),
@@ -68,6 +70,27 @@ impl Database {
         validate_columns(table, &tc.key, &avail)?;
         self.constraints.insert(table.to_string(), tc);
         Ok(())
+    }
+
+    /// Declare that a table's rows are physically stored in non-decreasing
+    /// order of the given columns (lexicographically, `NULL` first). Part of
+    /// the source description: the engine's order-property reasoning uses it
+    /// to elide sorts over base-table scans. The declaration is validated
+    /// against the current data.
+    pub fn declare_clustered_by(&mut self, table: &str, cols: &[&str]) -> Result<(), DataError> {
+        let t = self.table(table)?;
+        let avail: HashSet<&str> = t.schema().names().collect();
+        let cols_owned: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
+        validate_columns(table, &cols_owned, &avail)?;
+        t.check_clustered(cols)?;
+        self.clustering.insert(table.to_string(), cols_owned);
+        Ok(())
+    }
+
+    /// The declared clustering (physical sort order) of a table, empty if
+    /// none was declared.
+    pub fn clustered_by(&self, table: &str) -> &[String] {
+        self.clustering.get(table).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Declare an additional functional dependency on a table.
@@ -182,7 +205,7 @@ impl Database {
         Ok(s)
     }
 
-    /// Validate every declared key against the data.
+    /// Validate every declared key and clustering against the data.
     pub fn check_integrity(&self) -> Result<(), DataError> {
         for (name, tc) in &self.constraints {
             if tc.key.is_empty() {
@@ -191,6 +214,11 @@ impl Database {
             let t = self.table(name)?;
             let key: Vec<&str> = tc.key.iter().map(String::as_str).collect();
             t.check_key(&key)?;
+        }
+        for (name, cols) in &self.clustering {
+            let t = self.table(name)?;
+            let cols: Vec<&str> = cols.iter().map(String::as_str).collect();
+            t.check_clustered(&cols)?;
         }
         Ok(())
     }
@@ -312,6 +340,27 @@ mod tests {
         assert!(db
             .declare_fd("Nation", FunctionalDependency::new(&["name"], &["bogus"]))
             .is_err());
+    }
+
+    #[test]
+    fn clustering_declared_and_validated() {
+        let mut db = db();
+        assert!(db.clustered_by("Supplier").is_empty());
+        db.declare_clustered_by("Supplier", &["suppkey"]).unwrap();
+        assert_eq!(db.clustered_by("Supplier"), &["suppkey".to_string()]);
+        // Key declaration order must not wipe the clustering.
+        db.declare_key("Supplier", &["suppkey"]).unwrap();
+        assert_eq!(db.clustered_by("Supplier"), &["suppkey".to_string()]);
+        assert!(db.check_integrity().is_ok());
+        // Out-of-order data is rejected at declaration time ("USA" comes
+        // before "Spain" in the fixture)...
+        assert!(db.declare_clustered_by("Nation", &["name"]).is_err());
+        // ...and by the integrity check once the data regresses.
+        db.table_mut("Supplier")
+            .unwrap()
+            .insert(row![5i64, "S0", 1i64])
+            .unwrap();
+        assert!(db.check_integrity().is_err());
     }
 
     #[test]

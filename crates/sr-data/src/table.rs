@@ -113,6 +113,32 @@ impl Table {
         Ok(())
     }
 
+    /// Verify that the rows are stored in non-decreasing order of the named
+    /// columns (lexicographic [`Value`] order, `NULL` first) — i.e. that a
+    /// `clustered by` declaration is truthful for the current data.
+    pub fn check_clustered(&self, cols: &[&str]) -> Result<(), DataError> {
+        let idx: Vec<usize> = cols
+            .iter()
+            .map(|c| self.schema.require(c))
+            .collect::<Result<_, _>>()?;
+        for (i, pair) in self.rows.windows(2).enumerate() {
+            let regressed = idx
+                .iter()
+                .map(|&c| pair[0].get(c).cmp(pair[1].get(c)))
+                .find(|o| !o.is_eq())
+                .is_some_and(|o| o.is_gt());
+            if regressed {
+                return Err(DataError::KeyViolation(format!(
+                    "table {}: rows {i} and {} violate clustering on ({})",
+                    self.name,
+                    i + 1,
+                    cols.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Total simulated byte size of the table's data.
     pub fn byte_size(&self) -> usize {
         self.rows.iter().map(Row::wire_width).sum()
@@ -177,6 +203,17 @@ mod tests {
         assert!(t.check_key(&["id", "name"]).is_ok());
         let err = t.check_key(&["id"]).unwrap_err();
         assert!(matches!(err, DataError::KeyViolation(_)));
+    }
+
+    #[test]
+    fn clustered_check_accepts_sorted_rejects_regression() {
+        let mut t = t();
+        t.insert_all([row![1i64, "b"], row![1i64, "a"], row![2i64, "z"]])
+            .unwrap();
+        assert!(t.check_clustered(&["id"]).is_ok(), "non-decreasing id");
+        let err = t.check_clustered(&["id", "name"]).unwrap_err();
+        assert!(matches!(err, DataError::KeyViolation(_)));
+        assert!(t.check_clustered(&["nope"]).is_err(), "unknown column");
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! in the result on the server", §4) — which is exactly the behaviour of a
 //! materializing executor whose final operator is a sort.
 
-use std::collections::hash_map::Entry;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
 
 use sr_data::{Database, Row, Schema, Value};
 
@@ -204,21 +205,35 @@ fn execute_op(
                 .iter()
                 .map(|k| rs.schema.require(k).map_err(EngineError::from))
                 .collect::<Result<_, _>>()?;
-            rs.rows.sort_by(|a, b| {
-                for &i in &idx {
-                    let ord = a.get(i).cmp(b.get(i));
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
+            // Precompute each row's key columns once instead of re-reading
+            // them on every comparison. Stable, like the `sort_by` it
+            // replaced — sort elision relies on stability (an already
+            // ordered input must pass through as the identity).
+            rs.rows.sort_by_cached_key(|r| {
+                idx.iter()
+                    .map(|&i| r.get(i).clone())
+                    .collect::<Vec<Value>>()
             });
             Ok(rs)
         }
         Plan::Distinct { input } => {
             let mut rs = execute_env(input, db, env, profile)?;
-            let mut seen: HashSet<Row> = HashSet::with_capacity(rs.rows.len());
-            rs.rows.retain(|r| seen.insert(r.clone()));
+            // Dedup on row hashes with bucket verification: no row clones,
+            // first occurrence wins (preserving input order).
+            let mut seen: HashMap<u64, Vec<usize>> = HashMap::with_capacity(rs.rows.len());
+            let mut keep = Vec::with_capacity(rs.rows.len());
+            for (i, r) in rs.rows.iter().enumerate() {
+                let mut hasher = DefaultHasher::new();
+                r.hash(&mut hasher);
+                let bucket = seen.entry(hasher.finish()).or_default();
+                let fresh = !bucket.iter().any(|&j| rs.rows[j] == *r);
+                if fresh {
+                    bucket.push(i);
+                }
+                keep.push(fresh);
+            }
+            let mut it = keep.into_iter();
+            rs.rows.retain(|_| it.next().unwrap());
             Ok(rs)
         }
         Plan::With { ctes, body } => {
@@ -280,49 +295,55 @@ fn hash_join(
         return Ok(out);
     }
 
-    let mut build: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(right.rows.len());
+    // Key cells are hashed in place (no per-value clones); candidates from
+    // a bucket are verified cell by cell to rule out hash collisions.
+    let hash_key = |row: &Row, idx: &[usize]| -> u64 {
+        let mut hasher = DefaultHasher::new();
+        for &c in idx {
+            row.get(c).hash(&mut hasher);
+        }
+        hasher.finish()
+    };
+
+    let mut build: HashMap<u64, Vec<usize>> = HashMap::with_capacity(right.rows.len());
     'rows: for (i, r) in right.rows.iter().enumerate() {
-        let mut key = Vec::with_capacity(ridx.len());
         for &c in &ridx {
-            let v = r.get(c);
-            if v.is_null() {
+            if r.get(c).is_null() {
                 continue 'rows;
             }
-            key.push(v.clone());
         }
-        match build.entry(key) {
-            Entry::Occupied(mut e) => e.get_mut().push(i),
-            Entry::Vacant(e) => {
-                e.insert(vec![i]);
-            }
-        }
+        // Bucket order is insertion order — probe rows emit their matches
+        // in right-input order, which order-property propagation relies on.
+        build.entry(hash_key(r, &ridx)).or_default().push(i);
     }
 
     let mut out = Vec::new();
     let pad = Row::nulls(right.schema.arity());
     'probe: for l in &left.rows {
-        let mut key = Vec::with_capacity(lidx.len());
         for &c in &lidx {
-            let v = l.get(c);
-            if v.is_null() {
+            if l.get(c).is_null() {
                 if kind == JoinKind::LeftOuter {
                     out.push(l.concat(&pad));
                 }
                 continue 'probe;
             }
-            key.push(v.clone());
         }
-        match build.get(&key) {
-            Some(matches) => {
-                for &i in matches {
-                    out.push(l.concat(&right.rows[i]));
+        let mut matched = false;
+        if let Some(candidates) = build.get(&hash_key(l, &lidx)) {
+            for &i in candidates {
+                let r = &right.rows[i];
+                if lidx
+                    .iter()
+                    .zip(&ridx)
+                    .all(|(&lc, &rc)| l.get(lc) == r.get(rc))
+                {
+                    out.push(l.concat(r));
+                    matched = true;
                 }
             }
-            None => {
-                if kind == JoinKind::LeftOuter {
-                    out.push(l.concat(&pad));
-                }
-            }
+        }
+        if !matched && kind == JoinKind::LeftOuter {
+            out.push(l.concat(&pad));
         }
     }
     Ok(out)

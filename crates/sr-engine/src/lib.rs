@@ -24,6 +24,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod optimize;
+pub mod ordering;
 pub mod plan;
 pub mod server;
 pub mod sql;
@@ -34,5 +35,6 @@ pub use error::EngineError;
 pub use exec::{execute, execute_profiled, ExecProfile, OpStat, ResultSet};
 pub use expr::{CmpOp, Expr, Predicate};
 pub use optimize::push_filters;
+pub use ordering::{elide_sorts, order_info, OrderInfo};
 pub use plan::{JoinKind, Plan};
 pub use server::{QueryPhases, Server, TupleStream};

@@ -159,6 +159,44 @@ impl Plan {
     /// column references along the way.
     pub fn schema(&self, db: &Database) -> Result<Schema, EngineError> {
         match self {
+            Plan::Scan { .. } | Plan::CteScan { .. } => self.output_schema(db, &[]),
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Distinct { input } => {
+                let s = input.schema(db)?;
+                self.output_schema(db, std::slice::from_ref(&s))
+            }
+            Plan::Join { left, right, .. } => {
+                let kids = [left.schema(db)?, right.schema(db)?];
+                self.output_schema(db, &kids)
+            }
+            Plan::OuterUnion { inputs } => {
+                let kids = inputs
+                    .iter()
+                    .map(|p| p.schema(db))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.output_schema(db, &kids)
+            }
+            Plan::With { ctes, body } => {
+                // Validate definitions, then the body (CteScan schemas are
+                // embedded, so no environment is needed).
+                for (_, def) in ctes {
+                    def.schema(db)?;
+                }
+                let s = body.schema(db)?;
+                self.output_schema(db, std::slice::from_ref(&s))
+            }
+        }
+    }
+
+    /// Output schema of this operator given the schemas of its direct
+    /// inputs, in operand order: `[input]` for unary operators, `[left,
+    /// right]` for joins, one per branch for unions, `[body]` for `With`.
+    /// Lets bottom-up analysis passes derive every node's schema in a
+    /// single traversal instead of re-walking each subtree per node.
+    pub fn output_schema(&self, db: &Database, children: &[Schema]) -> Result<Schema, EngineError> {
+        match self {
             Plan::Scan { table, alias } => {
                 let t = db.table(table)?;
                 let cols = t
@@ -173,60 +211,50 @@ impl Plan {
                     .collect();
                 Schema::new(cols).map_err(Into::into)
             }
-            Plan::Filter { input, predicates } => {
-                let s = input.schema(db)?;
+            Plan::Filter { predicates, .. } => {
+                let s = children[0].clone();
                 for p in predicates {
                     p.left.dtype(&s)?;
                     p.right.dtype(&s)?;
                 }
                 Ok(s)
             }
-            Plan::Project { input, items } => {
-                let s = input.schema(db)?;
+            Plan::Project { items, .. } => {
+                let s = &children[0];
                 let cols = items
                     .iter()
                     .map(|(name, e)| {
                         Ok(Column {
                             name: name.clone(),
-                            dtype: e.dtype(&s)?,
-                            nullable: e.nullable(&s),
+                            dtype: e.dtype(s)?,
+                            nullable: e.nullable(s),
                         })
                     })
                     .collect::<Result<Vec<_>, EngineError>>()?;
                 Schema::new(cols).map_err(Into::into)
             }
-            Plan::Join {
-                left,
-                right,
-                kind,
-                on,
-            } => {
-                let ls = left.schema(db)?;
-                let rs = right.schema(db)?;
+            Plan::Join { kind, on, .. } => {
+                let (ls, rs) = (&children[0], &children[1]);
                 for (l, r) in on {
                     ls.require(l)?;
                     rs.require(r)?;
                 }
                 let rs = match kind {
-                    JoinKind::Inner => rs,
+                    JoinKind::Inner => rs.clone(),
                     JoinKind::LeftOuter => rs.as_nullable(),
                 };
                 ls.join(&rs).map_err(Into::into)
             }
-            Plan::OuterUnion { inputs } => {
-                if inputs.is_empty() {
+            Plan::OuterUnion { .. } => {
+                if children.is_empty() {
                     return Err(EngineError::InvalidPlan("empty outer union".into()));
                 }
                 // Union schema: columns in first-appearance order across
                 // branches; a column present in every branch with the same
                 // type keeps that type; it is nullable if nullable anywhere
                 // or absent from any branch.
-                let schemas = inputs
-                    .iter()
-                    .map(|p| p.schema(db))
-                    .collect::<Result<Vec<_>, _>>()?;
                 let mut cols: Vec<Column> = Vec::new();
-                for s in &schemas {
+                for s in children {
                     for c in s.columns() {
                         if let Some(existing) = cols.iter_mut().find(|x| x.name == c.name) {
                             if existing.dtype != c.dtype {
@@ -242,28 +270,20 @@ impl Plan {
                     }
                 }
                 for c in &mut cols {
-                    if !schemas.iter().all(|s| s.contains(&c.name)) {
+                    if !children.iter().all(|s| s.contains(&c.name)) {
                         c.nullable = true;
                     }
                 }
                 Schema::new(cols).map_err(Into::into)
             }
-            Plan::Sort { input, keys } => {
-                let s = input.schema(db)?;
+            Plan::Sort { keys, .. } => {
+                let s = children[0].clone();
                 for k in keys {
                     s.require(k)?;
                 }
                 Ok(s)
             }
-            Plan::Distinct { input } => input.schema(db),
-            Plan::With { ctes, body } => {
-                // Validate definitions, then the body (CteScan schemas are
-                // embedded, so no environment is needed).
-                for (_, def) in ctes {
-                    def.schema(db)?;
-                }
-                body.schema(db)
-            }
+            Plan::Distinct { .. } | Plan::With { .. } => Ok(children[0].clone()),
             Plan::CteScan { alias, schema, .. } => {
                 let cols = schema
                     .columns()

@@ -10,18 +10,79 @@
 //! 3. hands back a [`TupleStream`] that the client decodes row by row (the
 //!    "bind and transfer" phase of the paper's *total time*).
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
+use bytes::{Buf, Bytes};
 use sr_data::{Database, Row, Schema};
 use sr_obs::MetricsRegistry;
 
 use crate::cost::{estimate, Estimate};
 use crate::error::EngineError;
 use crate::exec::execute_profiled;
+use crate::ordering::elide_sorts;
+use crate::plan::Plan;
 use crate::sql::binder::plan_sql;
 use crate::wire::{decode_row, encode_rows};
+
+/// Rows per encoded chunk shipped over the streaming channel.
+const STREAM_CHUNK_ROWS: usize = 1024;
+/// Bounded-channel depth: the producer runs at most this many chunks ahead
+/// of the consumer, keeping in-flight memory proportional to chunk size.
+const STREAM_CHANNEL_BOUND: usize = 8;
+
+/// Admission control for streaming workers: at most `available_parallelism`
+/// plans *execute* concurrently. Without this, submitting a partitioned
+/// plan's ten component queries at once puts ten CPU-bound threads in the
+/// scheduler's round-robin; on a small host their working sets evict each
+/// other from cache and the pipelined path runs slower than the sequential
+/// one it replaces. The permit covers only operator execution — never a
+/// channel send, which can block on the consumer and would deadlock the
+/// k-way merge (the tagger may be waiting on a stream whose worker is
+/// queued for a permit).
+struct ExecGate {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl ExecGate {
+    fn new() -> Arc<ExecGate> {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Arc::new(ExecGate {
+            permits: Mutex::new(n),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Block until a permit is free; released when the guard drops (also on
+    /// panic, so a failed query never wedges the gate).
+    fn acquire(self: &Arc<Self>) -> ExecPermit {
+        let mut n = self.permits.lock().expect("exec gate poisoned");
+        while *n == 0 {
+            n = self.cv.wait(n).expect("exec gate poisoned");
+        }
+        *n -= 1;
+        ExecPermit {
+            gate: Arc::clone(self),
+        }
+    }
+}
+
+struct ExecPermit {
+    gate: Arc<ExecGate>,
+}
+
+impl Drop for ExecPermit {
+    fn drop(&mut self) {
+        let mut n = self.gate.permits.lock().expect("exec gate poisoned");
+        *n += 1;
+        self.gate.cv.notify_one();
+    }
+}
 
 /// Per-phase breakdown of one query's server-side time. Summing the fields
 /// gives (within clock noise) [`TupleStream::query_time`]; the split is what
@@ -45,42 +106,133 @@ impl QueryPhases {
     }
 }
 
+/// End-of-stream summary shipped by a streaming worker once the last chunk
+/// is on the channel: the metadata a buffered [`TupleStream`] knows upfront.
+#[derive(Debug)]
+struct StreamSummary {
+    row_count: usize,
+    byte_size: usize,
+    query_time: Duration,
+    phases: QueryPhases,
+}
+
+/// One message on a streaming query's bounded channel.
+#[derive(Debug)]
+enum StreamItem {
+    /// An encoded run of rows.
+    Chunk(Bytes),
+    /// Successful end of stream.
+    Done(StreamSummary),
+    /// The query failed server-side (including post-hoc timeouts).
+    Failed(EngineError),
+}
+
+/// Where a [`TupleStream`]'s bytes come from.
+#[derive(Debug)]
+enum StreamSource {
+    /// Fully materialized upfront ([`Server::execute_sql`]).
+    Buffered(Bytes),
+    /// Fed incrementally by a worker thread
+    /// ([`Server::execute_sql_streaming`]).
+    Channel {
+        rx: Receiver<StreamItem>,
+        current: Bytes,
+        finished: bool,
+    },
+}
+
 /// A sorted tuple stream returned by the server.
 ///
 /// Decoding happens lazily on the client: each [`TupleStream::next_row`] call
 /// pays the per-cell binding cost, so "total time" measurements naturally
 /// include transfer work proportional to tuple count × width. That decode
 /// cost accumulates into [`TupleStream::transfer_time`] — the paper's
-/// "bind and transfer" component.
-#[derive(Debug, Clone)]
+/// "bind and transfer" component. For a streaming query, time spent
+/// *blocked waiting* for the server worker accumulates separately into
+/// [`TupleStream::stall_time`], and the metadata fields (`row_count`,
+/// `byte_size`, `query_time`, `phases`) are only final once the stream has
+/// been fully consumed.
+#[derive(Debug)]
 pub struct TupleStream {
     /// Result schema.
     pub schema: Schema,
-    /// Number of encoded rows.
+    /// Number of encoded rows (streaming: known after full consumption).
     pub row_count: usize,
-    /// Encoded size in bytes.
+    /// Encoded size in bytes (streaming: known after full consumption).
     pub byte_size: usize,
-    /// Server-side time: parse + bind + execute + encode.
+    /// Server-side time: parse + bind + execute + encode (streaming: known
+    /// after full consumption).
     pub query_time: Duration,
-    /// Server-side time split by phase.
+    /// Server-side time split by phase (streaming: known after full
+    /// consumption).
     pub phases: QueryPhases,
     /// Client-side decode ("bind and transfer") time accumulated so far.
     pub transfer_time: Duration,
+    /// Time spent blocked waiting on the streaming worker — overlap the
+    /// pipeline did *not* hide. Always zero for buffered streams.
+    pub stall_time: Duration,
     /// Rows decoded by the client so far.
     pub rows_decoded: usize,
-    data: Bytes,
+    source: StreamSource,
 }
 
 impl TupleStream {
     /// Decode the next row, or `None` at end of stream.
     pub fn next_row(&mut self) -> Result<Option<Row>, EngineError> {
-        let start = Instant::now();
-        let row = decode_row(&mut self.data);
-        self.transfer_time += start.elapsed();
-        if let Ok(Some(_)) = &row {
-            self.rows_decoded += 1;
+        loop {
+            match &mut self.source {
+                StreamSource::Buffered(data) => {
+                    let start = Instant::now();
+                    let row = decode_row(data);
+                    self.transfer_time += start.elapsed();
+                    if let Ok(Some(_)) = &row {
+                        self.rows_decoded += 1;
+                    }
+                    return row;
+                }
+                StreamSource::Channel {
+                    rx,
+                    current,
+                    finished,
+                } => {
+                    if current.has_remaining() {
+                        let start = Instant::now();
+                        let row = decode_row(current);
+                        self.transfer_time += start.elapsed();
+                        if let Ok(Some(_)) = &row {
+                            self.rows_decoded += 1;
+                        }
+                        return row;
+                    }
+                    if *finished {
+                        return Ok(None);
+                    }
+                    let wait = Instant::now();
+                    let item = rx.recv();
+                    self.stall_time += wait.elapsed();
+                    match item {
+                        Ok(StreamItem::Chunk(bytes)) => *current = bytes,
+                        Ok(StreamItem::Done(sum)) => {
+                            *finished = true;
+                            self.row_count = sum.row_count;
+                            self.byte_size = sum.byte_size;
+                            self.query_time = sum.query_time;
+                            self.phases = sum.phases;
+                        }
+                        Ok(StreamItem::Failed(e)) => {
+                            *finished = true;
+                            return Err(e);
+                        }
+                        Err(_) => {
+                            *finished = true;
+                            return Err(EngineError::Wire(
+                                "streaming query worker disconnected".into(),
+                            ));
+                        }
+                    }
+                }
+            }
         }
-        row
     }
 
     /// Decode every remaining row (convenience for tests).
@@ -114,21 +266,81 @@ pub struct Server {
     /// [`EngineError::Timeout`] (the paper used 5 minutes, §4).
     pub timeout: Option<Duration>,
     metrics: Arc<MetricsRegistry>,
+    exec_gate: Arc<ExecGate>,
+    sort_elision: bool,
+    stream_workers: bool,
+    plan_cache_enabled: bool,
+    /// Prepared-plan cache: SQL text → optimized plan. The middle-ware
+    /// re-submits the same component queries on every materialization, so
+    /// after the first execution parse/bind/push-down/elision all collapse
+    /// into one lookup and a plan clone. Sound because the database behind
+    /// `db` is immutable for the server's lifetime.
+    plan_cache: Mutex<HashMap<String, CachedPlan>>,
 }
+
+struct CachedPlan {
+    plan: Plan,
+    schema: Schema,
+    elided: usize,
+}
+
+/// Entry cap for the prepared-plan cache; on overflow the cache is simply
+/// cleared (the workload has a small, fixed query set — an LRU would be
+/// dead weight).
+const PLAN_CACHE_CAP: usize = 256;
 
 impl Server {
     /// A server over a database, with no timeout.
     pub fn new(db: Arc<Database>) -> Self {
+        // A worker thread can only overlap execution with the consumer's
+        // tagging when there is a second core to run on. On a single-CPU
+        // host the handoff buys nothing and costs context switches and
+        // cache interleaving, so streaming queries execute inline there.
+        let parallel = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            > 1;
         Server {
             db,
             timeout: None,
             metrics: Arc::new(MetricsRegistry::new()),
+            exec_gate: ExecGate::new(),
+            sort_elision: true,
+            stream_workers: parallel,
+            plan_cache_enabled: true,
+            plan_cache: Mutex::new(HashMap::new()),
         }
     }
 
     /// Set the per-query timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = Some(timeout);
+        self
+    }
+
+    /// Enable or disable the sort-elision optimizer pass (on by default).
+    /// Disabling reproduces the pre-order-propagation behaviour, which the
+    /// pipeline benchmark uses as its baseline.
+    pub fn with_sort_elision(mut self, on: bool) -> Self {
+        self.sort_elision = on;
+        self.plan_cache.lock().unwrap().clear();
+        self
+    }
+
+    /// Enable or disable the prepared-plan cache (on by default). The
+    /// pipeline benchmark disables it on its baseline server, which models
+    /// the pre-cache configuration.
+    pub fn with_plan_cache(mut self, on: bool) -> Self {
+        self.plan_cache_enabled = on;
+        self.plan_cache.lock().unwrap().clear();
+        self
+    }
+
+    /// Force streaming queries onto worker threads (or inline). By default
+    /// workers are used only when the host has more than one CPU; tests
+    /// exercise the worker path explicitly through this.
+    pub fn with_stream_workers(mut self, on: bool) -> Self {
+        self.stream_workers = on;
         self
     }
 
@@ -140,9 +352,11 @@ impl Server {
     }
 
     /// The registry all queries record into. Counters: `server.queries`,
-    /// `server.rows`, `server.bytes`, `server.estimates`,
-    /// `exec.{calls,rows}.<op>`. Histograms: `server.<phase>_ns`,
-    /// `server.query_ns`, `server.estimate_ns`.
+    /// `server.streams`, `server.rows`, `server.bytes`, `server.estimates`,
+    /// `server.timeouts`, `server.plan_cache_hits`, `exec.sorts_elided`,
+    /// `exec.{calls,rows}.<op>`.
+    /// Histograms: `server.<phase>_ns`, `server.query_ns`,
+    /// `server.estimate_ns`.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.metrics
     }
@@ -152,14 +366,60 @@ impl Server {
         &self.db
     }
 
-    /// Execute a SQL string, returning an encoded tuple stream.
+    /// Parse, bind, and optimize a SQL string the way the execution paths
+    /// do — predicate push-down, then sort elision. Returns the plan and the
+    /// number of sorts elided (exposed for tests and plan inspection).
+    pub fn optimized_plan(&self, sql: &str) -> Result<(Plan, usize), EngineError> {
+        let (plan, _, elided) = self.plan_cached(sql)?;
+        Ok((plan, elided))
+    }
+
+    /// Plan `sql` through the prepared-plan cache: a hit clones the stored
+    /// optimized plan; a miss runs parse → bind → predicate push-down →
+    /// sort elision and stores the result. `server.plan_cache_hits` counts
+    /// the hits.
+    fn plan_cached(&self, sql: &str) -> Result<(Plan, Schema, usize), EngineError> {
+        if self.plan_cache_enabled {
+            if let Some(c) = self.plan_cache.lock().unwrap().get(sql) {
+                self.metrics.counter("server.plan_cache_hits").inc();
+                return Ok((c.plan.clone(), c.schema.clone(), c.elided));
+            }
+        }
+        let plan = plan_sql(sql, &self.db)?;
+        let plan = crate::optimize::push_filters(plan, &self.db)?;
+        let (plan, elided) = if self.sort_elision {
+            elide_sorts(plan, &self.db)
+        } else {
+            (plan, 0)
+        };
+        let schema = plan.schema(&self.db)?;
+        if self.plan_cache_enabled {
+            let mut cache = self.plan_cache.lock().unwrap();
+            if cache.len() >= PLAN_CACHE_CAP {
+                cache.clear();
+            }
+            cache.insert(
+                sql.to_string(),
+                CachedPlan {
+                    plan: plan.clone(),
+                    schema: schema.clone(),
+                    elided,
+                },
+            );
+        }
+        Ok((plan, schema, elided))
+    }
+
+    /// Execute a SQL string, returning a fully buffered tuple stream: the
+    /// result is materialized, sorted, and wire-encoded before the call
+    /// returns. See [`Server::execute_sql_streaming`] for the pipelined
+    /// variant.
     pub fn execute_sql(&self, sql: &str) -> Result<TupleStream, EngineError> {
         let start = Instant::now();
-        let plan = plan_sql(sql, &self.db)?;
+        let (plan, _, elided) = self.plan_cached(sql)?;
         let parse_bind = start.elapsed();
-        let t_opt = Instant::now();
-        let plan = crate::optimize::push_filters(plan, &self.db)?;
-        let optimize = t_opt.elapsed();
+        let optimize = Duration::ZERO;
+        self.metrics.counter("exec.sorts_elided").add(elided as u64);
         let t_exec = Instant::now();
         let (rs, profile) = execute_profiled(&plan, &self.db)?;
         let execute = t_exec.elapsed();
@@ -201,9 +461,226 @@ impl Server {
                 encode,
             },
             transfer_time: Duration::ZERO,
+            stall_time: Duration::ZERO,
             rows_decoded: 0,
-            data,
+            source: StreamSource::Buffered(data),
         })
+    }
+
+    /// Execute a SQL string as a pipelined stream: the returned
+    /// [`TupleStream`] is fed through a channel of encoded chunks, and the
+    /// caller decodes (and tags) rows while the server is still executing
+    /// and encoding later chunks on a worker thread. Parse/bind/optimize
+    /// errors surface synchronously; execution errors and post-hoc timeouts
+    /// surface from [`TupleStream::next_row`]. Dropping the stream early
+    /// terminates the worker at its next send.
+    ///
+    /// On a single-CPU host (or after `with_stream_workers(false)`) the
+    /// query instead executes inline and the chunks are queued up front —
+    /// same stream semantics, none of the handoff overhead that buys
+    /// nothing without a second core.
+    pub fn execute_sql_streaming(&self, sql: &str) -> Result<TupleStream, EngineError> {
+        let start = Instant::now();
+        let (plan, schema, elided) = self.plan_cached(sql)?;
+        let parse_bind = start.elapsed();
+        let optimize = Duration::ZERO;
+        self.metrics.counter("exec.sorts_elided").add(elided as u64);
+        self.metrics.counter("server.streams").inc();
+
+        if !self.stream_workers {
+            return self.stream_inline(plan, schema, parse_bind, optimize);
+        }
+
+        let (tx, rx) = sync_channel(STREAM_CHANNEL_BOUND);
+        let db = Arc::clone(&self.db);
+        let metrics = Arc::clone(&self.metrics);
+        let gate = Arc::clone(&self.exec_gate);
+        let timeout = self.timeout;
+        std::thread::spawn(move || {
+            // Execute and encode under an admission permit (see
+            // [`ExecGate`]). The permit is never held across a *blocking*
+            // send: if the channel is full we release it first, so a slow
+            // consumer never holds up other plans' execution (or deadlocks
+            // the k-way merge).
+            let permit = gate.acquire();
+            let t_exec = Instant::now();
+            let (rs, profile) = match execute_profiled(&plan, &db) {
+                Ok(v) => v,
+                Err(e) => {
+                    drop(permit);
+                    let _ = tx.send(StreamItem::Failed(e));
+                    return;
+                }
+            };
+            let execute = t_exec.elapsed();
+            let mut permit = Some(permit);
+            let mut encode = Duration::ZERO;
+            let mut byte_size = 0usize;
+            for chunk in rs.rows.chunks(STREAM_CHUNK_ROWS) {
+                if permit.is_none() {
+                    permit = Some(gate.acquire());
+                }
+                let t_enc = Instant::now();
+                let bytes = encode_rows(chunk);
+                encode += t_enc.elapsed();
+                byte_size += bytes.len();
+                match tx.try_send(StreamItem::Chunk(bytes)) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(item)) => {
+                        permit = None;
+                        if tx.send(item).is_err() {
+                            return; // consumer dropped the stream
+                        }
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            }
+            drop(permit);
+            let query_time = parse_bind + optimize + execute + encode;
+            // Record metrics before Done so they are visible as soon as the
+            // consumer sees end of stream.
+            metrics.counter("server.queries").inc();
+            metrics.counter("server.rows").add(rs.rows.len() as u64);
+            metrics.counter("server.bytes").add(byte_size as u64);
+            metrics
+                .histogram("server.parse_bind_ns")
+                .record_duration(parse_bind);
+            metrics
+                .histogram("server.optimize_ns")
+                .record_duration(optimize);
+            metrics
+                .histogram("server.execute_ns")
+                .record_duration(execute);
+            metrics
+                .histogram("server.encode_ns")
+                .record_duration(encode);
+            metrics
+                .histogram("server.query_ns")
+                .record_duration(query_time);
+            profile.export_to(&metrics);
+            if let Some(limit) = timeout {
+                if query_time > limit {
+                    metrics.counter("server.timeouts").inc();
+                    let _ = tx.send(StreamItem::Failed(EngineError::Timeout {
+                        elapsed_ms: query_time.as_millis() as u64,
+                        limit_ms: limit.as_millis() as u64,
+                    }));
+                    return;
+                }
+            }
+            let _ = tx.send(StreamItem::Done(StreamSummary {
+                row_count: rs.rows.len(),
+                byte_size,
+                query_time,
+                phases: QueryPhases {
+                    parse_bind,
+                    optimize,
+                    execute,
+                    encode,
+                },
+            }));
+        });
+
+        Ok(TupleStream {
+            schema,
+            row_count: 0,
+            byte_size: 0,
+            query_time: Duration::ZERO,
+            phases: QueryPhases::default(),
+            transfer_time: Duration::ZERO,
+            stall_time: Duration::ZERO,
+            rows_decoded: 0,
+            source: StreamSource::Channel {
+                rx,
+                current: Bytes::new(),
+                finished: false,
+            },
+        })
+    }
+
+    /// The single-CPU degradation of [`Server::execute_sql_streaming`]:
+    /// execute and encode on the caller's thread, queueing every chunk (and
+    /// the terminal `Done`/`Failed` item) before returning. The consumer
+    /// sees the identical item sequence a worker would produce — including
+    /// execution errors and timeouts surfacing at end of stream — without
+    /// paying for a thread handoff that cannot overlap with anything.
+    fn stream_inline(
+        &self,
+        plan: Plan,
+        schema: Schema,
+        parse_bind: Duration,
+        optimize: Duration,
+    ) -> Result<TupleStream, EngineError> {
+        let stream = |rx| TupleStream {
+            schema,
+            row_count: 0,
+            byte_size: 0,
+            query_time: Duration::ZERO,
+            phases: QueryPhases::default(),
+            transfer_time: Duration::ZERO,
+            stall_time: Duration::ZERO,
+            rows_decoded: 0,
+            source: StreamSource::Channel {
+                rx,
+                current: Bytes::new(),
+                finished: false,
+            },
+        };
+        let t_exec = Instant::now();
+        let (rs, profile) = match execute_profiled(&plan, &self.db) {
+            Ok(v) => v,
+            Err(e) => {
+                let (tx, rx) = sync_channel(1);
+                let _ = tx.send(StreamItem::Failed(e));
+                return Ok(stream(rx));
+            }
+        };
+        let execute = t_exec.elapsed();
+        let n_chunks = rs.rows.len().div_ceil(STREAM_CHUNK_ROWS);
+        let (tx, rx) = sync_channel(n_chunks + 1);
+        let mut encode = Duration::ZERO;
+        let mut byte_size = 0usize;
+        for chunk in rs.rows.chunks(STREAM_CHUNK_ROWS) {
+            let t_enc = Instant::now();
+            let bytes = encode_rows(chunk);
+            encode += t_enc.elapsed();
+            byte_size += bytes.len();
+            let _ = tx.send(StreamItem::Chunk(bytes));
+        }
+        let query_time = parse_bind + optimize + execute + encode;
+        let m = &self.metrics;
+        m.counter("server.queries").inc();
+        m.counter("server.rows").add(rs.rows.len() as u64);
+        m.counter("server.bytes").add(byte_size as u64);
+        m.histogram("server.parse_bind_ns")
+            .record_duration(parse_bind);
+        m.histogram("server.optimize_ns").record_duration(optimize);
+        m.histogram("server.execute_ns").record_duration(execute);
+        m.histogram("server.encode_ns").record_duration(encode);
+        m.histogram("server.query_ns").record_duration(query_time);
+        profile.export_to(m);
+        if let Some(limit) = self.timeout {
+            if query_time > limit {
+                m.counter("server.timeouts").inc();
+                let _ = tx.send(StreamItem::Failed(EngineError::Timeout {
+                    elapsed_ms: query_time.as_millis() as u64,
+                    limit_ms: limit.as_millis() as u64,
+                }));
+                return Ok(stream(rx));
+            }
+        }
+        let _ = tx.send(StreamItem::Done(StreamSummary {
+            row_count: rs.rows.len(),
+            byte_size,
+            query_time,
+            phases: QueryPhases {
+                parse_bind,
+                optimize,
+                execute,
+                encode,
+            },
+        }));
+        Ok(stream(rx))
     }
 
     /// Execute several SQL queries concurrently, one worker thread per
@@ -354,5 +831,141 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn streaming_matches_buffered() {
+        // Pin each streaming mode explicitly so the test is identical on
+        // single- and multi-core hosts.
+        for workers in [true, false] {
+            let s = server().with_stream_workers(workers);
+            let sql = "SELECT i.id AS id, i.label AS label FROM Item i ORDER BY id";
+            let buffered = s.execute_sql(sql).unwrap().collect_rows().unwrap();
+            let mut stream = s.execute_sql_streaming(sql).unwrap();
+            let mut rows = Vec::new();
+            while let Some(r) = stream.next_row().unwrap() {
+                rows.push(r);
+            }
+            assert_eq!(rows, buffered);
+            // Metadata is final after full consumption.
+            assert_eq!(stream.row_count, 50);
+            assert!(stream.byte_size > 0);
+            assert!(stream.query_time > Duration::ZERO);
+            assert_eq!(stream.rows_decoded, 50);
+            let snap = s.metrics().snapshot();
+            assert_eq!(snap.counter("server.queries"), 2);
+            assert_eq!(snap.counter("server.streams"), 1);
+        }
+    }
+
+    #[test]
+    fn streaming_parse_errors_are_synchronous() {
+        let s = server();
+        assert!(s.execute_sql_streaming("SELECT FROM").is_err());
+        assert!(s.execute_sql_streaming("SELECT x.y FROM Item i").is_err());
+    }
+
+    #[test]
+    fn streaming_zero_timeout_fails_at_end_of_stream() {
+        for workers in [true, false] {
+            let s = server()
+                .with_timeout(Duration::from_nanos(1))
+                .with_stream_workers(workers);
+            let mut stream = s
+                .execute_sql_streaming("SELECT i.id AS id FROM Item i ORDER BY id")
+                .unwrap();
+            // All rows still arrive (the timeout is detected post-hoc, after
+            // execution), then the failure surfaces instead of end-of-stream.
+            let mut n = 0;
+            let err = loop {
+                match stream.next_row() {
+                    Ok(Some(_)) => n += 1,
+                    Ok(None) => panic!("expected timeout error"),
+                    Err(e) => break e,
+                }
+            };
+            assert_eq!(n, 50);
+            assert!(matches!(err, EngineError::Timeout { .. }));
+            assert_eq!(s.metrics().snapshot().counter("server.timeouts"), 1);
+        }
+    }
+
+    #[test]
+    fn dropping_stream_terminates_worker() {
+        let s = server().with_stream_workers(true);
+        let stream = s
+            .execute_sql_streaming("SELECT i.id AS id FROM Item i ORDER BY id")
+            .unwrap();
+        drop(stream); // worker's next send errors; must not hang or panic
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeated_sql() {
+        let s = server();
+        let sql = "SELECT i.id AS id, i.label AS label FROM Item i ORDER BY id";
+        let first = s.execute_sql(sql).unwrap().collect_rows().unwrap();
+        assert_eq!(s.metrics().snapshot().counter("server.plan_cache_hits"), 0);
+        let second = s.execute_sql(sql).unwrap().collect_rows().unwrap();
+        let mut stream = s.execute_sql_streaming(sql).unwrap();
+        let mut third = Vec::new();
+        while let Some(r) = stream.next_row().unwrap() {
+            third.push(r);
+        }
+        assert_eq!(first, second);
+        assert_eq!(first, third);
+        assert_eq!(s.metrics().snapshot().counter("server.plan_cache_hits"), 2);
+        // A different statement misses.
+        let _ = s.execute_sql("SELECT i.id AS id FROM Item i").unwrap();
+        assert_eq!(s.metrics().snapshot().counter("server.plan_cache_hits"), 2);
+    }
+
+    #[test]
+    fn sort_elision_can_be_disabled() {
+        let mut db = Database::new();
+        let mut t = Table::new("T", Schema::of(&[("k", DataType::Int)]));
+        for i in 0..10i64 {
+            t.insert(row![i]).unwrap();
+        }
+        db.add_table(t);
+        db.declare_key("T", &["k"]).unwrap();
+        db.declare_clustered_by("T", &["k"]).unwrap();
+        let s = Server::new(Arc::new(db)).with_sort_elision(false);
+        let sql = "SELECT t.k AS k FROM T t ORDER BY k";
+        let (plan, elided) = s.optimized_plan(sql).unwrap();
+        assert_eq!(elided, 0);
+        let mut has_sort = false;
+        plan.visit(&mut |p| has_sort |= matches!(p, Plan::Sort { .. }));
+        assert!(has_sort, "sort must survive with elision off:\n{plan}");
+        let rows = s.execute_sql(sql).unwrap().collect_rows().unwrap();
+        assert_eq!(rows.len(), 10);
+        let snap = s.metrics().snapshot();
+        assert_eq!(snap.counter("exec.sorts_elided"), 0);
+        assert_eq!(snap.counter("exec.calls.sort"), 1);
+    }
+
+    #[test]
+    fn sort_elision_counted_on_clustered_table() {
+        let mut db = Database::new();
+        let mut t = Table::new("T", Schema::of(&[("k", DataType::Int)]));
+        for i in 0..10i64 {
+            t.insert(row![i]).unwrap();
+        }
+        db.add_table(t);
+        db.declare_key("T", &["k"]).unwrap();
+        db.declare_clustered_by("T", &["k"]).unwrap();
+        let s = Server::new(Arc::new(db));
+        let sql = "SELECT t.k AS k FROM T t ORDER BY k";
+        let (plan, elided) = s.optimized_plan(sql).unwrap();
+        assert_eq!(elided, 1);
+        let mut has_sort = false;
+        plan.visit(&mut |p| has_sort |= matches!(p, Plan::Sort { .. }));
+        assert!(!has_sort, "sort should be elided:\n{plan}");
+        let rows = s.execute_sql(sql).unwrap().collect_rows().unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[0].get(0), &Value::Int(0));
+        assert_eq!(rows[9].get(0), &Value::Int(9));
+        let snap = s.metrics().snapshot();
+        assert_eq!(snap.counter("exec.sorts_elided"), 1);
+        assert_eq!(snap.counter("exec.calls.sort"), 0);
     }
 }

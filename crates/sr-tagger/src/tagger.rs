@@ -102,6 +102,9 @@ pub struct StreamTagStats {
     pub server_time: Duration,
     /// Client-side decode ("bind and transfer") time spent on this stream.
     pub transfer_time: Duration,
+    /// Time the tagger spent blocked waiting on this stream's server worker
+    /// (zero for materialized and buffered inputs).
+    pub stall_time: Duration,
 }
 
 /// Statistics from one tagging run.
@@ -128,6 +131,11 @@ impl TagStats {
     /// Total client-side decode ("bind and transfer") time across streams.
     pub fn total_transfer_time(&self) -> Duration {
         self.per_stream.iter().map(|s| s.transfer_time).sum()
+    }
+
+    /// Total time spent blocked waiting on streaming server workers.
+    pub fn total_stall_time(&self) -> Duration {
+        self.per_stream.iter().map(|s| s.stall_time).sum()
     }
 }
 
@@ -217,6 +225,7 @@ pub fn tag_streams<W: Write>(
             ps.wire_bytes = ts.byte_size as u64;
             ps.server_time = ts.query_time;
             ps.transfer_time = ts.transfer_time;
+            ps.stall_time = ts.stall_time;
         }
     }
     let stats = t.stats;

@@ -136,20 +136,33 @@ pub fn generate(scale: Scale) -> Result<Database, DataError> {
         for ok in 1..=n_ord as i64 {
             let lines = rng.gen_range(1..=7usize);
             let mut used: Vec<(i64, i64)> = Vec::with_capacity(lines);
+            let mut order_rows: Vec<(i64, i64, Row)> = Vec::with_capacity(lines);
             for lno in 1..=lines as i64 {
                 let (pk, sk) = pairs[rng.gen_range(0..pairs.len())];
                 if used.contains(&(pk, sk)) {
                     continue;
                 }
                 used.push((pk, sk));
-                t.insert(Row::new(vec![
-                    Value::Int(ok),
-                    Value::Int(pk),
-                    Value::Int(sk),
-                    Value::Int(lno),
-                    Value::Int(rng.gen_range(1..50i64)),
-                    Value::Float(rng.gen_range(100..100000) as f64 / 100.0),
-                ]))?;
+                order_rows.push((
+                    pk,
+                    sk,
+                    Row::new(vec![
+                        Value::Int(ok),
+                        Value::Int(pk),
+                        Value::Int(sk),
+                        Value::Int(lno),
+                        Value::Int(rng.gen_range(1..50i64)),
+                        Value::Float(rng.gen_range(100..100000) as f64 / 100.0),
+                    ]),
+                ));
+            }
+            // Clustered-by-primary-key layout: each order's lines are laid
+            // out ascending by (partkey, suppkey), so the whole table is
+            // physically sorted by its declared clustering
+            // (orderkey, partkey, suppkey).
+            order_rows.sort_by_key(|(pk, sk, _)| (*pk, *sk));
+            for (_, _, row) in order_rows {
+                t.insert(row)?;
             }
         }
     }
@@ -274,5 +287,18 @@ mod tests {
     fn keys_validated() {
         let db = tiny();
         assert!(db.check_integrity().is_ok());
+    }
+
+    #[test]
+    fn generated_data_honors_declared_clusterings() {
+        let db = generate(Scale::config_a()).unwrap();
+        for name in db.table_names().map(str::to_string).collect::<Vec<_>>() {
+            let cols: Vec<&str> = db.clustered_by(&name).iter().map(String::as_str).collect();
+            assert!(!cols.is_empty(), "{name} has no clustering");
+            assert!(
+                db.table(&name).unwrap().check_clustered(&cols).is_ok(),
+                "{name} not sorted on {cols:?}"
+            );
+        }
     }
 }

@@ -91,6 +91,18 @@ pub fn install_schema(db: &mut Database) -> Result<(), DataError> {
     // pair within an order).
     db.declare_key("LineItem", &["orderkey", "partkey", "suppkey"])?;
 
+    // Physical row order, as produced by the generator: every table is laid
+    // out ascending in its leading key column (TPC-H's dbgen emits the same
+    // order). The engine's order-property pass uses these to elide sorts.
+    db.declare_clustered_by("Region", &["regionkey"])?;
+    db.declare_clustered_by("Nation", &["nationkey"])?;
+    db.declare_clustered_by("Supplier", &["suppkey"])?;
+    db.declare_clustered_by("Part", &["partkey"])?;
+    db.declare_clustered_by("PartSupp", &["partkey"])?;
+    db.declare_clustered_by("Customer", &["custkey"])?;
+    db.declare_clustered_by("Orders", &["orderkey"])?;
+    db.declare_clustered_by("LineItem", &["orderkey", "partkey", "suppkey"])?;
+
     for fk in [
         ForeignKey::new("Nation", &["regionkey"], "Region", &["regionkey"]),
         ForeignKey::new("Supplier", &["nationkey"], "Nation", &["nationkey"]),
@@ -125,6 +137,24 @@ mod tests {
             &["partkey".to_string(), "suppkey".to_string()]
         );
         assert_eq!(db.foreign_keys().len(), 8);
+    }
+
+    #[test]
+    fn every_table_declares_a_clustering() {
+        let mut db = Database::new();
+        install_schema(&mut db).unwrap();
+        for t in db.table_names().map(str::to_string).collect::<Vec<_>>() {
+            assert!(!db.clustered_by(&t).is_empty(), "{t} has no clustering");
+        }
+        assert_eq!(
+            db.clustered_by("LineItem"),
+            &[
+                "orderkey".to_string(),
+                "partkey".to_string(),
+                "suppkey".to_string()
+            ]
+        );
+        assert_eq!(db.clustered_by("PartSupp"), &["partkey".to_string()]);
     }
 
     #[test]

@@ -1,0 +1,26 @@
+//! Dump the optimized plans for query1's unified and partitioned
+//! translations, showing what the server's optimizer (predicate push-down
+//! followed by order-property sort elision) does to each component query.
+//!
+//! ```sh
+//! cargo run --example plan_dump
+//! ```
+
+use std::sync::Arc;
+
+fn main() {
+    let db = Arc::new(sr_tpch::generate(sr_tpch::Scale::mb(0.05)).unwrap());
+    let server = silkroute::Server::new(Arc::clone(&db));
+    let tree = silkroute::query1_tree(&db);
+    for (name, spec) in [
+        ("unified", sr_sqlgen::PlanSpec::unified(&tree)),
+        ("partitioned", sr_sqlgen::PlanSpec::fully_partitioned()),
+    ] {
+        let qs = sr_sqlgen::generate_queries(&tree, &db, spec).unwrap();
+        println!("=== {name}: {} queries ===", qs.len());
+        for (i, q) in qs.iter().enumerate().take(3) {
+            let (opt, elided) = server.optimized_plan(&q.sql).unwrap();
+            println!("--- stream {i} ({elided} sort(s) elided) ---\n{opt}");
+        }
+    }
+}
