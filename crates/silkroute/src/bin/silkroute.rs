@@ -20,6 +20,18 @@
 //!       --metrics-json       print the cost report plus a metrics snapshot
 //!                            as JSON to stdout; the XML goes to --out or is
 //!                            discarded (materialize)
+//!       --analyze            EXPLAIN ANALYZE every stream after the run:
+//!                            annotated plan trees on stderr, and an
+//!                            "analyze" section inside --metrics-json
+//!                            (materialize)
+//!       --trace FILE         record a Chrome trace-event timeline of the
+//!                            whole pipeline to FILE (`-` for stdout; open
+//!                            in Perfetto / chrome://tracing) (materialize)
+//!
+//! Exactly one machine-readable document ever goes to stdout: the
+//! `--metrics-json` report (which embeds `--analyze` output), or the
+//! `--trace -` timeline. Human-readable tables always go to stderr, so
+//! they compose with either.
 //! ```
 
 use std::io::Write as _;
@@ -42,13 +54,15 @@ struct Opts {
     pretty: bool,
     explain: bool,
     metrics_json: bool,
+    analyze: bool,
+    trace: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: silkroute <tree|sql|materialize|plan|bench> [--mb N] [--plan SPEC] \
          [--no-reduce] [--out FILE] [--pretty] [--explain] [--metrics-json] \
-         <VIEW|query1|query2>"
+         [--analyze] [--trace FILE] <VIEW|query1|query2>"
     );
     ExitCode::from(2)
 }
@@ -69,6 +83,8 @@ fn parse_args() -> Result<Opts, ExitCode> {
         pretty: false,
         explain: false,
         metrics_json: false,
+        analyze: false,
+        trace: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -82,6 +98,8 @@ fn parse_args() -> Result<Opts, ExitCode> {
             "--pretty" => opts.pretty = true,
             "--explain" => opts.explain = true,
             "--metrics-json" => opts.metrics_json = true,
+            "--analyze" => opts.analyze = true,
+            "--trace" => opts.trace = Some(args.next().ok_or_else(usage)?),
             other if !other.starts_with('-') && opts.view.is_empty() => {
                 opts.view = other.to_string();
             }
@@ -153,8 +171,30 @@ fn resolve_plan(opts: &Opts, tree: &ViewTree, server: &Server) -> Result<PlanSpe
 
 fn run() -> Result<(), String> {
     let opts = parse_args().map_err(|_| String::new())?;
+    if opts.command != "materialize" && (opts.metrics_json || opts.analyze || opts.trace.is_some())
+    {
+        return Err(format!(
+            "--metrics-json, --analyze and --trace only apply to `materialize`, not `{}`",
+            opts.command
+        ));
+    }
+    if opts.trace.as_deref() == Some("-") {
+        // Stdout carries at most one machine-readable document.
+        if opts.metrics_json {
+            return Err(
+                "--trace - and --metrics-json both claim stdout; write the trace to a file".into(),
+            );
+        }
+        if opts.out.is_none() {
+            return Err("--trace - requires --out so the XML document leaves stdout free".into());
+        }
+    }
     let db = sr_tpch::generate(Scale::mb(opts.mb)).map_err(|e| e.to_string())?;
-    let server = Server::new(Arc::new(db));
+    let tracer = opts.trace.as_ref().map(|_| Arc::new(sr_obs::Tracer::new()));
+    let mut server = Server::new(Arc::new(db));
+    if let Some(t) = &tracer {
+        server = server.with_tracer(Arc::clone(t));
+    }
     let tree = load_view(&opts, server.database())?;
 
     match opts.command.as_str() {
@@ -200,17 +240,22 @@ fn run() -> Result<(), String> {
         "materialize" => {
             let spec = resolve_plan(&opts, &tree, &server)?;
             let start = std::time::Instant::now();
-            let queries =
-                generate_queries(&tree, server.database(), spec).map_err(|e| e.to_string())?;
+            let queries = {
+                let _s = sr_obs::TraceSpan::new(tracer.as_deref(), "plan.generate");
+                generate_queries(&tree, server.database(), spec).map_err(|e| e.to_string())?
+            };
             let plan_time = start.elapsed();
             let mut inputs = Vec::new();
             let mut sqls = Vec::new();
-            for q in queries {
+            for (i, q) in queries.into_iter().enumerate() {
                 // Pipelined execution: every stream's worker starts now and
                 // overlaps with tagging below.
-                let stream = server
+                let mut stream = server
                     .execute_sql_streaming(&q.sql)
                     .map_err(|e| e.to_string())?;
+                if let Some(t) = &tracer {
+                    stream.set_trace(t, &i.to_string());
+                }
                 sqls.push(q.sql);
                 inputs.push(sr_tagger::StreamInput {
                     schema: stream.schema.clone(),
@@ -228,8 +273,9 @@ fn run() -> Result<(), String> {
                 (None, false) => Box::new(std::io::stdout().lock()),
             };
             let tag_start = std::time::Instant::now();
-            let (stats, mut sink) = sr_tagger::tag_streams(&tree, inputs, sink, opts.pretty)
-                .map_err(|e| e.to_string())?;
+            let (stats, mut sink) =
+                sr_tagger::tag_streams_traced(&tree, inputs, sink, opts.pretty, tracer.as_deref())
+                    .map_err(|e| e.to_string())?;
             let _ = sink.flush();
             let report = silkroute::MaterializeReport::assemble(
                 &sqls,
@@ -239,9 +285,31 @@ fn run() -> Result<(), String> {
                 start.elapsed(),
                 true,
             );
+            // EXPLAIN ANALYZE runs before any metrics snapshot so the
+            // `oracle.qerror` feedback it records is part of the report.
+            let mut analyses = Vec::new();
+            if opts.analyze {
+                let oracle = Oracle::new(&server, calibrated_params(Scale::mb(opts.mb)));
+                for (i, sql) in sqls.iter().enumerate() {
+                    oracle.estimate_sql(sql).map_err(|e| e.to_string())?;
+                    let analysis = server.explain_analyze(sql).map_err(|e| e.to_string())?;
+                    eprint!("\n-- stream {}:\n{}", i + 1, analysis.render());
+                    oracle.record_actual(sql, report.streams[i].rows);
+                    analyses.push(analysis);
+                }
+                if let Some((sql, q)) = oracle.worst_qerror() {
+                    eprintln!("\nworst stream-level q-error: {q:.2} for {sql}");
+                }
+            }
             if opts.metrics_json {
                 let mut json = report.to_json();
                 if let sr_obs::Json::Obj(fields) = &mut json {
+                    if opts.analyze {
+                        fields.push((
+                            "analyze".to_string(),
+                            sr_obs::Json::Arr(analyses.iter().map(|a| a.to_json()).collect()),
+                        ));
+                    }
                     fields.push((
                         "metrics".to_string(),
                         server.metrics().snapshot().to_json_value(),
@@ -249,10 +317,18 @@ fn run() -> Result<(), String> {
                 }
                 println!("{}", json.render_pretty());
             }
+            if let (Some(path), Some(t)) = (&opts.trace, &tracer) {
+                let rendered = t.to_chrome_json().render();
+                if path == "-" {
+                    println!("{rendered}");
+                } else {
+                    std::fs::write(path, rendered + "\n").map_err(|e| e.to_string())?;
+                }
+            }
             if opts.explain {
                 eprint!("\n{}", report.render_explain());
             }
-            if !opts.metrics_json && !opts.explain {
+            if !opts.metrics_json && !opts.explain && !opts.analyze {
                 eprintln!(
                     "\nmaterialized {} elements / {} bytes from {} tuple(s) over {} stream(s)",
                     stats.elements,

@@ -10,8 +10,9 @@ use std::io::Write;
 use std::time::Instant;
 
 use sr_engine::Server;
+use sr_obs::TraceSpan;
 use sr_sqlgen::{generate_queries, PlanSpec};
-use sr_tagger::{tag_streams, RowSource, StreamInput, TagError, TagStats};
+use sr_tagger::{tag_streams_traced, RowSource, StreamInput, TagError, TagStats};
 use sr_viewtree::ViewTree;
 
 use crate::report::MaterializeReport;
@@ -31,8 +32,10 @@ pub struct Materialization {
 
 /// Shared tail of every materialization: tag the streams, then assemble
 /// statistics and the cost report.
+#[allow(clippy::too_many_arguments)]
 fn tag_and_report<W: Write>(
     tree: &ViewTree,
+    server: &Server,
     sql: Vec<String>,
     inputs: Vec<StreamInput>,
     out: W,
@@ -42,7 +45,8 @@ fn tag_and_report<W: Write>(
 ) -> Result<(Materialization, W), TagError> {
     let streams = inputs.len();
     let tag_start = Instant::now();
-    let (stats, out) = tag_streams(tree, inputs, out, false)?;
+    let tracer = server.tracer().map(|t| t.as_ref());
+    let (stats, out) = tag_streams_traced(tree, inputs, out, false, tracer)?;
     let tag_wall = tag_start.elapsed();
     let report =
         MaterializeReport::assemble(&sql, &stats, plan_time, tag_wall, start.elapsed(), parallel);
@@ -84,11 +88,14 @@ fn run_pipeline<W: Write>(
 ) -> Result<(Materialization, W), TagError> {
     let mut sql = Vec::with_capacity(queries.len());
     let mut inputs = Vec::with_capacity(queries.len());
-    for q in queries {
-        let stream = match mode {
+    for (i, q) in queries.into_iter().enumerate() {
+        let mut stream = match mode {
             ExecMode::Streaming => server.execute_sql_streaming(&q.sql)?,
             ExecMode::Buffered => server.execute_sql(&q.sql)?,
         };
+        if let Some(tracer) = server.tracer() {
+            stream.set_trace(tracer, &i.to_string());
+        }
         sql.push(q.sql);
         inputs.push(StreamInput {
             schema: stream.schema.clone(),
@@ -97,7 +104,7 @@ fn run_pipeline<W: Write>(
         });
     }
     let parallel = mode == ExecMode::Streaming;
-    tag_and_report(tree, sql, inputs, out, start, plan_time, parallel)
+    tag_and_report(tree, server, sql, inputs, out, start, plan_time, parallel)
 }
 
 /// Materialize a view into `out` using the given plan.
@@ -114,7 +121,10 @@ pub fn materialize<W: Write>(
     out: W,
 ) -> Result<(Materialization, W), TagError> {
     let start = Instant::now();
-    let queries = generate_queries(tree, server.database(), spec)?;
+    let queries = {
+        let _s = TraceSpan::new(server.tracer().map(|t| t.as_ref()), "plan.generate");
+        generate_queries(tree, server.database(), spec)?
+    };
     let plan_time = start.elapsed();
     run_pipeline(
         tree,
@@ -138,7 +148,10 @@ pub fn materialize_buffered<W: Write>(
     out: W,
 ) -> Result<(Materialization, W), TagError> {
     let start = Instant::now();
-    let queries = generate_queries(tree, server.database(), spec)?;
+    let queries = {
+        let _s = TraceSpan::new(server.tracer().map(|t| t.as_ref()), "plan.generate");
+        generate_queries(tree, server.database(), spec)?
+    };
     let plan_time = start.elapsed();
     run_pipeline(
         tree,
@@ -178,7 +191,10 @@ pub fn materialize_fragment<W: Write>(
     out: W,
 ) -> Result<(Materialization, W), TagError> {
     let start = Instant::now();
-    let queries = sr_sqlgen::generate_queries_filtered(tree, server.database(), spec, root_filter)?;
+    let queries = {
+        let _s = TraceSpan::new(server.tracer().map(|t| t.as_ref()), "plan.generate");
+        sr_sqlgen::generate_queries_filtered(tree, server.database(), spec, root_filter)?
+    };
     let plan_time = start.elapsed();
     run_pipeline(
         tree,

@@ -15,6 +15,10 @@
 //! * **pipelined** — the default `run_plan` path: elision enabled, every
 //!   component query submitted up front as a stream, tagging overlapping
 //!   with server-side execution.
+//! * **traced** — the pipelined path with a structured trace sink
+//!   installed (`Server::with_tracer`), pricing the tracing subsystem;
+//!   the `trace_overhead` ratio in the JSON is traced over pipelined wall
+//!   time and must stay within +5%.
 //!
 //! The headline number is baseline vs. pipelined on the multi-stream
 //! plans, i.e. "what did this PR buy end to end". Per-stage
@@ -32,7 +36,7 @@
 use std::sync::Arc;
 
 use silkroute::{run_plan, run_plan_buffered, Config, Measurement, PlanSpec, QueryStyle, Server};
-use sr_obs::Json;
+use sr_obs::{Json, Tracer};
 use sr_tpch::Scale;
 use sr_viewtree::{EdgeSet, ViewTree};
 
@@ -45,12 +49,19 @@ struct Point {
     baseline: Measurement,
     sequential: Measurement,
     pipelined: Measurement,
+    traced: Measurement,
 }
 
 impl Point {
     /// End-to-end: pre-PR configuration vs. the new default path.
     fn speedup(&self) -> f64 {
         self.baseline.total_ms / self.pipelined.total_ms
+    }
+
+    /// Cost of recording a full trace: pipelined-with-tracer over plain
+    /// pipelined wall time (1.0 = free; the acceptance bar is ≤ 1.05).
+    fn trace_overhead(&self) -> f64 {
+        self.traced.total_ms / self.pipelined.total_ms
     }
 }
 
@@ -65,12 +76,14 @@ fn keep_min(slot: &mut Option<Measurement>, m: Measurement) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn measure_point(
     query: &'static str,
     plan: &'static str,
     tree: &ViewTree,
     server: &Server,
     baseline_server: &Server,
+    traced_server: &Server,
     edges: EdgeSet,
     reps: usize,
 ) -> Point {
@@ -85,11 +98,13 @@ fn measure_point(
     let warm = run_plan(tree, server, spec, None).expect("warm-up");
     let sorts_elided = server.metrics().snapshot().counter("exec.sorts_elided") - before;
     let _ = run_plan_buffered(tree, baseline_server, spec, None).expect("baseline warm-up");
-    // Interleave the three modes and keep each one's fastest repetition, so
+    let _ = run_plan(tree, traced_server, spec, None).expect("traced warm-up");
+    // Interleave the modes and keep each one's fastest repetition, so
     // drift (scheduler noise, allocator state) hits every mode equally.
     let mut baseline: Option<Measurement> = None;
     let mut sequential: Option<Measurement> = None;
     let mut pipelined: Option<Measurement> = None;
+    let mut traced: Option<Measurement> = None;
     for _ in 0..reps {
         keep_min(
             &mut baseline,
@@ -103,6 +118,10 @@ fn measure_point(
             &mut pipelined,
             run_plan(tree, server, spec, None).expect("pipelined run"),
         );
+        keep_min(
+            &mut traced,
+            run_plan(tree, traced_server, spec, None).expect("traced run"),
+        );
     }
     Point {
         query,
@@ -112,6 +131,7 @@ fn measure_point(
         baseline: baseline.expect("at least one repetition"),
         sequential: sequential.expect("at least one repetition"),
         pipelined: pipelined.expect("at least one repetition"),
+        traced: traced.expect("at least one repetition"),
     }
 }
 
@@ -153,6 +173,10 @@ fn main() {
     let baseline_server = Server::new(Arc::clone(server.database()))
         .with_sort_elision(false)
         .with_plan_cache(false);
+    // A fourth server mirrors the pipelined default but records a full
+    // structured trace of every run, to price the tracing subsystem.
+    let traced_server =
+        Server::new(Arc::clone(server.database())).with_tracer(Arc::new(Tracer::new()));
     let db = server.database();
 
     let mut trees: Vec<(&'static str, ViewTree)> = vec![("query1", silkroute::query1_tree(db))];
@@ -172,10 +196,20 @@ fn main() {
             plans.insert(1, ("half", half));
         }
         for (pname, edges) in plans {
-            let p = measure_point(qname, pname, tree, &server, &baseline_server, edges, reps);
+            let p = measure_point(
+                qname,
+                pname,
+                tree,
+                &server,
+                &baseline_server,
+                &traced_server,
+                edges,
+                reps,
+            );
             println!(
                 "{:<7} {:<12} {:>2} stream(s)  sorts elided {:>2}  \
-                 baseline {:>8.1} ms  sequential {:>8.1} ms  pipelined {:>8.1} ms  ({:.2}x)",
+                 baseline {:>8.1} ms  sequential {:>8.1} ms  pipelined {:>8.1} ms  ({:.2}x)  \
+                 traced {:>8.1} ms ({:+.1}%)",
                 p.query,
                 p.plan,
                 p.streams,
@@ -183,7 +217,9 @@ fn main() {
                 p.baseline.total_ms,
                 p.sequential.total_ms,
                 p.pipelined.total_ms,
-                p.speedup()
+                p.speedup(),
+                p.traced.total_ms,
+                (p.trace_overhead() - 1.0) * 100.0
             );
             points.push(p);
         }
@@ -209,6 +245,13 @@ fn main() {
     );
     let elided: u64 = points.iter().map(|p| p.sorts_elided).sum();
     println!("sorts elided across all measured plans: {elided}");
+    let traced_total: f64 = points.iter().map(|p| p.traced.total_ms).sum();
+    let pipe_total: f64 = points.iter().map(|p| p.pipelined.total_ms).sum();
+    let trace_overhead = traced_total / pipe_total;
+    println!(
+        "trace overhead across all measured plans: {:+.1}% (acceptance bar +5%)",
+        (trace_overhead - 1.0) * 100.0
+    );
 
     let json = Json::obj(vec![
         ("bench", Json::Str("pipeline".to_string())),
@@ -238,7 +281,9 @@ fn main() {
                             ("baseline", stage_json(&p.baseline)),
                             ("sequential", stage_json(&p.sequential)),
                             ("pipelined", stage_json(&p.pipelined)),
+                            ("traced", stage_json(&p.traced)),
                             ("speedup", Json::Float(p.speedup())),
+                            ("trace_overhead", Json::Float(p.trace_overhead())),
                         ])
                     })
                     .collect(),
@@ -257,6 +302,7 @@ fn main() {
             ]),
         ),
         ("sorts_elided_total", Json::UInt(elided)),
+        ("trace_overhead", Json::Float(trace_overhead)),
     ]);
     let dir = std::path::Path::new("target/bench-results");
     let _ = std::fs::create_dir_all(dir);

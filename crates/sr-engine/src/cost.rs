@@ -71,13 +71,47 @@ fn default_width(t: DataType) -> f64 {
 
 /// Estimate a plan bottom-up.
 pub fn estimate(plan: &Plan, db: &Database) -> Result<Estimate, EngineError> {
-    estimate_env(plan, db, &HashMap::new())
+    estimate_env(plan, db, &HashMap::new(), 0, &mut Vec::new())
 }
 
+/// Estimate a plan, also reporting the estimated cardinality of **every**
+/// node, indexed by preorder id (see [`Plan::children`] for the scheme).
+/// This is how `EXPLAIN ANALYZE` lines up estimated against actual rows
+/// per operator. Nodes the estimator never visits keep `NAN` (none today,
+/// but the contract is "NaN = no estimate", surfaced as a missing Q-error).
+pub fn estimate_with_nodes(
+    plan: &Plan,
+    db: &Database,
+) -> Result<(Estimate, Vec<f64>), EngineError> {
+    let mut nodes = vec![f64::NAN; plan.node_count()];
+    let e = estimate_env(plan, db, &HashMap::new(), 0, &mut nodes)?;
+    Ok((e, nodes))
+}
+
+/// Wrapper around [`estimate_op`] that records the node's estimated
+/// cardinality into `nodes[id]` when a per-node vector is in use (the
+/// plain [`estimate`] entry point passes an empty vector, making the
+/// recording a no-op).
 fn estimate_env(
     plan: &Plan,
     db: &Database,
     env: &HashMap<String, Estimate>,
+    id: usize,
+    nodes: &mut Vec<f64>,
+) -> Result<Estimate, EngineError> {
+    let e = estimate_op(plan, db, env, id, nodes)?;
+    if let Some(slot) = nodes.get_mut(id) {
+        *slot = e.cardinality;
+    }
+    Ok(e)
+}
+
+fn estimate_op(
+    plan: &Plan,
+    db: &Database,
+    env: &HashMap<String, Estimate>,
+    id: usize,
+    nodes: &mut Vec<f64>,
 ) -> Result<Estimate, EngineError> {
     match plan {
         Plan::Scan { table, alias } => {
@@ -103,7 +137,7 @@ fn estimate_env(
             })
         }
         Plan::Filter { input, predicates } => {
-            let mut e = estimate_env(input, db, env)?;
+            let mut e = estimate_env(input, db, env, id + 1, nodes)?;
             e.eval_cost += e.cardinality;
             for p in predicates {
                 let sel = selectivity(&p.left, p.op, &p.right, &e);
@@ -113,7 +147,7 @@ fn estimate_env(
             Ok(e)
         }
         Plan::Project { input, items } => {
-            let inner = estimate_env(input, db, env)?;
+            let inner = estimate_env(input, db, env, id + 1, nodes)?;
             let schema = plan.schema(db)?;
             let mut columns = HashMap::with_capacity(items.len());
             for ((name, expr), col) in items.iter().zip(schema.columns()) {
@@ -148,8 +182,8 @@ fn estimate_env(
             kind,
             on,
         } => {
-            let le = estimate_env(left, db, env)?;
-            let re = estimate_env(right, db, env)?;
+            let le = estimate_env(left, db, env, id + 1, nodes)?;
+            let re = estimate_env(right, db, env, id + 1 + left.node_count(), nodes)?;
             // Containment assumption with *joint* key distincts: treating
             // each key pair independently grossly underestimates multi-key
             // joins whose key columns are correlated (e.g. (suppkey,
@@ -219,10 +253,12 @@ fn estimate_env(
             let mut eval_cost = 0.0;
             let mut width_acc: HashMap<String, f64> = HashMap::new();
             let mut distinct_acc: HashMap<String, f64> = HashMap::new();
-            let estimates = inputs
-                .iter()
-                .map(|i| estimate_env(i, db, env))
-                .collect::<Result<Vec<_>, _>>()?;
+            let mut estimates = Vec::with_capacity(inputs.len());
+            let mut child_id = id + 1;
+            for i in inputs {
+                estimates.push(estimate_env(i, db, env, child_id, nodes)?);
+                child_id += i.node_count();
+            }
             for e in &estimates {
                 card += e.cardinality;
                 eval_cost += e.eval_cost + e.cardinality;
@@ -270,13 +306,13 @@ fn estimate_env(
             Ok(e)
         }
         Plan::Sort { input, keys: _ } => {
-            let mut e = estimate_env(input, db, env)?;
+            let mut e = estimate_env(input, db, env, id + 1, nodes)?;
             let n = e.cardinality.max(1.0);
             e.eval_cost += n * n.log2().max(1.0);
             Ok(e)
         }
         Plan::Distinct { input } => {
-            let mut e = estimate_env(input, db, env)?;
+            let mut e = estimate_env(input, db, env, id + 1, nodes)?;
             e.eval_cost += e.cardinality;
             // Upper-bounded by the product of column distincts.
             let product: f64 = e
@@ -293,12 +329,14 @@ fn estimate_env(
             // only pay a re-scan.
             let mut local = env.clone();
             let mut setup = 0.0;
+            let mut child_id = id + 1;
             for (name, def) in ctes {
-                let e = estimate_env(def, db, &local)?;
+                let e = estimate_env(def, db, &local, child_id, nodes)?;
+                child_id += def.node_count();
                 setup += e.eval_cost;
                 local.insert(name.clone(), e);
             }
-            let mut e = estimate_env(body, db, &local)?;
+            let mut e = estimate_env(body, db, &local, child_id, nodes)?;
             e.eval_cost += setup;
             Ok(e)
         }
@@ -517,6 +555,26 @@ mod tests {
         let d = Plan::Distinct { input: Box::new(p) };
         let e = estimate(&d, &db).unwrap();
         assert!(e.cardinality <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn per_node_estimates_follow_preorder_ids() {
+        let db = db();
+        // 0=Sort, 1=Join, 2=Scan S, 3=Scan T
+        let p = Plan::scan("S", "s")
+            .join(
+                Plan::scan("T", "t"),
+                JoinKind::Inner,
+                vec![("s_g".into(), "t_k".into())],
+            )
+            .sort(vec!["s_k".into()]);
+        let (e, nodes) = estimate_with_nodes(&p, &db).unwrap();
+        assert_eq!(nodes.len(), 4);
+        assert!(nodes.iter().all(|n| n.is_finite()), "{nodes:?}");
+        assert_eq!(nodes[0], e.cardinality, "root slot = overall estimate");
+        assert_eq!(nodes[0], nodes[1], "sort preserves cardinality");
+        assert_eq!(nodes[2], 100.0);
+        assert_eq!(nodes[3], 10.0);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
 
 use sr_data::{Database, Row, Schema, Value};
 
@@ -58,6 +59,43 @@ impl ExecProfile {
                 .add(stat.rows_out);
         }
     }
+}
+
+/// Execution statistics for one *plan node* (not one operator kind),
+/// addressed by the node's preorder id — see [`Plan::children`] for the id
+/// scheme. This is what `EXPLAIN ANALYZE` renders per operator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeStat {
+    /// Operator kind name (`scan`, `join`, …); empty if the node never ran.
+    pub op: &'static str,
+    /// Times this node was evaluated (CTE definitions run once; a node
+    /// under a re-evaluated subtree could run more).
+    pub calls: u64,
+    /// Rows this node produced in total.
+    pub rows_out: u64,
+    /// Wall time spent in this node *including* its children.
+    pub total_time: Duration,
+    /// Wall time minus the total time of direct children (computed after
+    /// execution by [`execute_analyzed`]).
+    pub self_time: Duration,
+}
+
+/// Per-node execution profile of one analyzed run: `nodes[i]` is the stat
+/// for the plan node with preorder id `i`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanProfile {
+    /// One entry per plan node, indexed by preorder id.
+    pub nodes: Vec<NodeStat>,
+}
+
+/// Mutable execution context threaded through the operator recursion:
+/// always the kind-level [`ExecProfile`], plus per-node stats when running
+/// under [`execute_analyzed`]. Keeping the per-node vector optional means
+/// the normal execution path pays only a branch per operator, not a clock
+/// read.
+struct ExecCtx<'a> {
+    profile: &'a mut ExecProfile,
+    nodes: Option<&'a mut Vec<NodeStat>>,
 }
 
 fn op_name(plan: &Plan) -> &'static str {
@@ -111,20 +149,65 @@ pub fn execute_profiled(
     db: &Database,
 ) -> Result<(ResultSet, ExecProfile), EngineError> {
     let mut profile = ExecProfile::default();
-    let rs = execute_env(plan, db, &HashMap::new(), &mut profile)?;
+    let mut ctx = ExecCtx {
+        profile: &mut profile,
+        nodes: None,
+    };
+    let rs = execute_env(plan, db, &HashMap::new(), &mut ctx, 0)?;
     Ok((rs, profile))
 }
 
+/// Execute a plan collecting, in addition to the kind-level profile, a
+/// timed per-node [`PlanProfile`] — the raw material of `EXPLAIN ANALYZE`.
+/// Self times (total minus direct children) are filled in after the run.
+pub fn execute_analyzed(
+    plan: &Plan,
+    db: &Database,
+) -> Result<(ResultSet, ExecProfile, PlanProfile), EngineError> {
+    let mut profile = ExecProfile::default();
+    let mut nodes = vec![NodeStat::default(); plan.node_count()];
+    let mut ctx = ExecCtx {
+        profile: &mut profile,
+        nodes: Some(&mut nodes),
+    };
+    let rs = execute_env(plan, db, &HashMap::new(), &mut ctx, 0)?;
+    fill_self_times(plan, 0, &mut nodes);
+    Ok((rs, profile, PlanProfile { nodes }))
+}
+
+/// `self = total − Σ direct children's total`, per node. Saturating: on a
+/// timer-granularity hiccup a child could appear to outlast its parent.
+fn fill_self_times(plan: &Plan, id: usize, nodes: &mut [NodeStat]) {
+    let mut child_id = id + 1;
+    let mut children_total = Duration::ZERO;
+    for child in plan.children() {
+        children_total += nodes[child_id].total_time;
+        fill_self_times(child, child_id, nodes);
+        child_id += child.node_count();
+    }
+    nodes[id].self_time = nodes[id].total_time.saturating_sub(children_total);
+}
+
 /// Execute with a CTE environment (each definition's materialized result,
-/// computed exactly once by the enclosing [`Plan::With`]).
+/// computed exactly once by the enclosing [`Plan::With`]). `id` is the
+/// node's preorder id, meaningful only when `ctx.nodes` is set.
 fn execute_env(
     plan: &Plan,
     db: &Database,
     env: &HashMap<String, ResultSet>,
-    profile: &mut ExecProfile,
+    ctx: &mut ExecCtx<'_>,
+    id: usize,
 ) -> Result<ResultSet, EngineError> {
-    let rs = execute_op(plan, db, env, profile)?;
-    profile.record(op_name(plan), rs.len());
+    let start = ctx.nodes.is_some().then(Instant::now);
+    let rs = execute_op(plan, db, env, ctx, id)?;
+    ctx.profile.record(op_name(plan), rs.len());
+    if let (Some(start), Some(nodes)) = (start, ctx.nodes.as_deref_mut()) {
+        let stat = &mut nodes[id];
+        stat.op = op_name(plan);
+        stat.calls += 1;
+        stat.rows_out += rs.len() as u64;
+        stat.total_time += start.elapsed();
+    }
     Ok(rs)
 }
 
@@ -132,7 +215,8 @@ fn execute_op(
     plan: &Plan,
     db: &Database,
     env: &HashMap<String, ResultSet>,
-    profile: &mut ExecProfile,
+    ctx: &mut ExecCtx<'_>,
+    id: usize,
 ) -> Result<ResultSet, EngineError> {
     match plan {
         Plan::Scan { table, alias: _ } => {
@@ -143,7 +227,7 @@ fn execute_op(
             })
         }
         Plan::Filter { input, predicates } => {
-            let mut rs = execute_env(input, db, env, profile)?;
+            let mut rs = execute_env(input, db, env, ctx, id + 1)?;
             let bound = predicates
                 .iter()
                 .map(|p| p.bind(&rs.schema))
@@ -152,7 +236,7 @@ fn execute_op(
             Ok(rs)
         }
         Plan::Project { input, items } => {
-            let rs = execute_env(input, db, env, profile)?;
+            let rs = execute_env(input, db, env, ctx, id + 1)?;
             let bound = items
                 .iter()
                 .map(|(_, e)| e.bind(&rs.schema))
@@ -171,8 +255,8 @@ fn execute_op(
             kind,
             on,
         } => {
-            let lrs = execute_env(left, db, env, profile)?;
-            let rrs = execute_env(right, db, env, profile)?;
+            let lrs = execute_env(left, db, env, ctx, id + 1)?;
+            let rrs = execute_env(right, db, env, ctx, id + 1 + left.node_count())?;
             let schema = plan.schema(db)?;
             let rows = hash_join(&lrs, &rrs, *kind, on)?;
             Ok(ResultSet { schema, rows })
@@ -180,8 +264,10 @@ fn execute_op(
         Plan::OuterUnion { inputs } => {
             let schema = plan.schema(db)?;
             let mut rows = Vec::new();
+            let mut child_id = id + 1;
             for input in inputs {
-                let rs = execute_env(input, db, env, profile)?;
+                let rs = execute_env(input, db, env, ctx, child_id)?;
+                child_id += input.node_count();
                 // Map union position -> branch position (None = NULL pad).
                 let mapping: Vec<Option<usize>> =
                     schema.names().map(|n| rs.schema.position(n)).collect();
@@ -200,7 +286,7 @@ fn execute_op(
             Ok(ResultSet { schema, rows })
         }
         Plan::Sort { input, keys } => {
-            let mut rs = execute_env(input, db, env, profile)?;
+            let mut rs = execute_env(input, db, env, ctx, id + 1)?;
             let idx: Vec<usize> = keys
                 .iter()
                 .map(|k| rs.schema.require(k).map_err(EngineError::from))
@@ -217,7 +303,7 @@ fn execute_op(
             Ok(rs)
         }
         Plan::Distinct { input } => {
-            let mut rs = execute_env(input, db, env, profile)?;
+            let mut rs = execute_env(input, db, env, ctx, id + 1)?;
             // Dedup on row hashes with bucket verification: no row clones,
             // first occurrence wins (preserving input order).
             let mut seen: HashMap<u64, Vec<usize>> = HashMap::with_capacity(rs.rows.len());
@@ -241,11 +327,13 @@ fn execute_op(
             // definitions and the body — this is the sharing the paper's
             // with-clause footnote is after.
             let mut local = env.clone();
+            let mut child_id = id + 1;
             for (name, def) in ctes {
-                let rs = execute_env(def, db, &local, profile)?;
+                let rs = execute_env(def, db, &local, ctx, child_id)?;
+                child_id += def.node_count();
                 local.insert(name.clone(), rs);
             }
-            execute_env(body, db, &local, profile)
+            execute_env(body, db, &local, ctx, child_id)
         }
         Plan::CteScan {
             cte,
@@ -520,6 +608,78 @@ mod tests {
             2,
             "NULL left row padded"
         );
+    }
+
+    #[test]
+    fn analyzed_execution_fills_per_node_stats() {
+        let db = db();
+        // 0=Sort, 1=Join, 2=Scan Supplier, 3=Scan PartSupp
+        let p = Plan::scan("Supplier", "s")
+            .join(
+                Plan::scan("PartSupp", "ps"),
+                JoinKind::Inner,
+                vec![("s_suppkey".into(), "ps_suppkey".into())],
+            )
+            .sort(vec!["s_suppkey".into()]);
+        let (rs, profile, plan_profile) = execute_analyzed(&p, &db).unwrap();
+        assert_eq!(rs.len(), 3);
+        let n = &plan_profile.nodes;
+        assert_eq!(n.len(), 4);
+        assert_eq!(
+            n.iter().map(|s| s.op).collect::<Vec<_>>(),
+            vec!["sort", "join", "scan", "scan"]
+        );
+        assert!(n.iter().all(|s| s.calls == 1));
+        assert_eq!(n[0].rows_out, 3);
+        assert_eq!(n[1].rows_out, 3);
+        assert_eq!(n[2].rows_out, 3);
+        assert_eq!(n[3].rows_out, 3);
+        // Per-node rows agree with the kind-level profile.
+        assert_eq!(profile.ops["scan"].rows_out, n[2].rows_out + n[3].rows_out);
+        // Totals nest: parent total >= child total; self <= total.
+        assert!(n[0].total_time >= n[1].total_time);
+        assert!(n[1].total_time >= n[2].total_time);
+        for s in n {
+            assert!(s.self_time <= s.total_time);
+        }
+        // Analyzed and plain execution agree on the result.
+        let plain = execute(&p, &db).unwrap();
+        assert_eq!(plain.rows, rs.rows);
+    }
+
+    #[test]
+    fn analyzed_with_cte_counts_single_evaluation() {
+        let db = db();
+        let def = Plan::scan("Supplier", "s");
+        let schema = sr_data::Schema::of(&[("suppkey", DataType::Int), ("name", DataType::Str)]);
+        // 0=With, 1=Scan (cte def), 2=Join, 3=CteScan, 4=CteScan
+        let body = Plan::CteScan {
+            cte: "c".into(),
+            alias: "x".into(),
+            schema: schema.clone(),
+        }
+        .join(
+            Plan::CteScan {
+                cte: "c".into(),
+                alias: "y".into(),
+                schema,
+            },
+            JoinKind::Inner,
+            vec![("x_suppkey".into(), "y_suppkey".into())],
+        );
+        let p = Plan::With {
+            ctes: vec![("c".into(), def)],
+            body: Box::new(body),
+        };
+        let (_, _, pp) = execute_analyzed(&p, &db).unwrap();
+        assert_eq!(
+            pp.nodes.iter().map(|s| s.op).collect::<Vec<_>>(),
+            vec!["with", "scan", "join", "cte_scan", "cte_scan"]
+        );
+        // The definition ran exactly once despite two references.
+        assert_eq!(pp.nodes[1].calls, 1);
+        assert_eq!(pp.nodes[3].calls, 1);
+        assert_eq!(pp.nodes[4].calls, 1);
     }
 
     #[test]

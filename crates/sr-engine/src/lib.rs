@@ -19,6 +19,7 @@
 //! The executable algebra ([`plan::Plan`]) is also public so the SQL
 //! generator can build plans directly and print them ([`sql::to_sql`]).
 
+pub mod analyze;
 pub mod cost;
 pub mod error;
 pub mod exec;
@@ -30,9 +31,13 @@ pub mod server;
 pub mod sql;
 pub mod wire;
 
-pub use cost::{estimate, ColInfo, Estimate};
+pub use analyze::{q_error, AnalyzedNode, ExplainAnalysis};
+pub use cost::{estimate, estimate_with_nodes, ColInfo, Estimate};
 pub use error::EngineError;
-pub use exec::{execute, execute_profiled, ExecProfile, OpStat, ResultSet};
+pub use exec::{
+    execute, execute_analyzed, execute_profiled, ExecProfile, NodeStat, OpStat, PlanProfile,
+    ResultSet,
+};
 pub use expr::{CmpOp, Expr, Predicate};
 pub use optimize::push_filters;
 pub use ordering::{elide_sorts, order_info, OrderInfo};

@@ -326,6 +326,30 @@ impl Plan {
         }
     }
 
+    /// Direct children in operand order: `[input]` for unary operators,
+    /// `[left, right]` for joins, one per branch for unions, and — for
+    /// `With` — every CTE definition in order followed by the body. This is
+    /// exactly the order [`Plan::visit`] and [`Plan::node_count`] recurse
+    /// in, so preorder node ids (node `i`'s first child is `i + 1`, each
+    /// next sibling is offset by the previous child's `node_count`) are
+    /// consistent across the executor, the cost model, and EXPLAIN output.
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Scan { .. } | Plan::CteScan { .. } => Vec::new(),
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Distinct { input } => vec![input],
+            Plan::Join { left, right, .. } => vec![left, right],
+            Plan::OuterUnion { inputs } => inputs.iter().collect(),
+            Plan::With { ctes, body } => {
+                let mut kids: Vec<&Plan> = ctes.iter().map(|(_, d)| d).collect();
+                kids.push(body);
+                kids
+            }
+        }
+    }
+
     /// Does the plan use a left outer join anywhere?
     pub fn uses_outer_join(&self) -> bool {
         let mut found = false;
@@ -577,6 +601,34 @@ mod tests {
             .sort(vec!["a_id".into()]);
         assert_eq!(p.node_count(), 4);
         assert_eq!(p.scanned_tables(), vec!["A", "B"]);
+    }
+
+    #[test]
+    fn children_match_preorder_node_ids() {
+        let join = Plan::scan("A", "a").join(
+            Plan::scan("B", "b"),
+            JoinKind::Inner,
+            vec![("a_id".into(), "b_id".into())],
+        );
+        let kids = join.children();
+        assert_eq!(kids.len(), 2);
+        // Preorder: join=0, left=1, right=1+left.node_count()=2.
+        assert_eq!(kids[0].node_count(), 1);
+
+        let with = Plan::With {
+            ctes: vec![("c".into(), Plan::scan("A", "a"))],
+            body: Box::new(Plan::scan("B", "b")),
+        };
+        let kids = with.children();
+        assert_eq!(kids.len(), 2);
+        assert!(matches!(kids[0], Plan::Scan { table, .. } if table == "A"));
+        assert!(matches!(kids[1], Plan::Scan { table, .. } if table == "B"));
+
+        // children() order agrees with visit() order.
+        let mut visited = Vec::new();
+        with.visit(&mut |p| visited.push(p.clone()));
+        assert_eq!(&visited[1], kids[0]);
+        assert_eq!(&visited[2], kids[1]);
     }
 
     #[test]

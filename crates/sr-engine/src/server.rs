@@ -17,11 +17,12 @@ use std::time::{Duration, Instant};
 
 use bytes::{Buf, Bytes};
 use sr_data::{Database, Row, Schema};
-use sr_obs::MetricsRegistry;
+use sr_obs::{MetricsRegistry, TraceSpan, Tracer};
 
-use crate::cost::{estimate, Estimate};
+use crate::analyze::ExplainAnalysis;
+use crate::cost::{estimate, estimate_with_nodes, Estimate};
 use crate::error::EngineError;
-use crate::exec::execute_profiled;
+use crate::exec::{execute_analyzed, execute_profiled};
 use crate::ordering::elide_sorts;
 use crate::plan::Plan;
 use crate::sql::binder::plan_sql;
@@ -174,9 +175,32 @@ pub struct TupleStream {
     /// Rows decoded by the client so far.
     pub rows_decoded: usize,
     source: StreamSource,
+    /// Trace sink for this stream's timeline (stall intervals, decode
+    /// progress), recording onto the stream's own virtual lane.
+    trace: Option<StreamTrace>,
+}
+
+/// A stream's handle onto a [`Tracer`]: events recorded by whichever
+/// thread consumes the stream land on the stream's dedicated lane, so each
+/// stream shows up as its own row in the trace viewer.
+#[derive(Debug)]
+struct StreamTrace {
+    tracer: Arc<Tracer>,
+    lane: u64,
 }
 
 impl TupleStream {
+    /// Attach the stream to a tracer: a named virtual lane
+    /// (`stream <label>`) is allocated and subsequent stall intervals and
+    /// decode-progress counters are recorded onto it.
+    pub fn set_trace(&mut self, tracer: &Arc<Tracer>, label: &str) {
+        let lane = tracer.lane(format!("stream {label}"));
+        self.trace = Some(StreamTrace {
+            tracer: Arc::clone(tracer),
+            lane,
+        });
+    }
+
     /// Decode the next row, or `None` at end of stream.
     pub fn next_row(&mut self) -> Result<Option<Row>, EngineError> {
         loop {
@@ -207,12 +231,30 @@ impl TupleStream {
                     if *finished {
                         return Ok(None);
                     }
+                    if let Some(tr) = &self.trace {
+                        tr.tracer.begin(tr.lane, "stream.stall", None);
+                    }
                     let wait = Instant::now();
                     let item = rx.recv();
                     self.stall_time += wait.elapsed();
+                    if let Some(tr) = &self.trace {
+                        tr.tracer.end(tr.lane, "stream.stall");
+                    }
                     match item {
-                        Ok(StreamItem::Chunk(bytes)) => *current = bytes,
+                        Ok(StreamItem::Chunk(bytes)) => {
+                            if let Some(tr) = &self.trace {
+                                tr.tracer.counter(
+                                    tr.lane,
+                                    "stream.rows_decoded",
+                                    self.rows_decoded as f64,
+                                );
+                            }
+                            *current = bytes;
+                        }
                         Ok(StreamItem::Done(sum)) => {
+                            if let Some(tr) = &self.trace {
+                                tr.tracer.instant(tr.lane, "stream.done", None);
+                            }
                             *finished = true;
                             self.row_count = sum.row_count;
                             self.byte_size = sum.byte_size;
@@ -266,6 +308,7 @@ pub struct Server {
     /// [`EngineError::Timeout`] (the paper used 5 minutes, §4).
     pub timeout: Option<Duration>,
     metrics: Arc<MetricsRegistry>,
+    tracer: Option<Arc<Tracer>>,
     exec_gate: Arc<ExecGate>,
     sort_elision: bool,
     stream_workers: bool,
@@ -304,6 +347,7 @@ impl Server {
             db,
             timeout: None,
             metrics: Arc::new(MetricsRegistry::new()),
+            tracer: None,
             exec_gate: ExecGate::new(),
             sort_elision: true,
             stream_workers: parallel,
@@ -351,12 +395,27 @@ impl Server {
         self
     }
 
+    /// Install a trace sink: server phases, gate waits, worker execution,
+    /// and encode intervals are recorded into it. Without a tracer the
+    /// execution paths construct no events at all.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The installed trace sink, if any — callers attach their own spans
+    /// (and per-stream lanes via [`TupleStream::set_trace`]) to the same
+    /// timeline.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
     /// The registry all queries record into. Counters: `server.queries`,
-    /// `server.streams`, `server.rows`, `server.bytes`, `server.estimates`,
-    /// `server.timeouts`, `server.plan_cache_hits`, `exec.sorts_elided`,
-    /// `exec.{calls,rows}.<op>`.
+    /// `server.streams`, `server.analyze`, `server.rows`, `server.bytes`,
+    /// `server.estimates`, `server.timeouts`, `server.plan_cache_hits`,
+    /// `exec.sorts_elided`, `exec.{calls,rows}.<op>`.
     /// Histograms: `server.<phase>_ns`, `server.query_ns`,
-    /// `server.estimate_ns`.
+    /// `server.estimate_ns`, `oracle.qerror` (Q-error ×1000).
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.metrics
     }
@@ -415,16 +474,27 @@ impl Server {
     /// returns. See [`Server::execute_sql_streaming`] for the pipelined
     /// variant.
     pub fn execute_sql(&self, sql: &str) -> Result<TupleStream, EngineError> {
+        let tracer = self.tracer.as_deref();
         let start = Instant::now();
-        let (plan, _, elided) = self.plan_cached(sql)?;
+        let (plan, _, elided) = {
+            let _s = TraceSpan::new(tracer, "server.parse_bind");
+            self.plan_cached(sql)?
+        };
         let parse_bind = start.elapsed();
         let optimize = Duration::ZERO;
         self.metrics.counter("exec.sorts_elided").add(elided as u64);
         let t_exec = Instant::now();
-        let (rs, profile) = execute_profiled(&plan, &self.db)?;
+        let (rs, profile) = {
+            let _s =
+                TraceSpan::with_detail(tracer, "query.execute", tracer.map(|_| sql_summary(sql)));
+            execute_profiled(&plan, &self.db)?
+        };
         let execute = t_exec.elapsed();
         let t_enc = Instant::now();
-        let data = encode_rows(&rs.rows);
+        let data = {
+            let _s = TraceSpan::new(tracer, "encode");
+            encode_rows(&rs.rows)
+        };
         let encode = t_enc.elapsed();
         let query_time = start.elapsed();
 
@@ -434,7 +504,6 @@ impl Server {
         m.counter("server.bytes").add(data.len() as u64);
         m.histogram("server.parse_bind_ns")
             .record_duration(parse_bind);
-        m.histogram("server.optimize_ns").record_duration(optimize);
         m.histogram("server.execute_ns").record_duration(execute);
         m.histogram("server.encode_ns").record_duration(encode);
         m.histogram("server.query_ns").record_duration(query_time);
@@ -464,6 +533,7 @@ impl Server {
             stall_time: Duration::ZERO,
             rows_decoded: 0,
             source: StreamSource::Buffered(data),
+            trace: None,
         })
     }
 
@@ -488,7 +558,7 @@ impl Server {
         self.metrics.counter("server.streams").inc();
 
         if !self.stream_workers {
-            return self.stream_inline(plan, schema, parse_bind, optimize);
+            return self.stream_inline(plan, schema, parse_bind);
         }
 
         let (tx, rx) = sync_channel(STREAM_CHANNEL_BOUND);
@@ -496,20 +566,33 @@ impl Server {
         let metrics = Arc::clone(&self.metrics);
         let gate = Arc::clone(&self.exec_gate);
         let timeout = self.timeout;
+        let tracer = self.tracer.clone();
+        let detail = tracer.as_ref().map(|_| sql_summary(sql));
         std::thread::spawn(move || {
+            let lane = tracer.as_ref().map(|t| {
+                let lane = t.name_current_thread("server execute worker");
+                t.begin(lane, "exec.gate.wait", None);
+                lane
+            });
             // Execute and encode under an admission permit (see
             // [`ExecGate`]). The permit is never held across a *blocking*
             // send: if the channel is full we release it first, so a slow
             // consumer never holds up other plans' execution (or deadlocks
             // the k-way merge).
             let permit = gate.acquire();
+            if let (Some(t), Some(lane)) = (&tracer, lane) {
+                t.end(lane, "exec.gate.wait");
+            }
             let t_exec = Instant::now();
-            let (rs, profile) = match execute_profiled(&plan, &db) {
-                Ok(v) => v,
-                Err(e) => {
-                    drop(permit);
-                    let _ = tx.send(StreamItem::Failed(e));
-                    return;
+            let (rs, profile) = {
+                let _s = TraceSpan::with_detail(tracer.as_deref(), "query.execute", detail);
+                match execute_profiled(&plan, &db) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        drop(permit);
+                        let _ = tx.send(StreamItem::Failed(e));
+                        return;
+                    }
                 }
             };
             let execute = t_exec.elapsed();
@@ -518,16 +601,26 @@ impl Server {
             let mut byte_size = 0usize;
             for chunk in rs.rows.chunks(STREAM_CHUNK_ROWS) {
                 if permit.is_none() {
+                    if let (Some(t), Some(lane)) = (&tracer, lane) {
+                        t.begin(lane, "exec.gate.wait", None);
+                    }
                     permit = Some(gate.acquire());
+                    if let (Some(t), Some(lane)) = (&tracer, lane) {
+                        t.end(lane, "exec.gate.wait");
+                    }
                 }
                 let t_enc = Instant::now();
-                let bytes = encode_rows(chunk);
+                let bytes = {
+                    let _s = TraceSpan::new(tracer.as_deref(), "encode");
+                    encode_rows(chunk)
+                };
                 encode += t_enc.elapsed();
                 byte_size += bytes.len();
                 match tx.try_send(StreamItem::Chunk(bytes)) {
                     Ok(()) => {}
                     Err(TrySendError::Full(item)) => {
                         permit = None;
+                        let _s = TraceSpan::new(tracer.as_deref(), "send.backpressure");
                         if tx.send(item).is_err() {
                             return; // consumer dropped the stream
                         }
@@ -545,9 +638,6 @@ impl Server {
             metrics
                 .histogram("server.parse_bind_ns")
                 .record_duration(parse_bind);
-            metrics
-                .histogram("server.optimize_ns")
-                .record_duration(optimize);
             metrics
                 .histogram("server.execute_ns")
                 .record_duration(execute);
@@ -595,6 +685,7 @@ impl Server {
                 current: Bytes::new(),
                 finished: false,
             },
+            trace: None,
         })
     }
 
@@ -609,8 +700,9 @@ impl Server {
         plan: Plan,
         schema: Schema,
         parse_bind: Duration,
-        optimize: Duration,
     ) -> Result<TupleStream, EngineError> {
+        let optimize = Duration::ZERO;
+        let tracer = self.tracer.as_deref();
         let stream = |rx| TupleStream {
             schema,
             row_count: 0,
@@ -625,14 +717,18 @@ impl Server {
                 current: Bytes::new(),
                 finished: false,
             },
+            trace: None,
         };
         let t_exec = Instant::now();
-        let (rs, profile) = match execute_profiled(&plan, &self.db) {
-            Ok(v) => v,
-            Err(e) => {
-                let (tx, rx) = sync_channel(1);
-                let _ = tx.send(StreamItem::Failed(e));
-                return Ok(stream(rx));
+        let (rs, profile) = {
+            let _s = TraceSpan::new(tracer, "query.execute");
+            match execute_profiled(&plan, &self.db) {
+                Ok(v) => v,
+                Err(e) => {
+                    let (tx, rx) = sync_channel(1);
+                    let _ = tx.send(StreamItem::Failed(e));
+                    return Ok(stream(rx));
+                }
             }
         };
         let execute = t_exec.elapsed();
@@ -640,12 +736,15 @@ impl Server {
         let (tx, rx) = sync_channel(n_chunks + 1);
         let mut encode = Duration::ZERO;
         let mut byte_size = 0usize;
-        for chunk in rs.rows.chunks(STREAM_CHUNK_ROWS) {
-            let t_enc = Instant::now();
-            let bytes = encode_rows(chunk);
-            encode += t_enc.elapsed();
-            byte_size += bytes.len();
-            let _ = tx.send(StreamItem::Chunk(bytes));
+        {
+            let _s = TraceSpan::new(tracer, "encode");
+            for chunk in rs.rows.chunks(STREAM_CHUNK_ROWS) {
+                let t_enc = Instant::now();
+                let bytes = encode_rows(chunk);
+                encode += t_enc.elapsed();
+                byte_size += bytes.len();
+                let _ = tx.send(StreamItem::Chunk(bytes));
+            }
         }
         let query_time = parse_bind + optimize + execute + encode;
         let m = &self.metrics;
@@ -654,7 +753,6 @@ impl Server {
         m.counter("server.bytes").add(byte_size as u64);
         m.histogram("server.parse_bind_ns")
             .record_duration(parse_bind);
-        m.histogram("server.optimize_ns").record_duration(optimize);
         m.histogram("server.execute_ns").record_duration(execute);
         m.histogram("server.encode_ns").record_duration(encode);
         m.histogram("server.query_ns").record_duration(query_time);
@@ -715,6 +813,63 @@ impl Server {
             .record_duration(start.elapsed());
         est
     }
+
+    /// `EXPLAIN ANALYZE`: plan the query (through the cache, so the
+    /// analyzed plan is exactly the one the execution paths run), estimate
+    /// every node's cardinality, then execute with per-node timing and
+    /// combine the two into an annotated tree. The execution is real —
+    /// its per-operator profile is exported to the registry — but it bumps
+    /// `server.analyze` rather than `server.queries`, and every node with
+    /// an estimate records its Q-error into the `oracle.qerror` histogram
+    /// (×1000 fixed point, so 1.0 → 1000).
+    pub fn explain_analyze(&self, sql: &str) -> Result<ExplainAnalysis, EngineError> {
+        let (plan, _, elided) = self.plan_cached(sql)?;
+        let (_, est_rows) = estimate_with_nodes(&plan, &self.db)?;
+        let start = Instant::now();
+        let (rs, profile, plan_profile) = {
+            let _s = TraceSpan::with_detail(
+                self.tracer.as_deref(),
+                "query.analyze",
+                self.tracer.as_ref().map(|_| sql_summary(sql)),
+            );
+            execute_analyzed(&plan, &self.db)?
+        };
+        let execute_time = start.elapsed();
+        let m = &self.metrics;
+        m.counter("server.analyze").inc();
+        m.counter("exec.sorts_elided").add(elided as u64);
+        profile.export_to(m);
+        let analysis = ExplainAnalysis::assemble(
+            &plan,
+            &plan_profile,
+            &est_rows,
+            elided as u64,
+            execute_time,
+            rs.len() as u64,
+            sql.to_string(),
+        );
+        for n in &analysis.nodes {
+            if let Some(q) = n.q_error {
+                m.histogram("oracle.qerror")
+                    .record((q * 1000.0).round() as u64);
+            }
+        }
+        Ok(analysis)
+    }
+}
+
+/// A short, single-line rendition of a SQL statement for trace details.
+fn sql_summary(sql: &str) -> String {
+    let mut s: String = sql.split_whitespace().collect::<Vec<_>>().join(" ");
+    if s.len() > 120 {
+        let cut = (0..=120)
+            .rev()
+            .find(|&i| s.is_char_boundary(i))
+            .unwrap_or(0);
+        s.truncate(cut);
+        s.push('…');
+    }
+    s
 }
 
 #[cfg(test)]
@@ -917,6 +1072,92 @@ mod tests {
         // A different statement misses.
         let _ = s.execute_sql("SELECT i.id AS id FROM Item i").unwrap();
         assert_eq!(s.metrics().snapshot().counter("server.plan_cache_hits"), 2);
+    }
+
+    #[test]
+    fn explain_analyze_annotates_every_operator() {
+        let s = server();
+        let analysis = s
+            .explain_analyze("SELECT i.id AS id FROM Item i WHERE i.id < 10 ORDER BY id")
+            .unwrap();
+        assert_eq!(analysis.row_count, 10);
+        assert!(!analysis.nodes.is_empty());
+        for n in &analysis.nodes {
+            assert!(n.calls >= 1, "{n:?}");
+            let q = n.q_error.expect("every operator estimated");
+            assert!(q.is_finite() && q >= 1.0, "{n:?}");
+        }
+        let snap = s.metrics().snapshot();
+        assert_eq!(snap.counter("server.analyze"), 1);
+        assert_eq!(snap.counter("server.queries"), 0, "analyze is not a query");
+        let qerr = snap.histogram("oracle.qerror").expect("qerror recorded");
+        assert_eq!(qerr.count, analysis.nodes.len() as u64);
+        // ×1000 fixed point: every recorded value is >= 1000 (q >= 1).
+        assert!(qerr.min >= 1000);
+        // Actual rows agree with the exported kind-level counters (fresh
+        // server: only this execution recorded).
+        for (op, stat) in [("scan", 50u64), ("filter", 10u64)] {
+            assert_eq!(snap.counter(&format!("exec.rows.{op}")), stat);
+            let from_nodes: u64 = analysis
+                .nodes
+                .iter()
+                .filter(|n| n.op == op)
+                .map(|n| n.actual_rows)
+                .sum();
+            assert_eq!(from_nodes, stat);
+        }
+    }
+
+    #[test]
+    fn tracer_records_server_spans_on_all_paths() {
+        for workers in [true, false] {
+            let tracer = Arc::new(Tracer::new());
+            let s = server()
+                .with_stream_workers(workers)
+                .with_tracer(Arc::clone(&tracer));
+            let sql = "SELECT i.id AS id FROM Item i ORDER BY id";
+            let _ = s.execute_sql(sql).unwrap().collect_rows().unwrap();
+            let mut stream = s.execute_sql_streaming(sql).unwrap();
+            stream.set_trace(&tracer, "0");
+            while stream.next_row().unwrap().is_some() {}
+            let events = tracer.events();
+            let names: Vec<&str> = events.iter().map(|e| e.name.as_ref()).collect();
+            assert!(names.contains(&"server.parse_bind"), "{names:?}");
+            assert!(names.contains(&"query.execute"), "{names:?}");
+            assert!(names.contains(&"encode"), "{names:?}");
+            if workers {
+                assert!(names.contains(&"exec.gate.wait"), "{names:?}");
+                assert!(names.contains(&"stream.stall"), "{names:?}");
+            }
+            assert!(
+                tracer.lanes().iter().any(|(_, n)| n == "stream 0"),
+                "stream lane registered"
+            );
+            // Balanced per lane.
+            let mut open: HashMap<u64, Vec<&str>> = HashMap::new();
+            for e in &events {
+                match e.phase {
+                    sr_obs::TracePhase::Begin => {
+                        open.entry(e.lane).or_default().push(e.name.as_ref())
+                    }
+                    sr_obs::TracePhase::End => {
+                        assert_eq!(open.entry(e.lane).or_default().pop(), Some(e.name.as_ref()));
+                    }
+                    _ => {}
+                }
+            }
+            assert!(open.values().all(|v| v.is_empty()), "unclosed spans");
+        }
+    }
+
+    #[test]
+    fn no_tracer_means_no_stream_trace() {
+        let s = server();
+        let stream = s
+            .execute_sql("SELECT i.id AS id FROM Item i ORDER BY id")
+            .unwrap();
+        assert!(stream.trace.is_none());
+        assert!(s.tracer().is_none());
     }
 
     #[test]

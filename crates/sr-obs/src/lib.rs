@@ -33,7 +33,9 @@
 pub mod json;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 pub use json::Json;
 pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot};
 pub use span::{SpanGuard, SpanStat, Spans};
+pub use trace::{TraceEvent, TracePhase, TraceSpan, Tracer};

@@ -63,6 +63,9 @@ pub struct Oracle<'a> {
     requests: RefCell<usize>,
     evaluations: RefCell<usize>,
     estimate_time: RefCell<Duration>,
+    /// Worst observed `(sql, q_error)` reported via
+    /// [`Oracle::record_actual`].
+    worst: RefCell<Option<(String, f64)>>,
 }
 
 impl<'a> Oracle<'a> {
@@ -75,6 +78,7 @@ impl<'a> Oracle<'a> {
             requests: RefCell::new(0),
             evaluations: RefCell::new(0),
             estimate_time: RefCell::new(Duration::ZERO),
+            worst: RefCell::new(None),
         }
     }
 
@@ -115,6 +119,33 @@ impl<'a> Oracle<'a> {
         *self.estimate_time.borrow_mut() += start.elapsed();
         self.cache.borrow_mut().insert(sql.to_string(), e.clone());
         Ok(e)
+    }
+
+    /// Close the feedback loop on a cached estimate: once a query the
+    /// oracle costed has actually run, report its real row count. Returns
+    /// the Q-error of the cached cardinality estimate (`None` if this SQL
+    /// was never estimated), records it into the server registry's
+    /// `oracle.qerror` histogram (×1000 fixed point), and tracks the worst
+    /// offender for [`Oracle::worst_qerror`]. This is the §5.1 accuracy
+    /// accounting: the greedy planner is only as good as these estimates,
+    /// and the histogram shows how far off they run in practice (Fig. 18).
+    pub fn record_actual(&self, sql: &str, actual_rows: u64) -> Option<f64> {
+        let est = self.cache.borrow().get(sql)?.cardinality;
+        let q = sr_engine::q_error(est, actual_rows as f64);
+        self.server
+            .metrics()
+            .histogram("oracle.qerror")
+            .record((q * 1000.0).round() as u64);
+        let mut worst = self.worst.borrow_mut();
+        if worst.as_ref().is_none_or(|(_, w)| q > *w) {
+            *worst = Some((sql.to_string(), q));
+        }
+        Some(q)
+    }
+
+    /// The worst `(sql, q_error)` seen by [`Oracle::record_actual`].
+    pub fn worst_qerror(&self) -> Option<(String, f64)> {
+        self.worst.borrow().clone()
     }
 
     /// Combined cost of a SQL query under the linear model.
@@ -238,6 +269,34 @@ mod tests {
             .unwrap();
         assert!(c1 > 0.0);
         assert!(c2 > c1, "adding data-size weight increases cost");
+    }
+
+    #[test]
+    fn record_actual_tracks_qerror_and_worst_offender() {
+        let (_, server) = setup();
+        let oracle = Oracle::new(&server, CostParams::default());
+        let sql = "SELECT s.suppkey AS k FROM Supplier s";
+        let est = oracle.estimate_sql(sql).unwrap();
+        // Unknown SQL was never estimated: no feedback possible.
+        assert!(oracle.record_actual("SELECT 1", 5).is_none());
+        assert!(oracle.worst_qerror().is_none());
+        // Perfectly estimated: q-error 1.
+        let q = oracle
+            .record_actual(sql, est.cardinality.round() as u64)
+            .unwrap();
+        assert!((q - 1.0).abs() < 0.01, "q = {q}");
+        // A 10x miss becomes the worst offender.
+        let q10 = oracle
+            .record_actual(sql, (est.cardinality * 10.0).round() as u64)
+            .unwrap();
+        assert!(q10 > 9.0 && q10 < 11.0, "q10 = {q10}");
+        let (wsql, wq) = oracle.worst_qerror().unwrap();
+        assert_eq!(wsql, sql);
+        assert_eq!(wq, q10);
+        let snap = server.metrics().snapshot();
+        let h = snap.histogram("oracle.qerror").expect("histogram recorded");
+        assert_eq!(h.count, 2);
+        assert!(h.min >= 1000, "×1000 fixed point, q >= 1");
     }
 
     #[test]

@@ -16,5 +16,7 @@ pub mod tagger;
 pub mod xml;
 
 pub use lift::{GlobalLayout, StreamLift};
-pub use tagger::{tag_streams, RowSource, StreamInput, StreamTagStats, TagError, TagStats};
+pub use tagger::{
+    tag_streams, tag_streams_traced, RowSource, StreamInput, StreamTagStats, TagError, TagStats,
+};
 pub use xml::XmlWriter;

@@ -21,6 +21,7 @@ use std::time::Duration;
 
 use sr_data::{Row, Schema, Value};
 use sr_engine::{EngineError, TupleStream};
+use sr_obs::{TraceSpan, Tracer};
 use sr_viewtree::{NodeContent, NodeId, ReducedComponent, TextSource, ViewTree};
 
 use crate::lift::{GlobalLayout, StreamLift};
@@ -170,6 +171,8 @@ struct Tagger<'t, W: Write> {
     stack: Vec<Open>,
     writer: XmlWriter<W>,
     stats: TagStats,
+    /// Trace sink and the driver's lane for merge-progress counters.
+    trace: Option<(&'t Tracer, u64)>,
 }
 
 /// Merge the streams and write the XML document (a forest of root-element
@@ -179,6 +182,19 @@ pub fn tag_streams<W: Write>(
     inputs: Vec<StreamInput>,
     out: W,
     pretty: bool,
+) -> Result<(TagStats, W), TagError> {
+    tag_streams_traced(tree, inputs, out, pretty, None)
+}
+
+/// [`tag_streams`] with an optional trace sink: the k-way merge runs under
+/// a `tagger.merge` span on the calling thread's lane (named
+/// `driver (tagger)`), with periodic `tagger.tuples` progress counters.
+pub fn tag_streams_traced<W: Write>(
+    tree: &ViewTree,
+    inputs: Vec<StreamInput>,
+    out: W,
+    pretty: bool,
+    tracer: Option<&Tracer>,
 ) -> Result<(TagStats, W), TagError> {
     let layout = GlobalLayout::new(tree);
     let mut writer = XmlWriter::new(out);
@@ -214,8 +230,12 @@ pub fn tag_streams<W: Write>(
             per_stream: vec![StreamTagStats::default(); n],
             ..TagStats::default()
         },
+        trace: tracer.map(|tr| (tr, tr.name_current_thread("driver (tagger)"))),
     };
-    t.run()?;
+    {
+        let _merge = TraceSpan::new(tracer, "tagger.merge");
+        t.run()?;
+    }
     t.stats.bytes = t.writer.bytes_written();
     // Harvest per-stream server/transfer costs now that the streams are
     // fully decoded.
@@ -282,6 +302,13 @@ impl<'t, W: Write> Tagger<'t, W> {
             }
             self.stats.tuples += 1;
             self.stats.per_stream[si].tuples += 1;
+            if let Some((tr, lane)) = self.trace {
+                // Periodic progress counter — one sample per chunk-worth of
+                // tuples keeps the trace small on large documents.
+                if self.stats.tuples.is_multiple_of(1024) {
+                    tr.counter(lane, "tagger.tuples", self.stats.tuples as f64);
+                }
+            }
             self.process_tuple(si, &lifted)?;
             self.stats.max_open_depth = self.stats.max_open_depth.max(self.stack.len());
         }

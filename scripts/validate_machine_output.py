@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Schema checks for silkroute's machine-readable outputs.
+
+Usage:
+    validate_machine_output.py report REPORT.json   # --metrics-json document
+    validate_machine_output.py trace  TRACE.json    # --trace Chrome timeline
+    validate_machine_output.py bench  BENCH.json    # BENCH_pipeline.json
+
+Each mode parses the file with the stock json module and asserts the
+structural invariants the docs promise, so CI catches any drift in what
+`--metrics-json` / `--analyze` / `--trace` emit before a downstream
+consumer does. Exits non-zero with a message on the first violation.
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def require(obj, key, types, ctx):
+    check(key in obj, f"{ctx}: missing key {key!r}")
+    check(
+        isinstance(obj[key], types),
+        f"{ctx}.{key}: expected {types}, got {type(obj[key]).__name__}",
+    )
+    return obj[key]
+
+
+NUM = (int, float)
+
+
+def validate_report(doc):
+    streams = require(doc, "streams", list, "report")
+    check(streams, "report.streams is empty")
+    for i, s in enumerate(streams):
+        ctx = f"streams[{i}]"
+        require(s, "sql", str, ctx)
+        require(s, "rows", int, ctx)
+        require(s, "bytes", int, ctx)
+        require(s, "server_ms", NUM, ctx)
+        require(s, "transfer_ms", NUM, ctx)
+    totals = require(doc, "totals", dict, "report")
+    for key in ("plan_ms", "server_ms", "transfer_ms", "tag_ms", "total_ms"):
+        check(require(totals, key, NUM, "totals") >= 0, f"totals.{key} negative")
+    metrics = require(doc, "metrics", dict, "report")
+    counters = require(metrics, "counters", dict, "metrics")
+    check(counters.get("server.queries", 0) >= len(streams),
+          "metrics.counters lacks the executed queries")
+    check("server.optimize_ns" not in metrics.get("histograms", {}),
+          "retired histogram server.optimize_ns resurfaced")
+    if "analyze" in doc:
+        analyses = require(doc, "analyze", list, "report")
+        check(len(analyses) == len(streams),
+              "one analyze entry per stream expected")
+        for i, a in enumerate(analyses):
+            ctx = f"analyze[{i}]"
+            require(a, "sql", str, ctx)
+            require(a, "rows", int, ctx)
+            require(a, "sorts_elided", int, ctx)
+            nodes = require(a, "nodes", list, ctx)
+            check(nodes, f"{ctx}.nodes is empty")
+            for n in nodes:
+                q = n.get("q_error")
+                if q is not None:
+                    check(q >= 1.0, f"{ctx}: q_error {q} < 1")
+                check(n.get("actual_rows", -1) >= 0, f"{ctx}: bad actual_rows")
+        hist = metrics.get("histograms", {})
+        check("oracle.qerror" in hist,
+              "analyze ran but metrics lack the oracle.qerror histogram")
+    return f"report OK: {len(streams)} stream(s), analyze={'analyze' in doc}"
+
+
+def validate_trace(doc):
+    events = require(doc, "traceEvents", list, "trace")
+    check(events, "traceEvents is empty")
+    stacks = defaultdict(list)
+    last_ts = {}
+    lanes = set()
+    for i, e in enumerate(events):
+        ctx = f"traceEvents[{i}]"
+        ph = require(e, "ph", str, ctx)
+        tid = require(e, "tid", int, ctx)
+        name = require(e, "name", str, ctx)
+        if ph == "M":
+            check(name == "thread_name", f"{ctx}: unexpected metadata {name!r}")
+            lanes.add(e["args"]["name"])
+            continue
+        ts = require(e, "ts", NUM, ctx)
+        check(ts >= last_ts.get(tid, 0), f"{ctx}: ts regresses on tid {tid}")
+        last_ts[tid] = ts
+        if ph == "B":
+            stacks[tid].append(name)
+        elif ph == "E":
+            check(stacks[tid], f"{ctx}: E {name!r} without open B on tid {tid}")
+            top = stacks[tid].pop()
+            check(top == name, f"{ctx}: E {name!r} closes B {top!r} on tid {tid}")
+        elif ph not in ("i", "C"):
+            fail(f"{ctx}: unknown phase {ph!r}")
+    for tid, stack in stacks.items():
+        check(not stack, f"unclosed spans on tid {tid}: {stack}")
+    check(any(l.startswith("stream ") for l in lanes),
+          f"no per-stream lanes in {sorted(lanes)}")
+    return f"trace OK: {len(events)} events, lanes {sorted(lanes)}"
+
+
+def validate_bench(doc):
+    check(doc.get("bench") == "pipeline", "not a pipeline bench document")
+    plans = require(doc, "plans", list, "bench")
+    check(plans, "bench.plans is empty")
+    for i, p in enumerate(plans):
+        ctx = f"plans[{i}]"
+        require(p, "query", str, ctx)
+        require(p, "streams", int, ctx)
+        for mode in ("baseline", "sequential", "pipelined", "traced"):
+            stage = require(p, mode, dict, ctx)
+            check(require(stage, "total_ms", NUM, f"{ctx}.{mode}") > 0,
+                  f"{ctx}.{mode}.total_ms not positive")
+        check(require(p, "trace_overhead", NUM, ctx) > 0,
+              f"{ctx}.trace_overhead not positive")
+    overhead = require(doc, "trace_overhead", NUM, "bench")
+    # Soft acceptance bar: enabled tracing must stay within +5% end to end.
+    # CI hosts are noisy, so warn loudly rather than flake the build when a
+    # singleton quick run lands past the bar.
+    if overhead > 1.05:
+        print(f"WARN: trace overhead {overhead:.3f} exceeds the 1.05 bar",
+              file=sys.stderr)
+    return f"bench OK: {len(plans)} plan(s), trace overhead {overhead:.3f}"
+
+
+def main():
+    if len(sys.argv) != 3 or sys.argv[1] not in ("report", "trace", "bench"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    mode, path = sys.argv[1], sys.argv[2]
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+    result = {"report": validate_report,
+              "trace": validate_trace,
+              "bench": validate_bench}[mode](doc)
+    print(result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

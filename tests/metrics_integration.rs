@@ -88,6 +88,12 @@ fn registry_snapshot_covers_all_streams() {
     );
     let h = snap.histogram("server.query_ns").expect("query histogram");
     assert_eq!(h.count, m.streams as u64);
+    // The vestigial optimize phase (always zero once sort elision moved
+    // into planning) is no longer recorded.
+    assert!(
+        snap.histogram("server.optimize_ns").is_none(),
+        "server.optimize_ns was retired"
+    );
     // Snapshots merge: two materializations double the counts.
     let (_, _) = materialize(&tree, &server, PlanSpec::fully_partitioned(), Vec::new()).unwrap();
     let mut merged = snap.clone();

@@ -1,0 +1,165 @@
+//! Integration tests for the trace exporter: a full materialization under a
+//! tracer must produce a well-formed Chrome trace-event document — every
+//! `B` has a matching `E` on the same tid, timestamps are monotone per
+//! thread — on both the streaming-worker path and the single-CPU inline
+//! fallback.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use silkroute::obs::{Json, TracePhase, Tracer};
+use silkroute::{materialize, query1_tree, PlanSpec, Server};
+
+fn traced_server(workers: bool) -> (Server, Arc<Tracer>) {
+    let db = sr_tpch::generate(sr_tpch::Scale::mb(0.1)).expect("tpch generation");
+    let tracer = Arc::new(Tracer::new());
+    let server = Server::new(Arc::new(db))
+        .with_stream_workers(workers)
+        .with_tracer(Arc::clone(&tracer));
+    (server, tracer)
+}
+
+/// Raw recorded events: per-lane `Begin`/`End` nesting and per-lane
+/// timestamp monotonicity.
+fn assert_events_well_formed(tracer: &Tracer) {
+    let mut stacks: HashMap<u64, Vec<String>> = HashMap::new();
+    let mut last_ts: HashMap<u64, u64> = HashMap::new();
+    for e in tracer.events() {
+        let prev = last_ts.entry(e.lane).or_insert(0);
+        assert!(
+            e.ts_ns >= *prev,
+            "timestamps regress on lane {}: {} after {}",
+            e.lane,
+            e.ts_ns,
+            prev
+        );
+        *prev = e.ts_ns;
+        match e.phase {
+            TracePhase::Begin => stacks.entry(e.lane).or_default().push(e.name.to_string()),
+            TracePhase::End => {
+                let top = stacks.entry(e.lane).or_default().pop();
+                assert_eq!(
+                    top.as_deref(),
+                    Some(e.name.as_ref()),
+                    "End without matching Begin on lane {}",
+                    e.lane
+                );
+            }
+            TracePhase::Instant | TracePhase::Counter => {}
+        }
+    }
+    for (lane, stack) in stacks {
+        assert!(stack.is_empty(), "unclosed spans on lane {lane}: {stack:?}");
+    }
+}
+
+/// The rendered Chrome JSON: parse it back and re-validate B/E matching and
+/// monotonicity per `tid` on the exported form, plus the metadata events
+/// that name each lane.
+fn assert_chrome_json_well_formed(tracer: &Tracer) -> Vec<String> {
+    let rendered = tracer.to_chrome_json().render();
+    let doc = Json::parse(&rendered).expect("exported trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut lane_names = Vec::new();
+    let mut stacks: HashMap<i64, Vec<String>> = HashMap::new();
+    let mut last_ts: HashMap<i64, f64> = HashMap::new();
+    for e in events {
+        let ph = e.get("ph").and_then(|p| p.as_str()).expect("ph");
+        let tid = e.get("tid").and_then(|t| t.as_f64()).expect("tid") as i64;
+        let name = e.get("name").and_then(|n| n.as_str()).expect("name");
+        if ph == "M" {
+            assert_eq!(name, "thread_name");
+            let n = e
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(|n| n.as_str())
+                .expect("thread_name args.name");
+            lane_names.push(n.to_string());
+            continue;
+        }
+        let ts = e.get("ts").and_then(|t| t.as_f64()).expect("ts");
+        let prev = last_ts.entry(tid).or_insert(0.0);
+        assert!(ts >= *prev, "ts regresses on tid {tid}");
+        *prev = ts;
+        match ph {
+            "B" => stacks.entry(tid).or_default().push(name.to_string()),
+            "E" => {
+                let top = stacks.entry(tid).or_default().pop();
+                assert_eq!(top.as_deref(), Some(name), "unmatched E on tid {tid}");
+            }
+            "i" => {
+                assert_eq!(e.get("s").and_then(|s| s.as_str()), Some("t"));
+            }
+            "C" => {
+                assert!(e.get("args").and_then(|a| a.get("value")).is_some());
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    for (tid, stack) in stacks {
+        assert!(stack.is_empty(), "unclosed B on tid {tid}: {stack:?}");
+    }
+    lane_names
+}
+
+#[test]
+fn trace_is_well_formed_on_worker_and_inline_paths() {
+    for workers in [true, false] {
+        let (server, tracer) = traced_server(workers);
+        let tree = query1_tree(server.database());
+        let (m, _) = materialize(&tree, &server, PlanSpec::fully_partitioned(), Vec::new())
+            .expect("materialize");
+        assert_eq!(m.streams, 10);
+
+        assert_events_well_formed(&tracer);
+        let lanes = assert_chrome_json_well_formed(&tracer);
+
+        // Every stream gets its own transfer/stall lane, and the tagger's
+        // k-way merge runs on the named driver lane.
+        for i in 0..10 {
+            let want = format!("stream {i}");
+            assert!(lanes.contains(&want), "missing lane {want} ({lanes:?})");
+        }
+        assert!(
+            lanes.iter().any(|l| l == "driver (tagger)"),
+            "missing tagger lane ({lanes:?})"
+        );
+        let worker_lanes = lanes
+            .iter()
+            .filter(|l| l.as_str() == "server execute worker")
+            .count();
+        if workers {
+            assert!(worker_lanes > 0, "workers forced on but no worker lanes");
+        } else {
+            assert_eq!(worker_lanes, 0, "inline fallback must not spawn workers");
+        }
+
+        // The phase spans the issue calls out all appear somewhere.
+        let names: Vec<String> = tracer.events().iter().map(|e| e.name.to_string()).collect();
+        for want in ["plan.generate", "query.execute", "encode", "tagger.merge"] {
+            assert!(names.iter().any(|n| n == want), "missing span {want}");
+        }
+        assert!(
+            names.iter().any(|n| n == "stream.stall"),
+            "streams never recorded a stall interval"
+        );
+    }
+}
+
+/// A tracer shared by two runs accumulates both timelines and stays
+/// well-formed — lanes are never reused across threads in a way that
+/// breaks nesting.
+#[test]
+fn consecutive_runs_share_one_timeline() {
+    let (server, tracer) = traced_server(false);
+    let tree = query1_tree(server.database());
+    for _ in 0..2 {
+        materialize(&tree, &server, PlanSpec::unified(&tree), Vec::new()).expect("materialize");
+    }
+    assert_events_well_formed(&tracer);
+    assert_chrome_json_well_formed(&tracer);
+}
