@@ -27,6 +27,16 @@
 //!       --trace FILE         record a Chrome trace-event timeline of the
 //!                            whole pipeline to FILE (`-` for stdout; open
 //!                            in Perfetto / chrome://tracing) (materialize)
+//!       --fault SPEC         inject deterministic faults into the server:
+//!                            comma-separated `kind@site[#n|%p]` rules, e.g.
+//!                            `panic@scan#2` or `transient@send%0.5`
+//!                            (kinds: panic|delay<ms>|transient; sites:
+//!                            scan|encode|send). Also honours the
+//!                            SR_FAULTS / SR_FAULT_SEED environment.
+//!       --fault-seed N       PRNG seed for probabilistic --fault rules
+//!                            [default 0]
+//!       --retries N          transient-failure retries per query
+//!                            [default 2]
 //!
 //! Exactly one machine-readable document ever goes to stdout: the
 //! `--metrics-json` report (which embeds `--analyze` output), or the
@@ -56,13 +66,17 @@ struct Opts {
     metrics_json: bool,
     analyze: bool,
     trace: Option<String>,
+    fault: Option<String>,
+    fault_seed: u64,
+    retries: Option<u32>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: silkroute <tree|sql|materialize|plan|bench> [--mb N] [--plan SPEC] \
          [--no-reduce] [--out FILE] [--pretty] [--explain] [--metrics-json] \
-         [--analyze] [--trace FILE] <VIEW|query1|query2>"
+         [--analyze] [--trace FILE] [--fault SPEC] [--fault-seed N] [--retries N] \
+         <VIEW|query1|query2>"
     );
     ExitCode::from(2)
 }
@@ -85,6 +99,9 @@ fn parse_args() -> Result<Opts, ExitCode> {
         metrics_json: false,
         analyze: false,
         trace: None,
+        fault: None,
+        fault_seed: 0,
+        retries: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -100,6 +117,13 @@ fn parse_args() -> Result<Opts, ExitCode> {
             "--metrics-json" => opts.metrics_json = true,
             "--analyze" => opts.analyze = true,
             "--trace" => opts.trace = Some(args.next().ok_or_else(usage)?),
+            "--fault" => opts.fault = Some(args.next().ok_or_else(usage)?),
+            "--fault-seed" => {
+                opts.fault_seed = args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
+            }
+            "--retries" => {
+                opts.retries = Some(args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
+            }
             other if !other.starts_with('-') && opts.view.is_empty() => {
                 opts.view = other.to_string();
             }
@@ -194,6 +218,21 @@ fn run() -> Result<(), String> {
     let mut server = Server::new(Arc::new(db));
     if let Some(t) = &tracer {
         server = server.with_tracer(Arc::clone(t));
+    }
+    // Fault injection: the --fault flag wins; otherwise SR_FAULTS applies,
+    // so the CI fault matrix can drive any command without flag plumbing.
+    let fault_plan = match &opts.fault {
+        Some(spec) => Some(
+            sr_engine::FaultPlan::parse(spec, opts.fault_seed)
+                .map_err(|e| format!("bad --fault: {e}"))?,
+        ),
+        None => sr_engine::FaultPlan::from_env().map_err(|e| format!("bad SR_FAULTS: {e}"))?,
+    };
+    if let Some(plan) = fault_plan {
+        server = server.with_faults(plan);
+    }
+    if let Some(r) = opts.retries {
+        server = server.with_transient_retries(r);
     }
     let tree = load_view(&opts, server.database())?;
 

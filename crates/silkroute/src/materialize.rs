@@ -7,9 +7,9 @@
 //! the document.
 
 use std::io::Write;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use sr_engine::Server;
+use sr_engine::{EngineError, Server, TupleStream};
 use sr_obs::TraceSpan;
 use sr_sqlgen::{generate_queries, PlanSpec};
 use sr_tagger::{tag_streams_traced, RowSource, StreamInput, TagError, TagStats};
@@ -77,6 +77,35 @@ enum ExecMode {
 
 /// Shared head of every materialization: generate the component queries and
 /// turn each into a tagger [`StreamInput`] under the chosen execution mode.
+/// Submission-time retries of transient server failures, layered on top of
+/// the server's own execute-level retry budget: a component query that
+/// still fails transiently is resubmitted from scratch rather than failing
+/// the whole document. Each resubmission backs off and bumps
+/// `materialize.retries`.
+const SUBMIT_RETRIES: u32 = 1;
+
+fn submit_with_retry(
+    server: &Server,
+    sql: &str,
+    mode: ExecMode,
+) -> Result<TupleStream, EngineError> {
+    let mut attempt = 0u32;
+    loop {
+        let result = match mode {
+            ExecMode::Streaming => server.execute_sql_streaming(sql),
+            ExecMode::Buffered => server.execute_sql(sql),
+        };
+        match result {
+            Err(EngineError::Transient(_)) if attempt < SUBMIT_RETRIES => {
+                attempt += 1;
+                server.metrics().counter("materialize.retries").inc();
+                std::thread::sleep(Duration::from_millis(1 << attempt.min(6)));
+            }
+            other => return other,
+        }
+    }
+}
+
 fn run_pipeline<W: Write>(
     tree: &ViewTree,
     server: &Server,
@@ -89,10 +118,7 @@ fn run_pipeline<W: Write>(
     let mut sql = Vec::with_capacity(queries.len());
     let mut inputs = Vec::with_capacity(queries.len());
     for (i, q) in queries.into_iter().enumerate() {
-        let mut stream = match mode {
-            ExecMode::Streaming => server.execute_sql_streaming(&q.sql)?,
-            ExecMode::Buffered => server.execute_sql(&q.sql)?,
-        };
+        let mut stream = submit_with_retry(server, &q.sql, mode)?;
         if let Some(tracer) = server.tracer() {
             stream.set_trace(tracer, &i.to_string());
         }
@@ -230,6 +256,29 @@ mod tests {
 
     fn server() -> Server {
         Server::new(Arc::new(generate(Scale::mb(0.1)).unwrap()))
+    }
+
+    #[test]
+    fn transient_submission_failure_is_retried_at_materialize_layer() {
+        // The server's own execute-level retry budget is zeroed, so the
+        // first submission fails transiently and the materialize layer's
+        // resubmission is what saves the document.
+        let server = server()
+            .with_transient_retries(0)
+            .with_faults(sr_engine::FaultPlan::parse("transient@scan#1", 1).unwrap());
+        let tree = query1_tree(server.database());
+        // Buffered mode surfaces execution errors synchronously at
+        // submission, which is where this layer's retry lives. (Streaming
+        // submissions hand back a channel; their transients are retried
+        // inside the server worker instead.)
+        let (m, bytes) =
+            materialize_buffered(&tree, &server, PlanSpec::unified(&tree), Vec::new()).unwrap();
+        let xml = String::from_utf8(bytes).unwrap();
+        assert_eq!(m.streams, 1);
+        assert!(xml.starts_with("<supplier>"));
+        let snap = server.metrics().snapshot();
+        assert_eq!(snap.counter("materialize.retries"), 1);
+        assert_eq!(snap.counter("server.retries"), 0);
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Cooperative cancellation for query execution.
+//!
+//! The paper's middle-ware ships SQL to an RDBMS "it does not control"
+//! (§1), where slow queries are routine — a per-query timeout that is only
+//! checked *after* execution finishes (the seed behaviour) never stops a
+//! runaway join. A [`CancelToken`] carries a deadline and a kill flag into
+//! the executor, which checks it once per chunk of rows processed, so a
+//! query over budget stops within one chunk boundary instead of running to
+//! completion.
+//!
+//! Time the query spends *waiting* rather than working — admission-control
+//! gate waits in the streaming path — is excluded from the budget via
+//! [`CancelToken::exclude`]: the paper's 5-minute limit (§4) is a bound on
+//! server work, not on queueing behind other queries.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::EngineError;
+
+struct TokenInner {
+    start: Instant,
+    /// `None`: cancellable but no deadline.
+    limit: Option<Duration>,
+    /// Wait time excluded from the budget (gate waits), in nanoseconds.
+    excluded_ns: AtomicU64,
+    cancelled: AtomicBool,
+}
+
+/// A shared handle used to stop an in-flight query: either explicitly
+/// ([`CancelToken::cancel`]) or by exceeding a deadline. Cloning is cheap
+/// and every clone observes the same state. The default token
+/// ([`CancelToken::none`]) makes every check a no-op, so execution paths
+/// that never cancel pay nothing.
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<TokenInner>>,
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "CancelToken(none)"),
+            Some(i) => f
+                .debug_struct("CancelToken")
+                .field("limit", &i.limit)
+                .field("cancelled", &i.cancelled.load(Ordering::Relaxed))
+                .finish(),
+        }
+    }
+}
+
+impl CancelToken {
+    /// A token that never fires: all checks are no-ops.
+    pub fn none() -> CancelToken {
+        CancelToken { inner: None }
+    }
+
+    /// A token with no deadline that can still be cancelled explicitly.
+    pub fn unbounded() -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(TokenInner {
+                start: Instant::now(),
+                limit: None,
+                excluded_ns: AtomicU64::new(0),
+                cancelled: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// A token whose budget starts now and expires after `limit` of
+    /// non-excluded wall time.
+    pub fn with_timeout(limit: Duration) -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(TokenInner {
+                start: Instant::now(),
+                limit: Some(limit),
+                excluded_ns: AtomicU64::new(0),
+                cancelled: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// Request cancellation: the next [`CancelToken::check`] on any clone
+    /// returns [`EngineError::Cancelled`]. Idempotent; a no-op token
+    /// ignores it.
+    pub fn cancel(&self) {
+        if let Some(i) = &self.inner {
+            i.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.cancelled.load(Ordering::Relaxed))
+    }
+
+    /// Exclude `wait` from the deadline budget (time spent queued, not
+    /// working — e.g. admission-control gate waits).
+    pub fn exclude(&self, wait: Duration) {
+        if let Some(i) = &self.inner {
+            i.excluded_ns
+                .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Return an error if the token was cancelled or its deadline passed.
+    /// This is the executor's per-chunk check.
+    pub fn check(&self) -> Result<(), EngineError> {
+        let Some(i) = &self.inner else { return Ok(()) };
+        if i.cancelled.load(Ordering::Relaxed) {
+            return Err(EngineError::Cancelled);
+        }
+        if let Some(limit) = i.limit {
+            let excluded = Duration::from_nanos(i.excluded_ns.load(Ordering::Relaxed));
+            let worked = i.start.elapsed().saturating_sub(excluded);
+            if worked > limit {
+                return Err(EngineError::Timeout {
+                    elapsed_ms: worked.as_millis() as u64,
+                    limit_ms: limit.as_millis() as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_token_never_fires() {
+        let t = CancelToken::none();
+        t.cancel();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn explicit_cancel_fires_on_all_clones() {
+        let t = CancelToken::unbounded();
+        let c = t.clone();
+        assert!(t.check().is_ok());
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert!(matches!(t.check(), Err(EngineError::Cancelled)));
+    }
+
+    #[test]
+    fn deadline_fires_after_limit() {
+        let t = CancelToken::with_timeout(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(matches!(t.check(), Err(EngineError::Timeout { .. })));
+    }
+
+    #[test]
+    fn excluded_wait_extends_budget() {
+        let t = CancelToken::with_timeout(Duration::from_secs(3600));
+        std::thread::sleep(Duration::from_millis(2));
+        t.exclude(Duration::from_millis(2));
+        assert!(t.check().is_ok());
+        // Excluding more than elapsed saturates rather than underflowing.
+        t.exclude(Duration::from_secs(10));
+        assert!(t.check().is_ok());
+    }
+}

@@ -36,6 +36,22 @@ pub enum EngineError {
         /// The configured limit.
         limit_ms: u64,
     },
+    /// Query execution was cancelled cooperatively (the client dropped the
+    /// stream or called [`crate::cancel::CancelToken::cancel`]).
+    Cancelled,
+    /// An invariant violation inside the engine — including a worker panic
+    /// converted into an error instead of a truncated stream.
+    Internal(String),
+    /// A transient failure that may succeed on retry (injected faults, and
+    /// the class of errors a real remote RDBMS produces under load).
+    Transient(String),
+    /// A streaming worker disappeared without sending its end-of-stream
+    /// terminator: the rows decoded so far are a silently incomplete
+    /// prefix, so the stream must be treated as corrupt.
+    TruncatedStream {
+        /// Rows the client had decoded before the stream broke off.
+        rows_decoded: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -58,6 +74,16 @@ impl fmt::Display for EngineError {
                 write!(
                     f,
                     "query timed out after {elapsed_ms}ms (limit {limit_ms}ms)"
+                )
+            }
+            EngineError::Cancelled => write!(f, "query cancelled"),
+            EngineError::Internal(m) => write!(f, "internal error: {m}"),
+            EngineError::Transient(m) => write!(f, "transient error: {m}"),
+            EngineError::TruncatedStream { rows_decoded } => {
+                write!(
+                    f,
+                    "stream truncated: worker vanished after {rows_decoded} row(s) \
+                     without an end-of-stream terminator"
                 )
             }
         }

@@ -14,8 +14,15 @@ use std::time::{Duration, Instant};
 
 use sr_data::{Database, Row, Schema, Value};
 
+use crate::cancel::CancelToken;
 use crate::error::EngineError;
+use crate::faults::{FaultInjector, FaultSite};
 use crate::plan::{JoinKind, Plan};
+
+/// Rows processed between cooperative-cancellation checks — one streaming
+/// chunk's worth, so a query over its deadline stops within one chunk
+/// boundary. One clock read per this many rows is amortized to noise.
+const CANCEL_CHECK_ROWS: u64 = 1024;
 
 /// Output statistics for one operator kind.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -96,6 +103,25 @@ pub struct PlanProfile {
 struct ExecCtx<'a> {
     profile: &'a mut ExecProfile,
     nodes: Option<&'a mut Vec<NodeStat>>,
+    /// Cooperative cancellation, checked every [`CANCEL_CHECK_ROWS`] rows.
+    cancel: &'a CancelToken,
+    /// Fault injection (tests / CLI only; `None` in production).
+    faults: Option<&'a FaultInjector>,
+    /// Rows processed since the last cancellation check.
+    ticks: u64,
+}
+
+impl ExecCtx<'_> {
+    /// Account for `rows` units of work; check the cancel token once per
+    /// [`CANCEL_CHECK_ROWS`]. The fast path is one add and one compare.
+    fn tick(&mut self, rows: u64) -> Result<(), EngineError> {
+        self.ticks += rows;
+        if self.ticks >= CANCEL_CHECK_ROWS {
+            self.ticks = 0;
+            self.cancel.check()?;
+        }
+        Ok(())
+    }
 }
 
 fn op_name(plan: &Plan) -> &'static str {
@@ -148,10 +174,26 @@ pub fn execute_profiled(
     plan: &Plan,
     db: &Database,
 ) -> Result<(ResultSet, ExecProfile), EngineError> {
+    execute_profiled_with(plan, db, &CancelToken::none(), None)
+}
+
+/// [`execute_profiled`] with cooperative cancellation and (optional) fault
+/// injection: `cancel` is checked once per chunk of rows inside every
+/// operator loop, and `faults` fires at the [`FaultSite::Scan`] site. This
+/// is the entry point every server execution path uses.
+pub fn execute_profiled_with(
+    plan: &Plan,
+    db: &Database,
+    cancel: &CancelToken,
+    faults: Option<&FaultInjector>,
+) -> Result<(ResultSet, ExecProfile), EngineError> {
     let mut profile = ExecProfile::default();
     let mut ctx = ExecCtx {
         profile: &mut profile,
         nodes: None,
+        cancel,
+        faults,
+        ticks: 0,
     };
     let rs = execute_env(plan, db, &HashMap::new(), &mut ctx, 0)?;
     Ok((rs, profile))
@@ -166,9 +208,13 @@ pub fn execute_analyzed(
 ) -> Result<(ResultSet, ExecProfile, PlanProfile), EngineError> {
     let mut profile = ExecProfile::default();
     let mut nodes = vec![NodeStat::default(); plan.node_count()];
+    let cancel = CancelToken::none();
     let mut ctx = ExecCtx {
         profile: &mut profile,
         nodes: Some(&mut nodes),
+        cancel: &cancel,
+        faults: None,
+        ticks: 0,
     };
     let rs = execute_env(plan, db, &HashMap::new(), &mut ctx, 0)?;
     fill_self_times(plan, 0, &mut nodes);
@@ -220,7 +266,11 @@ fn execute_op(
 ) -> Result<ResultSet, EngineError> {
     match plan {
         Plan::Scan { table, alias: _ } => {
+            if let Some(f) = ctx.faults {
+                f.hit(FaultSite::Scan)?;
+            }
             let t = db.table(table)?;
+            ctx.tick(t.rows().len() as u64)?;
             Ok(ResultSet {
                 schema: plan.schema(db)?,
                 rows: t.rows().to_vec(),
@@ -232,6 +282,7 @@ fn execute_op(
                 .iter()
                 .map(|p| p.bind(&rs.schema))
                 .collect::<Result<Vec<_>, _>>()?;
+            ctx.tick(rs.rows.len() as u64)?;
             rs.rows.retain(|r| bound.iter().all(|p| p.eval(r)));
             Ok(rs)
         }
@@ -242,11 +293,11 @@ fn execute_op(
                 .map(|(_, e)| e.bind(&rs.schema))
                 .collect::<Result<Vec<_>, _>>()?;
             let schema = plan.schema(db)?;
-            let rows = rs
-                .rows
-                .iter()
-                .map(|r| Row::new(bound.iter().map(|e| e.eval(r).clone()).collect()))
-                .collect();
+            let mut rows = Vec::with_capacity(rs.rows.len());
+            for r in &rs.rows {
+                ctx.tick(1)?;
+                rows.push(Row::new(bound.iter().map(|e| e.eval(r).clone()).collect()));
+            }
             Ok(ResultSet { schema, rows })
         }
         Plan::Join {
@@ -258,7 +309,7 @@ fn execute_op(
             let lrs = execute_env(left, db, env, ctx, id + 1)?;
             let rrs = execute_env(right, db, env, ctx, id + 1 + left.node_count())?;
             let schema = plan.schema(db)?;
-            let rows = hash_join(&lrs, &rrs, *kind, on)?;
+            let rows = hash_join(&lrs, &rrs, *kind, on, ctx)?;
             Ok(ResultSet { schema, rows })
         }
         Plan::OuterUnion { inputs } => {
@@ -268,6 +319,7 @@ fn execute_op(
             for input in inputs {
                 let rs = execute_env(input, db, env, ctx, child_id)?;
                 child_id += input.node_count();
+                ctx.tick(rs.rows.len() as u64)?;
                 // Map union position -> branch position (None = NULL pad).
                 let mapping: Vec<Option<usize>> =
                     schema.names().map(|n| rs.schema.position(n)).collect();
@@ -291,6 +343,7 @@ fn execute_op(
                 .iter()
                 .map(|k| rs.schema.require(k).map_err(EngineError::from))
                 .collect::<Result<_, _>>()?;
+            ctx.tick(rs.rows.len() as u64)?;
             // Precompute each row's key columns once instead of re-reading
             // them on every comparison. Stable, like the `sort_by` it
             // replaced — sort elision relies on stability (an already
@@ -309,6 +362,7 @@ fn execute_op(
             let mut seen: HashMap<u64, Vec<usize>> = HashMap::with_capacity(rs.rows.len());
             let mut keep = Vec::with_capacity(rs.rows.len());
             for (i, r) in rs.rows.iter().enumerate() {
+                ctx.tick(1)?;
                 let mut hasher = DefaultHasher::new();
                 r.hash(&mut hasher);
                 let bucket = seen.entry(hasher.finish()).or_default();
@@ -318,8 +372,7 @@ fn execute_op(
                 }
                 keep.push(fresh);
             }
-            let mut it = keep.into_iter();
-            rs.rows.retain(|_| it.next().unwrap());
+            retain_by_mask(&mut rs.rows, &keep)?;
             Ok(rs)
         }
         Plan::With { ctes, body } => {
@@ -351,6 +404,22 @@ fn execute_op(
     }
 }
 
+/// Drop every row whose mask entry is `false`. The mask must cover the
+/// row set exactly — a shorter or longer mask is an engine bug surfaced as
+/// a typed error, never a panic mid-query.
+fn retain_by_mask(rows: &mut Vec<Row>, keep: &[bool]) -> Result<(), EngineError> {
+    if keep.len() != rows.len() {
+        return Err(EngineError::Internal(format!(
+            "selectivity mask covers {} row(s) but the row set has {}",
+            keep.len(),
+            rows.len()
+        )));
+    }
+    let mut it = keep.iter().copied();
+    rows.retain(|_| it.next().unwrap_or(false));
+    Ok(())
+}
+
 /// Hash equi-join. Builds on the right input, probes from the left. NULL
 /// join keys never match (SQL semantics); for [`JoinKind::LeftOuter`],
 /// unmatched left rows are padded with NULLs on the right.
@@ -359,6 +428,7 @@ fn hash_join(
     right: &ResultSet,
     kind: JoinKind,
     on: &[(String, String)],
+    ctx: &mut ExecCtx<'_>,
 ) -> Result<Vec<Row>, EngineError> {
     let lidx: Vec<usize> = on
         .iter()
@@ -377,6 +447,7 @@ fn hash_join(
                 out.push(l.concat(&Row::nulls(right.schema.arity())));
             }
             for r in &right.rows {
+                ctx.tick(1)?;
                 out.push(l.concat(r));
             }
         }
@@ -395,6 +466,7 @@ fn hash_join(
 
     let mut build: HashMap<u64, Vec<usize>> = HashMap::with_capacity(right.rows.len());
     'rows: for (i, r) in right.rows.iter().enumerate() {
+        ctx.tick(1)?;
         for &c in &ridx {
             if r.get(c).is_null() {
                 continue 'rows;
@@ -408,6 +480,7 @@ fn hash_join(
     let mut out = Vec::new();
     let pad = Row::nulls(right.schema.arity());
     'probe: for l in &left.rows {
+        ctx.tick(1)?;
         for &c in &lidx {
             if l.get(c).is_null() {
                 if kind == JoinKind::LeftOuter {
@@ -687,5 +760,79 @@ mod tests {
         let db = db();
         let rs = execute(&Plan::scan("Supplier", "s"), &db).unwrap();
         assert!(rs.wire_bytes() > 0);
+    }
+
+    #[test]
+    fn short_selectivity_mask_errors_instead_of_panicking() {
+        let mut rows = vec![row![1i64], row![2i64], row![3i64]];
+        match retain_by_mask(&mut rows, &[true, false]) {
+            Err(EngineError::Internal(m)) => {
+                assert!(m.contains("2 row(s)"), "{m}");
+            }
+            other => panic!("expected internal error, got {other:?}"),
+        }
+        assert_eq!(rows.len(), 3, "rows untouched on mask mismatch");
+        retain_by_mask(&mut rows, &[true, false, true]).unwrap();
+        assert_eq!(rows, vec![row![1i64], row![3i64]]);
+    }
+
+    #[test]
+    fn cancelled_token_stops_execution() {
+        let db = db();
+        let p = Plan::scan("Supplier", "s").sort(vec!["s_suppkey".into()]);
+        let token = crate::cancel::CancelToken::unbounded();
+        token.cancel();
+        // The per-chunk check only fires after CANCEL_CHECK_ROWS of work,
+        // so drive enough rows through a cross-join to guarantee a check.
+        let big = Plan::scan("Supplier", "s")
+            .join(Plan::scan("PartSupp", "a"), JoinKind::Inner, vec![])
+            .join(Plan::scan("PartSupp", "b"), JoinKind::Inner, vec![])
+            .join(Plan::scan("PartSupp", "c"), JoinKind::Inner, vec![])
+            .join(Plan::scan("PartSupp", "d"), JoinKind::Inner, vec![])
+            .join(Plan::scan("PartSupp", "e"), JoinKind::Inner, vec![])
+            .join(Plan::scan("PartSupp", "f"), JoinKind::Inner, vec![]);
+        match execute_profiled_with(&big, &db, &token, None) {
+            Err(EngineError::Cancelled) => {}
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+        // An uncancelled token executes normally.
+        let (rs, _) =
+            execute_profiled_with(&p, &db, &crate::cancel::CancelToken::unbounded(), None).unwrap();
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn expired_deadline_stops_execution_mid_plan() {
+        let db = db();
+        let token = crate::cancel::CancelToken::with_timeout(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(2));
+        let big = Plan::scan("Supplier", "s")
+            .join(Plan::scan("PartSupp", "a"), JoinKind::Inner, vec![])
+            .join(Plan::scan("PartSupp", "b"), JoinKind::Inner, vec![])
+            .join(Plan::scan("PartSupp", "c"), JoinKind::Inner, vec![])
+            .join(Plan::scan("PartSupp", "d"), JoinKind::Inner, vec![])
+            .join(Plan::scan("PartSupp", "e"), JoinKind::Inner, vec![])
+            .join(Plan::scan("PartSupp", "f"), JoinKind::Inner, vec![]);
+        match execute_profiled_with(&big, &db, &token, None) {
+            Err(EngineError::Timeout { limit_ms, .. }) => assert_eq!(limit_ms, 0),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_fault_surfaces_as_transient() {
+        use crate::faults::{FaultInjector, FaultPlan};
+        let db = db();
+        let inj = FaultInjector::new(FaultPlan::parse("transient@scan#1", 0).unwrap());
+        let p = Plan::scan("Supplier", "s");
+        match execute_profiled_with(&p, &db, &crate::cancel::CancelToken::none(), Some(&inj)) {
+            Err(EngineError::Transient(m)) => assert!(m.contains("scan"), "{m}"),
+            other => panic!("expected transient, got {other:?}"),
+        }
+        // The rule fired on hit 1; the same injector now passes.
+        let (rs, _) =
+            execute_profiled_with(&p, &db, &crate::cancel::CancelToken::none(), Some(&inj))
+                .unwrap();
+        assert_eq!(rs.len(), 3);
     }
 }

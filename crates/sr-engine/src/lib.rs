@@ -20,10 +20,12 @@
 //! generator can build plans directly and print them ([`sql::to_sql`]).
 
 pub mod analyze;
+pub mod cancel;
 pub mod cost;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod faults;
 pub mod optimize;
 pub mod ordering;
 pub mod plan;
@@ -32,13 +34,15 @@ pub mod sql;
 pub mod wire;
 
 pub use analyze::{q_error, AnalyzedNode, ExplainAnalysis};
+pub use cancel::CancelToken;
 pub use cost::{estimate, estimate_with_nodes, ColInfo, Estimate};
 pub use error::EngineError;
 pub use exec::{
-    execute, execute_analyzed, execute_profiled, ExecProfile, NodeStat, OpStat, PlanProfile,
-    ResultSet,
+    execute, execute_analyzed, execute_profiled, execute_profiled_with, ExecProfile, NodeStat,
+    OpStat, PlanProfile, ResultSet,
 };
 pub use expr::{CmpOp, Expr, Predicate};
+pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultRule, FaultSite, FaultTrigger};
 pub use optimize::push_filters;
 pub use ordering::{elide_sorts, order_info, OrderInfo};
 pub use plan::{JoinKind, Plan};

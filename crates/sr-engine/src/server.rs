@@ -11,8 +11,9 @@
 //!    "bind and transfer" phase of the paper's *total time*).
 
 use std::collections::HashMap;
-use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use bytes::{Buf, Bytes};
@@ -20,13 +21,81 @@ use sr_data::{Database, Row, Schema};
 use sr_obs::{MetricsRegistry, TraceSpan, Tracer};
 
 use crate::analyze::ExplainAnalysis;
+use crate::cancel::CancelToken;
 use crate::cost::{estimate, estimate_with_nodes, Estimate};
 use crate::error::EngineError;
-use crate::exec::{execute_analyzed, execute_profiled};
+use crate::exec::{execute_analyzed, execute_profiled_with, ExecProfile, ResultSet};
+use crate::faults::{FaultInjector, FaultPlan, FaultSite};
 use crate::ordering::elide_sorts;
 use crate::plan::Plan;
 use crate::sql::binder::plan_sql;
 use crate::wire::{decode_row, encode_rows};
+
+/// Lock a mutex, recovering the data from a poisoned one. Every mutex in
+/// this module guards state that is updated atomically *under* the lock
+/// (a permit count, a cache map), so the data is consistent even when the
+/// thread that held the lock died — propagating the poison would turn one
+/// failed query into a permanently wedged server.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Render a caught panic payload for an [`EngineError::Internal`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("worker panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("worker panicked: {s}")
+    } else {
+        "worker panicked".into()
+    }
+}
+
+/// Bump the failure counters a cooperative-cancellation error implies:
+/// deadline overruns count as both a timeout and a mid-execution
+/// cancellation; explicit cancels only as the latter.
+fn note_exec_error(metrics: &MetricsRegistry, e: &EngineError) {
+    match e {
+        EngineError::Timeout { .. } => {
+            metrics.counter("server.timeouts").inc();
+            metrics.counter("server.cancelled").inc();
+        }
+        EngineError::Cancelled => {
+            metrics.counter("server.cancelled").inc();
+        }
+        _ => {}
+    }
+}
+
+/// Base delay of the transient-retry backoff; attempt `n` sleeps
+/// `base × 2^(n-1)`.
+const RETRY_BACKOFF_BASE: Duration = Duration::from_millis(1);
+
+/// Execute with bounded retry on [`EngineError::Transient`]: each retry
+/// backs off exponentially, bumps `server.retries`, and re-checks the
+/// cancel token so retrying never outlives the query's deadline. All
+/// other errors (and success) pass straight through.
+fn run_query_with_retry(
+    plan: &Plan,
+    db: &Database,
+    token: &CancelToken,
+    faults: Option<&FaultInjector>,
+    retries: u32,
+    metrics: &MetricsRegistry,
+) -> Result<(ResultSet, ExecProfile), EngineError> {
+    let mut attempt = 0u32;
+    loop {
+        match execute_profiled_with(plan, db, token, faults) {
+            Err(EngineError::Transient(_)) if attempt < retries => {
+                attempt += 1;
+                metrics.counter("server.retries").inc();
+                std::thread::sleep(RETRY_BACKOFF_BASE * 2u32.saturating_pow(attempt - 1));
+                token.check()?;
+            }
+            other => return other,
+        }
+    }
+}
 
 /// Rows per encoded chunk shipped over the streaming channel.
 const STREAM_CHUNK_ROWS: usize = 1024;
@@ -60,11 +129,14 @@ impl ExecGate {
     }
 
     /// Block until a permit is free; released when the guard drops (also on
-    /// panic, so a failed query never wedges the gate).
+    /// panic, so a failed query never wedges the gate). The permit count is
+    /// only ever mutated under the lock, so a poisoned mutex (a worker
+    /// panicked while its guard was live) still holds a consistent count —
+    /// recover it rather than cascading the panic into every later query.
     fn acquire(self: &Arc<Self>) -> ExecPermit {
-        let mut n = self.permits.lock().expect("exec gate poisoned");
+        let mut n = lock_recover(&self.permits);
         while *n == 0 {
-            n = self.cv.wait(n).expect("exec gate poisoned");
+            n = self.cv.wait(n).unwrap_or_else(PoisonError::into_inner);
         }
         *n -= 1;
         ExecPermit {
@@ -79,7 +151,7 @@ struct ExecPermit {
 
 impl Drop for ExecPermit {
     fn drop(&mut self) {
-        let mut n = self.gate.permits.lock().expect("exec gate poisoned");
+        let mut n = lock_recover(&self.gate.permits);
         *n += 1;
         self.gate.cv.notify_one();
     }
@@ -178,6 +250,9 @@ pub struct TupleStream {
     /// Trace sink for this stream's timeline (stall intervals, decode
     /// progress), recording onto the stream's own virtual lane.
     trace: Option<StreamTrace>,
+    /// Cancel token shared with the server-side execution feeding this
+    /// stream; fired by [`TupleStream::cancel`] and on drop.
+    cancel: CancelToken,
 }
 
 /// A stream's handle onto a [`Tracer`]: events recorded by whichever
@@ -199,6 +274,16 @@ impl TupleStream {
             tracer: Arc::clone(tracer),
             lane,
         });
+    }
+
+    /// Request cooperative cancellation of the server-side execution
+    /// feeding this stream: the worker stops at its next per-chunk check
+    /// and the stream's next blocking read surfaces
+    /// [`EngineError::Cancelled`]. A no-op for buffered streams (execution
+    /// already finished) and idempotent everywhere. Dropping the stream
+    /// cancels implicitly.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
     }
 
     /// Decode the next row, or `None` at end of stream.
@@ -266,10 +351,15 @@ impl TupleStream {
                             return Err(e);
                         }
                         Err(_) => {
+                            // The sender is gone without a terminal item.
+                            // With panic isolation in place this only
+                            // happens on a genuine abort — surface it as a
+                            // hard truncation, never as a clean (but
+                            // silently short) end of stream.
                             *finished = true;
-                            return Err(EngineError::Wire(
-                                "streaming query worker disconnected".into(),
-                            ));
+                            return Err(EngineError::TruncatedStream {
+                                rows_decoded: self.rows_decoded,
+                            });
                         }
                     }
                 }
@@ -284,6 +374,16 @@ impl TupleStream {
             rows.push(r);
         }
         Ok(rows)
+    }
+}
+
+impl Drop for TupleStream {
+    /// Dropping a stream cancels its server-side execution: the worker
+    /// stops at its next per-chunk check instead of running the query to
+    /// completion for a consumer that is no longer there. (For fully
+    /// consumed or buffered streams the token fires into nothing.)
+    fn drop(&mut self) {
+        self.cancel.cancel();
     }
 }
 
@@ -316,21 +416,92 @@ pub struct Server {
     /// Prepared-plan cache: SQL text → optimized plan. The middle-ware
     /// re-submits the same component queries on every materialization, so
     /// after the first execution parse/bind/push-down/elision all collapse
-    /// into one lookup and a plan clone. Sound because the database behind
-    /// `db` is immutable for the server's lifetime.
-    plan_cache: Mutex<HashMap<String, CachedPlan>>,
+    /// into one lookup and a plan clone. Sound while the database behind
+    /// `db` is unchanged; [`Server::set_database`] and
+    /// [`Server::invalidate_plan_cache`] flush it when the catalog moves.
+    plan_cache: Mutex<PlanCache>,
+    /// Deterministic fault injector shared by every execution path; `None`
+    /// in production (the common case pays one branch per site).
+    faults: Option<Arc<FaultInjector>>,
+    /// Max retries of a [`EngineError::Transient`] execution failure.
+    transient_retries: u32,
 }
 
 struct CachedPlan {
     plan: Plan,
     schema: Schema,
     elided: usize,
+    /// Logical timestamp of the last hit (or the insert), for LRU eviction.
+    last_used: u64,
 }
 
-/// Entry cap for the prepared-plan cache; on overflow the cache is simply
-/// cleared (the workload has a small, fixed query set — an LRU would be
-/// dead weight).
+/// Entry cap for the prepared-plan cache; on overflow the least-recently
+/// used entry is evicted (`cache.evictions` counts them). The workload's
+/// query set is small and hot, so the O(n) victim scan on the rare
+/// overflow is cheaper than maintaining an ordered structure on every hit.
 const PLAN_CACHE_CAP: usize = 256;
+
+/// Default number of transient-failure retries per query.
+const DEFAULT_TRANSIENT_RETRIES: u32 = 2;
+
+/// The prepared-plan cache: a bounded map with LRU eviction driven by a
+/// logical clock stamped on every hit and insert.
+struct PlanCache {
+    map: HashMap<String, CachedPlan>,
+    clock: u64,
+    cap: usize,
+}
+
+impl PlanCache {
+    fn new(cap: usize) -> PlanCache {
+        PlanCache {
+            map: HashMap::new(),
+            clock: 0,
+            cap,
+        }
+    }
+
+    fn get(&mut self, sql: &str) -> Option<(Plan, Schema, usize)> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(sql).map(|c| {
+            c.last_used = clock;
+            (c.plan.clone(), c.schema.clone(), c.elided)
+        })
+    }
+
+    /// Insert, evicting the least-recently-used entry if at capacity.
+    /// Returns the number of evictions (0 or 1).
+    fn insert(&mut self, sql: String, plan: Plan, schema: Schema, elided: usize) -> u64 {
+        let mut evictions = 0;
+        if !self.map.contains_key(&sql) && self.map.len() >= self.cap {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, c)| c.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+                evictions = 1;
+            }
+        }
+        self.clock += 1;
+        self.map.insert(
+            sql,
+            CachedPlan {
+                plan,
+                schema,
+                elided,
+                last_used: self.clock,
+            },
+        );
+        evictions
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+    }
+}
 
 impl Server {
     /// A server over a database, with no timeout.
@@ -352,7 +523,9 @@ impl Server {
             sort_elision: true,
             stream_workers: parallel,
             plan_cache_enabled: true,
-            plan_cache: Mutex::new(HashMap::new()),
+            plan_cache: Mutex::new(PlanCache::new(PLAN_CACHE_CAP)),
+            faults: None,
+            transient_retries: DEFAULT_TRANSIENT_RETRIES,
         }
     }
 
@@ -367,7 +540,7 @@ impl Server {
     /// pipeline benchmark uses as its baseline.
     pub fn with_sort_elision(mut self, on: bool) -> Self {
         self.sort_elision = on;
-        self.plan_cache.lock().unwrap().clear();
+        lock_recover(&self.plan_cache).clear();
         self
     }
 
@@ -376,8 +549,54 @@ impl Server {
     /// the pre-cache configuration.
     pub fn with_plan_cache(mut self, on: bool) -> Self {
         self.plan_cache_enabled = on;
-        self.plan_cache.lock().unwrap().clear();
+        lock_recover(&self.plan_cache).clear();
         self
+    }
+
+    /// Install a deterministic fault-injection plan: every execution path
+    /// consults it at its scan/encode/send sites. Testing only.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(FaultInjector::new(plan)));
+        self
+    }
+
+    /// Set how many times a query is retried after a
+    /// [`EngineError::Transient`] execution failure (default 2). Each retry
+    /// bumps `server.retries` and backs off exponentially.
+    pub fn with_transient_retries(mut self, retries: u32) -> Self {
+        self.transient_retries = retries;
+        self
+    }
+
+    /// The installed fault injector, if any (for asserting on hit counts in
+    /// tests).
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
+    }
+
+    /// Drop every cached plan. Call after anything that changes what a SQL
+    /// string should plan to — the cache cannot observe catalog changes on
+    /// its own.
+    pub fn invalidate_plan_cache(&self) {
+        lock_recover(&self.plan_cache).clear();
+    }
+
+    /// Swap the underlying database and invalidate the plan cache: cached
+    /// plans hold table/column bindings resolved against the old catalog,
+    /// so serving them against a new one would be silently wrong.
+    pub fn set_database(&mut self, db: Arc<Database>) {
+        self.db = db;
+        self.invalidate_plan_cache();
+    }
+
+    /// The cancel token governing one query: carries the server deadline if
+    /// one is configured, and is always live so an explicit
+    /// [`TupleStream::cancel`] (or drop) can stop the worker.
+    fn cancel_token(&self) -> CancelToken {
+        match self.timeout {
+            Some(t) => CancelToken::with_timeout(t),
+            None => CancelToken::unbounded(),
+        }
     }
 
     /// Force streaming queries onto worker threads (or inline). By default
@@ -413,7 +632,8 @@ impl Server {
     /// The registry all queries record into. Counters: `server.queries`,
     /// `server.streams`, `server.analyze`, `server.rows`, `server.bytes`,
     /// `server.estimates`, `server.timeouts`, `server.plan_cache_hits`,
-    /// `exec.sorts_elided`, `exec.{calls,rows}.<op>`.
+    /// `server.panics`, `server.cancelled`, `server.retries`,
+    /// `cache.evictions`, `exec.sorts_elided`, `exec.{calls,rows}.<op>`.
     /// Histograms: `server.<phase>_ns`, `server.query_ns`,
     /// `server.estimate_ns`, `oracle.qerror` (Q-error ×1000).
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
@@ -439,9 +659,9 @@ impl Server {
     /// the hits.
     fn plan_cached(&self, sql: &str) -> Result<(Plan, Schema, usize), EngineError> {
         if self.plan_cache_enabled {
-            if let Some(c) = self.plan_cache.lock().unwrap().get(sql) {
+            if let Some(hit) = lock_recover(&self.plan_cache).get(sql) {
                 self.metrics.counter("server.plan_cache_hits").inc();
-                return Ok((c.plan.clone(), c.schema.clone(), c.elided));
+                return Ok(hit);
             }
         }
         let plan = plan_sql(sql, &self.db)?;
@@ -453,18 +673,13 @@ impl Server {
         };
         let schema = plan.schema(&self.db)?;
         if self.plan_cache_enabled {
-            let mut cache = self.plan_cache.lock().unwrap();
-            if cache.len() >= PLAN_CACHE_CAP {
-                cache.clear();
-            }
-            cache.insert(
+            let evicted = lock_recover(&self.plan_cache).insert(
                 sql.to_string(),
-                CachedPlan {
-                    plan: plan.clone(),
-                    schema: schema.clone(),
-                    elided,
-                },
+                plan.clone(),
+                schema.clone(),
+                elided,
             );
+            self.metrics.counter("cache.evictions").add(evicted);
         }
         Ok((plan, schema, elided))
     }
@@ -476,6 +691,7 @@ impl Server {
     pub fn execute_sql(&self, sql: &str) -> Result<TupleStream, EngineError> {
         let tracer = self.tracer.as_deref();
         let start = Instant::now();
+        let token = self.cancel_token();
         let (plan, _, elided) = {
             let _s = TraceSpan::new(tracer, "server.parse_bind");
             self.plan_cached(sql)?
@@ -483,19 +699,53 @@ impl Server {
         let parse_bind = start.elapsed();
         let optimize = Duration::ZERO;
         self.metrics.counter("exec.sorts_elided").add(elided as u64);
-        let t_exec = Instant::now();
-        let (rs, profile) = {
-            let _s =
-                TraceSpan::with_detail(tracer, "query.execute", tracer.map(|_| sql_summary(sql)));
-            execute_profiled(&plan, &self.db)?
+        // Everything that can panic — execution and encoding — runs inside
+        // catch_unwind, so a bug in an operator surfaces as a typed
+        // `Internal` error rather than aborting the calling thread.
+        type ExecOut = Result<(ResultSet, ExecProfile, Bytes, Duration, Duration), EngineError>;
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| -> ExecOut {
+            let t_exec = Instant::now();
+            let (rs, profile) = {
+                let _s = TraceSpan::with_detail(
+                    tracer,
+                    "query.execute",
+                    tracer.map(|_| sql_summary(sql)),
+                );
+                run_query_with_retry(
+                    &plan,
+                    &self.db,
+                    &token,
+                    self.faults.as_deref(),
+                    self.transient_retries,
+                    &self.metrics,
+                )?
+            };
+            let execute = t_exec.elapsed();
+            // Cooperative deadline check between execution and encoding —
+            // the buffered path's equivalent of the streaming chunk
+            // boundary. (The executor itself also checks per row chunk.)
+            token.check()?;
+            let t_enc = Instant::now();
+            if let Some(f) = &self.faults {
+                f.hit(FaultSite::Encode)?;
+            }
+            let data = {
+                let _s = TraceSpan::new(tracer, "encode");
+                encode_rows(&rs.rows)
+            };
+            Ok((rs, profile, data, execute, t_enc.elapsed()))
+        }));
+        let (rs, profile, data, execute, encode) = match caught {
+            Err(payload) => {
+                self.metrics.counter("server.panics").inc();
+                return Err(EngineError::Internal(panic_message(payload)));
+            }
+            Ok(Err(e)) => {
+                note_exec_error(&self.metrics, &e);
+                return Err(e);
+            }
+            Ok(Ok(v)) => v,
         };
-        let execute = t_exec.elapsed();
-        let t_enc = Instant::now();
-        let data = {
-            let _s = TraceSpan::new(tracer, "encode");
-            encode_rows(&rs.rows)
-        };
-        let encode = t_enc.elapsed();
         let query_time = start.elapsed();
 
         let m = &self.metrics;
@@ -534,6 +784,7 @@ impl Server {
             rows_decoded: 0,
             source: StreamSource::Buffered(data),
             trace: None,
+            cancel: token,
         })
     }
 
@@ -553,7 +804,6 @@ impl Server {
         let start = Instant::now();
         let (plan, schema, elided) = self.plan_cached(sql)?;
         let parse_bind = start.elapsed();
-        let optimize = Duration::ZERO;
         self.metrics.counter("exec.sorts_elided").add(elided as u64);
         self.metrics.counter("server.streams").inc();
 
@@ -562,113 +812,36 @@ impl Server {
         }
 
         let (tx, rx) = sync_channel(STREAM_CHANNEL_BOUND);
-        let db = Arc::clone(&self.db);
-        let metrics = Arc::clone(&self.metrics);
-        let gate = Arc::clone(&self.exec_gate);
-        let timeout = self.timeout;
-        let tracer = self.tracer.clone();
-        let detail = tracer.as_ref().map(|_| sql_summary(sql));
+        let token = self.cancel_token();
+        let ctx = StreamWorkerCtx {
+            db: Arc::clone(&self.db),
+            metrics: Arc::clone(&self.metrics),
+            gate: Arc::clone(&self.exec_gate),
+            timeout: self.timeout,
+            tracer: self.tracer.clone(),
+            detail: self.tracer.as_ref().map(|_| sql_summary(sql)),
+            token: token.clone(),
+            faults: self.faults.clone(),
+            retries: self.transient_retries,
+            parse_bind,
+        };
         std::thread::spawn(move || {
-            let lane = tracer.as_ref().map(|t| {
-                let lane = t.name_current_thread("server execute worker");
-                t.begin(lane, "exec.gate.wait", None);
-                lane
-            });
-            // Execute and encode under an admission permit (see
-            // [`ExecGate`]). The permit is never held across a *blocking*
-            // send: if the channel is full we release it first, so a slow
-            // consumer never holds up other plans' execution (or deadlocks
-            // the k-way merge).
-            let permit = gate.acquire();
-            if let (Some(t), Some(lane)) = (&tracer, lane) {
-                t.end(lane, "exec.gate.wait");
+            // Panic isolation: the worker body runs under catch_unwind so a
+            // panicking operator (or injected fault) becomes a terminal
+            // `Failed(Internal)` item instead of a dropped sender the
+            // consumer can only see as a truncated stream. The permit is a
+            // drop-guard, so unwinding releases it too — a panicking query
+            // must never shrink the gate.
+            let fail_tx = tx.clone();
+            let metrics = Arc::clone(&ctx.metrics);
+            if let Err(payload) =
+                std::panic::catch_unwind(AssertUnwindSafe(move || stream_worker(ctx, plan, tx)))
+            {
+                metrics.counter("server.panics").inc();
+                let _ = fail_tx.send(StreamItem::Failed(EngineError::Internal(panic_message(
+                    payload,
+                ))));
             }
-            let t_exec = Instant::now();
-            let (rs, profile) = {
-                let _s = TraceSpan::with_detail(tracer.as_deref(), "query.execute", detail);
-                match execute_profiled(&plan, &db) {
-                    Ok(v) => v,
-                    Err(e) => {
-                        drop(permit);
-                        let _ = tx.send(StreamItem::Failed(e));
-                        return;
-                    }
-                }
-            };
-            let execute = t_exec.elapsed();
-            let mut permit = Some(permit);
-            let mut encode = Duration::ZERO;
-            let mut byte_size = 0usize;
-            for chunk in rs.rows.chunks(STREAM_CHUNK_ROWS) {
-                if permit.is_none() {
-                    if let (Some(t), Some(lane)) = (&tracer, lane) {
-                        t.begin(lane, "exec.gate.wait", None);
-                    }
-                    permit = Some(gate.acquire());
-                    if let (Some(t), Some(lane)) = (&tracer, lane) {
-                        t.end(lane, "exec.gate.wait");
-                    }
-                }
-                let t_enc = Instant::now();
-                let bytes = {
-                    let _s = TraceSpan::new(tracer.as_deref(), "encode");
-                    encode_rows(chunk)
-                };
-                encode += t_enc.elapsed();
-                byte_size += bytes.len();
-                match tx.try_send(StreamItem::Chunk(bytes)) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(item)) => {
-                        permit = None;
-                        let _s = TraceSpan::new(tracer.as_deref(), "send.backpressure");
-                        if tx.send(item).is_err() {
-                            return; // consumer dropped the stream
-                        }
-                    }
-                    Err(TrySendError::Disconnected(_)) => return,
-                }
-            }
-            drop(permit);
-            let query_time = parse_bind + optimize + execute + encode;
-            // Record metrics before Done so they are visible as soon as the
-            // consumer sees end of stream.
-            metrics.counter("server.queries").inc();
-            metrics.counter("server.rows").add(rs.rows.len() as u64);
-            metrics.counter("server.bytes").add(byte_size as u64);
-            metrics
-                .histogram("server.parse_bind_ns")
-                .record_duration(parse_bind);
-            metrics
-                .histogram("server.execute_ns")
-                .record_duration(execute);
-            metrics
-                .histogram("server.encode_ns")
-                .record_duration(encode);
-            metrics
-                .histogram("server.query_ns")
-                .record_duration(query_time);
-            profile.export_to(&metrics);
-            if let Some(limit) = timeout {
-                if query_time > limit {
-                    metrics.counter("server.timeouts").inc();
-                    let _ = tx.send(StreamItem::Failed(EngineError::Timeout {
-                        elapsed_ms: query_time.as_millis() as u64,
-                        limit_ms: limit.as_millis() as u64,
-                    }));
-                    return;
-                }
-            }
-            let _ = tx.send(StreamItem::Done(StreamSummary {
-                row_count: rs.rows.len(),
-                byte_size,
-                query_time,
-                phases: QueryPhases {
-                    parse_bind,
-                    optimize,
-                    execute,
-                    encode,
-                },
-            }));
         });
 
         Ok(TupleStream {
@@ -686,6 +859,7 @@ impl Server {
                 finished: false,
             },
             trace: None,
+            cancel: token,
         })
     }
 
@@ -703,7 +877,9 @@ impl Server {
     ) -> Result<TupleStream, EngineError> {
         let optimize = Duration::ZERO;
         let tracer = self.tracer.as_deref();
-        let stream = |rx| TupleStream {
+        let token = self.cancel_token();
+        let stream_token = token.clone();
+        let stream = move |rx| TupleStream {
             schema,
             row_count: 0,
             byte_size: 0,
@@ -718,33 +894,69 @@ impl Server {
                 finished: false,
             },
             trace: None,
+            cancel: stream_token,
         };
-        let t_exec = Instant::now();
-        let (rs, profile) = {
-            let _s = TraceSpan::new(tracer, "query.execute");
-            match execute_profiled(&plan, &self.db) {
-                Ok(v) => v,
-                Err(e) => {
-                    let (tx, rx) = sync_channel(1);
-                    let _ = tx.send(StreamItem::Failed(e));
-                    return Ok(stream(rx));
+        // Same panic-isolation contract as the worker path: execution and
+        // encoding run under catch_unwind and any failure becomes the
+        // stream's terminal `Failed` item.
+        type InlineOut =
+            Result<(ResultSet, ExecProfile, Vec<Bytes>, Duration, Duration), EngineError>;
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| -> InlineOut {
+            let t_exec = Instant::now();
+            let (rs, profile) = {
+                let _s = TraceSpan::new(tracer, "query.execute");
+                run_query_with_retry(
+                    &plan,
+                    &self.db,
+                    &token,
+                    self.faults.as_deref(),
+                    self.transient_retries,
+                    &self.metrics,
+                )?
+            };
+            let execute = t_exec.elapsed();
+            let mut encode = Duration::ZERO;
+            let mut chunks = Vec::with_capacity(rs.rows.len().div_ceil(STREAM_CHUNK_ROWS));
+            {
+                let _s = TraceSpan::new(tracer, "encode");
+                for chunk in rs.rows.chunks(STREAM_CHUNK_ROWS) {
+                    token.check()?;
+                    if let Some(f) = &self.faults {
+                        f.hit(FaultSite::Encode)?;
+                    }
+                    let t_enc = Instant::now();
+                    let bytes = encode_rows(chunk);
+                    encode += t_enc.elapsed();
+                    if let Some(f) = &self.faults {
+                        f.hit(FaultSite::Send)?;
+                    }
+                    chunks.push(bytes);
                 }
             }
-        };
-        let execute = t_exec.elapsed();
-        let n_chunks = rs.rows.len().div_ceil(STREAM_CHUNK_ROWS);
-        let (tx, rx) = sync_channel(n_chunks + 1);
-        let mut encode = Duration::ZERO;
-        let mut byte_size = 0usize;
-        {
-            let _s = TraceSpan::new(tracer, "encode");
-            for chunk in rs.rows.chunks(STREAM_CHUNK_ROWS) {
-                let t_enc = Instant::now();
-                let bytes = encode_rows(chunk);
-                encode += t_enc.elapsed();
-                byte_size += bytes.len();
-                let _ = tx.send(StreamItem::Chunk(bytes));
+            Ok((rs, profile, chunks, execute, encode))
+        }));
+        let (rs, profile, chunks, execute, encode) = match caught {
+            Err(payload) => {
+                self.metrics.counter("server.panics").inc();
+                let (tx, rx) = sync_channel(1);
+                let _ = tx.send(StreamItem::Failed(EngineError::Internal(panic_message(
+                    payload,
+                ))));
+                return Ok(stream(rx));
             }
+            Ok(Err(e)) => {
+                note_exec_error(&self.metrics, &e);
+                let (tx, rx) = sync_channel(1);
+                let _ = tx.send(StreamItem::Failed(e));
+                return Ok(stream(rx));
+            }
+            Ok(Ok(v)) => v,
+        };
+        let (tx, rx) = sync_channel(chunks.len() + 1);
+        let mut byte_size = 0usize;
+        for bytes in chunks {
+            byte_size += bytes.len();
+            let _ = tx.send(StreamItem::Chunk(bytes));
         }
         let query_time = parse_bind + optimize + execute + encode;
         let m = &self.metrics;
@@ -795,7 +1007,15 @@ impl Server {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("query worker panicked"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|payload| {
+                        // execute_sql already catches panics in the query
+                        // body; this covers panics outside that guard so
+                        // one bad query cannot take down its siblings.
+                        self.metrics.counter("server.panics").inc();
+                        Err(EngineError::Internal(panic_message(payload)))
+                    })
+                })
                 .collect()
         })
     }
@@ -856,6 +1076,171 @@ impl Server {
         }
         Ok(analysis)
     }
+}
+
+/// Everything a streaming worker thread needs, bundled so the spawn site
+/// stays readable.
+struct StreamWorkerCtx {
+    db: Arc<Database>,
+    metrics: Arc<MetricsRegistry>,
+    gate: Arc<ExecGate>,
+    timeout: Option<Duration>,
+    tracer: Option<Arc<Tracer>>,
+    detail: Option<String>,
+    token: CancelToken,
+    faults: Option<Arc<FaultInjector>>,
+    retries: u32,
+    parse_bind: Duration,
+}
+
+/// Body of a streaming query worker: execute under an admission permit,
+/// then encode and ship chunks, checking the cancel token at every chunk
+/// boundary. Runs under `catch_unwind` at the spawn site — anything that
+/// panics in here becomes a terminal `Failed(Internal)` item.
+fn stream_worker(ctx: StreamWorkerCtx, plan: Plan, tx: SyncSender<StreamItem>) {
+    let StreamWorkerCtx {
+        db,
+        metrics,
+        gate,
+        timeout,
+        tracer,
+        detail,
+        token,
+        faults,
+        retries,
+        parse_bind,
+    } = ctx;
+    let optimize = Duration::ZERO;
+    let lane = tracer.as_ref().map(|t| {
+        let lane = t.name_current_thread("server execute worker");
+        t.begin(lane, "exec.gate.wait", None);
+        lane
+    });
+    // Execute and encode under an admission permit (see [`ExecGate`]). The
+    // permit is never held across a *blocking* send: if the channel is full
+    // we release it first, so a slow consumer never holds up other plans'
+    // execution (or deadlocks the k-way merge). Time spent waiting for a
+    // permit is queueing, not work — exclude it from the deadline budget.
+    let t_gate = Instant::now();
+    let permit = gate.acquire();
+    token.exclude(t_gate.elapsed());
+    if let (Some(t), Some(lane)) = (&tracer, lane) {
+        t.end(lane, "exec.gate.wait");
+    }
+    // Send a terminal failure *after* releasing the permit: the consumer
+    // may not be draining the channel, and a blocking send under a permit
+    // could wedge the gate.
+    let fail = |permit: Option<ExecPermit>, e: EngineError| {
+        drop(permit);
+        note_exec_error(&metrics, &e);
+        let _ = tx.send(StreamItem::Failed(e));
+    };
+    let t_exec = Instant::now();
+    let (rs, profile) = {
+        let _s = TraceSpan::with_detail(tracer.as_deref(), "query.execute", detail);
+        match run_query_with_retry(&plan, &db, &token, faults.as_deref(), retries, &metrics) {
+            Ok(v) => v,
+            Err(e) => {
+                fail(Some(permit), e);
+                return;
+            }
+        }
+    };
+    let execute = t_exec.elapsed();
+    let mut permit = Some(permit);
+    let mut encode = Duration::ZERO;
+    let mut byte_size = 0usize;
+    for chunk in rs.rows.chunks(STREAM_CHUNK_ROWS) {
+        // One cancellation check per chunk: a dropped stream, an explicit
+        // cancel, or a blown deadline stops the worker within one chunk
+        // boundary instead of encoding the rest of the result.
+        if let Err(e) = token.check() {
+            fail(permit.take(), e);
+            return;
+        }
+        if permit.is_none() {
+            if let (Some(t), Some(lane)) = (&tracer, lane) {
+                t.begin(lane, "exec.gate.wait", None);
+            }
+            let t_gate = Instant::now();
+            permit = Some(gate.acquire());
+            token.exclude(t_gate.elapsed());
+            if let (Some(t), Some(lane)) = (&tracer, lane) {
+                t.end(lane, "exec.gate.wait");
+            }
+        }
+        if let Some(f) = &faults {
+            if let Err(e) = f.hit(FaultSite::Encode) {
+                fail(permit.take(), e);
+                return;
+            }
+        }
+        let t_enc = Instant::now();
+        let bytes = {
+            let _s = TraceSpan::new(tracer.as_deref(), "encode");
+            encode_rows(chunk)
+        };
+        encode += t_enc.elapsed();
+        byte_size += bytes.len();
+        if let Some(f) = &faults {
+            if let Err(e) = f.hit(FaultSite::Send) {
+                fail(permit.take(), e);
+                return;
+            }
+        }
+        match tx.try_send(StreamItem::Chunk(bytes)) {
+            Ok(()) => {}
+            Err(TrySendError::Full(item)) => {
+                permit = None;
+                let _s = TraceSpan::new(tracer.as_deref(), "send.backpressure");
+                if tx.send(item).is_err() {
+                    return; // consumer dropped the stream
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+    drop(permit);
+    let query_time = parse_bind + optimize + execute + encode;
+    // Record metrics before Done so they are visible as soon as the
+    // consumer sees end of stream.
+    metrics.counter("server.queries").inc();
+    metrics.counter("server.rows").add(rs.rows.len() as u64);
+    metrics.counter("server.bytes").add(byte_size as u64);
+    metrics
+        .histogram("server.parse_bind_ns")
+        .record_duration(parse_bind);
+    metrics
+        .histogram("server.execute_ns")
+        .record_duration(execute);
+    metrics
+        .histogram("server.encode_ns")
+        .record_duration(encode);
+    metrics
+        .histogram("server.query_ns")
+        .record_duration(query_time);
+    profile.export_to(&metrics);
+    if let Some(limit) = timeout {
+        if query_time > limit {
+            metrics.counter("server.timeouts").inc();
+            let _ = tx.send(StreamItem::Failed(EngineError::Timeout {
+                elapsed_ms: query_time.as_millis() as u64,
+                limit_ms: limit.as_millis() as u64,
+            }));
+            return;
+        }
+    }
+    let _ = tx.send(StreamItem::Done(StreamSummary {
+        row_count: rs.rows.len(),
+        byte_size,
+        query_time,
+        phases: QueryPhases {
+            parse_bind,
+            optimize,
+            execute,
+            encode,
+        },
+    }));
 }
 
 /// A short, single-line rendition of a SQL statement for trace details.
@@ -1021,7 +1406,7 @@ mod tests {
     }
 
     #[test]
-    fn streaming_zero_timeout_fails_at_end_of_stream() {
+    fn streaming_zero_timeout_fails_before_first_chunk() {
         for workers in [true, false] {
             let s = server()
                 .with_timeout(Duration::from_nanos(1))
@@ -1029,20 +1414,203 @@ mod tests {
             let mut stream = s
                 .execute_sql_streaming("SELECT i.id AS id FROM Item i ORDER BY id")
                 .unwrap();
-            // All rows still arrive (the timeout is detected post-hoc, after
-            // execution), then the failure surfaces instead of end-of-stream.
-            let mut n = 0;
-            let err = loop {
-                match stream.next_row() {
-                    Ok(Some(_)) => n += 1,
-                    Ok(None) => panic!("expected timeout error"),
-                    Err(e) => break e,
-                }
+            // The deadline is checked cooperatively at every chunk boundary,
+            // so an already-expired budget stops the stream before any rows
+            // are shipped — not post-hoc after the whole result was encoded.
+            let err = match stream.next_row() {
+                Ok(Some(_)) => panic!("no rows should ship past an expired deadline"),
+                Ok(None) => panic!("expected timeout error"),
+                Err(e) => e,
             };
-            assert_eq!(n, 50);
             assert!(matches!(err, EngineError::Timeout { .. }));
-            assert_eq!(s.metrics().snapshot().counter("server.timeouts"), 1);
+            let snap = s.metrics().snapshot();
+            assert_eq!(snap.counter("server.timeouts"), 1);
+            assert_eq!(snap.counter("server.cancelled"), 1);
         }
+    }
+
+    #[test]
+    fn cancelling_stream_stops_worker_mid_flight() {
+        // Hold the worker in an injected 50ms scan delay so the cancel
+        // deterministically lands before the first chunk-boundary check.
+        let s = server()
+            .with_stream_workers(true)
+            .with_faults(FaultPlan::parse("delay50@scan#1", 1).unwrap());
+        let mut stream = s
+            .execute_sql_streaming("SELECT i.id AS id FROM Item i ORDER BY id")
+            .unwrap();
+        stream.cancel();
+        let err = match stream.next_row() {
+            Ok(Some(_)) => panic!("no rows should ship after cancel"),
+            Ok(None) => panic!("expected cancellation error"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, EngineError::Cancelled), "{err:?}");
+        assert_eq!(s.metrics().snapshot().counter("server.cancelled"), 1);
+    }
+
+    #[test]
+    fn gate_recovers_from_poisoned_lock() {
+        let gate = ExecGate::new();
+        let g2 = Arc::clone(&gate);
+        let _ = std::thread::spawn(move || {
+            let _guard = g2.permits.lock().unwrap();
+            panic!("poison the gate");
+        })
+        .join();
+        assert!(gate.permits.is_poisoned());
+        // Acquire and release must still work — and keep working.
+        drop(gate.acquire());
+        drop(gate.acquire());
+    }
+
+    #[test]
+    fn permit_released_when_holder_panics() {
+        let gate = ExecGate::new();
+        let before = *lock_recover(&gate.permits);
+        let g2 = Arc::clone(&gate);
+        let _ = std::thread::spawn(move || {
+            let _permit = g2.acquire();
+            panic!("worker died holding a permit");
+        })
+        .join();
+        // The drop-guard ran during unwinding: no permit leaked.
+        assert_eq!(*lock_recover(&gate.permits), before);
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used() {
+        let schema = Schema::of(&[("x", DataType::Int)]);
+        let mut c = PlanCache::new(2);
+        assert_eq!(
+            c.insert("a".into(), Plan::scan("T", "t"), schema.clone(), 0),
+            0
+        );
+        assert_eq!(
+            c.insert("b".into(), Plan::scan("T", "t"), schema.clone(), 0),
+            0
+        );
+        assert!(c.get("a").is_some()); // refresh: "b" is now the LRU entry
+        assert_eq!(
+            c.insert("c".into(), Plan::scan("T", "t"), schema.clone(), 0),
+            1
+        );
+        assert!(c.get("b").is_none(), "LRU entry evicted");
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+        // Overwriting a resident key never evicts.
+        assert_eq!(c.insert("a".into(), Plan::scan("T", "t"), schema, 0), 0);
+    }
+
+    #[test]
+    fn plan_cache_eviction_counter_records() {
+        let s = server();
+        // Fill past the cap with distinct statements; the overflow must
+        // evict one LRU entry at a time, not flush the whole cache.
+        for i in 0..=PLAN_CACHE_CAP {
+            let sql = format!("SELECT i.id AS id FROM Item i WHERE i.id = {i}");
+            s.optimized_plan(&sql).unwrap();
+        }
+        let snap = s.metrics().snapshot();
+        assert_eq!(snap.counter("cache.evictions"), 1);
+        // The most recent statement is still cached.
+        let sql = format!("SELECT i.id AS id FROM Item i WHERE i.id = {PLAN_CACHE_CAP}");
+        s.optimized_plan(&sql).unwrap();
+        assert_eq!(snap.counter("server.plan_cache_hits"), 0);
+        assert_eq!(s.metrics().snapshot().counter("server.plan_cache_hits"), 1);
+    }
+
+    #[test]
+    fn invalidation_clears_cached_plans() {
+        let s = server();
+        let sql = "SELECT i.id AS id FROM Item i";
+        let _ = s.execute_sql(sql).unwrap();
+        let _ = s.execute_sql(sql).unwrap();
+        assert_eq!(s.metrics().snapshot().counter("server.plan_cache_hits"), 1);
+        s.invalidate_plan_cache();
+        let _ = s.execute_sql(sql).unwrap();
+        assert_eq!(s.metrics().snapshot().counter("server.plan_cache_hits"), 1);
+    }
+
+    #[test]
+    fn set_database_invalidates_plans() {
+        let mut s = server();
+        let sql = "SELECT i.id AS id FROM Item i ORDER BY id";
+        assert_eq!(s.execute_sql(sql).unwrap().row_count, 50);
+        let mut db = Database::new();
+        let mut t = Table::new(
+            "Item",
+            Schema::of(&[("id", DataType::Int), ("label", DataType::Str)]),
+        );
+        for i in 0..3i64 {
+            t.insert(row![i, format!("new-{i}")]).unwrap();
+        }
+        db.add_table(t);
+        s.set_database(Arc::new(db));
+        // The same SQL must re-plan against the new catalog, not serve the
+        // plan bound to the old one.
+        assert_eq!(s.execute_sql(sql).unwrap().row_count, 3);
+        assert_eq!(s.metrics().snapshot().counter("server.plan_cache_hits"), 0);
+    }
+
+    #[test]
+    fn vanished_worker_surfaces_truncation() {
+        let (tx, rx) = sync_channel(1);
+        let mut stream = TupleStream {
+            schema: Schema::of(&[("x", DataType::Int)]),
+            row_count: 0,
+            byte_size: 0,
+            query_time: Duration::ZERO,
+            phases: QueryPhases::default(),
+            transfer_time: Duration::ZERO,
+            stall_time: Duration::ZERO,
+            rows_decoded: 0,
+            source: StreamSource::Channel {
+                rx,
+                current: Bytes::new(),
+                finished: false,
+            },
+            trace: None,
+            cancel: CancelToken::none(),
+        };
+        // The sender vanishes without a Done/Failed terminator — the reader
+        // must see a hard truncation error, not a clean end of stream.
+        drop(tx);
+        match stream.next_row() {
+            Err(EngineError::TruncatedStream { rows_decoded: 0 }) => {}
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_faults_retry_and_succeed() {
+        // One transient failure at the first scan hit: the retry re-runs
+        // the query and the client never sees the fault.
+        for workers in [true, false] {
+            let s = server()
+                .with_stream_workers(workers)
+                .with_faults(FaultPlan::parse("transient@scan#1", 1).unwrap());
+            let rows = s
+                .execute_sql_streaming("SELECT i.id AS id FROM Item i ORDER BY id")
+                .unwrap()
+                .collect_rows()
+                .unwrap();
+            assert_eq!(rows.len(), 50);
+            assert_eq!(s.metrics().snapshot().counter("server.retries"), 1);
+        }
+    }
+
+    #[test]
+    fn transient_faults_exhaust_bounded_retries() {
+        let s = server()
+            .with_transient_retries(2)
+            .with_faults(FaultPlan::parse("transient@scan", 1).unwrap());
+        match s.execute_sql("SELECT i.id AS id FROM Item i") {
+            Err(EngineError::Transient(_)) => {}
+            other => panic!("expected transient failure, got {other:?}"),
+        }
+        // 1 initial try + 2 retries, all failed.
+        assert_eq!(s.metrics().snapshot().counter("server.retries"), 2);
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub enum TagError {
     Engine(EngineError),
     /// Structural inconsistency (malformed stream contents).
     Structure(String),
+    /// The view tree itself is malformed (e.g. a non-root node with an
+    /// empty SFI path) — tagging cannot proceed against it.
+    MalformedTree(String),
 }
 
 impl fmt::Display for TagError {
@@ -44,6 +47,7 @@ impl fmt::Display for TagError {
             TagError::Io(e) => write!(f, "io error: {e}"),
             TagError::Engine(e) => write!(f, "stream error: {e}"),
             TagError::Structure(m) => write!(f, "structure error: {m}"),
+            TagError::MalformedTree(m) => write!(f, "malformed view tree: {m}"),
         }
     }
 }
@@ -371,7 +375,12 @@ impl<'t, W: Write> Tagger<'t, W> {
 
         // Open the remainder of the path.
         for (node, key) in path.into_iter().skip(cpl) {
-            let ordinal = *self.tree.node(node).sfi.last().expect("non-empty SFI");
+            let ordinal = *self.tree.node(node).sfi.last().ok_or_else(|| {
+                TagError::MalformedTree(format!(
+                    "node <{}> has an empty SFI path",
+                    self.tree.node(node).tag
+                ))
+            })?;
             if let Some(mut parent) = self.stack.pop() {
                 self.advance_cursor(&mut parent, Some(ordinal))?;
                 parent.last_child_ordinal = parent.last_child_ordinal.max(ordinal);
@@ -404,7 +413,12 @@ impl<'t, W: Write> Tagger<'t, W> {
                     open.cursor += 1;
                 }
                 NodeContent::Child(c) => {
-                    let ord = *self.tree.node(c).sfi.last().expect("non-empty SFI");
+                    let ord = *self.tree.node(c).sfi.last().ok_or_else(|| {
+                        TagError::MalformedTree(format!(
+                            "node <{}> has an empty SFI path",
+                            self.tree.node(c).tag
+                        ))
+                    })?;
                     if let Some(t) = target {
                         if ord >= t {
                             return Ok(());

@@ -140,6 +140,31 @@ fn non_integer_label_is_rejected() {
 }
 
 #[test]
+fn empty_sfi_node_is_rejected_as_malformed_tree() {
+    let (mut tree, db) = setup();
+    let (rows, schema, reduced) = unified_stream(&tree, &db);
+    // Corrupt the *tree* rather than the stream: an element node with an
+    // empty SFI path can never be ordered against its siblings. The tagger
+    // must refuse with a typed error instead of panicking mid-document.
+    let v = tree
+        .nodes
+        .iter()
+        .position(|n| n.tag == "v")
+        .expect("tree has a <v> node");
+    tree.nodes[v].sfi.clear();
+    let input = StreamInput {
+        rows: RowSource::Materialized(rows.into_iter()),
+        schema,
+        reduced,
+    };
+    let err = tag_streams(&tree, vec![input], Vec::new(), false).unwrap_err();
+    match err {
+        TagError::MalformedTree(m) => assert!(m.contains("<v>"), "{m}"),
+        other => panic!("expected malformed-tree error, got {other}"),
+    }
+}
+
+#[test]
 fn empty_streams_produce_empty_document() {
     let (tree, db) = setup();
     let (_, schema, reduced) = unified_stream(&tree, &db);

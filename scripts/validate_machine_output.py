@@ -58,6 +58,19 @@ def validate_report(doc):
           "metrics.counters lacks the executed queries")
     check("server.optimize_ns" not in metrics.get("histograms", {}),
           "retired histogram server.optimize_ns resurfaced")
+    # Reliability counters (docs/RELIABILITY.md): present-or-zero, integral,
+    # and every timeout must also have been counted as a cancellation.
+    rel = {name: counters.get(name, 0) for name in (
+        "server.panics", "server.cancelled", "server.retries",
+        "server.timeouts", "materialize.retries", "cache.evictions")}
+    for name, v in rel.items():
+        check(isinstance(v, int) and v >= 0,
+              f"counters.{name}: expected non-negative int, got {v!r}")
+    check(rel["server.cancelled"] >= rel["server.timeouts"],
+          "server.timeouts exceeds server.cancelled — a deadline expiry "
+          "must count as a cancellation")
+    check(rel["server.panics"] == 0,
+          "a materialization that produced a report cannot have panicked")
     if "analyze" in doc:
         analyses = require(doc, "analyze", list, "report")
         check(len(analyses) == len(streams),
