@@ -37,6 +37,11 @@
 //!                            [default 0]
 //!       --retries N          transient-failure retries per query
 //!                            [default 2]
+//!       --shards N|auto      split each component query into N key-range
+//!                            shards executed concurrently and re-merged in
+//!                            order (`auto` = available parallelism; 1
+//!                            disables). Queries without a usable range key
+//!                            fall back to a single shard.  [default auto]
 //!
 //! Exactly one machine-readable document ever goes to stdout: the
 //! `--metrics-json` report (which embeds `--analyze` output), or the
@@ -69,6 +74,7 @@ struct Opts {
     fault: Option<String>,
     fault_seed: u64,
     retries: Option<u32>,
+    shards: Option<usize>,
 }
 
 fn usage() -> ExitCode {
@@ -76,7 +82,7 @@ fn usage() -> ExitCode {
         "usage: silkroute <tree|sql|materialize|plan|bench> [--mb N] [--plan SPEC] \
          [--no-reduce] [--out FILE] [--pretty] [--explain] [--metrics-json] \
          [--analyze] [--trace FILE] [--fault SPEC] [--fault-seed N] [--retries N] \
-         <VIEW|query1|query2>"
+         [--shards N|auto] <VIEW|query1|query2>"
     );
     ExitCode::from(2)
 }
@@ -102,6 +108,7 @@ fn parse_args() -> Result<Opts, ExitCode> {
         fault: None,
         fault_seed: 0,
         retries: None,
+        shards: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -123,6 +130,14 @@ fn parse_args() -> Result<Opts, ExitCode> {
             }
             "--retries" => {
                 opts.retries = Some(args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
+            }
+            "--shards" => {
+                let v = args.next().ok_or_else(usage)?;
+                opts.shards = if v == "auto" {
+                    None // resolved to available parallelism below
+                } else {
+                    Some(v.parse().map_err(|_| usage())?)
+                };
             }
             other if !other.starts_with('-') && opts.view.is_empty() => {
                 opts.view = other.to_string();
@@ -234,6 +249,15 @@ fn run() -> Result<(), String> {
     if let Some(r) = opts.retries {
         server = server.with_transient_retries(r);
     }
+    // Shard fan-out: an explicit --shards N wins; the default scales to the
+    // host (`auto`). Either way the server degrades to a single shard per
+    // query when no usable range key exists, so this is always safe.
+    let shards = opts.shards.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    server = server.with_shards(shards);
     let tree = load_view(&opts, server.database())?;
 
     match opts.command.as_str() {
@@ -298,7 +322,7 @@ fn run() -> Result<(), String> {
                 sqls.push(q.sql);
                 inputs.push(sr_tagger::StreamInput {
                     schema: stream.schema.clone(),
-                    rows: sr_tagger::RowSource::Stream(stream),
+                    rows: sr_tagger::RowSource::Stream(Box::new(stream)),
                     reduced: q.reduced,
                 });
             }
@@ -323,6 +347,7 @@ fn run() -> Result<(), String> {
                 tag_start.elapsed(),
                 start.elapsed(),
                 true,
+                server.shards(),
             );
             // EXPLAIN ANALYZE runs before any metrics snapshot so the
             // `oracle.qerror` feedback it records is part of the report.

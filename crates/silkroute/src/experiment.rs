@@ -128,7 +128,7 @@ fn run_plan_mode(
         };
         inputs.push(StreamInput {
             schema: stream.schema.clone(),
-            rows: RowSource::Stream(stream),
+            rows: RowSource::Stream(Box::new(stream)),
             reduced: q.reduced,
         });
     }

@@ -48,8 +48,15 @@ fn tag_and_report<W: Write>(
     let tracer = server.tracer().map(|t| t.as_ref());
     let (stats, out) = tag_streams_traced(tree, inputs, out, false, tracer)?;
     let tag_wall = tag_start.elapsed();
-    let report =
-        MaterializeReport::assemble(&sql, &stats, plan_time, tag_wall, start.elapsed(), parallel);
+    let report = MaterializeReport::assemble(
+        &sql,
+        &stats,
+        plan_time,
+        tag_wall,
+        start.elapsed(),
+        parallel,
+        server.shards(),
+    );
     Ok((
         Materialization {
             streams,
@@ -89,6 +96,7 @@ fn submit_with_retry(
     sql: &str,
     mode: ExecMode,
 ) -> Result<TupleStream, EngineError> {
+    let submitted = Instant::now();
     let mut attempt = 0u32;
     loop {
         let result = match mode {
@@ -98,8 +106,22 @@ fn submit_with_retry(
         match result {
             Err(EngineError::Transient(_)) if attempt < SUBMIT_RETRIES => {
                 attempt += 1;
+                let backoff = Duration::from_millis(1 << attempt.min(6));
+                // A resubmission must respect the server's deadline just as
+                // the server's own execute-level retries do: if sleeping the
+                // backoff would run past it, surface the timeout now rather
+                // than burning a retry on a query that can no longer finish.
+                if let Some(limit) = server.timeout {
+                    let elapsed = submitted.elapsed();
+                    if elapsed + backoff >= limit {
+                        return Err(EngineError::Timeout {
+                            elapsed_ms: elapsed.as_millis() as u64,
+                            limit_ms: limit.as_millis() as u64,
+                        });
+                    }
+                }
                 server.metrics().counter("materialize.retries").inc();
-                std::thread::sleep(Duration::from_millis(1 << attempt.min(6)));
+                std::thread::sleep(backoff);
             }
             other => return other,
         }
@@ -125,7 +147,7 @@ fn run_pipeline<W: Write>(
         sql.push(q.sql);
         inputs.push(StreamInput {
             schema: stream.schema.clone(),
-            rows: RowSource::Stream(stream),
+            rows: RowSource::Stream(Box::new(stream)),
             reduced: q.reduced,
         });
     }
@@ -279,6 +301,27 @@ mod tests {
         let snap = server.metrics().snapshot();
         assert_eq!(snap.counter("materialize.retries"), 1);
         assert_eq!(snap.counter("server.retries"), 0);
+    }
+
+    #[test]
+    fn resubmission_respects_server_deadline() {
+        // The deadline (1ms) is shorter than the first backoff (2ms): the
+        // materialize layer must refuse to sleep-and-resubmit past the
+        // server's deadline and surface the timeout instead of burning the
+        // retry on a query that can no longer finish in time.
+        let server = server()
+            .with_transient_retries(0)
+            .with_timeout(Duration::from_millis(1))
+            .with_faults(sr_engine::FaultPlan::parse("transient@scan#1", 1).unwrap());
+        let tree = query1_tree(server.database());
+        let err =
+            materialize_buffered(&tree, &server, PlanSpec::unified(&tree), Vec::new()).unwrap_err();
+        match err {
+            TagError::Engine(EngineError::Timeout { limit_ms, .. }) => assert_eq!(limit_ms, 1),
+            other => panic!("expected timeout, got {other}"),
+        }
+        let snap = server.metrics().snapshot();
+        assert_eq!(snap.counter("materialize.retries"), 0, "retry not burned");
     }
 
     #[test]

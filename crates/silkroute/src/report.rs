@@ -37,6 +37,10 @@ pub struct MaterializeReport {
     pub total_ms: f64,
     /// Whether the streams were executed concurrently.
     pub parallel: bool,
+    /// Shard fan-out each component query was eligible to run with
+    /// (1 = unsharded; the server falls back per query when a range split
+    /// is not possible).
+    pub shards: usize,
     /// Tuples consumed across all streams.
     pub tuples: u64,
     /// XML elements emitted.
@@ -63,6 +67,7 @@ impl MaterializeReport {
         tag_wall: Duration,
         total: Duration,
         parallel: bool,
+        shards: usize,
     ) -> Self {
         let streams = sql
             .iter()
@@ -83,6 +88,7 @@ impl MaterializeReport {
             ),
             total_ms: ms(total),
             parallel,
+            shards: shards.max(1),
             tuples: stats.tuples,
             elements: stats.elements,
             xml_bytes: stats.bytes,
@@ -135,6 +141,7 @@ impl MaterializeReport {
             ("elements", Json::UInt(self.elements)),
             ("xml_bytes", Json::UInt(self.xml_bytes)),
             ("parallel", Json::Bool(self.parallel)),
+            ("shards", Json::UInt(self.shards as u64)),
         ])
     }
 
@@ -144,9 +151,14 @@ impl MaterializeReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "materialization: {} stream(s){}, {} tuples, {} elements, {} XML bytes",
+            "materialization: {} stream(s){}{}, {} tuples, {} elements, {} XML bytes",
             self.streams.len(),
             if self.parallel { " (parallel)" } else { "" },
+            if self.shards > 1 {
+                format!(" (x{} shards)", self.shards)
+            } else {
+                String::new()
+            },
             self.tuples,
             self.elements,
             self.xml_bytes
@@ -222,6 +234,7 @@ mod tests {
             Duration::from_millis(5),
             Duration::from_millis(12),
             false,
+            4,
         )
     }
 
@@ -252,15 +265,18 @@ mod tests {
             "\"totals\"",
             "\"plan_ms\"",
             "\"tag_ms\"",
+            "\"shards\"",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
+        assert!(j.contains("\"shards\":4"), "{j}");
     }
 
     #[test]
     fn explain_is_tabular() {
         let e = sample().render_explain();
         assert!(e.contains("2 stream(s)"));
+        assert!(e.contains("(x4 shards)"));
         assert!(e.contains("SELECT a"));
         assert!(e.contains("totals: plan"));
     }

@@ -309,4 +309,103 @@ fn main() {
     let path = dir.join("BENCH_pipeline.json");
     std::fs::write(&path, json.render_pretty() + "\n").expect("write BENCH_pipeline.json");
     println!("(results written to {})", path.display());
+
+    // === Sharded mode: intra-stream parallelism on top of pipelining ===
+    //
+    // The same unified plans, pipelined, with each component query split
+    // into key-range shards executed concurrently and re-merged in order.
+    // The headline is sharded wall-clock vs. unsharded on the same host;
+    // per-point shard fan-out comes from the `exec.shards` counter so a
+    // point where every query fell back to one shard is visible as such.
+    // The fan-out is clamped to the host parallelism — on a single-CPU
+    // host shards serialize and can only add merge overhead, so the bench
+    // degrades to fan-out 1 there (recorded as such in the JSON).
+    let shards = 4usize.min(parallelism);
+    let sharded_server = Server::new(Arc::clone(server.database())).with_shards(shards);
+    println!("\n=== Range-sharded pipelined execution (--shards {shards}) ===\n");
+    let mut shard_points: Vec<(String, Measurement, Measurement, u64)> = Vec::new();
+    for (qname, tree) in &trees {
+        let spec = PlanSpec {
+            edges: EdgeSet::full(tree),
+            reduce: true,
+            style: QueryStyle::OuterJoin,
+        };
+        let before = sharded_server.metrics().snapshot().counter("exec.shards");
+        let _ = run_plan(tree, &sharded_server, spec, None).expect("sharded warm-up");
+        let exec_shards = sharded_server.metrics().snapshot().counter("exec.shards") - before;
+        let mut unsharded: Option<Measurement> = None;
+        let mut sharded: Option<Measurement> = None;
+        for _ in 0..reps {
+            keep_min(
+                &mut unsharded,
+                run_plan(tree, &server, spec, None).expect("unsharded run"),
+            );
+            keep_min(
+                &mut sharded,
+                run_plan(tree, &sharded_server, spec, None).expect("sharded run"),
+            );
+        }
+        let u = unsharded.expect("at least one repetition");
+        let s = sharded.expect("at least one repetition");
+        println!(
+            "{:<7} unified  unsharded {:>8.1} ms  sharded {:>8.1} ms  ({:.2}x, fan-out {})",
+            qname,
+            u.total_ms,
+            s.total_ms,
+            u.total_ms / s.total_ms,
+            exec_shards
+        );
+        shard_points.push((qname.to_string(), u, s, exec_shards));
+    }
+    let u_total: f64 = shard_points.iter().map(|(_, u, _, _)| u.total_ms).sum();
+    let s_total: f64 = shard_points.iter().map(|(_, _, s, _)| s.total_ms).sum();
+    println!(
+        "\nsharded speedup across unified plans: {:.2}x (unsharded {u_total:.1} ms, \
+         sharded {s_total:.1} ms)",
+        u_total / s_total
+    );
+    let skew = sharded_server
+        .metrics()
+        .snapshot()
+        .histogram("shard.skew")
+        .map(|h| h.max)
+        .unwrap_or(0);
+    let shard_json = Json::obj(vec![
+        ("bench", Json::Str("shard".to_string())),
+        ("quick", Json::Bool(quick)),
+        ("config", Json::Str(config.describe())),
+        ("repetitions", Json::UInt(reps as u64)),
+        ("host_parallelism", Json::UInt(parallelism as u64)),
+        ("shards", Json::UInt(shards as u64)),
+        (
+            "plans",
+            Json::Arr(
+                shard_points
+                    .iter()
+                    .map(|(qname, u, s, exec_shards)| {
+                        Json::obj(vec![
+                            ("query", Json::Str(qname.clone())),
+                            ("plan", Json::Str("unified".to_string())),
+                            ("unsharded", stage_json(u)),
+                            ("sharded", stage_json(s)),
+                            ("speedup", Json::Float(u.total_ms / s.total_ms)),
+                            ("exec_shards", Json::UInt(*exec_shards)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "totals",
+            Json::obj(vec![
+                ("unsharded_total_ms", Json::Float(u_total)),
+                ("sharded_total_ms", Json::Float(s_total)),
+                ("speedup", Json::Float(u_total / s_total)),
+                ("max_skew_permille", Json::UInt(skew)),
+            ]),
+        ),
+    ]);
+    let shard_path = dir.join("BENCH_shard.json");
+    std::fs::write(&shard_path, shard_json.render_pretty() + "\n").expect("write BENCH_shard.json");
+    println!("(results written to {})", shard_path.display());
 }

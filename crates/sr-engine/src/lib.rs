@@ -30,6 +30,7 @@ pub mod optimize;
 pub mod ordering;
 pub mod plan;
 pub mod server;
+pub mod shard;
 pub mod sql;
 pub mod wire;
 
@@ -47,3 +48,4 @@ pub use optimize::push_filters;
 pub use ordering::{elide_sorts, order_info, OrderInfo};
 pub use plan::{JoinKind, Plan};
 pub use server::{QueryPhases, Server, TupleStream};
+pub use shard::{range_boundaries, split_plan, ShardPlan};

@@ -1,0 +1,394 @@
+//! Stats-driven range sharding of a component query.
+//!
+//! The paper's middle-ware ships each component query as one sequential
+//! scan-sort pipeline, so a single large component (e.g. the LineItem-heavy
+//! stream of query2) bounds wall-clock no matter how many cores the server
+//! has. [`split_plan`] carves such a plan into `k` **key-range shards**
+//! along its leading non-constant sort key, using the same catalog
+//! statistics the cost oracle consumes: the `[min, max]` range of the shard
+//! column is split uniformly into `k` half-open intervals, each shard plan
+//! filters to one interval, and the range predicate is pushed to the base
+//! scan by the regular [`push_filters`] pass.
+//!
+//! Order preservation is by construction, not by re-merging comparisons:
+//! the shard column is the first sort key that is not single-valued, every
+//! earlier key is constant across all rows, and the intervals are disjoint
+//! and ascending — so concatenating the (individually sorted) shard outputs
+//! in shard order *is* the sorted stream, byte-identical to the unsharded
+//! run for every shard count.
+//!
+//! Sharding degrades to `None` (caller runs unsharded) whenever any
+//! precondition fails: no usable sort key, a non-integer or nullable shard
+//! column (the predicate language has no `IS NULL`, so NULL rows would be
+//! dropped by every range), missing stats, or a value range too narrow to
+//! split.
+
+use std::collections::HashMap;
+
+use sr_data::{DataType, Database, Value};
+
+use crate::expr::{CmpOp, Expr, Predicate};
+use crate::optimize::push_filters;
+use crate::ordering::order_info;
+use crate::plan::Plan;
+
+/// A component query split into value-disjoint key-range shards.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// One executable plan per shard, in ascending key-range order.
+    /// Concatenating their outputs in this order reproduces the unsharded
+    /// result exactly.
+    pub plans: Vec<Plan>,
+    /// The column the ranges partition (the first non-constant sort key).
+    pub column: String,
+    /// Ascending range boundaries: shard `i` holds rows with
+    /// `boundaries[i-1] <= column < boundaries[i]` (unbounded at the ends).
+    pub boundaries: Vec<i64>,
+}
+
+impl ShardPlan {
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Always false — a `ShardPlan` holds at least two shards.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}
+
+/// Split `plan` into (up to) `k` key-range shards, or `None` when the plan
+/// cannot be sharded safely. See the module docs for the preconditions.
+pub fn split_plan(plan: &Plan, db: &Database, k: usize) -> Option<ShardPlan> {
+    if k < 2 {
+        return None;
+    }
+    let info = order_info(plan, db);
+    // The delivered order: explicit keys under a top `Sort`, otherwise the
+    // derived ordering of a sort-elided plan.
+    let keys: &[String] = match plan {
+        Plan::Sort { keys, .. } => keys,
+        _ => &info.ordering,
+    };
+    // Shard on the first sort key that actually varies; every earlier key
+    // is single-valued across rows, so range-disjointness on this column
+    // makes ordered concatenation a correct merge.
+    let column = keys
+        .iter()
+        .find(|key| !info.constants.contains(*key))?
+        .clone();
+    // The shard column must be a non-nullable integer: the predicate
+    // language has no `IS NULL`, so a NULL would match no range and the
+    // row would silently vanish. (Outer-join-padded columns are nullable
+    // in the output schema and are rejected here automatically.)
+    let schema = plan.schema(db).ok()?;
+    let col = schema.column(schema.position(&column)?);
+    if col.nullable || col.dtype != DataType::Int {
+        return None;
+    }
+    let (min, max, distinct) = resolve_range(plan, db, &column, &HashMap::new())?;
+    let boundaries = range_boundaries(min, max, distinct, k);
+    if boundaries.is_empty() {
+        return None;
+    }
+    let plans = (0..=boundaries.len())
+        .map(|i| {
+            let mut preds = Vec::with_capacity(2);
+            if i > 0 {
+                preds.push(Predicate::new(
+                    Expr::col(&column),
+                    CmpOp::Ge,
+                    Expr::Lit(Value::Int(boundaries[i - 1])),
+                ));
+            }
+            if i < boundaries.len() {
+                preds.push(Predicate::new(
+                    Expr::col(&column),
+                    CmpOp::Lt,
+                    Expr::Lit(Value::Int(boundaries[i])),
+                ));
+            }
+            // Re-sorting per shard is exact: the executor's sort is stable
+            // and each shard holds a contiguous key range, so the shard's
+            // own sort reproduces the rows the unsharded sort would have
+            // placed in that range, in the same relative order. For an
+            // elided plan the top-level filter preserves delivered order.
+            let sharded = match plan {
+                Plan::Sort { input, keys } => (**input).clone().filter(preds).sort(keys.clone()),
+                other => other.clone().filter(preds),
+            };
+            push_filters(sharded, db)
+        })
+        .collect::<Result<Vec<_>, _>>()
+        .ok()?;
+    Some(ShardPlan {
+        plans,
+        column,
+        boundaries,
+    })
+}
+
+/// Uniformly split `[min, max]` into at most `k` ascending, deduplicated
+/// interior boundaries (at most `distinct` shards are worth having). Empty
+/// when the range cannot support at least two non-empty intervals.
+pub fn range_boundaries(min: i64, max: i64, distinct: usize, k: usize) -> Vec<i64> {
+    let k_eff = k.min(distinct.max(1));
+    if k_eff < 2 || min >= max {
+        return Vec::new();
+    }
+    // i128 keeps `span * i` exact for any i64 range.
+    let span = max as i128 - min as i128 + 1;
+    let mut out = Vec::with_capacity(k_eff - 1);
+    for i in 1..k_eff {
+        let b = (min as i128 + span * i as i128 / k_eff as i128) as i64;
+        if b > min && b <= max && out.last() != Some(&b) {
+            out.push(b);
+        }
+    }
+    out
+}
+
+/// Resolve a plan output column back to catalog statistics, returning
+/// `(min, max, distinct)` for its value range. Follows renames through
+/// `Project`, alias prefixes through `Scan`/`CteScan`, and takes the
+/// union of ranges across `OuterUnion` branches (every branch must
+/// resolve — a branch without the column would contribute NULLs, already
+/// excluded by the nullability check in [`split_plan`]).
+fn resolve_range(
+    plan: &Plan,
+    db: &Database,
+    column: &str,
+    ctes: &HashMap<String, Plan>,
+) -> Option<(i64, i64, usize)> {
+    match plan {
+        Plan::Scan { table, alias } => {
+            let base = column.strip_prefix(&format!("{alias}_"))?;
+            let stats = db.stats(table).ok()?;
+            let cs = stats.column(base)?;
+            match (cs.min.as_ref(), cs.max.as_ref()) {
+                (Some(Value::Int(lo)), Some(Value::Int(hi))) => Some((*lo, *hi, cs.distinct)),
+                _ => None,
+            }
+        }
+        Plan::CteScan { cte, alias, .. } => {
+            let base = column.strip_prefix(&format!("{alias}_"))?;
+            resolve_range(ctes.get(cte)?, db, base, ctes)
+        }
+        Plan::Filter { input, .. } | Plan::Sort { input, .. } | Plan::Distinct { input } => {
+            resolve_range(input, db, column, ctes)
+        }
+        Plan::Project { input, items } => {
+            let (_, expr) = items.iter().find(|(name, _)| name == column)?;
+            match expr {
+                Expr::Col(inner) => resolve_range(input, db, inner, ctes),
+                Expr::Lit(Value::Int(v)) => Some((*v, *v, 1)),
+                _ => None,
+            }
+        }
+        Plan::Join { left, right, .. } => {
+            // Column names are globally unique (alias-prefixed), so the
+            // column lives on exactly one side.
+            resolve_range(left, db, column, ctes).or_else(|| resolve_range(right, db, column, ctes))
+        }
+        Plan::OuterUnion { inputs } => {
+            let mut lo = i64::MAX;
+            let mut hi = i64::MIN;
+            let mut distinct = 0usize;
+            for branch in inputs {
+                let (l, h, d) = resolve_range(branch, db, column, ctes)?;
+                lo = lo.min(l);
+                hi = hi.max(h);
+                distinct = distinct.saturating_add(d);
+            }
+            Some((lo, hi, distinct))
+        }
+        Plan::With { ctes: defs, body } => {
+            let mut env = ctes.clone();
+            for (name, def) in defs {
+                env.insert(name.clone(), def.clone());
+            }
+            resolve_range(body, db, column, &env)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use sr_data::{row, Column, Schema, Table};
+    use std::sync::Arc;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut t = Table::new(
+            "T",
+            Schema::new(vec![
+                Column::new("id", DataType::Int),
+                Column::new("grp", DataType::Int),
+                Column::nullable("opt", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        for i in 0..100i64 {
+            t.insert(row![i, i % 7, i]).unwrap();
+        }
+        db.add_table(t);
+        db.declare_key("T", &["id"]).unwrap();
+        db.declare_clustered_by("T", &["id"]).unwrap();
+        db
+    }
+
+    fn sorted_plan() -> Plan {
+        Plan::scan("T", "t").sort(vec!["t_id".into()])
+    }
+
+    #[test]
+    fn boundaries_are_uniform_and_in_range() {
+        let b = range_boundaries(0, 99, 100, 4);
+        assert_eq!(b, vec![25, 50, 75]);
+        let b = range_boundaries(0, 99, 100, 2);
+        assert_eq!(b, vec![50]);
+    }
+
+    #[test]
+    fn boundaries_degenerate_cases() {
+        assert!(range_boundaries(5, 5, 1, 4).is_empty(), "single value");
+        assert!(range_boundaries(9, 3, 10, 4).is_empty(), "inverted range");
+        assert!(range_boundaries(0, 99, 100, 1).is_empty(), "k = 1");
+        // Narrow range: fewer boundaries than requested, but all distinct.
+        let b = range_boundaries(0, 2, 3, 8);
+        assert_eq!(b, vec![1, 2]);
+        // Extreme range must not overflow.
+        let b = range_boundaries(i64::MIN, i64::MAX, usize::MAX, 2);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn split_covers_all_rows_exactly_once() {
+        let db = db();
+        let plan = sorted_plan();
+        let sp = split_plan(&plan, &db, 4).expect("shardable");
+        assert_eq!(sp.column, "t_id");
+        assert_eq!(sp.len(), 4);
+        let whole = execute(&plan, &db).unwrap();
+        let mut merged = Vec::new();
+        for shard in &sp.plans {
+            merged.extend(execute(shard, &db).unwrap().rows);
+        }
+        assert_eq!(merged, whole.rows, "ordered concat equals unsharded run");
+    }
+
+    #[test]
+    fn range_filters_are_pushed_to_scan() {
+        let db = db();
+        let sp = split_plan(&sorted_plan(), &db, 2).unwrap();
+        // After push_filters the range predicate sits below the Sort.
+        for shard in &sp.plans {
+            match shard {
+                Plan::Sort { input, .. } => {
+                    assert!(
+                        matches!(**input, Plan::Filter { .. }),
+                        "expected Filter under Sort, got: {shard}"
+                    );
+                }
+                other => panic!("expected Sort-topped shard, got: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn constant_leading_key_is_skipped() {
+        let db = db();
+        // ORDER BY L1, id with L1 a literal: shard on id, not L1.
+        let plan = Plan::scan("T", "t")
+            .project(vec![
+                ("L1".into(), Expr::lit(1i64)),
+                ("id".into(), Expr::col("t_id")),
+            ])
+            .sort(vec!["L1".into(), "id".into()]);
+        let sp = split_plan(&plan, &db, 2).expect("shardable past constant key");
+        assert_eq!(sp.column, "id");
+    }
+
+    #[test]
+    fn nullable_or_non_int_column_refuses() {
+        let db = db();
+        let nullable = Plan::scan("T", "t").sort(vec!["t_opt".into()]);
+        assert!(split_plan(&nullable, &db, 4).is_none(), "nullable key");
+        let unsortable = Plan::scan("T", "t");
+        // Clustered order is t_id (non-nullable int) — this one shards.
+        assert!(split_plan(&unsortable, &db, 4).is_some(), "elided plan");
+    }
+
+    #[test]
+    fn k_below_two_refuses() {
+        let db = db();
+        assert!(split_plan(&sorted_plan(), &db, 1).is_none());
+        assert!(split_plan(&sorted_plan(), &db, 0).is_none());
+    }
+
+    #[test]
+    fn distinct_caps_shard_count() {
+        let mut db = Database::new();
+        let mut t = Table::new("S", Schema::of(&[("v", DataType::Int)]));
+        for v in [1i64, 1, 2, 2] {
+            t.insert(row![v]).unwrap();
+        }
+        db.add_table(t);
+        db.declare_clustered_by("S", &["v"]).unwrap();
+        let plan = Plan::scan("S", "s").sort(vec!["s_v".into()]);
+        let sp = split_plan(&plan, &db, 8).expect("two distinct values");
+        assert_eq!(sp.len(), 2, "capped at distinct count");
+    }
+
+    #[test]
+    fn union_range_spans_all_branches() {
+        let db = db();
+        let mk = |lo: i64, hi: i64| {
+            Plan::scan("T", "t")
+                .filter(vec![
+                    Predicate::new(Expr::col("t_id"), CmpOp::Ge, Expr::lit(lo)),
+                    Predicate::new(Expr::col("t_id"), CmpOp::Lt, Expr::lit(hi)),
+                ])
+                .project(vec![("k".into(), Expr::col("t_id"))])
+        };
+        let union = Plan::OuterUnion {
+            inputs: vec![mk(0, 50), mk(50, 100)],
+        };
+        let (lo, hi, d) = resolve_range(&union, &db, "k", &HashMap::new()).unwrap();
+        assert_eq!((lo, hi), (0, 99));
+        assert!(d >= 100);
+    }
+
+    #[test]
+    fn with_cte_resolves_through_definition() {
+        let db = db();
+        let def = Plan::scan("T", "t").project(vec![("k".into(), Expr::col("t_id"))]);
+        let body = Plan::CteScan {
+            cte: "c".into(),
+            alias: "x".into(),
+            schema: def.schema(&db).unwrap(),
+        };
+        let plan = Plan::With {
+            ctes: vec![("c".into(), def)],
+            body: Box::new(body),
+        };
+        let r = resolve_range(&plan, &db, "x_k", &HashMap::new()).unwrap();
+        assert_eq!((r.0, r.1), (0, 99));
+    }
+
+    #[test]
+    fn shards_execute_via_server_stats() {
+        // End to end through Arc<Database> the way the server holds it.
+        let db = Arc::new(db());
+        let sp = split_plan(&sorted_plan(), &db, 3).unwrap();
+        let total: usize = sp
+            .plans
+            .iter()
+            .map(|p| execute(p, &db).unwrap().rows.len())
+            .sum();
+        assert_eq!(total, 100);
+    }
+}

@@ -71,8 +71,10 @@ pub enum RowSource {
     /// Already materialized rows.
     Materialized(std::vec::IntoIter<Row>),
     /// A server tuple stream (decoded lazily — this is where "transfer
-    /// time" is spent).
-    Stream(TupleStream),
+    /// time" is spent). Boxed: `TupleStream` is much larger than the
+    /// materialized iterator, and there is only one `RowSource` per
+    /// component stream.
+    Stream(Box<TupleStream>),
 }
 
 impl RowSource {
@@ -149,8 +151,96 @@ struct StreamState {
     lift: StreamLift,
     /// member node → class index (within this stream's component).
     class_of: Vec<Option<usize>>,
-    /// Current head, lifted into the global layout.
-    head: Option<Vec<Value>>,
+}
+
+/// One stream's current head in the merge heap: its lifted key and the
+/// stream it came from. Ordered by `(lifted key, stream index)` — the
+/// stream-index tie-break keeps equal keys in component preorder, exactly
+/// as the previous linear best-pick scan did.
+struct HeapEntry {
+    key: Vec<Value>,
+    si: usize,
+}
+
+/// Strict `a < b` under the merge order. [`GlobalLayout::cmp_lifted`] is
+/// layout-dependent, so the heap cannot use `Ord` + `BinaryHeap`; these
+/// free functions thread the layout through a hand-rolled binary min-heap.
+fn heap_less(layout: &GlobalLayout, a: &HeapEntry, b: &HeapEntry) -> bool {
+    match layout.cmp_lifted(&a.key, &b.key) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => a.si < b.si,
+    }
+}
+
+/// Push onto the min-heap: O(log k).
+fn heap_push(heap: &mut Vec<HeapEntry>, layout: &GlobalLayout, entry: HeapEntry) {
+    heap.push(entry);
+    let mut i = heap.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if heap_less(layout, &heap[i], &heap[parent]) {
+            heap.swap(i, parent);
+            i = parent;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Pop the minimum off the heap: O(log k).
+fn heap_pop(heap: &mut Vec<HeapEntry>, layout: &GlobalLayout) -> Option<HeapEntry> {
+    if heap.is_empty() {
+        return None;
+    }
+    let last = heap.len() - 1;
+    heap.swap(0, last);
+    let top = heap.pop();
+    let mut i = 0;
+    loop {
+        let l = 2 * i + 1;
+        if l >= heap.len() {
+            break;
+        }
+        let r = l + 1;
+        let child = if r < heap.len() && heap_less(layout, &heap[r], &heap[l]) {
+            r
+        } else {
+            l
+        };
+        if heap_less(layout, &heap[child], &heap[i]) {
+            heap.swap(i, child);
+            i = child;
+        } else {
+            break;
+        }
+    }
+    top
+}
+
+/// The sortedness-contract error for a tuple whose lifted key regressed
+/// behind the previously merged one. Two distinct contracts can break:
+///
+/// * `si == prev_si` — the stream violated its **intra-stream order**
+///   contract: the server shipped it out of document order.
+/// * `si != prev_si` — each stream may well be sorted, but their lifted
+///   keys disagree about document order: a **merge layout** mismatch
+///   between the streams' lift mappings. Blaming only `si` here (as the
+///   tagger used to) sent people debugging the wrong stream's ORDER BY.
+fn order_violation(si: usize, prev_si: usize) -> TagError {
+    if si == prev_si {
+        TagError::Structure(format!(
+            "intra-stream order contract violated: stream {si} is not sorted \
+             in document order (tuple regressed behind its own predecessor)"
+        ))
+    } else {
+        TagError::Structure(format!(
+            "merge layout contract violated: a tuple from stream {si} regressed \
+             behind the last tuple merged from stream {prev_si}; each stream may \
+             be individually sorted, but their lift layouts disagree about \
+             document order"
+        ))
+    }
 }
 
 struct Open {
@@ -218,7 +308,6 @@ pub fn tag_streams_traced<W: Write>(
                 rows: input.rows,
                 lift,
                 class_of,
-                head: None,
             }
         })
         .collect();
@@ -259,50 +348,35 @@ pub fn tag_streams_traced<W: Write>(
 
 impl<'t, W: Write> Tagger<'t, W> {
     fn run(&mut self) -> Result<(), TagError> {
-        // Prime heads.
-        for s in &mut self.streams {
+        // The k-way merge heap, one entry per non-exhausted stream, ordered
+        // by `(lifted key, stream index)`. O(log k) per tuple instead of the
+        // former O(k) linear best-pick scan — shard fan-out multiplies
+        // stream counts, so k is no longer always small.
+        let mut heap: Vec<HeapEntry> = Vec::with_capacity(self.streams.len());
+        for (si, s) in self.streams.iter_mut().enumerate() {
             if let Some(row) = s.rows.next_row()? {
-                s.head = Some(s.lift.lift(&row));
+                let key = s.lift.lift(&row);
+                heap_push(&mut heap, &self.layout, HeapEntry { key, si });
             }
         }
 
         // Guard against servers that violate the sortedness contract: the
         // merged sequence of lifted keys must be non-decreasing, otherwise
         // the constant-space re-nesting would silently emit a corrupted
-        // document.
-        let mut last: Option<Vec<Value>> = None;
+        // document. `last` remembers which stream produced the previous
+        // tuple so a violation can name both parties; it is updated by
+        // *moving* the popped key in — no per-tuple clone on the hot loop.
+        let mut last: Option<(Vec<Value>, usize)> = None;
 
-        loop {
-            // Pick the stream with the smallest lifted key (ties: lower
-            // stream index — streams arrive in component preorder).
-            let mut best: Option<usize> = None;
-            for (i, s) in self.streams.iter().enumerate() {
-                if let Some(h) = &s.head {
-                    let better = match best {
-                        None => true,
-                        Some(b) => {
-                            let bh = self.streams[b].head.as_ref().expect("has head");
-                            self.layout.cmp_lifted(h, bh) == std::cmp::Ordering::Less
-                        }
-                    };
-                    if better {
-                        best = Some(i);
-                    }
-                }
-            }
-            let Some(si) = best else { break };
-            let lifted = self.streams[si].head.take().expect("picked head");
-            if let Some(prev) = &last {
+        while let Some(HeapEntry { key: lifted, si }) = heap_pop(&mut heap, &self.layout) {
+            if let Some((prev, prev_si)) = &last {
                 if self.layout.cmp_lifted(&lifted, prev) == std::cmp::Ordering::Less {
-                    return Err(TagError::Structure(format!(
-                        "stream {si} is not sorted in document order (tuple regressed)"
-                    )));
+                    return Err(order_violation(si, *prev_si));
                 }
             }
-            last = Some(lifted.clone());
             if let Some(row) = self.streams[si].rows.next_row()? {
-                let next = self.streams[si].lift.lift(&row);
-                self.streams[si].head = Some(next);
+                let key = self.streams[si].lift.lift(&row);
+                heap_push(&mut heap, &self.layout, HeapEntry { key, si });
             }
             self.stats.tuples += 1;
             self.stats.per_stream[si].tuples += 1;
@@ -315,6 +389,15 @@ impl<'t, W: Write> Tagger<'t, W> {
             }
             self.process_tuple(si, &lifted)?;
             self.stats.max_open_depth = self.stats.max_open_depth.max(self.stack.len());
+            // Retire the tuple's key into `last` by move (the buffer was
+            // allocated by `lift` anyway; the previous one is dropped).
+            match &mut last {
+                Some((prev, prev_si)) => {
+                    *prev = lifted;
+                    *prev_si = si;
+                }
+                None => last = Some((lifted, si)),
+            }
         }
 
         // Close everything left open.
@@ -479,5 +562,96 @@ impl<'t, W: Write> Tagger<'t, W> {
             },
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod merge_tests {
+    use super::*;
+    use sr_data::{row, DataType, Database, Schema, Table};
+    use sr_viewtree::build;
+
+    fn layout() -> GlobalLayout {
+        let mut db = Database::new();
+        let mut t = Table::new("T", Schema::of(&[("x", DataType::Int)]));
+        t.insert_all([row![1i64]]).unwrap();
+        db.add_table(t);
+        db.declare_key("T", &["x"]).unwrap();
+        let q = sr_rxl::parse("from T $t construct <a>$t.x</a>").unwrap();
+        let tree = build(&q, &db).unwrap();
+        GlobalLayout::new(&tree)
+    }
+
+    #[test]
+    fn intra_stream_violation_names_the_stream_and_contract() {
+        let msg = order_violation(3, 3).to_string();
+        assert!(msg.contains("stream 3"), "{msg}");
+        assert!(msg.contains("not sorted"), "{msg}");
+        assert!(msg.contains("intra-stream order"), "{msg}");
+        assert!(!msg.contains("merge layout"), "{msg}");
+    }
+
+    #[test]
+    fn inter_stream_violation_names_both_streams_and_contract() {
+        let msg = order_violation(2, 0).to_string();
+        assert!(msg.contains("stream 2"), "{msg}");
+        assert!(msg.contains("stream 0"), "{msg}");
+        assert!(msg.contains("merge layout"), "{msg}");
+        assert!(!msg.contains("not sorted"), "{msg}");
+    }
+
+    #[test]
+    fn heap_pops_in_key_order_with_stream_index_tie_break() {
+        let layout = layout();
+        // Keys are (L1, x): L1 ordinal first, then the node's key variable.
+        let key = |l: i64, x: i64| vec![Value::Int(l), Value::Int(x)];
+        let mut heap = Vec::new();
+        heap_push(
+            &mut heap,
+            &layout,
+            HeapEntry {
+                key: key(1, 5),
+                si: 0,
+            },
+        );
+        heap_push(
+            &mut heap,
+            &layout,
+            HeapEntry {
+                key: key(1, 2),
+                si: 2,
+            },
+        );
+        heap_push(
+            &mut heap,
+            &layout,
+            HeapEntry {
+                key: key(1, 2),
+                si: 1,
+            },
+        );
+        heap_push(
+            &mut heap,
+            &layout,
+            HeapEntry {
+                key: key(1, 9),
+                si: 3,
+            },
+        );
+        heap_push(
+            &mut heap,
+            &layout,
+            HeapEntry {
+                key: key(1, 1),
+                si: 4,
+            },
+        );
+        let order: Vec<(Vec<Value>, usize)> =
+            std::iter::from_fn(|| heap_pop(&mut heap, &layout).map(|e| (e.key, e.si))).collect();
+        let got: Vec<usize> = order.iter().map(|(_, si)| *si).collect();
+        // Equal keys (streams 1 and 2) must come out lowest-stream-first,
+        // matching the old linear scan's tie-break.
+        assert_eq!(got, vec![4, 1, 2, 0, 3]);
+        assert!(heap_pop(&mut heap, &layout).is_none());
     }
 }

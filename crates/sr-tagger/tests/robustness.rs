@@ -177,3 +177,33 @@ fn empty_streams_produce_empty_document() {
     assert_eq!(stats.elements, 0);
     assert!(out.is_empty());
 }
+
+#[test]
+fn unsorted_second_stream_is_blamed_by_index() {
+    // Two copies of the same unified stream: the sorted copy (stream 0)
+    // drains first, then the reversed copy (stream 1) regresses against its
+    // own predecessor. The error must blame stream 1 and name the
+    // intra-stream order contract — not the innocent stream 0.
+    let (tree, db) = setup();
+    let (rows, schema, reduced) = unified_stream(&tree, &db);
+    let mut reversed = rows.clone();
+    reversed.reverse();
+    let good = StreamInput {
+        rows: RowSource::Materialized(rows.into_iter()),
+        schema: schema.clone(),
+        reduced: reduced.clone(),
+    };
+    let bad = StreamInput {
+        rows: RowSource::Materialized(reversed.into_iter()),
+        schema,
+        reduced,
+    };
+    let err = tag_streams(&tree, vec![good, bad], Vec::new(), false).unwrap_err();
+    match err {
+        TagError::Structure(m) => {
+            assert!(m.contains("stream 1"), "{m}");
+            assert!(m.contains("intra-stream order"), "{m}");
+        }
+        other => panic!("expected structure error, got {other}"),
+    }
+}

@@ -5,6 +5,7 @@ Usage:
     validate_machine_output.py report REPORT.json   # --metrics-json document
     validate_machine_output.py trace  TRACE.json    # --trace Chrome timeline
     validate_machine_output.py bench  BENCH.json    # BENCH_pipeline.json
+    validate_machine_output.py shard  BENCH.json    # BENCH_shard.json
 
 Each mode parses the file with the stock json module and asserts the
 structural invariants the docs promise, so CI catches any drift in what
@@ -52,10 +53,23 @@ def validate_report(doc):
     totals = require(doc, "totals", dict, "report")
     for key in ("plan_ms", "server_ms", "transfer_ms", "tag_ms", "total_ms"):
         check(require(totals, key, NUM, "totals") >= 0, f"totals.{key} negative")
+    shards = require(doc, "shards", int, "report")
+    check(shards >= 1, f"report.shards must be >= 1, got {shards}")
     metrics = require(doc, "metrics", dict, "report")
     counters = require(metrics, "counters", dict, "metrics")
     check(counters.get("server.queries", 0) >= len(streams),
           "metrics.counters lacks the executed queries")
+    # Shard accounting: exec.shards counts the fan-out of every stream that
+    # actually split; whenever one did, the merge recorded its skew.
+    exec_shards = counters.get("exec.shards", 0)
+    check(isinstance(exec_shards, int) and exec_shards >= 0,
+          f"counters.exec.shards: expected non-negative int, got {exec_shards!r}")
+    check(exec_shards <= shards * len(streams),
+          f"exec.shards {exec_shards} exceeds shards x streams "
+          f"({shards} x {len(streams)})")
+    if exec_shards > 0:
+        check("shard.skew" in metrics.get("histograms", {}),
+              "streams were sharded but metrics lack the shard.skew histogram")
     check("server.optimize_ns" not in metrics.get("histograms", {}),
           "retired histogram server.optimize_ns resurfaced")
     # Reliability counters (docs/RELIABILITY.md): present-or-zero, integral,
@@ -150,8 +164,40 @@ def validate_bench(doc):
     return f"bench OK: {len(plans)} plan(s), trace overhead {overhead:.3f}"
 
 
+def validate_shard(doc):
+    check(doc.get("bench") == "shard", "not a shard bench document")
+    shards = require(doc, "shards", int, "bench")
+    check(shards >= 1, f"bench.shards must be >= 1, got {shards}")
+    require(doc, "host_parallelism", int, "bench")
+    plans = require(doc, "plans", list, "bench")
+    check(plans, "bench.plans is empty")
+    for i, p in enumerate(plans):
+        ctx = f"plans[{i}]"
+        require(p, "query", str, ctx)
+        for mode in ("unsharded", "sharded"):
+            stage = require(p, mode, dict, ctx)
+            check(require(stage, "total_ms", NUM, f"{ctx}.{mode}") > 0,
+                  f"{ctx}.{mode}.total_ms not positive")
+        # Sharding must never change the answer, only its timing.
+        check(p["unsharded"].get("tuples") == p["sharded"].get("tuples"),
+              f"{ctx}: sharded tuple count diverges from unsharded")
+        require(p, "speedup", NUM, ctx)
+        fan_out = require(p, "exec_shards", int, ctx)
+        check(0 <= fan_out <= shards, f"{ctx}.exec_shards {fan_out} out of range")
+    totals = require(doc, "totals", dict, "bench")
+    speedup = require(totals, "speedup", NUM, "totals")
+    # Soft acceptance bar: sharded wall-clock <= unsharded on a multi-core
+    # host. Warn rather than flake — quick runs on loaded CI hosts jitter.
+    if doc.get("host_parallelism", 1) > 1 and speedup < 1.0:
+        print(f"WARN: sharded speedup {speedup:.3f} below 1.0 on a "
+              f"multi-core host", file=sys.stderr)
+    return (f"shard bench OK: {len(plans)} plan(s), fan-out {shards}, "
+            f"speedup {speedup:.3f}")
+
+
 def main():
-    if len(sys.argv) != 3 or sys.argv[1] not in ("report", "trace", "bench"):
+    if len(sys.argv) != 3 or sys.argv[1] not in ("report", "trace", "bench",
+                                                 "shard"):
         print(__doc__, file=sys.stderr)
         return 2
     mode, path = sys.argv[1], sys.argv[2]
@@ -162,7 +208,8 @@ def main():
         fail(f"cannot parse {path}: {e}")
     result = {"report": validate_report,
               "trace": validate_trace,
-              "bench": validate_bench}[mode](doc)
+              "bench": validate_bench,
+              "shard": validate_shard}[mode](doc)
     print(result)
     return 0
 

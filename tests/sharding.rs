@@ -1,0 +1,86 @@
+//! Shard-determinism suite: range-sharded execution is an internal
+//! parallelization detail, so the XML document must be **byte-identical**
+//! to the goldens for every shard count, on both the worker (pipelined)
+//! and inline execution paths. The shards partition the component query's
+//! key space, so their ordered concatenation reproduces the unsharded
+//! stream exactly — these tests pin that end to end.
+
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+
+use silkroute::{materialize_to_string, query1_tree, query2_tree, PlanSpec, Server};
+
+const SCALE_MB: f64 = 0.1;
+
+fn database() -> Arc<sr_data::Database> {
+    static DB: OnceLock<Arc<sr_data::Database>> = OnceLock::new();
+    Arc::clone(DB.get_or_init(|| {
+        Arc::new(sr_tpch::generate(sr_tpch::Scale::mb(SCALE_MB)).expect("tpch generation"))
+    }))
+}
+
+fn golden(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing golden {path:?}: {e}"))
+}
+
+fn materialize(query: usize, shards: usize, workers: bool) -> String {
+    let server = Server::new(database())
+        .with_stream_workers(workers)
+        .with_shards(shards);
+    let tree = match query {
+        1 => query1_tree(server.database()),
+        _ => query2_tree(server.database()),
+    };
+    let (m, xml) = materialize_to_string(&tree, &server, PlanSpec::unified(&tree)).unwrap();
+    assert_eq!(m.report.shards, shards.max(1));
+    xml
+}
+
+/// The acceptance matrix, exhaustively: `--shards` ∈ {1, 2, 4} × both
+/// execution paths × both paper queries, all byte-identical to the golden.
+#[test]
+fn shard_matrix_is_byte_identical_to_goldens() {
+    for (query, golden_file) in [(1, "query1.xml"), (2, "query2.xml")] {
+        let expect = golden(golden_file);
+        for shards in [1, 2, 4] {
+            for workers in [true, false] {
+                let xml = materialize(query, shards, workers);
+                assert_eq!(
+                    xml, expect,
+                    "query{query} shards={shards} workers={workers} diverged from golden"
+                );
+            }
+        }
+    }
+}
+
+/// Sharding actually engages on the paper queries: at least one component
+/// stream splits, and the skew histogram records the merge.
+#[test]
+fn sharding_engages_and_reports_skew() {
+    let server = Server::new(database()).with_shards(4);
+    let tree = query1_tree(server.database());
+    let (_, _) = materialize_to_string(&tree, &server, PlanSpec::unified(&tree)).unwrap();
+    let snap = server.metrics().snapshot();
+    assert!(snap.counter("exec.shards") >= 2, "no stream was sharded");
+    let skew = snap.histogram("shard.skew").expect("skew recorded");
+    assert!(skew.count >= 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random points of the (query, shard count, path) space keep agreeing
+    /// with the unsharded worker-path document.
+    #[test]
+    fn random_shard_configs_agree(query in 1usize..=2, shards in 1usize..=6, workers in any::<bool>()) {
+        let expect = golden(if query == 1 { "query1.xml" } else { "query2.xml" });
+        let xml = materialize(query, shards, workers);
+        prop_assert_eq!(xml, expect);
+    }
+}
