@@ -6,6 +6,8 @@
 //! silkroute materialize [OPTS] VIEW     write the XML document
 //! silkroute plan        [OPTS] VIEW     run the greedy planner (genPlan)
 //! silkroute bench       [OPTS] VIEW     time the canonical plans
+//! silkroute serve       [OPTS]          run the multi-client TCP front-end
+//! silkroute client      [OPTS] VIEW     materialize a view over the wire
 //!
 //! VIEW: a path to an RXL file, or the built-ins `query1` / `query2`.
 //! OPTS: --mb <size>          TPC-H database size in MB   [default 0.5]
@@ -42,6 +44,22 @@
 //!                            order (`auto` = available parallelism; 1
 //!                            disables). Queries without a usable range key
 //!                            fall back to a single shard.  [default auto]
+//!       --listen ADDR        bind address (serve)   [default 127.0.0.1:4722]
+//!       --connect ADDR       server address (client) [default 127.0.0.1:4722]
+//!       --slots N            concurrent queries across all clients (serve)
+//!                            [default: available parallelism]
+//!       --per-client N       concurrent queries per connection (serve)
+//!       --queue-depth N      admission wait-queue bound (serve)
+//!       --max-conns N        simultaneous connections (serve) [default 64]
+//!       --read-timeout-ms N  mid-frame stall cutoff (serve)  [default 10000]
+//!       --format xml|tuples  response encoding (client)      [default xml]
+//!       --shutdown           ask the server to drain and stop (client; no
+//!                            VIEW needed)
+//!
+//! `serve` registers the paper's `query1` / `query2` as named views and
+//! accepts inline RXL; it honours --mb, --fault, --retries and --shards
+//! for the engine it fronts, and runs until a client sends SHUTDOWN.
+//! The wire protocol and admission semantics are in docs/SERVING.md.
 //!
 //! Exactly one machine-readable document ever goes to stdout: the
 //! `--metrics-json` report (which embeds `--analyze` output), or the
@@ -75,14 +93,26 @@ struct Opts {
     fault_seed: u64,
     retries: Option<u32>,
     shards: Option<usize>,
+    listen: String,
+    connect: String,
+    slots: Option<usize>,
+    per_client: Option<usize>,
+    queue_depth: Option<usize>,
+    max_conns: usize,
+    read_timeout_ms: u64,
+    format: String,
+    shutdown: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: silkroute <tree|sql|materialize|plan|bench> [--mb N] [--plan SPEC] \
-         [--no-reduce] [--out FILE] [--pretty] [--explain] [--metrics-json] \
-         [--analyze] [--trace FILE] [--fault SPEC] [--fault-seed N] [--retries N] \
-         [--shards N|auto] <VIEW|query1|query2>"
+        "usage: silkroute <tree|sql|materialize|plan|bench|serve|client> [--mb N] \
+         [--plan SPEC] [--no-reduce] [--out FILE] [--pretty] [--explain] \
+         [--metrics-json] [--analyze] [--trace FILE] [--fault SPEC] [--fault-seed N] \
+         [--retries N] [--shards N|auto] [--listen ADDR] [--connect ADDR] \
+         [--slots N] [--per-client N] [--queue-depth N] [--max-conns N] \
+         [--read-timeout-ms N] [--format xml|tuples] [--shutdown] \
+         <VIEW|query1|query2>"
     );
     ExitCode::from(2)
 }
@@ -109,6 +139,15 @@ fn parse_args() -> Result<Opts, ExitCode> {
         fault_seed: 0,
         retries: None,
         shards: None,
+        listen: "127.0.0.1:4722".into(),
+        connect: "127.0.0.1:4722".into(),
+        slots: None,
+        per_client: None,
+        queue_depth: None,
+        max_conns: 64,
+        read_timeout_ms: 10_000,
+        format: "xml".into(),
+        shutdown: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -139,6 +178,27 @@ fn parse_args() -> Result<Opts, ExitCode> {
                     Some(v.parse().map_err(|_| usage())?)
                 };
             }
+            "--listen" => opts.listen = args.next().ok_or_else(usage)?,
+            "--connect" => opts.connect = args.next().ok_or_else(usage)?,
+            "--slots" => {
+                opts.slots = Some(args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
+            }
+            "--per-client" => {
+                opts.per_client = Some(args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
+            }
+            "--queue-depth" => {
+                opts.queue_depth =
+                    Some(args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
+            }
+            "--max-conns" => {
+                opts.max_conns = args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
+            }
+            "--read-timeout-ms" => {
+                opts.read_timeout_ms =
+                    args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
+            }
+            "--format" => opts.format = args.next().ok_or_else(usage)?,
+            "--shutdown" => opts.shutdown = true,
             other if !other.starts_with('-') && opts.view.is_empty() => {
                 opts.view = other.to_string();
             }
@@ -148,7 +208,10 @@ fn parse_args() -> Result<Opts, ExitCode> {
             }
         }
     }
-    if opts.view.is_empty() {
+    // `serve` runs without a view (it registers the built-ins), and a bare
+    // `client --shutdown` only sends the drain request.
+    let view_optional = opts.command == "serve" || (opts.command == "client" && opts.shutdown);
+    if opts.view.is_empty() && !view_optional {
         return Err(usage());
     }
     Ok(opts)
@@ -208,6 +271,108 @@ fn resolve_plan(opts: &Opts, tree: &ViewTree, server: &Server) -> Result<PlanSpe
     Ok(spec)
 }
 
+fn run_serve(opts: &Opts, server: Server) -> Result<(), String> {
+    let engine = Arc::new(server);
+    let mut catalog = sr_serve::ViewCatalog::new();
+    catalog.insert("query1", silkroute::query1_tree(engine.database()));
+    catalog.insert("query2", silkroute::query2_tree(engine.database()));
+    let mut admit = sr_serve::AdmitConfig::default();
+    if let Some(s) = opts.slots {
+        admit.slots = s;
+    }
+    if let Some(p) = opts.per_client {
+        admit.per_client = p;
+    }
+    if let Some(q) = opts.queue_depth {
+        admit.queue_depth = q;
+    }
+    let cfg = sr_serve::ServeConfig {
+        addr: opts.listen.clone(),
+        admit,
+        max_connections: opts.max_conns,
+        read_timeout: std::time::Duration::from_millis(opts.read_timeout_ms),
+    };
+    let handle = sr_serve::serve(engine, catalog, cfg).map_err(|e| e.to_string())?;
+    let admit = handle.admission().config();
+    eprintln!(
+        "serving query1/query2 on {} (slots {}, per-client {}, queue {}, \
+         max-conns {}); stop with `silkroute client --shutdown`",
+        handle.local_addr(),
+        admit.slots,
+        admit.per_client,
+        admit.queue_depth,
+        opts.max_conns
+    );
+    handle.wait();
+    eprintln!("server drained, exiting");
+    Ok(())
+}
+
+fn run_client(opts: &Opts) -> Result<(), String> {
+    let fmt = |e: sr_serve::ClientError| e.to_string();
+    let mut client = sr_serve::Client::connect(&opts.connect)
+        .map_err(|e| format!("cannot connect to {}: {e}", opts.connect))?;
+    if opts.shutdown {
+        client.shutdown_server().map_err(fmt)?;
+        eprintln!("server acknowledged shutdown");
+        return Ok(());
+    }
+    let view = match opts.view.as_str() {
+        "query1" | "query2" => sr_serve::ViewRef::Named(opts.view.clone()),
+        path => sr_serve::ViewRef::Rxl(
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?,
+        ),
+    };
+    let format = match opts.format.as_str() {
+        "xml" => sr_serve::Format::Xml,
+        "tuples" => sr_serve::Format::Tuples,
+        other => return Err(format!("unknown --format: {other}")),
+    };
+    // The wire protocol takes deterministic plan specs only; the CLI's
+    // greedy default means "let the server pick", which maps to unified.
+    let plan = if opts.plan == "greedy" {
+        eprintln!("note: greedy planning is offline-only; requesting the unified plan");
+        "unified"
+    } else {
+        opts.plan.as_str()
+    };
+    let result = client.query(format, view, plan).map_err(fmt)?;
+    match format {
+        sr_serve::Format::Xml => match &opts.out {
+            Some(path) => {
+                std::fs::write(path, &result.document).map_err(|e| e.to_string())?;
+            }
+            None => {
+                let mut out = std::io::stdout().lock();
+                out.write_all(&result.document).map_err(|e| e.to_string())?;
+            }
+        },
+        sr_serve::Format::Tuples => {
+            for (i, bytes) in result.streams.iter().enumerate() {
+                eprintln!("stream {}: {} wire byte(s)", i + 1, bytes.len());
+            }
+            if let Some(path) = &opts.out {
+                // Concatenated wire encoding, stream order preserved.
+                let mut f =
+                    std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+                for bytes in &result.streams {
+                    f.write_all(bytes).map_err(|e| e.to_string())?;
+                }
+            }
+        }
+    }
+    let s = result.stats;
+    eprintln!(
+        "done: {} tuple(s), {} element(s), {} byte(s) over {} stream(s) in {:.1} ms",
+        s.tuples,
+        s.elements,
+        s.bytes,
+        s.streams,
+        s.elapsed_us as f64 / 1e3
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let opts = parse_args().map_err(|_| String::new())?;
     if opts.command != "materialize" && (opts.metrics_json || opts.analyze || opts.trace.is_some())
@@ -227,6 +392,10 @@ fn run() -> Result<(), String> {
         if opts.out.is_none() {
             return Err("--trace - requires --out so the XML document leaves stdout free".into());
         }
+    }
+    if opts.command == "client" {
+        // Pure network client: no local database, no engine.
+        return run_client(&opts);
     }
     let db = sr_tpch::generate(Scale::mb(opts.mb)).map_err(|e| e.to_string())?;
     let tracer = opts.trace.as_ref().map(|_| Arc::new(sr_obs::Tracer::new()));
@@ -258,6 +427,11 @@ fn run() -> Result<(), String> {
             .unwrap_or(1)
     });
     server = server.with_shards(shards);
+    if opts.command == "serve" {
+        // The engine was configured by the shared flags above (--fault,
+        // --retries, --shards); hand it to the front-end as-is.
+        return run_serve(&opts, server);
+    }
     let tree = load_view(&opts, server.database())?;
 
     match opts.command.as_str() {

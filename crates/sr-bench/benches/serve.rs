@@ -1,0 +1,357 @@
+//! Sustained-load benchmark for the `silkroute serve` front-end.
+//!
+//! An in-process server (ephemeral port, the same engine configuration the
+//! CLI's `serve` uses) is driven by two load shapes:
+//!
+//! * **closed loop** — C clients, each submitting its next query the
+//!   moment the previous response completes, at several concurrency
+//!   levels. Latency here measures the server under exactly-C outstanding
+//!   requests; throughput (qps) rises with C until the admission slots
+//!   saturate — the knee.
+//! * **open loop** — requests arrive on a fixed schedule at ~70% of the
+//!   best closed-loop throughput, regardless of completions. Latency is
+//!   measured from *scheduled arrival* to completion, so queueing delay
+//!   counts; this is the number a latency SLO would see.
+//!
+//! Per level the harness reports qps and p50/p99/p999 latency, plus the
+//! saturation knee (the smallest concurrency reaching ≥90% of peak qps).
+//! Every response is checked: protocol errors are fatal, and the XML
+//! payload must be byte-identical across repetitions of the same query.
+//! On a single-CPU host the engine executes streams inline, so qps scales
+//! only until the one slot is busy — the JSON records `host_parallelism`
+//! so readers can tell that regime apart from a real multi-core knee.
+//!
+//! Set `SR_BENCH_QUICK=1` for a CI-sized run. Results land in
+//! `target/bench-results/BENCH_serve.json`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sr_obs::Json;
+use sr_serve::{AdmitConfig, Client, ServeConfig, ViewRef};
+use sr_tpch::Scale;
+
+/// One measured load level.
+struct Level {
+    mode: &'static str,
+    concurrency: usize,
+    requests: usize,
+    errors: usize,
+    wall_ms: f64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn summarize(
+    mode: &'static str,
+    concurrency: usize,
+    mut latencies_ms: Vec<f64>,
+    errors: usize,
+    wall: Duration,
+) -> Level {
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    Level {
+        mode,
+        concurrency,
+        requests: latencies_ms.len(),
+        errors,
+        wall_ms,
+        qps: latencies_ms.len() as f64 / wall.as_secs_f64().max(1e-9),
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        p999_ms: percentile(&latencies_ms, 0.999),
+    }
+}
+
+/// The query mix: alternate the paper's two views so the plan cache and
+/// admission see realistic variety. Index decides which.
+fn view_for(i: u64, both: bool) -> &'static str {
+    if both && i % 2 == 1 {
+        "query2"
+    } else {
+        "query1"
+    }
+}
+
+/// Reference documents per view, to pin byte-identity across the run.
+type Reference = Arc<Mutex<std::collections::HashMap<&'static str, Vec<u8>>>>;
+
+/// Closed loop: `concurrency` clients ping-pong requests until the shared
+/// budget runs out. Returns per-request latencies, error count, and wall
+/// time.
+fn closed_loop(
+    addr: std::net::SocketAddr,
+    concurrency: usize,
+    total_requests: usize,
+    both_queries: bool,
+    reference: &Reference,
+) -> (Vec<f64>, usize, Duration) {
+    let budget = Arc::new(AtomicU64::new(total_requests as u64));
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..concurrency {
+        let budget = Arc::clone(&budget);
+        let reference = Arc::clone(reference);
+        handles.push(std::thread::spawn(move || {
+            let mut latencies = Vec::new();
+            let mut errors = 0usize;
+            let mut client = match Client::connect(addr) {
+                Ok(c) => c,
+                Err(_) => return (latencies, 1),
+            };
+            loop {
+                let remaining = budget.fetch_sub(1, Ordering::SeqCst);
+                if remaining == 0 || remaining > total_requests as u64 {
+                    break;
+                }
+                let name = view_for(remaining, both_queries);
+                let t0 = Instant::now();
+                match client.materialize(ViewRef::Named(name.into()), "unified") {
+                    Ok(result) => {
+                        latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                        let mut map = reference.lock().expect("reference lock");
+                        match map.get(name) {
+                            Some(expected) => {
+                                if expected != &result.document {
+                                    errors += 1;
+                                }
+                            }
+                            None => {
+                                map.insert(name, result.document);
+                            }
+                        }
+                    }
+                    Err(_) => errors += 1,
+                }
+            }
+            (latencies, errors)
+        }));
+    }
+    let mut latencies = Vec::new();
+    let mut errors = 0;
+    for h in handles {
+        let (l, e) = h.join().expect("closed-loop client");
+        latencies.extend(l);
+        errors += e;
+    }
+    (latencies, errors, started.elapsed())
+}
+
+/// Open loop: requests fire on a fixed arrival schedule; latency counts
+/// from the scheduled instant, so server-side queueing is visible.
+fn open_loop(
+    addr: std::net::SocketAddr,
+    workers: usize,
+    total_requests: usize,
+    interval: Duration,
+    both_queries: bool,
+) -> (Vec<f64>, usize, Duration) {
+    let epoch = Instant::now();
+    let next = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..workers {
+        let next = Arc::clone(&next);
+        handles.push(std::thread::spawn(move || {
+            let mut latencies = Vec::new();
+            let mut errors = 0usize;
+            let mut client = match Client::connect(addr) {
+                Ok(c) => c,
+                Err(_) => return (latencies, 1),
+            };
+            loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= total_requests as u64 {
+                    break;
+                }
+                let scheduled = epoch + interval * i as u32;
+                let now = Instant::now();
+                if scheduled > now {
+                    std::thread::sleep(scheduled - now);
+                }
+                let name = view_for(i, both_queries);
+                match client.materialize(ViewRef::Named(name.into()), "unified") {
+                    Ok(_) => latencies.push(scheduled.elapsed().as_secs_f64() * 1e3),
+                    Err(_) => errors += 1,
+                }
+            }
+            (latencies, errors)
+        }));
+    }
+    let mut latencies = Vec::new();
+    let mut errors = 0;
+    for h in handles {
+        let (l, e) = h.join().expect("open-loop client");
+        latencies.extend(l);
+        errors += e;
+    }
+    (latencies, errors, epoch.elapsed())
+}
+
+fn main() {
+    let quick = std::env::var("SR_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (scale_mb, levels, per_level, both_queries) = if quick {
+        (0.1, vec![1usize, 4], 16usize, false)
+    } else {
+        (0.3, vec![1, 2, 4, 8], 64, true)
+    };
+
+    println!("=== silkroute serve under sustained load (host parallelism {parallelism}) ===\n");
+    let db = sr_tpch::generate(Scale::mb(scale_mb)).expect("tpch generation");
+    let engine = Arc::new(sr_engine::Server::new(Arc::new(db)));
+    let mut catalog = sr_serve::ViewCatalog::new();
+    catalog.insert("query1", silkroute::query1_tree(engine.database()));
+    catalog.insert("query2", silkroute::query2_tree(engine.database()));
+    let handle = sr_serve::serve(
+        Arc::clone(&engine),
+        catalog,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            admit: AdmitConfig {
+                slots: parallelism.max(2),
+                per_client: 2,
+                queue_depth: 64,
+            },
+            max_connections: 64,
+            read_timeout: Duration::from_secs(10),
+        },
+    )
+    .expect("bind serve");
+    let addr = handle.local_addr();
+
+    // Warm the plan cache and pin the reference document per view.
+    let reference: Reference = Arc::new(Mutex::new(std::collections::HashMap::new()));
+    {
+        let warm = if both_queries { 2 } else { 1 };
+        let (lat, errors, _) = closed_loop(addr, 1, warm, both_queries, &reference);
+        assert_eq!(errors, 0, "warm-up failed");
+        assert!(!lat.is_empty());
+    }
+
+    let mut measured: Vec<Level> = Vec::new();
+    for &c in &levels {
+        let (lat, errors, wall) = closed_loop(addr, c, per_level, both_queries, &reference);
+        let level = summarize("closed", c, lat, errors, wall);
+        println!(
+            "closed  C={:<2} {:>4} req  {:>8.1} qps  p50 {:>7.1} ms  p99 {:>7.1} ms  \
+             p999 {:>7.1} ms  errors {}",
+            level.concurrency,
+            level.requests,
+            level.qps,
+            level.p50_ms,
+            level.p99_ms,
+            level.p999_ms,
+            level.errors
+        );
+        assert_eq!(level.errors, 0, "closed-loop errors at C={c}");
+        measured.push(level);
+    }
+
+    // Saturation knee: smallest concurrency achieving >= 90% of peak qps.
+    let peak_qps = measured.iter().map(|l| l.qps).fold(0.0f64, f64::max);
+    let knee = measured
+        .iter()
+        .find(|l| l.qps >= 0.9 * peak_qps)
+        .map(|l| (l.concurrency, l.qps))
+        .unwrap_or((1, peak_qps));
+    println!(
+        "\nsaturation knee: C={} at {:.1} qps (peak {:.1} qps)",
+        knee.0, knee.1, peak_qps
+    );
+
+    // Open loop at ~70% of peak throughput: the server keeps up, so tail
+    // latency reflects service time plus transient queueing, not overload.
+    let rate = (0.7 * peak_qps).max(1.0);
+    let interval = Duration::from_secs_f64(1.0 / rate);
+    let workers = *levels.last().expect("levels nonempty");
+    let (lat, errors, wall) = open_loop(addr, workers, per_level, interval, both_queries);
+    let open = summarize("open", workers, lat, errors, wall);
+    println!(
+        "open    λ={rate:>5.1}/s {:>4} req  {:>8.1} qps  p50 {:>7.1} ms  p99 {:>7.1} ms  \
+         p999 {:>7.1} ms  errors {}",
+        open.requests, open.qps, open.p50_ms, open.p99_ms, open.p999_ms, open.errors
+    );
+    assert_eq!(open.errors, 0, "open-loop errors");
+    measured.push(open);
+
+    // The serve path must be protocol-clean under load.
+    let snap = engine.metrics().snapshot();
+    assert_eq!(
+        snap.counter("serve.protocol_errors"),
+        0,
+        "protocol errors under load"
+    );
+    let connections = snap.counter("serve.connections");
+    let admitted = snap.counter("serve.admitted");
+    let rejected = snap.counter("serve.rejected");
+    println!(
+        "\ncounters: serve.connections {connections}, serve.admitted {admitted}, \
+         serve.rejected {rejected}"
+    );
+    handle.shutdown();
+
+    let json = Json::obj(vec![
+        ("bench", Json::Str("serve".to_string())),
+        ("quick", Json::Bool(quick)),
+        ("scale_mb", Json::Float(scale_mb)),
+        ("host_parallelism", Json::UInt(parallelism as u64)),
+        (
+            "levels",
+            Json::Arr(
+                measured
+                    .iter()
+                    .map(|l| {
+                        Json::obj(vec![
+                            ("mode", Json::Str(l.mode.to_string())),
+                            ("concurrency", Json::UInt(l.concurrency as u64)),
+                            ("requests", Json::UInt(l.requests as u64)),
+                            ("errors", Json::UInt(l.errors as u64)),
+                            ("wall_ms", Json::Float(l.wall_ms)),
+                            ("qps", Json::Float(l.qps)),
+                            ("p50_ms", Json::Float(l.p50_ms)),
+                            ("p99_ms", Json::Float(l.p99_ms)),
+                            ("p999_ms", Json::Float(l.p999_ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "knee",
+            Json::obj(vec![
+                ("concurrency", Json::UInt(knee.0 as u64)),
+                ("qps", Json::Float(knee.1)),
+                ("peak_qps", Json::Float(peak_qps)),
+            ]),
+        ),
+        (
+            "counters",
+            Json::obj(vec![
+                ("connections", Json::UInt(connections)),
+                ("admitted", Json::UInt(admitted)),
+                ("rejected", Json::UInt(rejected)),
+            ]),
+        ),
+    ]);
+    let dir = std::path::Path::new("target/bench-results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join("BENCH_serve.json");
+    std::fs::write(&path, json.render_pretty() + "\n").expect("write BENCH_serve.json");
+    println!("(results written to {})", path.display());
+}

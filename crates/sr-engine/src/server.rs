@@ -324,6 +324,15 @@ impl TupleStream {
         self.cancel.cancel();
     }
 
+    /// A clone of the stream's cancel token, detachable from the stream
+    /// itself. A serving front-end hands the stream to the tagger but must
+    /// still be able to abort the producer when its client disconnects —
+    /// cancelling through this handle is exactly [`TupleStream::cancel`]
+    /// from another thread, without holding the stream.
+    pub fn cancel_handle(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
     /// Decode the next row, or `None` at end of stream.
     pub fn next_row(&mut self) -> Result<Option<Row>, EngineError> {
         loop {

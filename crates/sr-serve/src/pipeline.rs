@@ -1,0 +1,409 @@
+//! Request execution: resolve a view, plan it, run the component queries,
+//! and stream the result back as response frames.
+//!
+//! This is the same generate → execute-streaming → tag loop the CLI's
+//! `materialize` command runs in-process, re-shaped for a connection: the
+//! output goes through a chunking frame writer instead of a file, and every
+//! component stream registers its cancel handle with the connection so a
+//! disconnect (or an explicit CANCEL frame) aborts the producers mid-query.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use sr_engine::{EngineError, Server};
+use sr_sqlgen::{generate_queries, PlanSpec, QueryStyle};
+use sr_tagger::{tag_streams, RowSource, StreamInput, TagError};
+use sr_viewtree::{EdgeSet, ViewTree};
+
+use crate::frame::{DoneStats, ErrorCode, Format, Response, ViewRef, DOC_CHANNEL};
+
+/// Named views the server is willing to materialize. Built by the caller
+/// (the CLI registers the paper's `query1` / `query2`); sr-serve itself has
+/// no opinion about which views exist.
+#[derive(Default)]
+pub struct ViewCatalog {
+    views: BTreeMap<String, Arc<ViewTree>>,
+}
+
+impl ViewCatalog {
+    /// An empty catalog (only inline RXL requests will resolve).
+    pub fn new() -> ViewCatalog {
+        ViewCatalog::default()
+    }
+
+    /// Register a view under a name; replaces any previous binding.
+    pub fn insert(&mut self, name: impl Into<String>, tree: ViewTree) -> &mut Self {
+        self.views.insert(name.into(), Arc::new(tree));
+        self
+    }
+
+    /// Look up a registered view.
+    pub fn get(&self, name: &str) -> Option<Arc<ViewTree>> {
+        self.views.get(name).cloned()
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.views.keys().map(String::as_str).collect()
+    }
+}
+
+/// A failure while serving one request.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Reportable to the client as an error frame.
+    Typed {
+        /// Wire error category.
+        code: ErrorCode,
+        /// Detail message.
+        message: String,
+    },
+    /// The client connection itself broke while writing the response;
+    /// there is nobody left to send an error frame to.
+    ClientGone(std::io::Error),
+}
+
+impl PipelineError {
+    fn typed(code: ErrorCode, message: impl Into<String>) -> PipelineError {
+        PipelineError::Typed {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// Map an engine failure onto its wire error category.
+fn engine_code(e: &EngineError) -> ErrorCode {
+    match e {
+        EngineError::Timeout { .. } => ErrorCode::Timeout,
+        EngineError::Cancelled => ErrorCode::Cancelled,
+        EngineError::Internal(_) | EngineError::TruncatedStream { .. } => ErrorCode::Internal,
+        _ => ErrorCode::Engine,
+    }
+}
+
+fn engine_err(e: EngineError) -> PipelineError {
+    PipelineError::typed(engine_code(&e), e.to_string())
+}
+
+/// Resolve the request's view reference against the catalog (named) or the
+/// RXL front-end (inline source).
+pub fn resolve_view(
+    catalog: &ViewCatalog,
+    db: &sr_data::Database,
+    view: &ViewRef,
+) -> Result<Arc<ViewTree>, PipelineError> {
+    match view {
+        ViewRef::Named(name) => catalog.get(name).ok_or_else(|| {
+            PipelineError::typed(
+                ErrorCode::UnknownView,
+                format!(
+                    "unknown view {name:?}; registered: {}",
+                    catalog.names().join(", ")
+                ),
+            )
+        }),
+        ViewRef::Rxl(src) => {
+            let q = sr_rxl::parse(src).map_err(|e| {
+                PipelineError::typed(ErrorCode::Engine, format!("parse error: {e}"))
+            })?;
+            let tree = sr_viewtree::build(&q, db).map_err(|e| {
+                PipelineError::typed(ErrorCode::Engine, format!("build error: {e}"))
+            })?;
+            Ok(Arc::new(tree))
+        }
+    }
+}
+
+/// Parse a wire plan-spec string. The serving path accepts the
+/// deterministic specs only — `unified` | `partitioned` | `outer-union` |
+/// `edges:<bits>`; greedy planning consults the cost oracle and is an
+/// offline decision, so requesting it over the wire is a typed error.
+pub fn resolve_plan(tree: &ViewTree, plan: &str) -> Result<PlanSpec, PipelineError> {
+    let spec = match plan {
+        "" | "unified" => PlanSpec {
+            edges: EdgeSet::full(tree),
+            reduce: true,
+            style: QueryStyle::OuterJoin,
+        },
+        "partitioned" => PlanSpec {
+            edges: EdgeSet::empty(),
+            reduce: true,
+            style: QueryStyle::OuterJoin,
+        },
+        "outer-union" => PlanSpec::sorted_outer_union(tree),
+        "greedy" => {
+            return Err(PipelineError::typed(
+                ErrorCode::BadPlan,
+                "greedy planning is offline-only; pick a plan with `silkroute plan` \
+                 and submit it as edges:<bits>",
+            ))
+        }
+        other => match other.strip_prefix("edges:") {
+            Some(bits) => PlanSpec {
+                edges: EdgeSet::from_bits(bits.parse().map_err(|e| {
+                    PipelineError::typed(ErrorCode::BadPlan, format!("bad edge bits: {e}"))
+                })?),
+                reduce: true,
+                style: QueryStyle::OuterJoin,
+            },
+            None => {
+                return Err(PipelineError::typed(
+                    ErrorCode::BadPlan,
+                    format!("unknown plan spec {other:?}"),
+                ))
+            }
+        },
+    };
+    Ok(spec)
+}
+
+/// The cancel tokens of every component stream a connection currently has
+/// in flight, plus a sticky cancelled flag so a disconnect that races
+/// stream registration still wins.
+#[derive(Default)]
+pub struct CancelRegistry {
+    inner: Mutex<RegistryState>,
+}
+
+#[derive(Default)]
+struct RegistryState {
+    tokens: Vec<sr_engine::CancelToken>,
+    cancelled: bool,
+}
+
+impl CancelRegistry {
+    /// Empty registry.
+    pub fn new() -> CancelRegistry {
+        CancelRegistry::default()
+    }
+
+    /// Register a stream's cancel handle. If the connection already died,
+    /// the token is cancelled on the spot instead of stored.
+    pub fn register(&self, token: sr_engine::CancelToken) {
+        let mut st = self.inner.lock().expect("cancel registry lock");
+        if st.cancelled {
+            token.cancel();
+        } else {
+            st.tokens.push(token);
+        }
+    }
+
+    /// Cancel everything registered and everything registered later.
+    pub fn cancel_all(&self) {
+        let mut st = self.inner.lock().expect("cancel registry lock");
+        st.cancelled = true;
+        for t in st.tokens.drain(..) {
+            t.cancel();
+        }
+    }
+
+    /// Whether [`CancelRegistry::cancel_all`] has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.lock().expect("cancel registry lock").cancelled
+    }
+
+    /// Forget the current request's tokens (it completed); the sticky
+    /// cancelled flag is cleared so the connection can run another query.
+    pub fn reset(&self) {
+        let mut st = self.inner.lock().expect("cancel registry lock");
+        st.tokens.clear();
+        st.cancelled = false;
+    }
+}
+
+/// Target payload size for a chunk frame. Small enough that cancellation
+/// latency stays low (the writer surfaces between chunks), large enough
+/// that framing overhead disappears into the noise.
+const CHUNK_BYTES: usize = 32 * 1024;
+
+/// Rows per tuple-mode chunk.
+const CHUNK_ROWS: usize = 1024;
+
+/// An `io::Write` that packages bytes into `RESP_CHUNK` frames on an
+/// underlying writer. The tagger writes the XML document into this.
+struct FrameChunkWriter<'a, W: Write> {
+    out: &'a mut W,
+    buf: Vec<u8>,
+    shipped: u64,
+}
+
+impl<'a, W: Write> FrameChunkWriter<'a, W> {
+    fn new(out: &'a mut W) -> Self {
+        FrameChunkWriter {
+            out,
+            buf: Vec::with_capacity(CHUNK_BYTES),
+            shipped: 0,
+        }
+    }
+
+    fn ship(&mut self) -> std::io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.shipped += self.buf.len() as u64;
+        let frame = Response::Chunk {
+            channel: DOC_CHANNEL,
+            data: std::mem::take(&mut self.buf),
+        }
+        .encode();
+        self.buf = Vec::with_capacity(CHUNK_BYTES);
+        self.out.write_all(&frame)
+    }
+}
+
+impl<W: Write> Write for FrameChunkWriter<'_, W> {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        if self.buf.len() >= CHUNK_BYTES {
+            self.ship()?;
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.ship()?;
+        self.out.flush()
+    }
+}
+
+/// Execute one already-admitted query request end to end, writing chunk
+/// frames to `out`. Returns the stats for the DONE frame; the caller sends
+/// DONE / ERROR itself.
+pub fn run_query<W: Write>(
+    engine: &Server,
+    tree: &ViewTree,
+    format: Format,
+    spec: PlanSpec,
+    cancels: &CancelRegistry,
+    out: &mut W,
+) -> Result<DoneStats, PipelineError> {
+    let started = Instant::now();
+    if cancels.is_cancelled() {
+        return Err(engine_err(EngineError::Cancelled));
+    }
+    let queries = generate_queries(tree, engine.database(), spec).map_err(engine_err)?;
+    let streams = queries.len() as u64;
+
+    match format {
+        Format::Xml => {
+            let mut inputs = Vec::with_capacity(queries.len());
+            for q in queries {
+                let stream = engine.execute_sql_streaming(&q.sql).map_err(engine_err)?;
+                cancels.register(stream.cancel_handle());
+                inputs.push(StreamInput {
+                    schema: stream.schema.clone(),
+                    rows: RowSource::Stream(Box::new(stream)),
+                    reduced: q.reduced,
+                });
+            }
+            let mut writer = FrameChunkWriter::new(out);
+            let stats = match tag_streams(tree, inputs, &mut writer, false) {
+                Ok((stats, _)) => stats,
+                // An Io failure here is the *client* socket, not the
+                // engine: the peer went away mid-response.
+                Err(TagError::Io(e)) => return Err(PipelineError::ClientGone(e)),
+                Err(TagError::Engine(e)) => return Err(engine_err(e)),
+                Err(e @ (TagError::Structure(_) | TagError::MalformedTree(_))) => {
+                    return Err(PipelineError::typed(ErrorCode::Internal, e.to_string()))
+                }
+            };
+            writer.flush().map_err(PipelineError::ClientGone)?;
+            let shipped = writer.shipped;
+            Ok(DoneStats {
+                tuples: stats.tuples,
+                elements: stats.elements,
+                bytes: shipped,
+                streams,
+                elapsed_us: started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            })
+        }
+        Format::Tuples => {
+            let mut tuples = 0u64;
+            let mut bytes = 0u64;
+            for (i, q) in queries.into_iter().enumerate() {
+                let mut stream = engine.execute_sql_streaming(&q.sql).map_err(engine_err)?;
+                cancels.register(stream.cancel_handle());
+                let mut batch = Vec::with_capacity(CHUNK_ROWS);
+                loop {
+                    let row = stream.next_row().map_err(engine_err)?;
+                    let done = row.is_none();
+                    if let Some(r) = row {
+                        batch.push(r);
+                    }
+                    if batch.len() >= CHUNK_ROWS || (done && !batch.is_empty()) {
+                        tuples += batch.len() as u64;
+                        let data = sr_engine::wire::encode_rows(&batch).to_vec();
+                        batch.clear();
+                        bytes += data.len() as u64;
+                        let frame = Response::Chunk {
+                            channel: i as u16,
+                            data,
+                        }
+                        .encode();
+                        out.write_all(&frame).map_err(PipelineError::ClientGone)?;
+                    }
+                    if done {
+                        break;
+                    }
+                }
+            }
+            out.flush().map_err(PipelineError::ClientGone)?;
+            Ok(DoneStats {
+                tuples,
+                elements: 0,
+                bytes,
+                streams,
+                elapsed_us: started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_specs_parse() {
+        let db = sr_tpch::generate(sr_tpch::Scale::mb(0.05)).expect("tpch");
+        let tree = {
+            let q = sr_rxl::parse(
+                "from Supplier $s construct <supplier> <name>$s.name</name> </supplier>",
+            )
+            .expect("rxl");
+            sr_viewtree::build(&q, &db).expect("build")
+        };
+        assert!(resolve_plan(&tree, "unified").is_ok());
+        assert!(resolve_plan(&tree, "").is_ok());
+        assert!(resolve_plan(&tree, "partitioned").is_ok());
+        assert!(resolve_plan(&tree, "outer-union").is_ok());
+        assert!(resolve_plan(&tree, "edges:0").is_ok());
+        for bad in ["greedy", "edges:x", "bogus"] {
+            match resolve_plan(&tree, bad) {
+                Err(PipelineError::Typed { code, .. }) => assert_eq!(code, ErrorCode::BadPlan),
+                other => panic!("{bad}: expected BadPlan, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_registry_is_sticky() {
+        let reg = CancelRegistry::new();
+        let tok = sr_engine::CancelToken::unbounded();
+        reg.register(tok.clone());
+        assert!(!tok.is_cancelled());
+        reg.cancel_all();
+        assert!(tok.is_cancelled());
+        // Late registration after the connection died: cancelled on entry.
+        let late = sr_engine::CancelToken::unbounded();
+        reg.register(late.clone());
+        assert!(late.is_cancelled());
+        reg.reset();
+        let fresh = sr_engine::CancelToken::unbounded();
+        reg.register(fresh.clone());
+        assert!(!fresh.is_cancelled());
+    }
+}

@@ -1,0 +1,459 @@
+//! The TCP front-end: accept loop, per-connection threads, cancellation
+//! wiring, and graceful shutdown.
+//!
+//! Each connection gets **two** threads: a reader that does nothing but
+//! pull frames off the socket, and a handler that executes requests and
+//! writes responses. The split is what makes cancellation work — while the
+//! handler is deep inside a query, the reader still sees a CANCEL frame or
+//! the socket closing and aborts the in-flight producers through the
+//! connection's [`CancelRegistry`] immediately. The engine's workers
+//! observe the token cooperatively, surface `EngineError::Cancelled`, and
+//! release their `ExecGate` permits on the way out.
+//!
+//! The reader is also the connection's watchdog: a peer that sends part of
+//! a frame and then stalls is cut off after [`ServeConfig::read_timeout`]
+//! with a typed error frame instead of pinning the handler thread forever.
+//! A peer idling *between* frames costs nothing and is allowed to idle.
+
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sr_engine::Server as Engine;
+use sr_obs::MetricsRegistry;
+
+use crate::admit::{Admission, AdmitConfig};
+use crate::frame::{ErrorCode, ProtoError, Request, Response, MAX_FRAME_LEN};
+use crate::pipeline::{
+    resolve_plan, resolve_view, run_query, CancelRegistry, PipelineError, ViewCatalog,
+};
+
+/// Serving knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Admission-control limits.
+    pub admit: AdmitConfig,
+    /// Simultaneous connections; the next one is greeted with BUSY and
+    /// closed.
+    pub max_connections: usize,
+    /// How long a connection may sit mid-frame without delivering the rest
+    /// before it is cut off.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            admit: AdmitConfig::default(),
+            max_connections: 64,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Polling granularity for reader timeouts and handler drain checks.
+const TICK: Duration = Duration::from_millis(25);
+
+/// What the reader thread observed on the socket.
+enum ConnEvent {
+    /// A well-formed request frame.
+    Request(Request),
+    /// The frame stream is malformed; connection must close.
+    Proto(ProtoError),
+    /// Partial frame, then silence past the read timeout.
+    ReadTimeout,
+    /// Peer closed (cleanly or not); connection is over.
+    Gone,
+}
+
+struct Shared {
+    engine: Arc<Engine>,
+    catalog: ViewCatalog,
+    admission: Arc<Admission>,
+    metrics: Arc<MetricsRegistry>,
+    draining: AtomicBool,
+    active: AtomicUsize,
+    next_client: AtomicU64,
+    read_timeout: Duration,
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`ServeHandle::shutdown`].
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl ServeHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The admission controller (exposed for tests and metrics).
+    pub fn admission(&self) -> &Arc<Admission> {
+        &self.shared.admission
+    }
+
+    /// Begin a graceful shutdown without waiting: stop accepting, refuse
+    /// new queries with BUSY, let in-flight queries finish.
+    pub fn begin_shutdown(&self) {
+        if self.shared.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.admission.drain();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Graceful shutdown: drain in-flight queries, close every
+    /// connection, join all threads.
+    pub fn shutdown(self) {
+        self.begin_shutdown();
+        self.wait();
+    }
+
+    /// Block until the server stops on its own — i.e. until some client
+    /// sends a SHUTDOWN frame (or [`ServeHandle::begin_shutdown`] was
+    /// called from another thread) and the drain completes.
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        loop {
+            let handle = self.conns.lock().expect("conn registry lock").pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Bind and start serving. Returns once the listener is accepting.
+pub fn serve(
+    engine: Arc<Engine>,
+    catalog: ViewCatalog,
+    cfg: ServeConfig,
+) -> std::io::Result<ServeHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let metrics = engine.metrics().clone();
+    let shared = Arc::new(Shared {
+        admission: Admission::new(cfg.admit, Arc::clone(&metrics)),
+        engine,
+        catalog,
+        metrics,
+        draining: AtomicBool::new(false),
+        active: AtomicUsize::new(0),
+        next_client: AtomicU64::new(1),
+        read_timeout: cfg.read_timeout,
+    });
+    let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let conns = Arc::clone(&conns);
+        let max_connections = cfg.max_connections.max(1);
+        std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(listener, shared, conns, max_connections))
+            .expect("spawn accept thread")
+    };
+
+    Ok(ServeHandle {
+        shared,
+        addr,
+        accept: Some(accept),
+        conns,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    max_connections: usize,
+) {
+    loop {
+        let sock = match listener.accept() {
+            Ok((sock, _)) => sock,
+            Err(_) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.draining.load(Ordering::SeqCst) {
+            // The wake-up connection from begin_shutdown, or a late
+            // arrival: either way, greet-and-close.
+            let mut sock = sock;
+            let _ = sock.write_all(
+                &Response::Busy {
+                    message: "server is draining".into(),
+                }
+                .encode(),
+            );
+            return;
+        }
+        if shared.active.load(Ordering::SeqCst) >= max_connections {
+            shared.metrics.counter("serve.rejected").inc();
+            let mut sock = sock;
+            let _ = sock.write_all(
+                &Response::Busy {
+                    message: format!("connection limit {max_connections} reached"),
+                }
+                .encode(),
+            );
+            let _ = sock.shutdown(Shutdown::Both);
+            continue;
+        }
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        shared.metrics.counter("serve.connections").inc();
+        let client_id = shared.next_client.fetch_add(1, Ordering::SeqCst);
+        let shared2 = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("serve-conn-{client_id}"))
+            .spawn(move || {
+                handle_connection(sock, shared2, client_id);
+            })
+            .expect("spawn connection thread");
+        conns.lock().expect("conn registry lock").push(handle);
+    }
+}
+
+/// Reader thread: frame the byte stream, forward parsed requests, watch
+/// for disconnects and mid-frame stalls. Owns the connection's cancel
+/// authority for everything asynchronous.
+fn reader_loop(
+    mut sock: TcpStream,
+    tx: Sender<ConnEvent>,
+    cancels: Arc<CancelRegistry>,
+    read_timeout: Duration,
+) {
+    use std::io::Read;
+    let _ = sock.set_read_timeout(Some(TICK));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 16 * 1024];
+    let mut last_progress = Instant::now();
+    loop {
+        match sock.read(&mut tmp) {
+            Ok(0) => {
+                cancels.cancel_all();
+                let _ = tx.send(ConnEvent::Gone);
+                return;
+            }
+            Ok(n) => {
+                last_progress = Instant::now();
+                buf.extend_from_slice(&tmp[..n]);
+                loop {
+                    if buf.len() < 4 {
+                        break;
+                    }
+                    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+                    if len == 0 || len > MAX_FRAME_LEN {
+                        cancels.cancel_all();
+                        let _ =
+                            tx.send(ConnEvent::Proto(ProtoError::BadLength { len: len as u64 }));
+                        return;
+                    }
+                    if buf.len() < 4 + len {
+                        break;
+                    }
+                    let opcode = buf[4];
+                    let payload = &buf[5..4 + len];
+                    match Request::decode(opcode, payload) {
+                        Ok(req) => {
+                            // CANCEL acts here, not in the handler: the
+                            // handler may be mid-query and unable to look.
+                            if matches!(req, Request::Cancel) {
+                                cancels.cancel_all();
+                            }
+                            if tx.send(ConnEvent::Request(req)).is_err() {
+                                return;
+                            }
+                        }
+                        Err(e) => {
+                            cancels.cancel_all();
+                            let _ = tx.send(ConnEvent::Proto(e));
+                            return;
+                        }
+                    }
+                    buf.drain(..4 + len);
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // No bytes this tick. Mid-frame silence is bounded by the
+                // read timeout; idling at a frame boundary is free.
+                if !buf.is_empty() && last_progress.elapsed() >= read_timeout {
+                    cancels.cancel_all();
+                    let _ = tx.send(ConnEvent::ReadTimeout);
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                cancels.cancel_all();
+                let _ = tx.send(ConnEvent::Gone);
+                return;
+            }
+        }
+    }
+}
+
+/// Write a frame, treating failure as "client gone".
+fn send(sock: &mut TcpStream, resp: &Response) -> bool {
+    sock.write_all(&resp.encode()).is_ok()
+}
+
+fn handle_connection(sock: TcpStream, shared: Arc<Shared>, client_id: u64) {
+    let cancels = Arc::new(CancelRegistry::new());
+    let (tx, rx) = std::sync::mpsc::channel();
+    let reader = {
+        let cancels = Arc::clone(&cancels);
+        let read_timeout = shared.read_timeout;
+        match sock.try_clone() {
+            Ok(read_half) => std::thread::Builder::new()
+                .name(format!("serve-read-{client_id}"))
+                .spawn(move || reader_loop(read_half, tx, cancels, read_timeout))
+                .ok(),
+            Err(_) => None,
+        }
+    };
+    if reader.is_some() {
+        let mut sock = sock;
+        handler_loop(&mut sock, &rx, &shared, &cancels, client_id);
+        // Closing both halves kicks the reader out of its read loop.
+        let _ = sock.shutdown(Shutdown::Both);
+    }
+    cancels.cancel_all();
+    if let Some(r) = reader {
+        let _ = r.join();
+    }
+    shared.active.fetch_sub(1, Ordering::SeqCst);
+}
+
+fn handler_loop(
+    sock: &mut TcpStream,
+    rx: &Receiver<ConnEvent>,
+    shared: &Arc<Shared>,
+    cancels: &Arc<CancelRegistry>,
+    client_id: u64,
+) {
+    loop {
+        match rx.recv_timeout(TICK) {
+            Ok(ConnEvent::Request(Request::Ping)) => {
+                if !send(sock, &Response::Pong) {
+                    return;
+                }
+            }
+            Ok(ConnEvent::Request(Request::Cancel)) => {
+                // The reader already fired the tokens; by the time the
+                // event reaches us any affected query has unwound, so arm
+                // the registry for the next one.
+                cancels.reset();
+            }
+            Ok(ConnEvent::Request(Request::Shutdown)) => {
+                shared.draining.store(true, Ordering::SeqCst);
+                shared.admission.drain();
+                // Unblock the accept loop the same way begin_shutdown does.
+                if let Ok(addr) = sock.local_addr() {
+                    let _ = TcpStream::connect(addr);
+                }
+                let _ = send(sock, &Response::Goodbye);
+                return;
+            }
+            Ok(ConnEvent::Request(Request::Query { format, view, plan })) => {
+                shared.metrics.counter("serve.requests").inc();
+                let permit = match shared.admission.admit(client_id) {
+                    Ok(p) => p,
+                    Err(rej) => {
+                        if !send(
+                            sock,
+                            &Response::Busy {
+                                message: rej.to_string(),
+                            },
+                        ) {
+                            return;
+                        }
+                        continue;
+                    }
+                };
+                let outcome = resolve_view(&shared.catalog, shared.engine.database(), &view)
+                    .and_then(|tree| {
+                        let spec = resolve_plan(&tree, &plan)?;
+                        run_query(&shared.engine, &tree, format, spec, cancels, sock)
+                    });
+                drop(permit);
+                match outcome {
+                    Ok(stats) => {
+                        if !send(sock, &Response::Done(stats)) {
+                            return;
+                        }
+                    }
+                    Err(PipelineError::Typed { code, message }) => {
+                        if code == ErrorCode::Cancelled {
+                            shared.metrics.counter("serve.cancelled").inc();
+                        }
+                        if !send(sock, &Response::Error { code, message }) {
+                            return;
+                        }
+                    }
+                    Err(PipelineError::ClientGone(_)) => {
+                        shared.metrics.counter("serve.cancelled").inc();
+                        return;
+                    }
+                }
+                cancels.reset();
+            }
+            Ok(ConnEvent::Proto(e)) => {
+                shared.metrics.counter("serve.protocol_errors").inc();
+                let _ = send(
+                    sock,
+                    &Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+            Ok(ConnEvent::ReadTimeout) => {
+                shared.metrics.counter("serve.read_timeouts").inc();
+                let _ = send(
+                    sock,
+                    &Response::Error {
+                        code: ErrorCode::Timeout,
+                        message: format!(
+                            "connection read timeout: partial frame stalled > {:?}",
+                            shared.read_timeout
+                        ),
+                    },
+                );
+                return;
+            }
+            Ok(ConnEvent::Gone) => return,
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    // Drained and idle: say goodbye and close.
+                    let _ = send(sock, &Response::Goodbye);
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Frame-codec conformance: property-based round-trips over the whole
+//! message space, plus a corpus of malformed byte streams thrown at a live
+//! server. The invariant under test is the one the module docs promise —
+//! decoding is *total*: every input either parses or yields a typed
+//! [`ProtoError`], never a panic and never a hang.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sr_engine::Server as Engine;
+use sr_serve::{
+    read_request, read_response, serve, Client, DoneStats, ErrorCode, Format, ProtoError, Request,
+    Response, ServeConfig, ViewCatalog, ViewRef, MAX_FRAME_LEN,
+};
+
+// ---------------------------------------------------------------------------
+// Property tests: encode → decode is the identity, truncation is typed.
+// ---------------------------------------------------------------------------
+
+fn format_strategy() -> impl Strategy<Value = Format> {
+    prop_oneof![Just(Format::Xml), Just(Format::Tuples)]
+}
+
+fn view_strategy() -> impl Strategy<Value = ViewRef> {
+    prop_oneof![
+        "[a-zA-Z0-9_]{0,24}".prop_map(ViewRef::Named),
+        "[a-zA-Z0-9 <>/$.={}\n]{0,120}".prop_map(ViewRef::Rxl),
+    ]
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (format_strategy(), view_strategy(), "[a-z0-9:-]{0,20}")
+            .prop_map(|(format, view, plan)| Request::Query { format, view, plan }),
+        Just(Request::Ping),
+        Just(Request::Cancel),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn error_code_strategy() -> impl Strategy<Value = ErrorCode> {
+    prop_oneof![
+        Just(ErrorCode::Malformed),
+        Just(ErrorCode::UnknownView),
+        Just(ErrorCode::BadPlan),
+        Just(ErrorCode::Engine),
+        Just(ErrorCode::Cancelled),
+        Just(ErrorCode::Timeout),
+        Just(ErrorCode::Internal),
+    ]
+}
+
+fn stats_strategy() -> impl Strategy<Value = DoneStats> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(tuples, elements, bytes, streams, elapsed_us)| DoneStats {
+            tuples,
+            elements,
+            bytes,
+            streams,
+            elapsed_us,
+        })
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..256))
+            .prop_map(|(channel, data)| Response::Chunk { channel, data }),
+        stats_strategy().prop_map(Response::Done),
+        (error_code_strategy(), "[ -~]{0,80}")
+            .prop_map(|(code, message)| Response::Error { code, message }),
+        "[ -~]{0,80}".prop_map(|message| Response::Busy { message }),
+        Just(Response::Pong),
+        Just(Response::Goodbye),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_roundtrips(req in request_strategy()) {
+        let bytes = req.encode();
+        let back = read_request(&mut &bytes[..])
+            .expect("decode")
+            .expect("one frame present");
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn response_roundtrips(resp in response_strategy()) {
+        let bytes = resp.encode();
+        let back = read_response(&mut &bytes[..])
+            .expect("decode")
+            .expect("one frame present");
+        prop_assert_eq!(back, resp);
+    }
+
+    /// Every strict prefix of a valid frame is a *typed* truncation error —
+    /// except the empty prefix, which is a clean EOF at a frame boundary.
+    #[test]
+    fn request_prefixes_are_typed(req in request_strategy(), frac in 0.0f64..1.0) {
+        let bytes = req.encode();
+        let cut = ((bytes.len() as f64) * frac) as usize; // < len: strict prefix
+        match read_request(&mut &bytes[..cut]) {
+            Ok(None) => prop_assert_eq!(cut, 0, "clean EOF only at the boundary"),
+            Err(ProtoError::Truncated { missing }) => {
+                prop_assert!(missing > 0);
+                prop_assert!(cut > 0);
+            }
+            other => panic!(
+                "prefix of {cut}/{} bytes: expected Truncated, got {other:?}",
+                bytes.len()
+            ),
+        }
+    }
+
+    /// Arbitrary garbage never panics the decoder: it parses, truncates, or
+    /// fails with a typed error.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = read_request(&mut &bytes[..]);
+        let _ = read_response(&mut &bytes[..]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-input corpus against a live server.
+// ---------------------------------------------------------------------------
+
+fn spawn_server() -> (sr_serve::ServeHandle, Arc<Engine>) {
+    let db = sr_tpch::generate(sr_tpch::Scale::mb(0.05)).expect("tpch");
+    let engine = Arc::new(Engine::new(Arc::new(db)));
+    let handle = serve(
+        Arc::clone(&engine),
+        ViewCatalog::new(),
+        ServeConfig::default(),
+    )
+    .expect("bind serve");
+    (handle, engine)
+}
+
+fn protocol_errors(engine: &Engine) -> u64 {
+    engine.metrics().snapshot().counter("serve.protocol_errors")
+}
+
+/// One malformed byte stream → the server answers with a typed MALFORMED
+/// error frame and closes; it never panics and stays available afterwards.
+fn expect_malformed(handle: &sr_serve::ServeHandle, raw: &[u8], what: &str) {
+    let mut c = Client::connect(handle.local_addr()).expect("connect");
+    c.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("timeout");
+    c.send_raw(raw).expect("send");
+    match c.read() {
+        Ok(Some(Response::Error { code, .. })) => {
+            assert_eq!(code, ErrorCode::Malformed, "{what}: wrong error code");
+        }
+        other => panic!("{what}: expected MALFORMED error frame, got {other:?}"),
+    }
+    // The server closes the connection after a protocol error.
+    match c.read() {
+        Ok(None) | Err(_) => {}
+        Ok(Some(r)) => panic!("{what}: connection should close, got {r:?}"),
+    }
+}
+
+#[test]
+fn malformed_corpus_yields_typed_errors_and_server_survives() {
+    let (handle, engine) = spawn_server();
+
+    // Oversize frame length: rejected before any allocation.
+    let mut oversize = ((MAX_FRAME_LEN as u32) + 1).to_be_bytes().to_vec();
+    oversize.push(0x01);
+    expect_malformed(&handle, &oversize, "oversize length");
+
+    // Zero frame length: a frame must at least carry its opcode.
+    expect_malformed(&handle, &[0, 0, 0, 0], "zero length");
+
+    // Garbage opcode.
+    expect_malformed(&handle, &[0, 0, 0, 1, 0x7f], "garbage opcode");
+
+    // Known opcode, truncated payload: QUERY with no body.
+    expect_malformed(&handle, &[0, 0, 0, 1, 0x01], "empty query payload");
+
+    // Known opcode, trailing junk after a complete payload: PING carries
+    // no payload, so any extra byte is an error.
+    expect_malformed(&handle, &[0, 0, 0, 2, 0x02, 0xaa], "trailing bytes");
+
+    assert_eq!(
+        protocol_errors(&engine),
+        5,
+        "each malformed stream counts exactly once"
+    );
+
+    // Truncated length prefix then disconnect: not a protocol error (the
+    // peer just went away mid-frame), but it must not wedge anything.
+    let mut c = Client::connect(handle.local_addr()).expect("connect");
+    c.send_raw(&[0x00, 0x00]).expect("send partial prefix");
+    c.abort();
+
+    // The server is still fully alive.
+    let mut c = Client::connect(handle.local_addr()).expect("reconnect");
+    c.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("timeout");
+    c.ping()
+        .expect("server still answers after malformed corpus");
+    drop(c);
+
+    handle.shutdown();
+}

@@ -1,0 +1,274 @@
+//! Cancellation, fault, and shutdown behaviour of the serving front-end:
+//! a CANCEL frame or a dropped connection aborts the in-flight producers
+//! and frees their slots; graceful shutdown drains in-flight queries while
+//! refusing new ones with BUSY; injected faults fire identically through
+//! the serve path; a stalled peer trips the connection read timeout
+//! instead of pinning a worker thread.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sr_engine::{FaultPlan, Server as Engine};
+use sr_serve::{
+    serve, AdmitConfig, Client, ClientError, ErrorCode, ServeConfig, ViewCatalog, ViewRef,
+};
+
+/// A deliberately small view so test servers stay cheap; plans and stream
+/// counts are irrelevant here — only lifecycle behaviour is under test.
+const VIEW_RXL: &str = "from Supplier $s construct <supplier> <name>$s.name</name> </supplier>";
+
+fn view() -> ViewRef {
+    ViewRef::Rxl(VIEW_RXL.into())
+}
+
+/// An engine whose **first** scan is held in an injected delay, with the
+/// streaming worker enabled so the producer runs concurrently and can be
+/// cancelled mid-flight (the same setup as the engine's own
+/// `cancelling_stream_stops_worker_mid_flight` test).
+fn slow_first_scan_engine(delay_ms: u64) -> Arc<Engine> {
+    let db = sr_tpch::generate(sr_tpch::Scale::mb(0.05)).expect("tpch");
+    let plan = FaultPlan::parse(&format!("delay{delay_ms}@scan#1"), 1).expect("fault plan");
+    Arc::new(
+        Engine::new(Arc::new(db))
+            .with_stream_workers(true)
+            .with_faults(plan),
+    )
+}
+
+fn serve_one_slot(engine: Arc<Engine>) -> sr_serve::ServeHandle {
+    let cfg = ServeConfig {
+        admit: AdmitConfig {
+            slots: 1,
+            per_client: 1,
+            queue_depth: 4,
+        },
+        ..ServeConfig::default()
+    };
+    serve(engine, ViewCatalog::new(), cfg).expect("bind serve")
+}
+
+fn counter(engine: &Engine, name: &str) -> u64 {
+    engine.metrics().snapshot().counter(name)
+}
+
+/// Spin until `cond` holds or the deadline passes.
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn cancel_frame_aborts_in_flight_query() {
+    let engine = slow_first_scan_engine(400);
+    let handle = serve_one_slot(Arc::clone(&engine));
+
+    let mut c = Client::connect(handle.local_addr()).expect("connect");
+    c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    c.send(&sr_serve::Request::Query {
+        format: sr_serve::Format::Xml,
+        view: view(),
+        plan: "unified".into(),
+    })
+    .expect("send query");
+    // Let the worker reach (and sit in) the injected scan delay, then
+    // cancel while it is held there.
+    std::thread::sleep(Duration::from_millis(120));
+    c.cancel().expect("send cancel");
+
+    // The server answers the in-flight query with a typed CANCELLED error.
+    loop {
+        match c.read().expect("read") {
+            Some(sr_serve::Response::Chunk { .. }) => continue,
+            Some(sr_serve::Response::Error { code, .. }) => {
+                assert_eq!(code, ErrorCode::Cancelled);
+                break;
+            }
+            other => panic!("expected CANCELLED error frame, got {other:?}"),
+        }
+    }
+
+    // The producer unwound through the engine (releasing its ExecGate
+    // permit) and both layers counted the cancellation.
+    wait_for("engine-side cancel accounting", || {
+        counter(&engine, "server.cancelled") >= 1
+    });
+    assert_eq!(counter(&engine, "serve.cancelled"), 1);
+    wait_for("admission slot release", || {
+        handle.admission().in_flight() == 0
+    });
+
+    // The same connection is reusable: the next query (the fault only hits
+    // the first scan) completes normally.
+    let again = c
+        .materialize(view(), "unified")
+        .expect("query after cancel");
+    assert!(again.stats.tuples > 0);
+
+    handle.shutdown();
+}
+
+#[test]
+fn client_disconnect_aborts_producer_and_frees_slot() {
+    let engine = slow_first_scan_engine(400);
+    let handle = serve_one_slot(Arc::clone(&engine));
+
+    let mut c = Client::connect(handle.local_addr()).expect("connect");
+    c.send(&sr_serve::Request::Query {
+        format: sr_serve::Format::Xml,
+        view: view(),
+        plan: "unified".into(),
+    })
+    .expect("send query");
+    std::thread::sleep(Duration::from_millis(120));
+    // Sever the connection with no goodbye — a crashed client.
+    c.abort();
+
+    // The reader notices the disconnect, fires the cancel registry, the
+    // worker unwinds, and the admission slot comes back.
+    wait_for("disconnect-triggered cancel", || {
+        counter(&engine, "serve.cancelled") >= 1
+    });
+    wait_for("engine-side cancel accounting", || {
+        counter(&engine, "server.cancelled") >= 1
+    });
+    wait_for("admission slot release", || {
+        handle.admission().in_flight() == 0
+    });
+
+    // The freed slot is genuinely usable by a new client.
+    let mut c2 = Client::connect(handle.local_addr()).expect("reconnect");
+    let res = c2
+        .materialize(view(), "unified")
+        .expect("query after disconnect");
+    assert!(res.stats.tuples > 0);
+
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_and_rejects_queued() {
+    let engine = slow_first_scan_engine(400);
+    let handle = serve_one_slot(Arc::clone(&engine));
+    let addr = handle.local_addr();
+
+    // Client A occupies the single slot with the delayed query.
+    let a = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect A");
+        c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        c.materialize(ViewRef::Rxl(VIEW_RXL.into()), "unified")
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Client B queues behind A on the one slot.
+    let b = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect B");
+        c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        c.materialize(ViewRef::Rxl(VIEW_RXL.into()), "unified")
+    });
+    wait_for("B waiting in the admission queue", || {
+        counter(&engine, "serve.requests") >= 2
+    });
+
+    // Drain: A (in flight) must complete; B (queued) must get BUSY.
+    handle.begin_shutdown();
+
+    let a_result = a.join().expect("join A");
+    let b_result = b.join().expect("join B");
+    match a_result {
+        Ok(res) => assert!(res.stats.tuples > 0, "drained query lost its result"),
+        Err(e) => panic!("in-flight query must survive the drain: {e}"),
+    }
+    match b_result {
+        Err(ClientError::Busy(msg)) => {
+            assert!(msg.contains("draining"), "unexpected BUSY reason: {msg}")
+        }
+        other => panic!("queued query must be refused with BUSY, got {other:?}"),
+    }
+    assert_eq!(counter(&engine, "serve.rejected"), 1);
+
+    handle.shutdown();
+}
+
+#[test]
+fn injected_faults_fire_identically_through_the_serve_path() {
+    let db = sr_tpch::generate(sr_tpch::Scale::mb(0.05)).expect("tpch");
+    let engine = Arc::new(
+        Engine::new(Arc::new(db))
+            .with_stream_workers(true)
+            .with_faults(FaultPlan::parse("panic@scan#1", 1).expect("fault plan")),
+    );
+    let handle = serve_one_slot(Arc::clone(&engine));
+
+    let mut c = Client::connect(handle.local_addr()).expect("connect");
+    c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // First request hits the injected panic; isolation turns it into a
+    // typed INTERNAL error frame, exactly as the in-process path reports
+    // EngineError::Internal.
+    match c.materialize(view(), "unified") {
+        Err(ClientError::Remote { code, .. }) => assert_eq!(code, ErrorCode::Internal),
+        other => panic!("expected INTERNAL error, got {other:?}"),
+    }
+    assert_eq!(counter(&engine, "server.panics"), 1);
+
+    // The panic consumed the fault and the connection survived: the second
+    // request succeeds on the same socket.
+    let res = c.materialize(view(), "unified").expect("query after panic");
+    assert!(res.stats.tuples > 0);
+    assert_eq!(handle.admission().in_flight(), 0, "panic leaked a slot");
+
+    handle.shutdown();
+}
+
+#[test]
+fn partial_frame_stall_trips_read_timeout() {
+    let db = sr_tpch::generate(sr_tpch::Scale::mb(0.05)).expect("tpch");
+    let engine = Arc::new(Engine::new(Arc::new(db)));
+    let cfg = ServeConfig {
+        read_timeout: Duration::from_millis(250),
+        ..ServeConfig::default()
+    };
+    let handle = serve(Arc::clone(&engine), ViewCatalog::new(), cfg).expect("bind serve");
+
+    // Three bytes of a length prefix, then silence: the watchdog must cut
+    // the connection off with a typed TIMEOUT frame instead of waiting for
+    // the rest of the frame forever.
+    let mut c = Client::connect(handle.local_addr()).expect("connect");
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    c.send_raw(&[0, 0, 0]).expect("send partial prefix");
+    match c.read() {
+        Ok(Some(sr_serve::Response::Error { code, message })) => {
+            assert_eq!(code, ErrorCode::Timeout);
+            assert!(message.contains("read timeout"), "message: {message}");
+        }
+        other => panic!("expected TIMEOUT error frame, got {other:?}"),
+    }
+    match c.read() {
+        Ok(None) | Err(_) => {}
+        Ok(Some(r)) => panic!("connection should close after the timeout, got {r:?}"),
+    }
+    assert_eq!(counter(&engine, "serve.read_timeouts"), 1);
+
+    // No worker thread was pinned: the server still answers immediately.
+    let mut c2 = Client::connect(handle.local_addr()).expect("reconnect");
+    c2.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    c2.ping().expect("server alive after stalled peer");
+
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_frame_drains_the_server() {
+    let db = sr_tpch::generate(sr_tpch::Scale::mb(0.05)).expect("tpch");
+    let engine = Arc::new(Engine::new(Arc::new(db)));
+    let handle = serve(engine, ViewCatalog::new(), ServeConfig::default()).expect("bind serve");
+
+    let mut c = Client::connect(handle.local_addr()).expect("connect");
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    c.shutdown_server().expect("GOODBYE handshake");
+    // The drain completes on its own: wait() returns without further help.
+    handle.wait();
+}

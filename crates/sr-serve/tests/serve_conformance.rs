@@ -1,0 +1,163 @@
+//! Multi-client conformance: N concurrent clients materializing the
+//! paper's `query1` / `query2` over the wire must each receive a document
+//! byte-identical to the in-process golden corpus (`tests/golden/`), while
+//! the server's plan cache and admission slots account correctly.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+
+use silkroute::{query1_tree, query2_tree};
+use sr_engine::Server as Engine;
+use sr_serve::{serve, AdmitConfig, Client, ServeConfig, ViewCatalog, ViewRef};
+
+/// Must match the scale the golden corpus was generated at.
+const SCALE_MB: f64 = 0.1;
+
+/// Simultaneous clients — the acceptance criteria require at least 4.
+const CLIENTS: usize = 4;
+
+fn golden(name: &str) -> Vec<u8> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("read golden {}: {e}", path.display()))
+}
+
+fn spawn_server() -> (sr_serve::ServeHandle, Arc<Engine>) {
+    let db = Arc::new(sr_tpch::generate(sr_tpch::Scale::mb(SCALE_MB)).expect("tpch"));
+    let engine = Arc::new(Engine::new(Arc::clone(&db)));
+    let mut catalog = ViewCatalog::new();
+    catalog.insert("query1", query1_tree(&db));
+    catalog.insert("query2", query2_tree(&db));
+    let cfg = ServeConfig {
+        admit: AdmitConfig {
+            slots: CLIENTS,
+            per_client: 2,
+            queue_depth: CLIENTS * 4,
+        },
+        ..ServeConfig::default()
+    };
+    let handle = serve(Arc::clone(&engine), catalog, cfg).expect("bind serve");
+    (handle, engine)
+}
+
+#[test]
+fn concurrent_clients_match_goldens_and_account_resources() {
+    let (handle, engine) = spawn_server();
+    let addr = handle.local_addr();
+    let golden1 = golden("query1.xml");
+    let golden2 = golden("query2.xml");
+
+    // Warm pass: one client runs both views once, populating the plan
+    // cache (first compilation of each unified SQL query is a miss).
+    {
+        let mut c = Client::connect(addr).expect("connect");
+        for (view, want) in [("query1", &golden1), ("query2", &golden2)] {
+            let got = c
+                .materialize(ViewRef::Named(view.into()), "unified")
+                .unwrap_or_else(|e| panic!("warm {view}: {e}"));
+            assert_eq!(&got.document, want, "warm {view}: golden mismatch");
+        }
+    }
+    let hits_before = engine
+        .metrics()
+        .snapshot()
+        .counter("server.plan_cache_hits");
+
+    // Concurrent pass: CLIENTS simultaneous connections, each running both
+    // views. The barrier makes them hit the server together.
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let mut threads = Vec::new();
+    for i in 0..CLIENTS {
+        let barrier = Arc::clone(&barrier);
+        let golden1 = golden1.clone();
+        let golden2 = golden2.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("connect");
+            barrier.wait();
+            for (view, want) in [("query1", &golden1), ("query2", &golden2)] {
+                let got = c
+                    .materialize(ViewRef::Named(view.to_string()), "unified")
+                    .unwrap_or_else(|e| panic!("client {i} {view}: {e}"));
+                assert_eq!(
+                    &got.document, want,
+                    "client {i} {view}: document differs from golden"
+                );
+                assert!(got.stats.tuples > 0, "client {i} {view}: no tuples");
+                assert_eq!(got.stats.streams, 1, "unified plan is one stream");
+            }
+        }));
+    }
+    for t in threads {
+        t.join().expect("client thread");
+    }
+
+    // Plan-cache accounting: the warm pass compiled each view's unified
+    // SQL once; all CLIENTS × 2 subsequent executions must be cache hits.
+    let hits_after = engine
+        .metrics()
+        .snapshot()
+        .counter("server.plan_cache_hits");
+    assert_eq!(
+        hits_after - hits_before,
+        (CLIENTS * 2) as u64,
+        "every post-warm query should hit the plan cache"
+    );
+
+    // Admission accounting: every permit released, and the counters agree
+    // with what actually ran (1 warm client + CLIENTS concurrent, 2
+    // queries each; none rejected).
+    assert_eq!(handle.admission().in_flight(), 0, "admission slots leaked");
+    let snap = engine.metrics().snapshot();
+    assert_eq!(snap.counter("serve.requests"), ((CLIENTS + 1) * 2) as u64);
+    assert_eq!(snap.counter("serve.admitted"), ((CLIENTS + 1) * 2) as u64);
+    assert_eq!(snap.counter("serve.rejected"), 0);
+    assert_eq!(snap.counter("serve.connections"), (CLIENTS + 1) as u64);
+
+    // The gate is healthy: a follow-up request on a fresh connection
+    // still executes.
+    let mut c = Client::connect(addr).expect("reconnect");
+    let again = c
+        .materialize(ViewRef::Named("query1".into()), "unified")
+        .expect("follow-up query after the concurrent pass");
+    assert_eq!(again.document, golden1);
+
+    handle.shutdown();
+}
+
+/// Tuple mode over the wire: the component stream decodes with the
+/// engine's wire codec and carries the same row count the XML path reports.
+#[test]
+fn tuple_mode_roundtrips_the_wire_encoding() {
+    let (handle, _engine) = spawn_server();
+    let addr = handle.local_addr();
+
+    let mut c = Client::connect(addr).expect("connect");
+    let xml = c
+        .materialize(ViewRef::Named("query1".into()), "unified")
+        .expect("xml run");
+    let tup = c
+        .fetch_tuples(ViewRef::Named("query1".into()), "unified")
+        .expect("tuple run");
+
+    assert_eq!(tup.document, b"", "tuple mode ships no document bytes");
+    assert_eq!(tup.streams.len(), 1, "unified plan is one stream");
+    assert_eq!(
+        tup.stats.tuples, xml.stats.tuples,
+        "both formats consume the same stream"
+    );
+
+    // The chunks reassemble into a decodable row stream of exactly the
+    // advertised length.
+    let mut buf = bytes::Bytes::from(tup.streams[0].clone());
+    let mut rows = 0u64;
+    while let Some(_row) = sr_engine::wire::decode_row(&mut buf).expect("wire decode") {
+        rows += 1;
+    }
+    assert_eq!(
+        rows, tup.stats.tuples,
+        "decoded row count matches DONE stats"
+    );
+
+    handle.shutdown();
+}

@@ -6,6 +6,7 @@ Usage:
     validate_machine_output.py trace  TRACE.json    # --trace Chrome timeline
     validate_machine_output.py bench  BENCH.json    # BENCH_pipeline.json
     validate_machine_output.py shard  BENCH.json    # BENCH_shard.json
+    validate_machine_output.py serve  BENCH.json    # BENCH_serve.json
 
 Each mode parses the file with the stock json module and asserts the
 structural invariants the docs promise, so CI catches any drift in what
@@ -195,9 +196,61 @@ def validate_shard(doc):
             f"speedup {speedup:.3f}")
 
 
+def validate_serve(doc):
+    check(doc.get("bench") == "serve", "not a serve bench document")
+    require(doc, "quick", bool, "bench")
+    check(require(doc, "scale_mb", NUM, "bench") > 0, "bench.scale_mb not positive")
+    check(require(doc, "host_parallelism", int, "bench") >= 1,
+          "bench.host_parallelism must be >= 1")
+    levels = require(doc, "levels", list, "bench")
+    check(levels, "bench.levels is empty")
+    closed = set()
+    for i, l in enumerate(levels):
+        ctx = f"levels[{i}]"
+        mode = require(l, "mode", str, ctx)
+        check(mode in ("closed", "open"), f"{ctx}.mode: unknown mode {mode!r}")
+        conc = require(l, "concurrency", int, ctx)
+        check(conc >= 1, f"{ctx}.concurrency must be >= 1")
+        check(require(l, "requests", int, ctx) >= 1, f"{ctx}.requests empty")
+        check(require(l, "errors", int, ctx) == 0,
+              f"{ctx}: load generator reported errors")
+        check(require(l, "wall_ms", NUM, ctx) > 0, f"{ctx}.wall_ms not positive")
+        check(require(l, "qps", NUM, ctx) > 0, f"{ctx}.qps not positive")
+        p50 = require(l, "p50_ms", NUM, ctx)
+        p99 = require(l, "p99_ms", NUM, ctx)
+        p999 = require(l, "p999_ms", NUM, ctx)
+        check(0 < p50 <= p99 <= p999,
+              f"{ctx}: percentiles disordered (p50 {p50}, p99 {p99}, p999 {p999})")
+        if mode == "closed":
+            closed.add(conc)
+    # The acceptance bar: latency/qps at two or more concurrency levels.
+    check(len(closed) >= 2,
+          f"need >= 2 closed-loop concurrency levels, got {sorted(closed)}")
+    knee = require(doc, "knee", dict, "bench")
+    knee_c = require(knee, "concurrency", int, "knee")
+    check(knee_c in closed, f"knee.concurrency {knee_c} not a measured level")
+    knee_qps = require(knee, "qps", NUM, "knee")
+    peak = require(knee, "peak_qps", NUM, "knee")
+    check(0 < knee_qps <= peak * (1 + 1e-9),
+          f"knee.qps {knee_qps} exceeds peak_qps {peak}")
+    check(knee_qps >= 0.9 * peak,
+          f"knee.qps {knee_qps} below 90% of peak {peak} — knee rule violated")
+    counters = require(doc, "counters", dict, "bench")
+    total_requests = sum(l["requests"] for l in levels)
+    conns = require(counters, "connections", int, "counters")
+    admitted = require(counters, "admitted", int, "counters")
+    check(require(counters, "rejected", int, "counters") >= 0,
+          "counters.rejected negative")
+    check(conns >= max(closed), "fewer connections than peak concurrency")
+    check(admitted >= total_requests,
+          f"admitted {admitted} below the {total_requests} measured requests")
+    return (f"serve bench OK: {len(levels)} level(s), knee C={knee_c} "
+            f"at {knee_qps:.1f}/{peak:.1f} qps")
+
+
 def main():
     if len(sys.argv) != 3 or sys.argv[1] not in ("report", "trace", "bench",
-                                                 "shard"):
+                                                 "shard", "serve"):
         print(__doc__, file=sys.stderr)
         return 2
     mode, path = sys.argv[1], sys.argv[2]
@@ -209,7 +262,8 @@ def main():
     result = {"report": validate_report,
               "trace": validate_trace,
               "bench": validate_bench,
-              "shard": validate_shard}[mode](doc)
+              "shard": validate_shard,
+              "serve": validate_serve}[mode](doc)
     print(result)
     return 0
 
