@@ -44,6 +44,10 @@
 //!                            order (`auto` = available parallelism; 1
 //!                            disables). Queries without a usable range key
 //!                            fall back to a single shard.  [default auto]
+//!       --exec MODE          query execution path: `tuple` (row-at-a-time)
+//!                            or `vectorized` (batch-at-a-time columnar).
+//!                            Output bytes are identical either way.
+//!                            [default tuple]
 //!       --listen ADDR        bind address (serve)   [default 127.0.0.1:4722]
 //!       --connect ADDR       server address (client) [default 127.0.0.1:4722]
 //!       --slots N            concurrent queries across all clients (serve)
@@ -93,6 +97,7 @@ struct Opts {
     fault_seed: u64,
     retries: Option<u32>,
     shards: Option<usize>,
+    exec: String,
     listen: String,
     connect: String,
     slots: Option<usize>,
@@ -109,7 +114,8 @@ fn usage() -> ExitCode {
         "usage: silkroute <tree|sql|materialize|plan|bench|serve|client> [--mb N] \
          [--plan SPEC] [--no-reduce] [--out FILE] [--pretty] [--explain] \
          [--metrics-json] [--analyze] [--trace FILE] [--fault SPEC] [--fault-seed N] \
-         [--retries N] [--shards N|auto] [--listen ADDR] [--connect ADDR] \
+         [--retries N] [--shards N|auto] [--exec tuple|vectorized] \
+         [--listen ADDR] [--connect ADDR] \
          [--slots N] [--per-client N] [--queue-depth N] [--max-conns N] \
          [--read-timeout-ms N] [--format xml|tuples] [--shutdown] \
          <VIEW|query1|query2>"
@@ -139,6 +145,7 @@ fn parse_args() -> Result<Opts, ExitCode> {
         fault_seed: 0,
         retries: None,
         shards: None,
+        exec: "tuple".into(),
         listen: "127.0.0.1:4722".into(),
         connect: "127.0.0.1:4722".into(),
         slots: None,
@@ -178,6 +185,7 @@ fn parse_args() -> Result<Opts, ExitCode> {
                     Some(v.parse().map_err(|_| usage())?)
                 };
             }
+            "--exec" => opts.exec = args.next().ok_or_else(usage)?,
             "--listen" => opts.listen = args.next().ok_or_else(usage)?,
             "--connect" => opts.connect = args.next().ok_or_else(usage)?,
             "--slots" => {
@@ -427,6 +435,9 @@ fn run() -> Result<(), String> {
             .unwrap_or(1)
     });
     server = server.with_shards(shards);
+    let exec_mode = sr_engine::ExecMode::parse(&opts.exec)
+        .ok_or_else(|| format!("unknown --exec mode: {} (tuple|vectorized)", opts.exec))?;
+    server = server.with_exec_mode(exec_mode);
     if opts.command == "serve" {
         // The engine was configured by the shared flags above (--fault,
         // --retries, --shards); hand it to the front-end as-is.

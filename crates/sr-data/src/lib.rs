@@ -23,6 +23,7 @@
 //!   feeding the engine's cost estimator (the paper's "RDBMS oracle").
 
 pub mod catalog;
+pub mod column;
 pub mod constraints;
 pub mod error;
 pub mod row;
@@ -32,6 +33,7 @@ pub mod table;
 pub mod value;
 
 pub use catalog::Database;
+pub use column::{ColumnBatch, ColumnTable, BATCH_ROWS};
 pub use constraints::{ForeignKey, FunctionalDependency, InclusionDependency, TableConstraints};
 pub use error::DataError;
 pub use row::Row;

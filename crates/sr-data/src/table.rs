@@ -2,7 +2,9 @@
 
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
+use crate::column::ColumnTable;
 use crate::error::DataError;
 use crate::row::Row;
 use crate::schema::Schema;
@@ -14,6 +16,9 @@ pub struct Table {
     name: String,
     schema: Schema,
     rows: Vec<Row>,
+    /// Lazily built column-major image of `rows`, shared by reference so the
+    /// vectorized scan is an `Arc` clone. Invalidated on mutation.
+    columnar: OnceLock<Arc<ColumnTable>>,
 }
 
 impl Table {
@@ -23,6 +28,7 @@ impl Table {
             name: name.into(),
             schema,
             rows: Vec::new(),
+            columnar: OnceLock::new(),
         }
     }
 
@@ -82,7 +88,24 @@ impl Table {
             }
         }
         self.rows.push(row);
+        self.columnar.take();
         Ok(())
+    }
+
+    /// The table's rows in column-major form, built on first use and cached.
+    ///
+    /// Cheap to call afterwards (one `Arc` clone), which is what makes the
+    /// vectorized scan allocation-free. Mutating the table invalidates the
+    /// cache.
+    pub fn columnar(&self) -> Arc<ColumnTable> {
+        self.columnar
+            .get_or_init(|| {
+                Arc::new(
+                    ColumnTable::build(&self.schema, &self.rows)
+                        .expect("rows were schema-checked at insert"),
+                )
+            })
+            .clone()
     }
 
     /// Append many rows.
@@ -221,5 +244,20 @@ mod tests {
         let mut t = t();
         t.insert(row![1i64, "abcd"]).unwrap();
         assert_eq!(t.byte_size(), 18);
+    }
+
+    #[test]
+    fn columnar_caches_and_invalidates_on_insert() {
+        let mut t = t();
+        t.insert_all([row![1i64, "a"], row![2i64, "b"]]).unwrap();
+        let c1 = t.columnar();
+        assert_eq!(c1.row_count(), 2);
+        let c2 = t.columnar();
+        assert!(Arc::ptr_eq(&c1, &c2), "second call reuses the cache");
+        t.insert(row![3i64, "c"]).unwrap();
+        let c3 = t.columnar();
+        assert_eq!(c3.row_count(), 3, "insert invalidates the columnar image");
+        let back: Vec<Row> = c3.batches().iter().flat_map(|b| b.to_rows()).collect();
+        assert_eq!(back, t.rows());
     }
 }

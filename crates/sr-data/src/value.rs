@@ -115,6 +115,55 @@ impl Value {
         }
         self.cmp(other) == Ordering::Equal
     }
+
+    /// Canonicalize a float for join-key purposes: every NaN payload
+    /// collapses to one canonical NaN and `-0.0` collapses to `0.0`, so
+    /// [`Value::join_hash`] and [`Value::join_eq`] always agree.
+    pub fn canonical_join_float(x: f64) -> f64 {
+        if x.is_nan() {
+            f64::NAN
+        } else if x == 0.0 {
+            0.0
+        } else {
+            x
+        }
+    }
+
+    /// Hash for hash-join keys. Identical to the [`Hash`] impl except that
+    /// floats are canonicalized first, so `NaN` keys with different bit
+    /// patterns and `±0.0` land in the same bucket as their
+    /// [`Value::join_eq`] partners.
+    pub fn join_hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        use std::hash::Hash;
+        match self {
+            Value::Float(x) => Value::Float(Self::canonical_join_float(*x)).hash(state),
+            other => other.hash(state),
+        }
+    }
+
+    /// Equality for hash-join keys. NULL never matches (SQL semantics);
+    /// numeric cross-type matches are allowed (`Int(2)` joins `Float(2.0)`);
+    /// floats are compared through [`Value::canonical_join_float`], so
+    /// `-0.0` joins `0.0` and any NaN joins any NaN. Must agree with
+    /// [`Value::join_hash`]: `join_eq(a, b)` implies equal join hashes.
+    pub fn join_eq(&self, other: &Value) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => false,
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => {
+                Self::canonical_join_float(*a).to_bits() == Self::canonical_join_float(*b).to_bits()
+            }
+            (Int(a), Float(b)) => (*a as f64)
+                .total_cmp(&Self::canonical_join_float(*b))
+                .is_eq(),
+            (Float(a), Int(b)) => Self::canonical_join_float(*a)
+                .total_cmp(&(*b as f64))
+                .is_eq(),
+            (Str(a), Str(b)) => a == b,
+            _ => false,
+        }
+    }
 }
 
 impl PartialEq for Value {
@@ -288,6 +337,45 @@ mod tests {
         assert_eq!(Value::str("s").as_int(), None);
         assert!(Value::Null.data_type().is_none());
         assert_eq!(Value::Int(1).data_type(), Some(DataType::Int));
+    }
+
+    fn jh(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.join_hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn join_eq_normalizes_zero_and_nan() {
+        let pos0 = Value::Float(0.0);
+        let neg0 = Value::Float(-0.0);
+        assert!(pos0.join_eq(&neg0));
+        assert_eq!(jh(&pos0), jh(&neg0));
+
+        let nan_a = Value::Float(f64::NAN);
+        let nan_b = Value::Float(f64::from_bits(f64::NAN.to_bits() | 1));
+        assert!(nan_a.join_eq(&nan_b), "NaN payloads must join");
+        assert_eq!(jh(&nan_a), jh(&nan_b));
+        assert!(!nan_a.join_eq(&Value::Float(1.0)));
+    }
+
+    #[test]
+    fn join_eq_cross_type_numeric() {
+        assert!(Value::Int(2).join_eq(&Value::Float(2.0)));
+        assert!(Value::Float(-0.0).join_eq(&Value::Int(0)));
+        assert_eq!(jh(&Value::Int(2)), jh(&Value::Float(2.0)));
+        assert_eq!(jh(&Value::Int(0)), jh(&Value::Float(-0.0)));
+        assert!(!Value::Int(2).join_eq(&Value::Float(2.5)));
+        assert!(!Value::Int(2).join_eq(&Value::Float(f64::NAN)));
+    }
+
+    #[test]
+    fn join_eq_null_never_matches() {
+        assert!(!Value::Null.join_eq(&Value::Null));
+        assert!(!Value::Null.join_eq(&Value::Int(1)));
+        assert!(!Value::str("x").join_eq(&Value::Null));
+        assert!(Value::str("x").join_eq(&Value::str("x")));
+        assert!(!Value::str("2").join_eq(&Value::Int(2)));
     }
 
     #[test]

@@ -31,6 +31,8 @@ pub struct OpStat {
     pub calls: u64,
     /// Rows it produced in total.
     pub rows_out: u64,
+    /// Column batches it produced in total (0 on the tuple path).
+    pub batches: u64,
 }
 
 /// Per-operator execution profile for one (or several) plan executions:
@@ -40,13 +42,24 @@ pub struct OpStat {
 pub struct ExecProfile {
     /// Statistics keyed by operator name (`scan`, `join`, …), sorted.
     pub ops: BTreeMap<&'static str, OpStat>,
+    /// Output vectors that outgrew their initial reservation (one per
+    /// operator call at most) — the tuple path's allocation-health gauge.
+    pub reallocs: u64,
+    /// Per-batch filter selectivities in ‰ (rows out × 1000 / rows in),
+    /// recorded by the vectorized filter.
+    pub selectivity: Vec<u64>,
 }
 
 impl ExecProfile {
-    fn record(&mut self, op: &'static str, rows_out: usize) {
+    pub(crate) fn record(&mut self, op: &'static str, rows_out: usize) {
         let stat = self.ops.entry(op).or_default();
         stat.calls += 1;
         stat.rows_out += rows_out as u64;
+    }
+
+    /// Account `n` output batches to operator kind `op` (vectorized path).
+    pub(crate) fn record_batches(&mut self, op: &'static str, n: usize) {
+        self.ops.entry(op).or_default().batches += n as u64;
     }
 
     /// Total rows produced across all operators.
@@ -54,8 +67,15 @@ impl ExecProfile {
         self.ops.values().map(|s| s.rows_out).sum()
     }
 
+    /// Total column batches produced across all operators.
+    pub fn total_batches(&self) -> u64 {
+        self.ops.values().map(|s| s.batches).sum()
+    }
+
     /// Mirror the profile into a metrics registry as
-    /// `exec.calls.<op>` / `exec.rows.<op>` counters.
+    /// `exec.calls.<op>` / `exec.rows.<op>` counters (plus
+    /// `exec.batches.<op>` on the vectorized path), the `exec.batches` /
+    /// `exec.realloc` totals, and the `exec.selectivity` ‰ histogram.
     pub fn export_to(&self, registry: &sr_obs::MetricsRegistry) {
         for (op, stat) in &self.ops {
             registry
@@ -64,6 +84,16 @@ impl ExecProfile {
             registry
                 .counter(&format!("exec.rows.{op}"))
                 .add(stat.rows_out);
+            if stat.batches > 0 {
+                registry
+                    .counter(&format!("exec.batches.{op}"))
+                    .add(stat.batches);
+            }
+        }
+        registry.counter("exec.batches").add(self.total_batches());
+        registry.counter("exec.realloc").add(self.reallocs);
+        for &sel in &self.selectivity {
+            registry.histogram("exec.selectivity").record(sel);
         }
     }
 }
@@ -100,21 +130,21 @@ pub struct PlanProfile {
 /// under [`execute_analyzed`]. Keeping the per-node vector optional means
 /// the normal execution path pays only a branch per operator, not a clock
 /// read.
-struct ExecCtx<'a> {
-    profile: &'a mut ExecProfile,
-    nodes: Option<&'a mut Vec<NodeStat>>,
+pub(crate) struct ExecCtx<'a> {
+    pub(crate) profile: &'a mut ExecProfile,
+    pub(crate) nodes: Option<&'a mut Vec<NodeStat>>,
     /// Cooperative cancellation, checked every [`CANCEL_CHECK_ROWS`] rows.
-    cancel: &'a CancelToken,
+    pub(crate) cancel: &'a CancelToken,
     /// Fault injection (tests / CLI only; `None` in production).
-    faults: Option<&'a FaultInjector>,
+    pub(crate) faults: Option<&'a FaultInjector>,
     /// Rows processed since the last cancellation check.
-    ticks: u64,
+    pub(crate) ticks: u64,
 }
 
 impl ExecCtx<'_> {
     /// Account for `rows` units of work; check the cancel token once per
     /// [`CANCEL_CHECK_ROWS`]. The fast path is one add and one compare.
-    fn tick(&mut self, rows: u64) -> Result<(), EngineError> {
+    pub(crate) fn tick(&mut self, rows: u64) -> Result<(), EngineError> {
         self.ticks += rows;
         if self.ticks >= CANCEL_CHECK_ROWS {
             self.ticks = 0;
@@ -124,7 +154,7 @@ impl ExecCtx<'_> {
     }
 }
 
-fn op_name(plan: &Plan) -> &'static str {
+pub(crate) fn op_name(plan: &Plan) -> &'static str {
     match plan {
         Plan::Scan { .. } => "scan",
         Plan::Filter { .. } => "filter",
@@ -314,7 +344,14 @@ fn execute_op(
         }
         Plan::OuterUnion { inputs } => {
             let schema = plan.schema(db)?;
-            let mut rows = Vec::new();
+            // Reserve from the oracle's cardinality estimate so the output
+            // vector is sized once up front instead of doubling as branches
+            // append. `exec.realloc` counts when the estimate fell short.
+            let reserve = crate::cost::estimate(plan, db)
+                .map(|e| e.cardinality.ceil() as usize)
+                .unwrap_or(0);
+            let mut rows = Vec::with_capacity(reserve);
+            let cap0 = rows.capacity();
             let mut child_id = id + 1;
             for input in inputs {
                 let rs = execute_env(input, db, env, ctx, child_id)?;
@@ -334,6 +371,9 @@ fn execute_op(
                             .collect(),
                     )
                 }));
+            }
+            if rows.len() > cap0 {
+                ctx.profile.reallocs += 1;
             }
             Ok(ResultSet { schema, rows })
         }
@@ -455,11 +495,13 @@ fn hash_join(
     }
 
     // Key cells are hashed in place (no per-value clones); candidates from
-    // a bucket are verified cell by cell to rule out hash collisions.
+    // a bucket are verified cell by cell to rule out hash collisions. Join
+    // keys use `join_hash`/`join_eq`, not the total-order Hash/Eq: ±0.0
+    // must land in one bucket and any NaN must match any NaN.
     let hash_key = |row: &Row, idx: &[usize]| -> u64 {
         let mut hasher = DefaultHasher::new();
         for &c in idx {
-            row.get(c).hash(&mut hasher);
+            row.get(c).join_hash(&mut hasher);
         }
         hasher.finish()
     };
@@ -496,7 +538,7 @@ fn hash_join(
                 if lidx
                     .iter()
                     .zip(&ridx)
-                    .all(|(&lc, &rc)| l.get(lc) == r.get(rc))
+                    .all(|(&lc, &rc)| l.get(lc).join_eq(r.get(rc)))
                 {
                     out.push(l.concat(r));
                     matched = true;
@@ -680,6 +722,71 @@ mod tests {
             execute(&outer, &db).unwrap().len(),
             2,
             "NULL left row padded"
+        );
+    }
+
+    #[test]
+    fn float_join_keys_agree_on_nan_and_signed_zero() {
+        // NaN (two payloads) and ±0.0 on BOTH build and probe sides: the
+        // hash and the equality check must agree, so NaN matches NaN and
+        // -0.0 matches 0.0 whichever side each lands on.
+        let nan_a = f64::NAN;
+        let nan_b = f64::from_bits(f64::NAN.to_bits() | 1);
+        let mut db = Database::new();
+        let mut l = Table::new("L", Schema::of(&[("k", DataType::Float)]));
+        l.insert_all([row![nan_a], row![0.0f64], row![5.0f64]])
+            .unwrap();
+        let mut r = Table::new("R", Schema::of(&[("k", DataType::Float)]));
+        r.insert_all([row![nan_b], row![-0.0f64], row![7.0f64]])
+            .unwrap();
+        db.add_table(l);
+        db.add_table(r);
+        let on = vec![("l_k".to_string(), "r_k".to_string())];
+        let inner = Plan::scan("L", "l").join(Plan::scan("R", "r"), JoinKind::Inner, on.clone());
+        let rs = execute(&inner, &db).unwrap();
+        assert_eq!(rs.len(), 2, "NaN↔NaN and 0.0↔-0.0 must both match");
+        let outer = Plan::scan("L", "l").join(Plan::scan("R", "r"), JoinKind::LeftOuter, on);
+        let rs = execute(&outer, &db).unwrap();
+        assert_eq!(rs.len(), 3, "5.0 padded, NaN and zero matched");
+        let padded: Vec<&Row> = rs.rows.iter().filter(|r| r.get(1).is_null()).collect();
+        assert_eq!(padded.len(), 1);
+        assert_eq!(padded[0].get(0), &Value::Float(5.0));
+    }
+
+    #[test]
+    fn outer_union_reservation_counts_reallocs() {
+        let db = db();
+        // A plain two-branch union over base scans: the oracle knows exact
+        // base-table cardinalities, so the reservation holds and the
+        // realloc counter stays at zero.
+        let a = Plan::scan("Supplier", "s").project(vec![("k".into(), Expr::col("s_suppkey"))]);
+        let b = Plan::scan("PartSupp", "ps").project(vec![("k".into(), Expr::col("ps_suppkey"))]);
+        let u = Plan::OuterUnion {
+            inputs: vec![a.clone(), b],
+        };
+        let (rs, profile) = execute_profiled(&u, &db).unwrap();
+        assert_eq!(rs.len(), 6);
+        assert_eq!(profile.reallocs, 0, "exact estimate ⇒ no realloc");
+
+        // A cross-join branch under a selective filter: the oracle's
+        // default selectivity underestimates the actual fan-out, the
+        // reservation falls short, and the counter proves the realloc.
+        let fanout = Plan::scan("Supplier", "s")
+            .join(Plan::scan("PartSupp", "ps"), JoinKind::Inner, vec![])
+            .filter(vec![Predicate::new(
+                Expr::col("s_suppkey"),
+                CmpOp::Le,
+                Expr::lit(1000i64),
+            )])
+            .project(vec![("k".into(), Expr::col("s_suppkey"))]);
+        let u = Plan::OuterUnion {
+            inputs: vec![fanout],
+        };
+        let (rs, profile) = execute_profiled(&u, &db).unwrap();
+        assert_eq!(rs.len(), 9, "filter keeps everything");
+        assert!(
+            profile.reallocs >= 1,
+            "under-estimated union must report a realloc"
         );
     }
 

@@ -191,12 +191,13 @@ impl fmt::Display for Predicate {
     }
 }
 
-/// A compiled predicate.
+/// A compiled predicate. Fields are crate-visible so the vectorized
+/// executor can compile batch kernels from the same bound form.
 #[derive(Debug, Clone)]
 pub struct BoundPredicate {
-    left: BoundExpr,
-    op: CmpOp,
-    right: BoundExpr,
+    pub(crate) left: BoundExpr,
+    pub(crate) op: CmpOp,
+    pub(crate) right: BoundExpr,
 }
 
 impl BoundPredicate {

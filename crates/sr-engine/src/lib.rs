@@ -32,6 +32,7 @@ pub mod plan;
 pub mod server;
 pub mod shard;
 pub mod sql;
+pub mod vexec;
 pub mod wire;
 
 pub use analyze::{q_error, AnalyzedNode, ExplainAnalysis};
@@ -49,3 +50,7 @@ pub use ordering::{elide_sorts, order_info, OrderInfo};
 pub use plan::{JoinKind, Plan};
 pub use server::{QueryPhases, Server, TupleStream};
 pub use shard::{range_boundaries, split_plan, ShardPlan};
+pub use vexec::{
+    execute_vectorized, execute_vectorized_profiled, execute_vectorized_profiled_with, ExecMode,
+    VecResultSet,
+};

@@ -16,7 +16,7 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use bytes::{Buf, Bytes};
+use bytes::{Buf, Bytes, BytesMut};
 use sr_data::{Database, Row, Schema};
 use sr_obs::{MetricsRegistry, TraceSpan, Tracer};
 
@@ -30,7 +30,8 @@ use crate::ordering::elide_sorts;
 use crate::plan::Plan;
 use crate::shard::split_plan;
 use crate::sql::binder::plan_sql;
-use crate::wire::{decode_row, encode_rows};
+use crate::vexec::{execute_vectorized_profiled_with, ExecMode, VecResultSet};
+use crate::wire::{decode_row, encode_batch, encode_batch_into, encode_rows};
 
 /// Lock a mutex, recovering the data from a poisoned one. Every mutex in
 /// this module guards state that is updated atomically *under* the lock
@@ -88,10 +89,69 @@ fn record_shard_skew(metrics: &MetricsRegistry, rows_per_shard: &[u64]) {
 /// `base × 2^(n-1)`.
 const RETRY_BACKOFF_BASE: Duration = Duration::from_millis(1);
 
+/// One query's materialized output in whichever representation the
+/// configured [`ExecMode`] produced. Both variants encode to identical
+/// wire bytes; the columnar variant pivots to row form only here, at the
+/// encoder — the late-materialization boundary.
+enum QueryOutput {
+    /// Tuple-path rows.
+    Rows(ResultSet),
+    /// Columnar batches from the vectorized path.
+    Batches(VecResultSet),
+}
+
+impl QueryOutput {
+    fn row_count(&self) -> usize {
+        match self {
+            QueryOutput::Rows(rs) => rs.rows.len(),
+            QueryOutput::Batches(vs) => vs.row_count(),
+        }
+    }
+
+    /// Number of wire chunks this output encodes to. Tuple results chunk
+    /// by `chunk_rows`; columnar results ship one chunk per batch (batches
+    /// are already bounded by `BATCH_ROWS`, which equals
+    /// [`STREAM_CHUNK_ROWS`]). Chunk *boundaries* may differ between the
+    /// modes — the concatenated bytes never do.
+    fn chunk_count(&self, chunk_rows: usize) -> usize {
+        match self {
+            QueryOutput::Rows(rs) => rs.rows.len().div_ceil(chunk_rows),
+            QueryOutput::Batches(vs) => vs.batches.len(),
+        }
+    }
+
+    /// Encode chunk `i` of [`QueryOutput::chunk_count`].
+    fn encode_chunk(&self, i: usize, chunk_rows: usize) -> Bytes {
+        match self {
+            QueryOutput::Rows(rs) => {
+                let start = i * chunk_rows;
+                let end = (start + chunk_rows).min(rs.rows.len());
+                encode_rows(&rs.rows[start..end])
+            }
+            QueryOutput::Batches(vs) => encode_batch(&vs.batches[i]),
+        }
+    }
+
+    /// Encode the whole result into one buffer (the buffered path).
+    fn encode_all(&self) -> Bytes {
+        match self {
+            QueryOutput::Rows(rs) => encode_rows(&rs.rows),
+            QueryOutput::Batches(vs) => {
+                let mut buf = BytesMut::with_capacity(vs.wire_bytes() + 4 * vs.row_count());
+                for b in &vs.batches {
+                    encode_batch_into(b, &mut buf);
+                }
+                buf.freeze()
+            }
+        }
+    }
+}
+
 /// Execute with bounded retry on [`EngineError::Transient`]: each retry
 /// backs off exponentially, bumps `server.retries`, and re-checks the
 /// cancel token so retrying never outlives the query's deadline. All
-/// other errors (and success) pass straight through.
+/// other errors (and success) pass straight through. `mode` selects the
+/// tuple or vectorized executor; both feed the same retry loop.
 fn run_query_with_retry(
     plan: &Plan,
     db: &Database,
@@ -99,10 +159,17 @@ fn run_query_with_retry(
     faults: Option<&FaultInjector>,
     retries: u32,
     metrics: &MetricsRegistry,
-) -> Result<(ResultSet, ExecProfile), EngineError> {
+    mode: ExecMode,
+) -> Result<(QueryOutput, ExecProfile), EngineError> {
     let mut attempt = 0u32;
     loop {
-        match execute_profiled_with(plan, db, token, faults) {
+        let result = match mode {
+            ExecMode::Tuple => execute_profiled_with(plan, db, token, faults)
+                .map(|(rs, p)| (QueryOutput::Rows(rs), p)),
+            ExecMode::Vectorized => execute_vectorized_profiled_with(plan, db, token, faults)
+                .map(|(vs, p)| (QueryOutput::Batches(vs), p)),
+        };
+        match result {
             Err(EngineError::Transient(_)) if attempt < retries => {
                 attempt += 1;
                 metrics.counter("server.retries").inc();
@@ -560,6 +627,9 @@ pub struct Server {
     /// Key-range shards per streaming query (1 = unsharded). Queries whose
     /// plan cannot be sharded safely fall back to one shard silently.
     shards: usize,
+    /// Which executor runs queries: row-at-a-time tuple (default) or
+    /// batch-at-a-time vectorized. Wire output is identical either way.
+    exec_mode: ExecMode,
 }
 
 struct CachedPlan {
@@ -663,7 +733,23 @@ impl Server {
             fault_plan: None,
             transient_retries: DEFAULT_TRANSIENT_RETRIES,
             shards: 1,
+            exec_mode: ExecMode::Tuple,
         }
+    }
+
+    /// Select the execution path: row-at-a-time [`ExecMode::Tuple`]
+    /// (default) or batch-at-a-time [`ExecMode::Vectorized`]. Every path —
+    /// buffered, streaming, inline, sharded — honours the mode, and the
+    /// encoded bytes are identical in both; only the executor (and its
+    /// performance profile) changes.
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
+    }
+
+    /// The configured execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
     }
 
     /// Set the per-query timeout.
@@ -851,7 +937,7 @@ impl Server {
         let tracer = self.tracer.as_deref();
         let start = Instant::now();
         let token = self.cancel_token();
-        let (plan, _, elided) = {
+        let (plan, schema, elided) = {
             let _s = TraceSpan::new(tracer, "server.parse_bind");
             self.plan_cached(sql)?
         };
@@ -861,10 +947,10 @@ impl Server {
         // Everything that can panic — execution and encoding — runs inside
         // catch_unwind, so a bug in an operator surfaces as a typed
         // `Internal` error rather than aborting the calling thread.
-        type ExecOut = Result<(ResultSet, ExecProfile, Bytes, Duration, Duration), EngineError>;
+        type ExecOut = Result<(QueryOutput, ExecProfile, Bytes, Duration, Duration), EngineError>;
         let caught = std::panic::catch_unwind(AssertUnwindSafe(|| -> ExecOut {
             let t_exec = Instant::now();
-            let (rs, profile) = {
+            let (out, profile) = {
                 let _s = TraceSpan::with_detail(
                     tracer,
                     "query.execute",
@@ -877,6 +963,7 @@ impl Server {
                     self.faults.as_deref(),
                     self.transient_retries,
                     &self.metrics,
+                    self.exec_mode,
                 )?
             };
             let execute = t_exec.elapsed();
@@ -890,11 +977,11 @@ impl Server {
             }
             let data = {
                 let _s = TraceSpan::new(tracer, "encode");
-                encode_rows(&rs.rows)
+                out.encode_all()
             };
-            Ok((rs, profile, data, execute, t_enc.elapsed()))
+            Ok((out, profile, data, execute, t_enc.elapsed()))
         }));
-        let (rs, profile, data, execute, encode) = match caught {
+        let (out, profile, data, execute, encode) = match caught {
             Err(payload) => {
                 self.metrics.counter("server.panics").inc();
                 return Err(EngineError::Internal(panic_message(payload)));
@@ -909,7 +996,7 @@ impl Server {
 
         let m = &self.metrics;
         m.counter("server.queries").inc();
-        m.counter("server.rows").add(rs.rows.len() as u64);
+        m.counter("server.rows").add(out.row_count() as u64);
         m.counter("server.bytes").add(data.len() as u64);
         m.histogram("server.parse_bind_ns")
             .record_duration(parse_bind);
@@ -928,8 +1015,8 @@ impl Server {
             }
         }
         Ok(TupleStream {
-            schema: rs.schema,
-            row_count: rs.rows.len(),
+            schema,
+            row_count: out.row_count(),
             byte_size: data.len(),
             query_time,
             phases: QueryPhases {
@@ -995,6 +1082,7 @@ impl Server {
             retries: self.transient_retries,
             parse_bind,
             lane_label: "server execute worker".into(),
+            mode: self.exec_mode,
         };
         std::thread::spawn(move || {
             // Panic isolation: the worker body runs under catch_unwind so a
@@ -1082,6 +1170,7 @@ impl Server {
                 // aggregated phases count it exactly once.
                 parse_bind: if i == 0 { parse_bind } else { Duration::ZERO },
                 lane_label: format!("server shard worker {i}"),
+                mode: self.exec_mode,
             };
             std::thread::spawn(move || {
                 let fail_tx = tx.clone();
@@ -1168,7 +1257,7 @@ impl Server {
             type ShardOut = Result<(usize, usize, Duration, Duration), EngineError>;
             let caught = std::panic::catch_unwind(AssertUnwindSafe(|| -> ShardOut {
                 let t_exec = Instant::now();
-                let (rs, profile) = {
+                let (out, profile) = {
                     let _s = TraceSpan::new(tracer, "query.execute");
                     run_query_with_retry(
                         plan,
@@ -1177,6 +1266,7 @@ impl Server {
                         faults.as_deref(),
                         self.transient_retries,
                         &self.metrics,
+                        self.exec_mode,
                     )?
                 };
                 let execute = t_exec.elapsed();
@@ -1184,13 +1274,13 @@ impl Server {
                 let mut bytes_out = 0usize;
                 {
                     let _s = TraceSpan::new(tracer, "encode");
-                    for chunk in rs.rows.chunks(STREAM_CHUNK_ROWS) {
+                    for ci in 0..out.chunk_count(STREAM_CHUNK_ROWS) {
                         token.check()?;
                         if let Some(f) = &faults {
                             f.hit(FaultSite::Encode)?;
                         }
                         let t_enc = Instant::now();
-                        let bytes = encode_rows(chunk);
+                        let bytes = out.encode_chunk(ci, STREAM_CHUNK_ROWS);
                         encode += t_enc.elapsed();
                         if let Some(f) = &faults {
                             f.hit(FaultSite::Send)?;
@@ -1200,7 +1290,7 @@ impl Server {
                     }
                 }
                 profile.export_to(&self.metrics);
-                Ok((rs.rows.len(), bytes_out, execute, encode))
+                Ok((out.row_count(), bytes_out, execute, encode))
             }));
             let (rows, bytes_out, execute, encode) = match caught {
                 Err(payload) => {
@@ -1299,10 +1389,10 @@ impl Server {
         // encoding run under catch_unwind and any failure becomes the
         // stream's terminal `Failed` item.
         type InlineOut =
-            Result<(ResultSet, ExecProfile, Vec<Bytes>, Duration, Duration), EngineError>;
+            Result<(QueryOutput, ExecProfile, Vec<Bytes>, Duration, Duration), EngineError>;
         let caught = std::panic::catch_unwind(AssertUnwindSafe(|| -> InlineOut {
             let t_exec = Instant::now();
-            let (rs, profile) = {
+            let (out, profile) = {
                 let _s = TraceSpan::new(tracer, "query.execute");
                 run_query_with_retry(
                     &plan,
@@ -1311,20 +1401,22 @@ impl Server {
                     self.faults.as_deref(),
                     self.transient_retries,
                     &self.metrics,
+                    self.exec_mode,
                 )?
             };
             let execute = t_exec.elapsed();
             let mut encode = Duration::ZERO;
-            let mut chunks = Vec::with_capacity(rs.rows.len().div_ceil(STREAM_CHUNK_ROWS));
+            let n_chunks = out.chunk_count(STREAM_CHUNK_ROWS);
+            let mut chunks = Vec::with_capacity(n_chunks);
             {
                 let _s = TraceSpan::new(tracer, "encode");
-                for chunk in rs.rows.chunks(STREAM_CHUNK_ROWS) {
+                for ci in 0..n_chunks {
                     token.check()?;
                     if let Some(f) = &self.faults {
                         f.hit(FaultSite::Encode)?;
                     }
                     let t_enc = Instant::now();
-                    let bytes = encode_rows(chunk);
+                    let bytes = out.encode_chunk(ci, STREAM_CHUNK_ROWS);
                     encode += t_enc.elapsed();
                     if let Some(f) = &self.faults {
                         f.hit(FaultSite::Send)?;
@@ -1332,9 +1424,9 @@ impl Server {
                     chunks.push(bytes);
                 }
             }
-            Ok((rs, profile, chunks, execute, encode))
+            Ok((out, profile, chunks, execute, encode))
         }));
-        let (rs, profile, chunks, execute, encode) = match caught {
+        let (out, profile, chunks, execute, encode) = match caught {
             Err(payload) => {
                 self.metrics.counter("server.panics").inc();
                 let (tx, rx) = sync_channel(1);
@@ -1360,7 +1452,7 @@ impl Server {
         let query_time = parse_bind + optimize + execute + encode;
         let m = &self.metrics;
         m.counter("server.queries").inc();
-        m.counter("server.rows").add(rs.rows.len() as u64);
+        m.counter("server.rows").add(out.row_count() as u64);
         m.counter("server.bytes").add(byte_size as u64);
         m.histogram("server.parse_bind_ns")
             .record_duration(parse_bind);
@@ -1379,7 +1471,7 @@ impl Server {
             }
         }
         let _ = tx.send(StreamItem::Done(StreamSummary {
-            row_count: rs.rows.len(),
+            row_count: out.row_count(),
             byte_size,
             query_time,
             phases: QueryPhases {
@@ -1512,6 +1604,8 @@ struct StreamWorkerCtx {
     /// Display name for this worker's trace lane (shard workers get one
     /// lane each, so shards show up as separate rows in the viewer).
     lane_label: String,
+    /// Tuple or vectorized execution, inherited from the server.
+    mode: ExecMode,
 }
 
 /// Body of a streaming query worker: execute under an admission permit,
@@ -1531,6 +1625,7 @@ fn stream_worker(ctx: StreamWorkerCtx, plan: Plan, tx: SyncSender<StreamItem>) {
         retries,
         parse_bind,
         lane_label,
+        mode,
     } = ctx;
     let optimize = Duration::ZERO;
     let lane = tracer.as_ref().map(|t| {
@@ -1558,9 +1653,17 @@ fn stream_worker(ctx: StreamWorkerCtx, plan: Plan, tx: SyncSender<StreamItem>) {
         let _ = tx.send(StreamItem::Failed(e));
     };
     let t_exec = Instant::now();
-    let (rs, profile) = {
+    let (out, profile) = {
         let _s = TraceSpan::with_detail(tracer.as_deref(), "query.execute", detail);
-        match run_query_with_retry(&plan, &db, &token, faults.as_deref(), retries, &metrics) {
+        match run_query_with_retry(
+            &plan,
+            &db,
+            &token,
+            faults.as_deref(),
+            retries,
+            &metrics,
+            mode,
+        ) {
             Ok(v) => v,
             Err(e) => {
                 fail(Some(permit), e);
@@ -1572,7 +1675,7 @@ fn stream_worker(ctx: StreamWorkerCtx, plan: Plan, tx: SyncSender<StreamItem>) {
     let mut permit = Some(permit);
     let mut encode = Duration::ZERO;
     let mut byte_size = 0usize;
-    for chunk in rs.rows.chunks(STREAM_CHUNK_ROWS) {
+    for ci in 0..out.chunk_count(STREAM_CHUNK_ROWS) {
         // One cancellation check per chunk: a dropped stream, an explicit
         // cancel, or a blown deadline stops the worker within one chunk
         // boundary instead of encoding the rest of the result.
@@ -1600,7 +1703,7 @@ fn stream_worker(ctx: StreamWorkerCtx, plan: Plan, tx: SyncSender<StreamItem>) {
         let t_enc = Instant::now();
         let bytes = {
             let _s = TraceSpan::new(tracer.as_deref(), "encode");
-            encode_rows(chunk)
+            out.encode_chunk(ci, STREAM_CHUNK_ROWS)
         };
         encode += t_enc.elapsed();
         byte_size += bytes.len();
@@ -1627,7 +1730,7 @@ fn stream_worker(ctx: StreamWorkerCtx, plan: Plan, tx: SyncSender<StreamItem>) {
     // Record metrics before Done so they are visible as soon as the
     // consumer sees end of stream.
     metrics.counter("server.queries").inc();
-    metrics.counter("server.rows").add(rs.rows.len() as u64);
+    metrics.counter("server.rows").add(out.row_count() as u64);
     metrics.counter("server.bytes").add(byte_size as u64);
     metrics
         .histogram("server.parse_bind_ns")
@@ -1653,7 +1756,7 @@ fn stream_worker(ctx: StreamWorkerCtx, plan: Plan, tx: SyncSender<StreamItem>) {
         }
     }
     let _ = tx.send(StreamItem::Done(StreamSummary {
-        row_count: rs.rows.len(),
+        row_count: out.row_count(),
         byte_size,
         query_time,
         phases: QueryPhases {
@@ -2320,6 +2423,56 @@ mod tests {
             assert!(Instant::now() < deadline, "workers never saw the cancel");
             std::thread::sleep(Duration::from_millis(5));
         }
+    }
+
+    #[test]
+    fn vectorized_buffered_matches_tuple_bytes() {
+        let sql = "SELECT i.id AS id, i.label AS label FROM Item i WHERE i.id >= 10 ORDER BY id";
+        let t = server();
+        let ts = t.execute_sql(sql).unwrap();
+        let (tuple_bytes, tuple_rows) = (ts.byte_size, ts.collect_rows().unwrap());
+        let v = server().with_exec_mode(ExecMode::Vectorized);
+        assert_eq!(v.exec_mode(), ExecMode::Vectorized);
+        let vs = v.execute_sql(sql).unwrap();
+        assert_eq!(vs.byte_size, tuple_bytes);
+        assert_eq!(vs.row_count, 40);
+        assert_eq!(vs.collect_rows().unwrap(), tuple_rows);
+        let snap = v.metrics().snapshot();
+        assert!(snap.counter("exec.batches") > 0, "batch counters exported");
+    }
+
+    #[test]
+    fn vectorized_streaming_matches_tuple_for_all_shard_counts() {
+        let sql = "SELECT i.id AS id, i.label AS label FROM Item i ORDER BY id";
+        let base = server().execute_sql(sql).unwrap().collect_rows().unwrap();
+        for shards in [1usize, 2, 4] {
+            for workers in [false, true] {
+                let s = server()
+                    .with_exec_mode(ExecMode::Vectorized)
+                    .with_shards(shards)
+                    .with_stream_workers(workers);
+                let mut stream = s.execute_sql_streaming(sql).unwrap();
+                let mut rows = Vec::new();
+                while let Some(r) = stream.next_row().unwrap() {
+                    rows.push(r);
+                }
+                assert_eq!(rows, base, "shards={shards} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn vectorized_scan_fault_surfaces_as_typed_error() {
+        let s = server()
+            .with_exec_mode(ExecMode::Vectorized)
+            .with_faults(FaultPlan::parse("panic@scan", 1).unwrap());
+        match s.execute_sql("SELECT i.id AS id FROM Item i ORDER BY id") {
+            Err(EngineError::Internal(msg)) => {
+                assert!(msg.contains("injected fault"), "unexpected: {msg}")
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        assert_eq!(s.metrics().snapshot().counter("server.panics"), 1);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! (`i64` LE, `f64` LE, or `u32` length + UTF-8 bytes).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sr_data::column::{ColumnBatch, ColumnData};
 use sr_data::{Row, Value};
 
 use crate::error::EngineError;
@@ -47,6 +48,46 @@ pub fn encode_rows(rows: &[Row]) -> Bytes {
     for r in rows {
         encode_row(r, &mut buf);
     }
+    buf.freeze()
+}
+
+/// Encode a column batch into `buf`, producing bytes **identical** to
+/// [`encode_row`] over the batch's materialized rows — this is the late
+/// materialization pivot: values move straight from column storage to wire
+/// bytes without ever becoming [`Row`]s.
+pub fn encode_batch_into(batch: &ColumnBatch, buf: &mut BytesMut) {
+    let arity = batch.schema().arity() as u32;
+    for i in 0..batch.len() {
+        buf.put_u32(arity);
+        for col in batch.columns() {
+            if !col.is_valid(i) {
+                buf.put_u8(0);
+                continue;
+            }
+            match col.data() {
+                ColumnData::Int64(v) => {
+                    buf.put_u8(1);
+                    buf.put_i64_le(v[i]);
+                }
+                ColumnData::Float64(v) => {
+                    buf.put_u8(2);
+                    buf.put_f64_le(v[i]);
+                }
+                ColumnData::Utf8 { offsets, bytes } => {
+                    let s = &bytes[offsets[i] as usize..offsets[i + 1] as usize];
+                    buf.put_u8(3);
+                    buf.put_u32(s.len() as u32);
+                    buf.put_slice(s);
+                }
+            }
+        }
+    }
+}
+
+/// Encode one column batch into a fresh buffer, sized exactly up front.
+pub fn encode_batch(batch: &ColumnBatch) -> Bytes {
+    let mut buf = BytesMut::with_capacity(batch.wire_width() + 4 * batch.len());
+    encode_batch_into(batch, &mut buf);
     buf.freeze()
 }
 
@@ -144,6 +185,26 @@ mod tests {
     fn empty_stream_is_none() {
         let mut b = Bytes::new();
         assert!(decode_row(&mut b).unwrap().is_none());
+    }
+
+    #[test]
+    fn batch_encoding_matches_row_encoding() {
+        use sr_data::{DataType, Schema};
+        let schema = Schema::new(vec![
+            sr_data::Column::new("k", DataType::Int),
+            sr_data::Column::nullable("x", DataType::Float),
+            sr_data::Column::nullable("s", DataType::Str),
+        ])
+        .unwrap();
+        let rows = vec![
+            Row::new(vec![Value::Int(1), Value::Float(0.5), Value::str("héllo")]),
+            Row::new(vec![Value::Int(2), Value::Null, Value::Null]),
+            Row::new(vec![Value::Int(3), Value::Float(-1.0), Value::str("")]),
+        ];
+        let batch = ColumnBatch::from_rows(&schema, &rows).unwrap();
+        assert_eq!(encode_batch(&batch), encode_rows(&rows));
+        let empty = ColumnBatch::from_rows(&schema, &[]).unwrap();
+        assert!(encode_batch(&empty).is_empty());
     }
 
     #[test]

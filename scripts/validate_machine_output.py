@@ -86,6 +86,13 @@ def validate_report(doc):
           "must count as a cancellation")
     check(rel["server.panics"] == 0,
           "a materialization that produced a report cannot have panicked")
+    # Executor counters: present-or-zero. `exec.batches` only moves under
+    # --exec vectorized, `exec.realloc` only when a tuple-path row-count
+    # estimate fell short — both must still be well-typed when absent.
+    for name in ("exec.batches", "exec.realloc"):
+        v = counters.get(name, 0)
+        check(isinstance(v, int) and v >= 0,
+              f"counters.{name}: expected non-negative int, got {v!r}")
     if "analyze" in doc:
         analyses = require(doc, "analyze", list, "report")
         check(len(analyses) == len(streams),
@@ -162,7 +169,49 @@ def validate_bench(doc):
     if overhead > 1.05:
         print(f"WARN: trace overhead {overhead:.3f} exceeds the 1.05 bar",
               file=sys.stderr)
-    return f"bench OK: {len(plans)} plan(s), trace overhead {overhead:.3f}"
+    # Vectorized section: the tuple/vectorized pair measured side by side.
+    check(require(doc, "exec_mode", str, "bench") == "tuple",
+          "bench.exec_mode: main sections must be measured on the tuple path")
+    check(require(doc, "batch_size", int, "bench") > 0,
+          "bench.batch_size not positive")
+    vec = require(doc, "vectorized", dict, "bench")
+    check(require(vec, "batch_size", int, "vectorized") == doc["batch_size"],
+          "vectorized.batch_size disagrees with bench.batch_size")
+    check(require(vec, "exec_batches", int, "vectorized") > 0,
+          "vectorized.exec_batches: the columnar path processed no batches")
+    vplans = require(vec, "plans", list, "vectorized")
+    check(vplans, "vectorized.plans is empty")
+    speedup1 = None
+    for i, p in enumerate(vplans):
+        ctx = f"vectorized.plans[{i}]"
+        require(p, "query", str, ctx)
+        require(p, "plan", str, ctx)
+        modes = require(p, "exec_modes", dict, ctx)
+        for mode in ("tuple", "vectorized"):
+            stage = require(modes, mode, dict, f"{ctx}.exec_modes")
+            check(require(stage, "server_ms", NUM, f"{ctx}.{mode}") > 0,
+                  f"{ctx}.{mode}.server_ms not positive")
+        # Switching executors must never change the answer, only its cost.
+        check(modes["tuple"].get("tuples") == modes["vectorized"].get("tuples"),
+              f"{ctx}: vectorized tuple count diverges from tuple path")
+        check(modes["tuple"].get("wire_bytes") ==
+              modes["vectorized"].get("wire_bytes"),
+              f"{ctx}: vectorized wire bytes diverge from tuple path")
+        s = require(p, "speedup_server", NUM, ctx)
+        require(p, "speedup_total", NUM, ctx)
+        if p["query"] == "query1" and p["plan"] == "unified":
+            speedup1 = s
+    check(require(vec, "speedup_vectorized_server", NUM, "vectorized") > 0,
+          "vectorized.speedup_vectorized_server not positive")
+    check(speedup1 is not None,
+          "vectorized.plans lacks the query1 unified acceptance point")
+    # Soft acceptance bar: >=2x server-side on the scan-heavy query1
+    # unified plan. Warn rather than flake on a noisy host.
+    if speedup1 < 2.0:
+        print(f"WARN: vectorized server speedup {speedup1:.2f}x on query1 "
+              f"unified below the 2.0x bar", file=sys.stderr)
+    return (f"bench OK: {len(plans)} plan(s), trace overhead {overhead:.3f}, "
+            f"vectorized {speedup1:.2f}x on query1 unified")
 
 
 def validate_shard(doc):
