@@ -8,6 +8,8 @@
 //! silkroute bench       [OPTS] VIEW     time the canonical plans
 //! silkroute serve       [OPTS]          run the multi-client TCP front-end
 //! silkroute client      [OPTS] VIEW     materialize a view over the wire
+//! silkroute stats       [OPTS]          fetch a live telemetry snapshot
+//! silkroute top         [OPTS]          refreshing terminal view of a server
 //!
 //! VIEW: a path to an RXL file, or the built-ins `query1` / `query2`.
 //! OPTS: --mb <size>          TPC-H database size in MB   [default 0.5]
@@ -59,16 +61,31 @@
 //!       --format xml|tuples  response encoding (client)      [default xml]
 //!       --shutdown           ask the server to drain and stop (client; no
 //!                            VIEW needed)
+//!       --query-log FILE     write one JSONL record per request (serve);
+//!                            schema in docs/OBSERVABILITY.md
+//!       --slow-ms N          requests taking ≥ N ms get an EXPLAIN ANALYZE
+//!                            profile and a Chrome trace file attached to
+//!                            their query-log record (serve; needs
+//!                            --query-log for the capture to land anywhere)
+//!       --prom               render the snapshot as Prometheus text
+//!                            exposition instead of JSON (stats)
+//!       --interval-ms N      refresh period (top)            [default 1000]
+//!       --iters N            stop after N refreshes (top; for scripts —
+//!                            default runs until the server goes away)
 //!
 //! `serve` registers the paper's `query1` / `query2` as named views and
 //! accepts inline RXL; it honours --mb, --fault, --retries and --shards
 //! for the engine it fronts, and runs until a client sends SHUTDOWN.
-//! The wire protocol and admission semantics are in docs/SERVING.md.
+//! With --metrics-json it prints a final metrics snapshot to stdout after
+//! the graceful drain, so soak runs keep their end-state counters.
+//! The wire protocol and admission semantics are in docs/SERVING.md;
+//! the STATS snapshot and query-log schemas are in docs/OBSERVABILITY.md.
 //!
 //! Exactly one machine-readable document ever goes to stdout: the
-//! `--metrics-json` report (which embeds `--analyze` output), or the
-//! `--trace -` timeline. Human-readable tables always go to stderr, so
-//! they compose with either.
+//! `--metrics-json` report (which embeds `--analyze` output), the
+//! `--trace -` timeline, the `stats` snapshot, or serve's final
+//! `--metrics-json` snapshot. Human-readable tables always go to stderr,
+//! so they compose with either.
 //! ```
 
 use std::io::Write as _;
@@ -107,17 +124,23 @@ struct Opts {
     read_timeout_ms: u64,
     format: String,
     shutdown: bool,
+    query_log: Option<String>,
+    slow_ms: Option<u64>,
+    prom: bool,
+    interval_ms: u64,
+    iters: Option<u64>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: silkroute <tree|sql|materialize|plan|bench|serve|client> [--mb N] \
+        "usage: silkroute <tree|sql|materialize|plan|bench|serve|client|stats|top> [--mb N] \
          [--plan SPEC] [--no-reduce] [--out FILE] [--pretty] [--explain] \
          [--metrics-json] [--analyze] [--trace FILE] [--fault SPEC] [--fault-seed N] \
          [--retries N] [--shards N|auto] [--exec tuple|vectorized] \
          [--listen ADDR] [--connect ADDR] \
          [--slots N] [--per-client N] [--queue-depth N] [--max-conns N] \
          [--read-timeout-ms N] [--format xml|tuples] [--shutdown] \
+         [--query-log FILE] [--slow-ms N] [--prom] [--interval-ms N] [--iters N] \
          <VIEW|query1|query2>"
     );
     ExitCode::from(2)
@@ -155,6 +178,11 @@ fn parse_args() -> Result<Opts, ExitCode> {
         read_timeout_ms: 10_000,
         format: "xml".into(),
         shutdown: false,
+        query_log: None,
+        slow_ms: None,
+        prom: false,
+        interval_ms: 1000,
+        iters: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -207,6 +235,17 @@ fn parse_args() -> Result<Opts, ExitCode> {
             }
             "--format" => opts.format = args.next().ok_or_else(usage)?,
             "--shutdown" => opts.shutdown = true,
+            "--query-log" => opts.query_log = Some(args.next().ok_or_else(usage)?),
+            "--slow-ms" => {
+                opts.slow_ms = Some(args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
+            }
+            "--prom" => opts.prom = true,
+            "--interval-ms" => {
+                opts.interval_ms = args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
+            }
+            "--iters" => {
+                opts.iters = Some(args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
+            }
             other if !other.starts_with('-') && opts.view.is_empty() => {
                 opts.view = other.to_string();
             }
@@ -216,9 +255,11 @@ fn parse_args() -> Result<Opts, ExitCode> {
             }
         }
     }
-    // `serve` runs without a view (it registers the built-ins), and a bare
-    // `client --shutdown` only sends the drain request.
-    let view_optional = opts.command == "serve" || (opts.command == "client" && opts.shutdown);
+    // `serve` runs without a view (it registers the built-ins), a bare
+    // `client --shutdown` only sends the drain request, and `stats`/`top`
+    // are pure telemetry consumers.
+    let view_optional = matches!(opts.command.as_str(), "serve" | "stats" | "top")
+        || (opts.command == "client" && opts.shutdown);
     if opts.view.is_empty() && !view_optional {
         return Err(usage());
     }
@@ -299,7 +340,13 @@ fn run_serve(opts: &Opts, server: Server) -> Result<(), String> {
         admit,
         max_connections: opts.max_conns,
         read_timeout: std::time::Duration::from_millis(opts.read_timeout_ms),
+        query_log: opts.query_log.as_ref().map(std::path::PathBuf::from),
+        slow_ms: opts.slow_ms,
     };
+    if opts.slow_ms.is_some() && opts.query_log.is_none() {
+        eprintln!("note: --slow-ms without --query-log only counts slow queries (serve.slow)");
+    }
+    let metrics = Arc::clone(engine.metrics());
     let handle = sr_serve::serve(engine, catalog, cfg).map_err(|e| e.to_string())?;
     let admit = handle.admission().config();
     eprintln!(
@@ -312,8 +359,137 @@ fn run_serve(opts: &Opts, server: Server) -> Result<(), String> {
         opts.max_conns
     );
     handle.wait();
+    if opts.metrics_json {
+        // Same shape as materialize's `metrics` section: the end-state
+        // counters a soak run would otherwise lose at shutdown.
+        println!(
+            "{}",
+            sr_obs::Json::obj(vec![("metrics", metrics.snapshot().to_json_value())])
+                .render_pretty()
+        );
+    }
     eprintln!("server drained, exiting");
     Ok(())
+}
+
+fn run_stats(opts: &Opts) -> Result<(), String> {
+    let mut client = sr_serve::Client::connect(&opts.connect)
+        .map_err(|e| format!("cannot connect to {}: {e}", opts.connect))?;
+    let text = client.stats().map_err(|e| e.to_string())?;
+    let json = sr_obs::Json::parse(&text).map_err(|e| format!("bad STATS payload: {e}"))?;
+    if opts.prom {
+        print!("{}", sr_serve::prometheus_text(&json));
+    } else {
+        println!("{}", json.render_pretty());
+    }
+    Ok(())
+}
+
+/// `f64` at a dotted path inside the snapshot, or 0.
+fn jnum(j: &sr_obs::Json, path: &[&str]) -> f64 {
+    let mut cur = j;
+    for key in path {
+        match cur.get(key) {
+            Some(v) => cur = v,
+            None => return 0.0,
+        }
+    }
+    cur.as_f64().unwrap_or(0.0)
+}
+
+/// One refresh of the `top` view, written to stdout.
+fn render_top(j: &sr_obs::Json, connect: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let win =
+        |w: &str, field: &str| jnum(j, &["windows", "histograms", "serve.request_us", w, field]);
+    let draining = matches!(j.get("draining"), Some(sr_obs::Json::Bool(true)));
+    let _ = writeln!(
+        out,
+        "silkroute top — {connect} — up {:.1}s  mode={} shards={}{}",
+        jnum(j, &["uptime_s"]),
+        j.get("exec_mode").and_then(|v| v.as_str()).unwrap_or("?"),
+        jnum(j, &["shards"]),
+        if draining { "  [DRAINING]" } else { "" }
+    );
+    let _ = writeln!(
+        out,
+        "qps 1s/10s/60s: {:.1} / {:.1} / {:.1}    in-flight {}  queue {}  conns {}/{}",
+        win("1s", "rate"),
+        win("10s", "rate"),
+        win("60s", "rate"),
+        jnum(j, &["admission", "in_flight"]),
+        jnum(j, &["admission", "queue_len"]),
+        jnum(j, &["connections", "active"]),
+        jnum(j, &["connections", "max"]),
+    );
+    let _ = writeln!(
+        out,
+        "latency ms (10s): p50 {:.2}  p99 {:.2}  p999 {:.2}   rows/s {:.0}  KiB/s {:.0}",
+        win("10s", "p50") / 1e3,
+        win("10s", "p99") / 1e3,
+        win("10s", "p999") / 1e3,
+        jnum(j, &["windows", "counters", "serve.rows", "10s", "rate"]),
+        jnum(j, &["windows", "counters", "serve.bytes", "10s", "rate"]) / 1024.0,
+    );
+    let _ = writeln!(
+        out,
+        "rejected: total {} (queue_full {}, quota {}, max_conns {}, draining {})   \
+         qlog: written {} dropped {} slow {}",
+        jnum(j, &["admission", "rejected", "total"]),
+        jnum(j, &["admission", "rejected", "queue_full"]),
+        jnum(j, &["admission", "rejected", "quota"]),
+        jnum(j, &["admission", "rejected", "max_conns"]),
+        jnum(j, &["admission", "rejected", "draining"]),
+        jnum(j, &["qlog", "written"]),
+        jnum(j, &["qlog", "dropped"]),
+        jnum(j, &["qlog", "slow"]),
+    );
+    let _ = writeln!(
+        out,
+        "\n{:>8} {:<22} {:>7} {:>8} {:>11}",
+        "client", "addr", "running", "queries", "connected"
+    );
+    if let Some(sr_obs::Json::Arr(clients)) = j.get("clients") {
+        for c in clients {
+            let _ = writeln!(
+                out,
+                "{:>8} {:<22} {:>7} {:>8} {:>10.1}s",
+                jnum(c, &["id"]),
+                c.get("addr").and_then(|v| v.as_str()).unwrap_or("?"),
+                jnum(c, &["running"]),
+                jnum(c, &["queries"]),
+                jnum(c, &["connected_s"]),
+            );
+        }
+    }
+    out
+}
+
+fn run_top(opts: &Opts) -> Result<(), String> {
+    let mut client = sr_serve::Client::connect(&opts.connect)
+        .map_err(|e| format!("cannot connect to {}: {e}", opts.connect))?;
+    let mut shown = 0u64;
+    loop {
+        let text = client.stats().map_err(|e| e.to_string())?;
+        let json = sr_obs::Json::parse(&text).map_err(|e| format!("bad STATS payload: {e}"))?;
+        let mut out = std::io::stdout().lock();
+        if shown > 0 {
+            // Clear and home between refreshes; a single --iters 1 poll
+            // stays free of control sequences for scripts.
+            let _ = out.write_all(b"\x1b[2J\x1b[H");
+        }
+        let _ = out.write_all(render_top(&json, &opts.connect).as_bytes());
+        let _ = out.flush();
+        drop(out);
+        shown += 1;
+        if let Some(n) = opts.iters {
+            if shown >= n {
+                return Ok(());
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(opts.interval_ms.max(50)));
+    }
 }
 
 fn run_client(opts: &Opts) -> Result<(), String> {
@@ -383,10 +559,13 @@ fn run_client(opts: &Opts) -> Result<(), String> {
 
 fn run() -> Result<(), String> {
     let opts = parse_args().map_err(|_| String::new())?;
-    if opts.command != "materialize" && (opts.metrics_json || opts.analyze || opts.trace.is_some())
+    let metrics_json_ok = matches!(opts.command.as_str(), "materialize" | "serve");
+    if (opts.metrics_json && !metrics_json_ok)
+        || (opts.command != "materialize" && (opts.analyze || opts.trace.is_some()))
     {
         return Err(format!(
-            "--metrics-json, --analyze and --trace only apply to `materialize`, not `{}`",
+            "--metrics-json applies to `materialize` and `serve`; --analyze and --trace \
+             only to `materialize`, not `{}`",
             opts.command
         ));
     }
@@ -401,9 +580,12 @@ fn run() -> Result<(), String> {
             return Err("--trace - requires --out so the XML document leaves stdout free".into());
         }
     }
-    if opts.command == "client" {
-        // Pure network client: no local database, no engine.
-        return run_client(&opts);
+    match opts.command.as_str() {
+        // Pure network clients: no local database, no engine.
+        "client" => return run_client(&opts),
+        "stats" => return run_stats(&opts),
+        "top" => return run_top(&opts),
+        _ => {}
     }
     let db = sr_tpch::generate(Scale::mb(opts.mb)).map_err(|e| e.to_string())?;
     let tracer = opts.trace.as_ref().map(|_| Arc::new(sr_obs::Tracer::new()));

@@ -21,6 +21,18 @@
 //! only until the one slot is busy — the JSON records `host_parallelism`
 //! so readers can tell that regime apart from a real multi-core knee.
 //!
+//! Two telemetry sections ride along (docs/OBSERVABILITY.md):
+//!
+//! * **stats agreement** — right after the C=1 level, the server's own
+//!   STATS rolling-window p50/p99/p999 of `serve.request_us` are compared
+//!   against the load generator's measured latencies. The windows bucket
+//!   values by bit length, so each quantile is only known to within 2×;
+//!   the check allows that factor plus 1 ms of client-side slop.
+//! * **telemetry overhead** — the same closed-loop level is driven against
+//!   a second listener (same engine) with `--query-log` active; the qps
+//!   delta is the cost of per-request logging. Soft bar: ≤2%, warned not
+//!   failed — single-CPU CI hosts jitter more than that on their own.
+//!
 //! Set `SR_BENCH_QUICK=1` for a CI-sized run. Results land in
 //! `target/bench-results/BENCH_serve.json`.
 
@@ -199,6 +211,61 @@ fn open_loop(
     (latencies, errors, epoch.elapsed())
 }
 
+/// Pull one rolling-window quantile (µs) out of a parsed STATS snapshot.
+fn window_quantile(stats: &Json, window: &str, q: &str) -> f64 {
+    stats
+        .get("windows")
+        .and_then(|w| w.get("histograms"))
+        .and_then(|h| h.get("serve.request_us"))
+        .and_then(|h| h.get(window))
+        .and_then(|w| w.get(q))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("STATS lacks windows.histograms.serve.request_us.{window}.{q}"))
+}
+
+/// Compare the server's own rolling-window latency quantiles against what
+/// the load generator just measured. The window buckets by bit length
+/// (≤2× relative error per quantile); the load side additionally carries
+/// client-and-protocol overhead, so allow the factor both ways plus 1.5 ms
+/// of absolute slop.
+fn stats_agreement(addr: std::net::SocketAddr, latencies_ms: &[f64], wall: Duration) -> Json {
+    let mut sorted: Vec<f64> = latencies_ms.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let window = if wall < Duration::from_secs(9) {
+        "10s"
+    } else {
+        "60s"
+    };
+    let mut stats_client = Client::connect(addr).expect("stats client connect");
+    let stats = Json::parse(&stats_client.stats().expect("STATS under load"))
+        .expect("STATS snapshot parses");
+    let mut rows = Vec::new();
+    println!("\nstats agreement ({window} window, serve.request_us vs load generator):");
+    for (q, name) in [(0.50, "p50"), (0.99, "p99"), (0.999, "p999")] {
+        let server_us = window_quantile(&stats, window, name);
+        let load_us = percentile(&sorted, q) * 1e3;
+        println!("  {name}: server {server_us:>9.0} µs   load {load_us:>9.0} µs");
+        let agree = server_us <= load_us * 2.2 + 1500.0 && load_us <= server_us * 2.2 + 1500.0;
+        assert!(
+            agree,
+            "STATS {window} {name} ({server_us:.0} µs) disagrees with the load \
+             generator ({load_us:.0} µs) beyond bucket tolerance"
+        );
+        rows.push((
+            name,
+            Json::obj(vec![
+                ("server_us", Json::Float(server_us)),
+                ("load_us", Json::Float(load_us)),
+            ]),
+        ));
+    }
+    Json::obj(
+        std::iter::once(("window", Json::Str(window.to_string())))
+            .chain(rows.into_iter().map(|(n, v)| (n, v)))
+            .collect(),
+    )
+}
+
 fn main() {
     let quick = std::env::var("SR_BENCH_QUICK")
         .map(|v| v == "1")
@@ -230,6 +297,8 @@ fn main() {
             },
             max_connections: 64,
             read_timeout: Duration::from_secs(10),
+            query_log: None,
+            slow_ms: None,
         },
     )
     .expect("bind serve");
@@ -245,8 +314,14 @@ fn main() {
     }
 
     let mut measured: Vec<Level> = Vec::new();
+    let mut agreement = Json::Null;
     for &c in &levels {
         let (lat, errors, wall) = closed_loop(addr, c, per_level, both_queries, &reference);
+        // At C=1 no request ever queues, so the server-side window and the
+        // client-side latencies describe the same distribution — compare.
+        if c == 1 && errors == 0 {
+            agreement = stats_agreement(addr, &lat, wall);
+        }
         let level = summarize("closed", c, lat, errors, wall);
         println!(
             "closed  C={:<2} {:>4} req  {:>8.1} qps  p50 {:>7.1} ms  p99 {:>7.1} ms  \
@@ -304,6 +379,93 @@ fn main() {
         "\ncounters: serve.connections {connections}, serve.admitted {admitted}, \
          serve.rejected {rejected}"
     );
+
+    // Telemetry overhead: drive the top closed-loop level once more
+    // against the plain listener, then against a second listener (same
+    // warm engine) that writes a query-log record per request. The qps
+    // delta is what `--query-log` costs end to end.
+    let dir = std::path::Path::new("target/bench-results");
+    let _ = std::fs::create_dir_all(dir);
+    let qlog_path = dir.join("serve-qlog.jsonl");
+    // Measure at the slot count, so no request queues and the delta is
+    // the logging itself, not queue-position jitter.
+    let overhead_c = parallelism.max(2);
+    let mut catalog_qlog = sr_serve::ViewCatalog::new();
+    catalog_qlog.insert("query1", silkroute::query1_tree(engine.database()));
+    catalog_qlog.insert("query2", silkroute::query2_tree(engine.database()));
+    let handle_qlog = sr_serve::serve(
+        Arc::clone(&engine),
+        catalog_qlog,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            admit: AdmitConfig {
+                slots: parallelism.max(2),
+                per_client: 2,
+                queue_depth: 64,
+            },
+            max_connections: 64,
+            read_timeout: Duration::from_secs(10),
+            query_log: Some(qlog_path.clone()),
+            slow_ms: None,
+        },
+    )
+    .expect("bind qlog serve");
+    // Interleave two rounds of each and keep the best, the usual defence
+    // against one round landing on a scheduler hiccup.
+    let mut qps_plain = 0.0f64;
+    let mut qps_qlog = 0.0f64;
+    let mut qlog_requests = 0usize;
+    for _ in 0..2 {
+        let (lat, errors, wall) =
+            closed_loop(addr, overhead_c, per_level, both_queries, &reference);
+        assert_eq!(errors, 0, "telemetry-overhead plain run errors");
+        qps_plain = qps_plain.max(lat.len() as f64 / wall.as_secs_f64().max(1e-9));
+        let (lat, errors, wall) = closed_loop(
+            handle_qlog.local_addr(),
+            overhead_c,
+            per_level,
+            both_queries,
+            &reference,
+        );
+        assert_eq!(errors, 0, "telemetry-overhead query-log run errors");
+        qps_qlog = qps_qlog.max(lat.len() as f64 / wall.as_secs_f64().max(1e-9));
+        qlog_requests += lat.len();
+    }
+    let overhead_pct = (1.0 - qps_qlog / qps_plain) * 100.0;
+    // Records land via a bounded channel and a writer thread, so the last
+    // few may still be in flight when the load generator returns — wait
+    // for the accounting to catch up before reading it.
+    let qlog_count = |key: &str| {
+        handle_qlog
+            .stats_json()
+            .get("qlog")
+            .and_then(|q| q.get(key))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0) as u64
+    };
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while (qlog_count("written") + qlog_count("dropped")) < qlog_requests as u64
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let qlog_written = qlog_count("written");
+    let qlog_dropped = qlog_count("dropped");
+    println!(
+        "\ntelemetry overhead at C={overhead_c}: plain {qps_plain:.1} qps, \
+         query-log {qps_qlog:.1} qps ({overhead_pct:+.2}%), \
+         {qlog_written} records ({qlog_dropped} dropped)"
+    );
+    // Soft bar, same convention as the other benches: warn, don't flake.
+    if overhead_pct > 2.0 {
+        eprintln!("WARN: query-log overhead {overhead_pct:.2}% exceeds the 2% bar");
+    }
+    assert!(
+        (qlog_written + qlog_dropped) as usize >= qlog_requests,
+        "query log lost records: {qlog_written} written + {qlog_dropped} dropped \
+         for {qlog_requests} requests"
+    );
+    handle_qlog.shutdown();
     handle.shutdown();
 
     let json = Json::obj(vec![
@@ -348,9 +510,19 @@ fn main() {
                 ("rejected", Json::UInt(rejected)),
             ]),
         ),
+        ("stats_agreement", agreement),
+        (
+            "telemetry",
+            Json::obj(vec![
+                ("concurrency", Json::UInt(overhead_c as u64)),
+                ("qps_plain", Json::Float(qps_plain)),
+                ("qps_query_log", Json::Float(qps_qlog)),
+                ("overhead_pct", Json::Float(overhead_pct)),
+                ("qlog_written", Json::UInt(qlog_written)),
+                ("qlog_dropped", Json::UInt(qlog_dropped)),
+            ]),
+        ),
     ]);
-    let dir = std::path::Path::new("target/bench-results");
-    let _ = std::fs::create_dir_all(dir);
     let path = dir.join("BENCH_serve.json");
     std::fs::write(&path, json.render_pretty() + "\n").expect("write BENCH_serve.json");
     println!("(results written to {})", path.display());

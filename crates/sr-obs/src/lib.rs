@@ -34,8 +34,10 @@ pub mod json;
 pub mod metrics;
 pub mod span;
 pub mod trace;
+pub mod window;
 
 pub use json::Json;
 pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot};
 pub use span::{SpanGuard, SpanStat, Spans};
 pub use trace::{TraceEvent, TracePhase, TraceSpan, Tracer};
+pub use window::{WindowStats, WindowedCounter, WindowedHistogram};

@@ -143,10 +143,40 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Merge another snapshot into this one.
+    /// Approximate quantile (`0.0 ..= 1.0`) from the log-scale buckets:
+    /// the rank's bucket is found by cumulative count, then the value is
+    /// interpolated linearly inside the bucket's `[2^(i-1), 2^i)` range
+    /// and clamped to the observed min/max. Base-2 buckets bound the
+    /// relative error at 2× — the quantile-bucket tolerance the STATS
+    /// agreement checks rely on.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n > target {
+                let lower = if i == 0 { 0 } else { Self::bucket_bound(i - 1) };
+                let upper = Self::bucket_bound(i);
+                let frac = (target - seen) as f64 / n as f64;
+                let v = lower as f64 + frac * (upper - lower) as f64;
+                return (v as u64).clamp(self.min, self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// Merge another snapshot into this one. Sums wrap on overflow — the
+    /// same semantic as the recording side's atomic `fetch_add`, and what
+    /// keeps merging associative for arbitrary inputs.
     pub fn merge(&mut self, other: &HistogramSnapshot) {
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
         if other.count > 0 {
             self.min = if self.count == other.count {
                 other.min
@@ -195,6 +225,8 @@ impl HistogramSnapshot {
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    windowed_histograms: Mutex<BTreeMap<String, Arc<crate::window::WindowedHistogram>>>,
+    windowed_counters: Mutex<BTreeMap<String, Arc<crate::window::WindowedCounter>>>,
 }
 
 impl MetricsRegistry {
@@ -219,6 +251,56 @@ impl MetricsRegistry {
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(Histogram::new())),
         )
+    }
+
+    /// Get or create the rolling-window histogram `name`. Windowed
+    /// instruments live beside the cumulative ones under their own
+    /// namespace; a snapshot of the cumulative registry does not include
+    /// them (see [`MetricsRegistry::windows_json`]).
+    pub fn windowed_histogram(&self, name: &str) -> Arc<crate::window::WindowedHistogram> {
+        let mut map = self
+            .windowed_histograms
+            .lock()
+            .expect("windowed histogram registry lock");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(crate::window::WindowedHistogram::new())),
+        )
+    }
+
+    /// Get or create the rolling-window counter `name`.
+    pub fn windowed_counter(&self, name: &str) -> Arc<crate::window::WindowedCounter> {
+        let mut map = self
+            .windowed_counters
+            .lock()
+            .expect("windowed counter registry lock");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(crate::window::WindowedCounter::new())),
+        )
+    }
+
+    /// The rolling 1 s / 10 s / 60 s views of every windowed instrument as
+    /// one JSON object: `{"histograms": {name: {"1s": {...}, ...}},
+    /// "counters": {...}}`.
+    pub fn windows_json(&self) -> Json {
+        let histograms = Json::Obj(
+            self.windowed_histograms
+                .lock()
+                .expect("windowed histogram registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        );
+        let counters = Json::Obj(
+            self.windowed_counters
+                .lock()
+                .expect("windowed counter registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        );
+        Json::obj(vec![("histograms", histograms), ("counters", counters)])
     }
 
     /// Immutable snapshot of every instrument.

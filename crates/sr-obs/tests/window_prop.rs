@@ -1,0 +1,90 @@
+//! Property tests for windowed aggregation: merging histogram snapshots is
+//! associative and order-insensitive, so a window assembled slot-by-slot is
+//! identical to one assembled from any regrouping of the same slots.
+
+use proptest::prelude::*;
+use sr_obs::{Histogram, HistogramSnapshot, WindowedHistogram};
+use std::time::Duration;
+
+fn snap_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+fn merged(parts: &[&HistogramSnapshot]) -> HistogramSnapshot {
+    let mut acc = snap_of(&[]);
+    for p in parts {
+        acc.merge(p);
+    }
+    acc
+}
+
+fn assert_snap_eq(a: &HistogramSnapshot, b: &HistogramSnapshot) {
+    assert_eq!(a.count, b.count, "count");
+    assert_eq!(a.sum, b.sum, "sum");
+    assert_eq!(a.min, b.min, "min");
+    assert_eq!(a.max, b.max, "max");
+    assert_eq!(a.buckets, b.buckets, "buckets");
+}
+
+proptest! {
+    /// merge(merge(a, b), c) == merge(a, merge(b, c)) on every field.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(any::<u64>(), 0..40),
+        b in proptest::collection::vec(any::<u64>(), 0..40),
+        c in proptest::collection::vec(any::<u64>(), 0..40),
+    ) {
+        let (sa, sb, sc) = (snap_of(&a), snap_of(&b), snap_of(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        assert_snap_eq(&left, &right);
+    }
+
+    /// Merging in any order equals recording everything into one histogram.
+    #[test]
+    fn merge_is_order_insensitive_and_lossless(
+        a in proptest::collection::vec(any::<u64>(), 0..40),
+        b in proptest::collection::vec(any::<u64>(), 0..40),
+        c in proptest::collection::vec(any::<u64>(), 0..40),
+    ) {
+        let (sa, sb, sc) = (snap_of(&a), snap_of(&b), snap_of(&c));
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let direct = snap_of(&all);
+
+        assert_snap_eq(&merged(&[&sa, &sb, &sc]), &direct);
+        assert_snap_eq(&merged(&[&sc, &sa, &sb]), &direct);
+        assert_snap_eq(&merged(&[&sb, &sc, &sa]), &direct);
+    }
+
+    /// A window over the whole ring equals a direct histogram of the same
+    /// values, regardless of which second each value landed in.
+    #[test]
+    fn full_window_equals_direct_histogram(
+        values in proptest::collection::vec((any::<u64>(), 0u64..50), 0..60),
+    ) {
+        let w = WindowedHistogram::new();
+        let mut max_s = 0u64;
+        for &(v, s) in &values {
+            w.record_at(v, Duration::from_secs(s) + Duration::from_millis(100));
+            max_s = max_s.max(s);
+        }
+        let now = Duration::from_secs(max_s) + Duration::from_millis(200);
+        // Ring spans 64 slots and every value landed within the last 50 s,
+        // so a 60 s window sees all of them.
+        let win = w.window_at(60, now);
+        let direct = snap_of(&values.iter().map(|&(v, _)| v).collect::<Vec<_>>());
+        assert_snap_eq(&win.hist, &direct);
+    }
+}

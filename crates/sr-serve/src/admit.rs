@@ -138,6 +138,34 @@ impl Admission {
         self.state.lock().expect("admission lock").running
     }
 
+    /// Requests currently parked in the wait queue.
+    pub fn queue_len(&self) -> usize {
+        self.state.lock().expect("admission lock").queue.len()
+    }
+
+    /// Whether [`Admission::drain`] has fired.
+    pub fn is_draining(&self) -> bool {
+        self.state.lock().expect("admission lock").draining
+    }
+
+    /// Per-client slot usage right now: `(client id, running queries)`,
+    /// sorted by client id. Only clients holding at least one slot appear.
+    pub fn running_by_client(&self) -> Vec<(u64, usize)> {
+        let st = self.state.lock().expect("admission lock");
+        let mut v: Vec<(u64, usize)> = st.running_by_client.iter().map(|(&c, &n)| (c, n)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Bump the total rejection counter plus its cause-labeled sibling, so
+    /// a BUSY storm is diagnosable from the snapshot alone.
+    fn reject(&self, cause: &str) {
+        self.metrics.counter("serve.rejected").inc();
+        self.metrics
+            .counter(&format!("serve.rejected.{cause}"))
+            .inc();
+    }
+
     /// Stop admitting: queued waiters and new arrivals are refused with
     /// [`AdmitRejection::Draining`]; running queries keep their slots.
     pub fn drain(&self) {
@@ -176,7 +204,7 @@ impl Admission {
         let started = Instant::now();
         let mut st = self.state.lock().expect("admission lock");
         if st.draining {
-            self.metrics.counter("serve.rejected").inc();
+            self.reject("draining");
             return Err(AdmitRejection::Draining);
         }
         let seq = st.next_seq;
@@ -187,7 +215,11 @@ impl Admission {
             return Ok(self.grant(st, client, started));
         }
         if st.queue.len() >= self.cfg.queue_depth {
-            self.metrics.counter("serve.rejected").inc();
+            // A client refused while it is itself sitting at its per-client
+            // quota was really stopped by the quota, not by global load.
+            let at_quota =
+                st.running_by_client.get(&client).copied().unwrap_or(0) >= self.cfg.per_client;
+            self.reject(if at_quota { "quota" } else { "queue_full" });
             return Err(AdmitRejection::QueueFull {
                 depth: self.cfg.queue_depth,
             });
@@ -196,7 +228,7 @@ impl Admission {
         loop {
             if st.draining {
                 st.queue.retain(|w| w.seq != seq);
-                self.metrics.counter("serve.rejected").inc();
+                self.reject("draining");
                 return Err(AdmitRejection::Draining);
             }
             if self.may_start(&st, seq, client) {
@@ -217,9 +249,13 @@ impl Admission {
         *st.running_by_client.entry(client).or_insert(0) += 1;
         drop(st);
         self.metrics.counter("serve.admitted").inc();
+        let wait_ms = started.elapsed().as_millis().min(u64::MAX as u128) as u64;
         self.metrics
             .histogram("serve.queue_wait_ms")
-            .record(started.elapsed().as_millis().min(u64::MAX as u128) as u64);
+            .record(wait_ms);
+        self.metrics
+            .windowed_histogram("serve.queue_wait_ms")
+            .record(wait_ms);
         AdmitPermit {
             admission: Arc::clone(self),
             client,

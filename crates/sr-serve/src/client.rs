@@ -80,9 +80,11 @@ pub struct Client {
 impl Client {
     /// Connect to a serve endpoint.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
-        Ok(Client {
-            sock: TcpStream::connect(addr)?,
-        })
+        let sock = TcpStream::connect(addr)?;
+        // Small request frames must not wait on Nagle behind the server's
+        // delayed ACKs; the server disables it on its side too.
+        let _ = sock.set_nodelay(true);
+        Ok(Client { sock })
     }
 
     /// Bound every read; `None` blocks forever.
@@ -173,6 +175,16 @@ impl Client {
     /// Ask the server to abort whatever this connection has in flight.
     pub fn cancel(&mut self) -> Result<(), ClientError> {
         self.send(&Request::Cancel)
+    }
+
+    /// Fetch the live telemetry snapshot as a JSON string.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        self.send(&Request::Stats)?;
+        match self.read()? {
+            Some(Response::Stats { data }) => String::from_utf8(data)
+                .map_err(|e| ClientError::Unexpected(format!("non-utf8 stats payload: {e}"))),
+            other => Err(unexpected(other)),
+        }
     }
 
     /// Request a graceful server shutdown; resolves on GOODBYE.

@@ -130,6 +130,10 @@ pub enum Request {
     /// Ask the server to begin a graceful shutdown: drain in-flight
     /// queries, answer new ones with [`Response::Busy`], then exit.
     Shutdown,
+    /// Ask for a live telemetry snapshot; answered with
+    /// [`Response::Stats`]. Never admission-controlled: STATS must work
+    /// precisely when the server is saturated or draining.
+    Stats,
 }
 
 /// Error category carried by an error frame — the wire rendition of
@@ -240,6 +244,13 @@ pub enum Response {
     Pong,
     /// Acknowledges [`Request::Shutdown`]; the connection closes next.
     Goodbye,
+    /// Answer to [`Request::Stats`]: a UTF-8 JSON telemetry snapshot,
+    /// carried as raw bytes (not a length-prefixed string — the snapshot
+    /// can exceed a u16 on a server with many clients and instruments).
+    Stats {
+        /// JSON bytes; see `docs/OBSERVABILITY.md` for the schema.
+        data: Vec<u8>,
+    },
 }
 
 // Opcode bytes. Requests are < 0x80, responses >= 0x80.
@@ -247,12 +258,14 @@ const OP_QUERY: u8 = 0x01;
 const OP_PING: u8 = 0x02;
 const OP_CANCEL: u8 = 0x03;
 const OP_SHUTDOWN: u8 = 0x04;
+const OP_STATS: u8 = 0x05;
 const OP_CHUNK: u8 = 0x81;
 const OP_DONE: u8 = 0x82;
 const OP_ERROR: u8 = 0x83;
 const OP_BUSY: u8 = 0x84;
 const OP_PONG: u8 = 0x85;
 const OP_GOODBYE: u8 = 0x86;
+const OP_STATS_RESP: u8 = 0x87;
 
 /// A cursor over one frame's payload with typed, bounds-checked readers.
 struct Cursor<'a> {
@@ -349,6 +362,7 @@ impl Request {
             Request::Ping => (OP_PING, Vec::new()),
             Request::Cancel => (OP_CANCEL, Vec::new()),
             Request::Shutdown => (OP_SHUTDOWN, Vec::new()),
+            Request::Stats => (OP_STATS, Vec::new()),
         };
         frame_bytes(opcode, &payload)
     }
@@ -378,6 +392,7 @@ impl Request {
             OP_PING => Request::Ping,
             OP_CANCEL => Request::Cancel,
             OP_SHUTDOWN => Request::Shutdown,
+            OP_STATS => Request::Stats,
             op => return Err(ProtoError::BadOpcode(op)),
         };
         c.finish()?;
@@ -414,6 +429,7 @@ impl Response {
             }
             Response::Pong => (OP_PONG, Vec::new()),
             Response::Goodbye => (OP_GOODBYE, Vec::new()),
+            Response::Stats { data } => (OP_STATS_RESP, data.clone()),
         };
         frame_bytes(opcode, &payload)
     }
@@ -453,6 +469,11 @@ impl Response {
             },
             OP_PONG => Response::Pong,
             OP_GOODBYE => Response::Goodbye,
+            OP_STATS_RESP => {
+                let data = c.buf[c.pos..].to_vec();
+                c.pos = c.buf.len();
+                Response::Stats { data }
+            }
             op => return Err(ProtoError::BadOpcode(op)),
         };
         c.finish()?;
@@ -571,6 +592,7 @@ mod tests {
             Request::Ping,
             Request::Cancel,
             Request::Shutdown,
+            Request::Stats,
         ];
         for req in reqs {
             let bytes = req.encode();
@@ -608,6 +630,9 @@ mod tests {
             },
             Response::Pong,
             Response::Goodbye,
+            Response::Stats {
+                data: br#"{"uptime_s":1.5}"#.to_vec(),
+            },
         ];
         for resp in resps {
             let bytes = resp.encode();

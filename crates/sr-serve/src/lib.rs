@@ -25,7 +25,9 @@ pub mod admit;
 pub mod client;
 pub mod frame;
 pub mod pipeline;
+pub mod qlog;
 pub mod server;
+pub mod stats;
 
 pub use admit::{Admission, AdmitConfig, AdmitPermit, AdmitRejection};
 pub use client::{Client, ClientError, QueryResult};
@@ -33,5 +35,7 @@ pub use frame::{
     read_frame, read_request, read_response, DoneStats, ErrorCode, Format, ProtoError, RawFrame,
     Request, Response, ViewRef, DOC_CHANNEL, MAX_FRAME_LEN,
 };
-pub use pipeline::{CancelRegistry, PipelineError, ViewCatalog};
+pub use pipeline::{CancelRegistry, PipelineError, RunStats, ViewCatalog};
+pub use qlog::{QlogRecord, QueryLog};
 pub use server::{serve, ServeConfig, ServeHandle};
+pub use stats::{prometheus_text, ClientStat, QlogStat, StatsSources, STATS_PROTO};

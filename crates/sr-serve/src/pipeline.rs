@@ -13,8 +13,9 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use sr_engine::{EngineError, Server};
+use sr_obs::Tracer;
 use sr_sqlgen::{generate_queries, PlanSpec, QueryStyle};
-use sr_tagger::{tag_streams, RowSource, StreamInput, TagError};
+use sr_tagger::{tag_streams_traced, RowSource, StreamInput, TagError};
 use sr_viewtree::{EdgeSet, ViewTree};
 
 use crate::frame::{DoneStats, ErrorCode, Format, Response, ViewRef, DOC_CHANNEL};
@@ -228,6 +229,10 @@ struct FrameChunkWriter<'a, W: Write> {
     out: &'a mut W,
     buf: Vec<u8>,
     shipped: u64,
+    /// Time spent inside the underlying writer (frame encode + socket
+    /// write, i.e. client backpressure) — the `encode_ms` of the request's
+    /// timing breakdown.
+    write_ns: u64,
 }
 
 impl<'a, W: Write> FrameChunkWriter<'a, W> {
@@ -236,6 +241,7 @@ impl<'a, W: Write> FrameChunkWriter<'a, W> {
             out,
             buf: Vec::with_capacity(CHUNK_BYTES),
             shipped: 0,
+            write_ns: 0,
         }
     }
 
@@ -244,13 +250,16 @@ impl<'a, W: Write> FrameChunkWriter<'a, W> {
             return Ok(());
         }
         self.shipped += self.buf.len() as u64;
+        let started = Instant::now();
         let frame = Response::Chunk {
             channel: DOC_CHANNEL,
             data: std::mem::take(&mut self.buf),
         }
         .encode();
         self.buf = Vec::with_capacity(CHUNK_BYTES);
-        self.out.write_all(&frame)
+        let r = self.out.write_all(&frame);
+        self.write_ns += started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        r
     }
 }
 
@@ -269,9 +278,34 @@ impl<W: Write> Write for FrameChunkWriter<'_, W> {
     }
 }
 
+/// What [`run_query`] reports beyond the wire-visible [`DoneStats`]: the
+/// per-phase timing breakdown and per-request context for the query log
+/// and the windowed instruments.
+#[derive(Debug)]
+pub struct RunStats {
+    /// The DONE-frame summary.
+    pub done: DoneStats,
+    /// View planning + SQL generation time.
+    pub plan_ms: f64,
+    /// Time inside the response writer (frame encode + socket write,
+    /// including client backpressure).
+    pub encode_ms: f64,
+    /// Whether every component plan came out of the prepared-plan cache
+    /// (best-effort: sampled from the shared counter, so concurrent
+    /// requests can inflate it).
+    pub cache_hit: bool,
+    /// The generated component SQL, in stream order — what a slow-query
+    /// capture re-runs under EXPLAIN ANALYZE.
+    pub sqls: Vec<String>,
+}
+
 /// Execute one already-admitted query request end to end, writing chunk
-/// frames to `out`. Returns the stats for the DONE frame; the caller sends
-/// DONE / ERROR itself.
+/// frames to `out`. Returns the stats for the DONE frame plus the timing
+/// breakdown; the caller sends DONE / ERROR itself.
+///
+/// When `tracer` is set, every component stream and the tagger merge
+/// record into it — the serve layer arms one per request when `--slow-ms`
+/// is active and writes the trace out only if the request turns out slow.
 pub fn run_query<W: Write>(
     engine: &Server,
     tree: &ViewTree,
@@ -279,20 +313,31 @@ pub fn run_query<W: Write>(
     spec: PlanSpec,
     cancels: &CancelRegistry,
     out: &mut W,
-) -> Result<DoneStats, PipelineError> {
+    tracer: Option<&Arc<Tracer>>,
+) -> Result<RunStats, PipelineError> {
     let started = Instant::now();
     if cancels.is_cancelled() {
         return Err(engine_err(EngineError::Cancelled));
     }
     let queries = generate_queries(tree, engine.database(), spec).map_err(engine_err)?;
     let streams = queries.len() as u64;
+    let plan_ms = started.elapsed().as_secs_f64() * 1e3;
+    let cache_hits_before = engine
+        .metrics()
+        .snapshot()
+        .counter("server.plan_cache_hits");
+    let mut sqls = Vec::with_capacity(queries.len());
 
-    match format {
+    let run = match format {
         Format::Xml => {
             let mut inputs = Vec::with_capacity(queries.len());
-            for q in queries {
-                let stream = engine.execute_sql_streaming(&q.sql).map_err(engine_err)?;
+            for (i, q) in queries.into_iter().enumerate() {
+                let mut stream = engine.execute_sql_streaming(&q.sql).map_err(engine_err)?;
                 cancels.register(stream.cancel_handle());
+                if let Some(t) = tracer {
+                    stream.set_trace(t, &format!("stream {i}"));
+                }
+                sqls.push(q.sql);
                 inputs.push(StreamInput {
                     schema: stream.schema.clone(),
                     rows: RowSource::Stream(Box::new(stream)),
@@ -300,32 +345,45 @@ pub fn run_query<W: Write>(
                 });
             }
             let mut writer = FrameChunkWriter::new(out);
-            let stats = match tag_streams(tree, inputs, &mut writer, false) {
-                Ok((stats, _)) => stats,
-                // An Io failure here is the *client* socket, not the
-                // engine: the peer went away mid-response.
-                Err(TagError::Io(e)) => return Err(PipelineError::ClientGone(e)),
-                Err(TagError::Engine(e)) => return Err(engine_err(e)),
-                Err(e @ (TagError::Structure(_) | TagError::MalformedTree(_))) => {
-                    return Err(PipelineError::typed(ErrorCode::Internal, e.to_string()))
-                }
-            };
+            let stats =
+                match tag_streams_traced(tree, inputs, &mut writer, false, tracer.map(|t| &**t)) {
+                    Ok((stats, _)) => stats,
+                    // An Io failure here is the *client* socket, not the
+                    // engine: the peer went away mid-response.
+                    Err(TagError::Io(e)) => return Err(PipelineError::ClientGone(e)),
+                    Err(TagError::Engine(e)) => return Err(engine_err(e)),
+                    Err(e @ (TagError::Structure(_) | TagError::MalformedTree(_))) => {
+                        return Err(PipelineError::typed(ErrorCode::Internal, e.to_string()))
+                    }
+                };
             writer.flush().map_err(PipelineError::ClientGone)?;
             let shipped = writer.shipped;
-            Ok(DoneStats {
-                tuples: stats.tuples,
-                elements: stats.elements,
-                bytes: shipped,
-                streams,
-                elapsed_us: started.elapsed().as_micros().min(u64::MAX as u128) as u64,
-            })
+            let encode_ms = writer.write_ns as f64 / 1e6;
+            RunStats {
+                done: DoneStats {
+                    tuples: stats.tuples,
+                    elements: stats.elements,
+                    bytes: shipped,
+                    streams,
+                    elapsed_us: started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+                },
+                plan_ms,
+                encode_ms,
+                cache_hit: false,
+                sqls: Vec::new(),
+            }
         }
         Format::Tuples => {
             let mut tuples = 0u64;
             let mut bytes = 0u64;
+            let mut write_ns = 0u64;
             for (i, q) in queries.into_iter().enumerate() {
                 let mut stream = engine.execute_sql_streaming(&q.sql).map_err(engine_err)?;
                 cancels.register(stream.cancel_handle());
+                if let Some(t) = tracer {
+                    stream.set_trace(t, &format!("stream {i}"));
+                }
+                sqls.push(q.sql);
                 let mut batch = Vec::with_capacity(CHUNK_ROWS);
                 loop {
                     let row = stream.next_row().map_err(engine_err)?;
@@ -335,6 +393,7 @@ pub fn run_query<W: Write>(
                     }
                     if batch.len() >= CHUNK_ROWS || (done && !batch.is_empty()) {
                         tuples += batch.len() as u64;
+                        let enc_started = Instant::now();
                         let data = sr_engine::wire::encode_rows(&batch).to_vec();
                         batch.clear();
                         bytes += data.len() as u64;
@@ -343,7 +402,9 @@ pub fn run_query<W: Write>(
                             data,
                         }
                         .encode();
-                        out.write_all(&frame).map_err(PipelineError::ClientGone)?;
+                        let r = out.write_all(&frame);
+                        write_ns += enc_started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                        r.map_err(PipelineError::ClientGone)?;
                     }
                     if done {
                         break;
@@ -351,15 +412,30 @@ pub fn run_query<W: Write>(
                 }
             }
             out.flush().map_err(PipelineError::ClientGone)?;
-            Ok(DoneStats {
-                tuples,
-                elements: 0,
-                bytes,
-                streams,
-                elapsed_us: started.elapsed().as_micros().min(u64::MAX as u128) as u64,
-            })
+            RunStats {
+                done: DoneStats {
+                    tuples,
+                    elements: 0,
+                    bytes,
+                    streams,
+                    elapsed_us: started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+                },
+                plan_ms,
+                encode_ms: write_ns as f64 / 1e6,
+                cache_hit: false,
+                sqls: Vec::new(),
+            }
         }
-    }
+    };
+    let cache_hits_after = engine
+        .metrics()
+        .snapshot()
+        .counter("server.plan_cache_hits");
+    Ok(RunStats {
+        cache_hit: streams > 0 && cache_hits_after - cache_hits_before >= streams,
+        sqls,
+        ..run
+    })
 }
 
 #[cfg(test)]

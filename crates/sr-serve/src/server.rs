@@ -15,21 +15,25 @@
 //! with a typed error frame instead of pinning the handler thread forever.
 //! A peer idling *between* frames costs nothing and is allowed to idle.
 
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use sr_engine::Server as Engine;
-use sr_obs::MetricsRegistry;
+use sr_obs::{Json, MetricsRegistry, Tracer};
 
 use crate::admit::{Admission, AdmitConfig};
-use crate::frame::{ErrorCode, ProtoError, Request, Response, MAX_FRAME_LEN};
+use crate::frame::{ErrorCode, Format, ProtoError, Request, Response, ViewRef, MAX_FRAME_LEN};
 use crate::pipeline::{
     resolve_plan, resolve_view, run_query, CancelRegistry, PipelineError, ViewCatalog,
 };
+use crate::qlog::{QlogRecord, QueryLog};
+use crate::stats::{self, ClientStat, StatsSources};
 
 /// Serving knobs.
 #[derive(Debug, Clone)]
@@ -44,6 +48,13 @@ pub struct ServeConfig {
     /// How long a connection may sit mid-frame without delivering the rest
     /// before it is cut off.
     pub read_timeout: Duration,
+    /// Write one JSONL record per request to this file (see
+    /// `docs/OBSERVABILITY.md` for the schema). `None` disables logging.
+    pub query_log: Option<PathBuf>,
+    /// Requests taking at least this many milliseconds get an EXPLAIN
+    /// ANALYZE per-node profile and a Chrome trace file attached to their
+    /// query-log record. Requires `query_log`. `None` disables capture.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +64,8 @@ impl Default for ServeConfig {
             admit: AdmitConfig::default(),
             max_connections: 64,
             read_timeout: Duration::from_secs(10),
+            query_log: None,
+            slow_ms: None,
         }
     }
 }
@@ -72,6 +85,13 @@ enum ConnEvent {
     Gone,
 }
 
+/// Connection registry entry backing the STATS `clients` table.
+struct ClientEntry {
+    addr: String,
+    connected: Instant,
+    queries: u64,
+}
+
 struct Shared {
     engine: Arc<Engine>,
     catalog: ViewCatalog,
@@ -81,6 +101,45 @@ struct Shared {
     active: AtomicUsize,
     next_client: AtomicU64,
     read_timeout: Duration,
+    start: Instant,
+    max_connections: usize,
+    clients: Mutex<BTreeMap<u64, ClientEntry>>,
+    request_seq: AtomicU64,
+    qlog: Option<QueryLog>,
+    slow_ms: Option<u64>,
+}
+
+impl Shared {
+    /// Build the live STATS snapshot.
+    fn stats_json(&self) -> Json {
+        let running: std::collections::HashMap<u64, usize> =
+            self.admission.running_by_client().into_iter().collect();
+        let clients: Vec<ClientStat> = self
+            .clients
+            .lock()
+            .expect("client registry lock")
+            .iter()
+            .map(|(&id, e)| ClientStat {
+                id,
+                addr: e.addr.clone(),
+                queries: e.queries,
+                running: running.get(&id).copied().unwrap_or(0),
+                connected_s: e.connected.elapsed().as_secs_f64(),
+            })
+            .collect();
+        stats::build(&StatsSources {
+            uptime: self.start.elapsed(),
+            draining: self.draining.load(Ordering::SeqCst),
+            active_conns: self.active.load(Ordering::SeqCst),
+            max_conns: self.max_connections,
+            exec_mode: self.engine.exec_mode().to_string(),
+            shards: self.engine.shards(),
+            admission: &self.admission,
+            metrics: &self.metrics,
+            clients,
+            qlog: self.qlog.as_ref().map(QueryLog::stat).unwrap_or_default(),
+        })
+    }
 }
 
 /// A running server. Dropping the handle does **not** stop the server;
@@ -101,6 +160,12 @@ impl ServeHandle {
     /// The admission controller (exposed for tests and metrics).
     pub fn admission(&self) -> &Arc<Admission> {
         &self.shared.admission
+    }
+
+    /// The same live STATS snapshot a [`Request::Stats`] frame gets,
+    /// built in-process (used by tests and the final shutdown dump).
+    pub fn stats_json(&self) -> Json {
+        self.shared.stats_json()
     }
 
     /// Begin a graceful shutdown without waiting: stop accepting, refuse
@@ -149,6 +214,10 @@ pub fn serve(
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let metrics = engine.metrics().clone();
+    let qlog = match &cfg.query_log {
+        Some(path) => Some(QueryLog::open(path)?),
+        None => None,
+    };
     let shared = Arc::new(Shared {
         admission: Admission::new(cfg.admit, Arc::clone(&metrics)),
         engine,
@@ -158,6 +227,12 @@ pub fn serve(
         active: AtomicUsize::new(0),
         next_client: AtomicU64::new(1),
         read_timeout: cfg.read_timeout,
+        start: Instant::now(),
+        max_connections: cfg.max_connections.max(1),
+        clients: Mutex::new(BTreeMap::new()),
+        request_seq: AtomicU64::new(0),
+        qlog,
+        slow_ms: cfg.slow_ms,
     });
     let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -209,6 +284,7 @@ fn accept_loop(
         }
         if shared.active.load(Ordering::SeqCst) >= max_connections {
             shared.metrics.counter("serve.rejected").inc();
+            shared.metrics.counter("serve.rejected.max_conns").inc();
             let mut sock = sock;
             let _ = sock.write_all(
                 &Response::Busy {
@@ -219,9 +295,24 @@ fn accept_loop(
             let _ = sock.shutdown(Shutdown::Both);
             continue;
         }
+        // Request/response traffic is latency-bound small frames; without
+        // this the final frame of a response can sit in the kernel behind
+        // Nagle waiting on the peer's delayed ACK (~40 ms per exchange).
+        let _ = sock.set_nodelay(true);
         shared.active.fetch_add(1, Ordering::SeqCst);
         shared.metrics.counter("serve.connections").inc();
         let client_id = shared.next_client.fetch_add(1, Ordering::SeqCst);
+        shared.clients.lock().expect("client registry lock").insert(
+            client_id,
+            ClientEntry {
+                addr: sock
+                    .peer_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "?".into()),
+                connected: Instant::now(),
+                queries: 0,
+            },
+        );
         let shared2 = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
             .name(format!("serve-conn-{client_id}"))
@@ -344,6 +435,11 @@ fn handle_connection(sock: TcpStream, shared: Arc<Shared>, client_id: u64) {
     if let Some(r) = reader {
         let _ = r.join();
     }
+    shared
+        .clients
+        .lock()
+        .expect("client registry lock")
+        .remove(&client_id);
     shared.active.fetch_sub(1, Ordering::SeqCst);
 }
 
@@ -378,47 +474,15 @@ fn handler_loop(
                 return;
             }
             Ok(ConnEvent::Request(Request::Query { format, view, plan })) => {
-                shared.metrics.counter("serve.requests").inc();
-                let permit = match shared.admission.admit(client_id) {
-                    Ok(p) => p,
-                    Err(rej) => {
-                        if !send(
-                            sock,
-                            &Response::Busy {
-                                message: rej.to_string(),
-                            },
-                        ) {
-                            return;
-                        }
-                        continue;
-                    }
-                };
-                let outcome = resolve_view(&shared.catalog, shared.engine.database(), &view)
-                    .and_then(|tree| {
-                        let spec = resolve_plan(&tree, &plan)?;
-                        run_query(&shared.engine, &tree, format, spec, cancels, sock)
-                    });
-                drop(permit);
-                match outcome {
-                    Ok(stats) => {
-                        if !send(sock, &Response::Done(stats)) {
-                            return;
-                        }
-                    }
-                    Err(PipelineError::Typed { code, message }) => {
-                        if code == ErrorCode::Cancelled {
-                            shared.metrics.counter("serve.cancelled").inc();
-                        }
-                        if !send(sock, &Response::Error { code, message }) {
-                            return;
-                        }
-                    }
-                    Err(PipelineError::ClientGone(_)) => {
-                        shared.metrics.counter("serve.cancelled").inc();
-                        return;
-                    }
+                if !handle_query(sock, shared, cancels, client_id, format, view, plan) {
+                    return;
                 }
-                cancels.reset();
+            }
+            Ok(ConnEvent::Request(Request::Stats)) => {
+                let data = shared.stats_json().render().into_bytes();
+                if !send(sock, &Response::Stats { data }) {
+                    return;
+                }
             }
             Ok(ConnEvent::Proto(e)) => {
                 shared.metrics.counter("serve.protocol_errors").inc();
@@ -456,4 +520,178 @@ fn handler_loop(
             Err(RecvTimeoutError::Disconnected) => return,
         }
     }
+}
+
+fn ms_since(started: Instant) -> f64 {
+    started.elapsed().as_secs_f64() * 1e3
+}
+
+/// Serve one QUERY request end to end: admission, execution, response
+/// frames, latency/throughput recording (cumulative + rolling windows),
+/// the query-log record, and — for requests crossing `--slow-ms` — the
+/// EXPLAIN ANALYZE profile and Chrome trace capture. Returns `false` when
+/// the connection is over.
+#[allow(clippy::too_many_arguments)]
+fn handle_query(
+    sock: &mut TcpStream,
+    shared: &Arc<Shared>,
+    cancels: &Arc<CancelRegistry>,
+    client_id: u64,
+    format: Format,
+    view: ViewRef,
+    plan: String,
+) -> bool {
+    shared.metrics.counter("serve.requests").inc();
+    let seq = shared.request_seq.fetch_add(1, Ordering::SeqCst);
+    if let Some(e) = shared
+        .clients
+        .lock()
+        .expect("client registry lock")
+        .get_mut(&client_id)
+    {
+        e.queries += 1;
+    }
+    let mut record = QlogRecord {
+        seq,
+        client: client_id,
+        view: match &view {
+            ViewRef::Named(n) => n.clone(),
+            // Inline source is not logged, only its size.
+            ViewRef::Rxl(src) => format!("rxl:{}", src.len()),
+        },
+        plan: plan.clone(),
+        format,
+        exec_mode: shared.engine.exec_mode().to_string(),
+        shards: shared.engine.shards() as u64,
+        streams: 0,
+        cache_hit: false,
+        queue_ms: 0.0,
+        plan_ms: 0.0,
+        exec_ms: 0.0,
+        encode_ms: 0.0,
+        total_ms: 0.0,
+        rows: 0,
+        bytes: 0,
+        outcome: "ok".into(),
+        error: String::new(),
+        slow: false,
+        profile: None,
+        trace_file: None,
+    };
+
+    let admit_started = Instant::now();
+    let permit = match shared.admission.admit(client_id) {
+        Ok(p) => p,
+        Err(rej) => {
+            record.queue_ms = ms_since(admit_started);
+            record.total_ms = record.queue_ms;
+            record.outcome = "busy".into();
+            record.error = rej.to_string();
+            if let Some(q) = &shared.qlog {
+                q.emit(&record);
+            }
+            return send(
+                sock,
+                &Response::Busy {
+                    message: rej.to_string(),
+                },
+            );
+        }
+    };
+    record.queue_ms = ms_since(admit_started);
+
+    // When slow capture is armed, every request runs under a fresh tracer;
+    // only the slow ones pay for a trace *file* (tail sampling).
+    let tracer = shared.slow_ms.map(|_| {
+        let t = Arc::new(Tracer::new());
+        t.name_current_thread(format!("serve-conn-{client_id}"));
+        t
+    });
+    let exec_started = Instant::now();
+    let outcome = resolve_view(&shared.catalog, shared.engine.database(), &view).and_then(|tree| {
+        let spec = resolve_plan(&tree, &plan)?;
+        run_query(
+            &shared.engine,
+            &tree,
+            format,
+            spec,
+            cancels,
+            sock,
+            tracer.as_ref(),
+        )
+    });
+    drop(permit);
+
+    let total_ms = ms_since(exec_started);
+    record.total_ms = total_ms;
+    let m = &shared.metrics;
+    let us = (total_ms * 1e3) as u64;
+    m.histogram("serve.request_us").record(us);
+    m.windowed_histogram("serve.request_us").record(us);
+    let slow = shared.slow_ms.is_some_and(|t| total_ms >= t as f64);
+    record.slow = slow;
+    if slow {
+        m.counter("serve.slow").inc();
+    }
+
+    let (alive, sqls) = match outcome {
+        Ok(run) => {
+            record.streams = run.done.streams;
+            record.cache_hit = run.cache_hit;
+            record.plan_ms = run.plan_ms;
+            record.encode_ms = run.encode_ms;
+            record.exec_ms = (total_ms - run.plan_ms - run.encode_ms).max(0.0);
+            record.rows = run.done.tuples;
+            record.bytes = run.done.bytes;
+            m.windowed_counter("serve.rows").add(run.done.tuples);
+            m.windowed_counter("serve.bytes").add(run.done.bytes);
+            (send(sock, &Response::Done(run.done)), run.sqls)
+        }
+        Err(PipelineError::Typed { code, message }) => {
+            if code == ErrorCode::Cancelled {
+                m.counter("serve.cancelled").inc();
+            }
+            record.outcome = code.to_string();
+            record.error = message.clone();
+            (send(sock, &Response::Error { code, message }), Vec::new())
+        }
+        Err(PipelineError::ClientGone(e)) => {
+            m.counter("serve.cancelled").inc();
+            record.outcome = "gone".into();
+            record.error = e.to_string();
+            (false, Vec::new())
+        }
+    };
+
+    // Slow capture happens after the response is on the wire, so the extra
+    // work (trace render + EXPLAIN ANALYZE re-run) never delays the client.
+    if slow {
+        if let (Some(qlog), Some(tracer)) = (&shared.qlog, &tracer) {
+            let trace_path = qlog.path().with_extension(format!("trace-{seq}.json"));
+            if std::fs::write(&trace_path, tracer.to_chrome_json().render()).is_ok() {
+                record.trace_file = Some(trace_path.to_string_lossy().into_owned());
+            }
+            let profiles: Vec<Json> = sqls
+                .iter()
+                .map(|sql| match shared.engine.explain_analyze(sql) {
+                    Ok(a) => Json::obj(vec![
+                        ("sql", Json::Str(sql.clone())),
+                        ("analysis", a.to_json()),
+                    ]),
+                    Err(e) => Json::obj(vec![
+                        ("sql", Json::Str(sql.clone())),
+                        ("error", Json::Str(e.to_string())),
+                    ]),
+                })
+                .collect();
+            record.profile = Some(Json::Arr(profiles));
+        }
+    }
+    if let Some(q) = &shared.qlog {
+        q.emit(&record);
+    }
+    if alive {
+        cancels.reset();
+    }
+    alive
 }

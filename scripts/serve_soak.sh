@@ -20,8 +20,11 @@ cleanup() {
 trap cleanup EXIT
 
 # The serving scale must match the golden corpus (tests/golden/ was
-# generated at 0.1 MB).
-"$BIN" serve --mb 0.1 --listen "$ADDR" &
+# generated at 0.1 MB). Telemetry rides along: a query log with slow
+# capture armed, and an injected 50 ms delay on the first scan so the
+# probe query is guaranteed to cross the 25 ms slow threshold.
+"$BIN" serve --mb 0.1 --listen "$ADDR" \
+    --query-log "$WORK/qlog.jsonl" --slow-ms 25 --fault delay50@scan#1 &
 SERVER=$!
 
 # Wait for the listener: the first successful client round-trip doubles as
@@ -50,6 +53,12 @@ for i in $(seq 1 "$CLIENTS"); do
     ) &
     pids+=("$!")
 done
+# Mid-soak, poll the live STATS snapshot while the clients are still
+# running and schema-check it; `top --iters 1` smokes the dashboard path.
+"$BIN" stats --connect "$ADDR" > "$WORK/stats.json"
+python3 scripts/validate_machine_output.py stats "$WORK/stats.json"
+"$BIN" top --connect "$ADDR" --iters 1 > /dev/null
+
 for pid in "${pids[@]}"; do
     wait "$pid"
 done
@@ -64,4 +73,20 @@ done
 "$BIN" client --connect "$ADDR" --shutdown
 wait "$SERVER"
 SERVER=
+
+# The query log must schema-check, and the injected scan delay must have
+# produced at least one slow record with its profile and Chrome trace.
+python3 scripts/validate_machine_output.py qlog "$WORK/qlog.jsonl"
+python3 - "$WORK/qlog.jsonl" <<'EOF'
+import json, sys
+records = [json.loads(line) for line in open(sys.argv[1])]
+slow = [r for r in records if r.get("slow")]
+assert slow, "no slow record despite the injected scan delay"
+r = slow[0]
+assert r.get("profile"), "slow record lacks an EXPLAIN ANALYZE profile"
+trace = json.load(open(r["trace_file"]))
+assert trace["traceEvents"], "slow record's Chrome trace is empty"
+print(f"qlog slow capture OK: {len(slow)}/{len(records)} slow, "
+      f"trace has {len(trace['traceEvents'])} events")
+EOF
 echo "serve soak OK: $CLIENTS concurrent clients, $((CLIENTS * 2 + 1)) documents golden-identical"

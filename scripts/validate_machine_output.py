@@ -7,6 +7,8 @@ Usage:
     validate_machine_output.py bench  BENCH.json    # BENCH_pipeline.json
     validate_machine_output.py shard  BENCH.json    # BENCH_shard.json
     validate_machine_output.py serve  BENCH.json    # BENCH_serve.json
+    validate_machine_output.py stats  STATS.json    # `silkroute stats` snapshot
+    validate_machine_output.py qlog   QUERY.jsonl   # --query-log JSONL file
 
 Each mode parses the file with the stock json module and asserts the
 structural invariants the docs promise, so CI catches any drift in what
@@ -293,16 +295,171 @@ def validate_serve(doc):
     check(conns >= max(closed), "fewer connections than peak concurrency")
     check(admitted >= total_requests,
           f"admitted {admitted} below the {total_requests} measured requests")
+    # Stats agreement: the server's own rolling windows measured the same
+    # distribution the load generator saw (docs/OBSERVABILITY.md). The
+    # windows bucket by bit length, so each side is only known to 2x.
+    agree = require(doc, "stats_agreement", dict, "bench")
+    require(agree, "window", str, "stats_agreement")
+    for q in ("p50", "p99", "p999"):
+        pair = require(agree, q, dict, "stats_agreement")
+        server = require(pair, "server_us", NUM, f"stats_agreement.{q}")
+        load = require(pair, "load_us", NUM, f"stats_agreement.{q}")
+        check(server <= load * 2.2 + 1500 and load <= server * 2.2 + 1500,
+              f"stats_agreement.{q}: server {server} µs vs load {load} µs "
+              f"beyond bucket tolerance")
+    # Telemetry overhead: soft 2% bar — warn, don't flake (see the bench).
+    tel = require(doc, "telemetry", dict, "bench")
+    qps_plain = require(tel, "qps_plain", NUM, "telemetry")
+    qps_qlog = require(tel, "qps_query_log", NUM, "telemetry")
+    check(qps_plain > 0 and qps_qlog > 0, "telemetry qps not positive")
+    overhead = require(tel, "overhead_pct", NUM, "telemetry")
+    if overhead > 2.0:
+        print(f"WARN: query-log overhead {overhead:.2f}% exceeds the 2% bar",
+              file=sys.stderr)
+    check(require(tel, "qlog_written", int, "telemetry") +
+          require(tel, "qlog_dropped", int, "telemetry") > 0,
+          "telemetry run produced no query-log records")
     return (f"serve bench OK: {len(levels)} level(s), knee C={knee_c} "
-            f"at {knee_qps:.1f}/{peak:.1f} qps")
+            f"at {knee_qps:.1f}/{peak:.1f} qps, "
+            f"qlog overhead {overhead:+.2f}%")
+
+
+# Outcomes a query-log record may carry: success, a typed wire error, an
+# admission refusal, or a client that vanished mid-response.
+QLOG_OUTCOMES = {"ok", "busy", "gone", "MALFORMED", "UNKNOWN_VIEW",
+                 "BAD_PLAN", "ENGINE", "CANCELLED", "TIMEOUT", "INTERNAL"}
+
+
+def validate_stats(doc):
+    check(require(doc, "proto", int, "stats") >= 1, "stats.proto must be >= 1")
+    check(require(doc, "uptime_s", NUM, "stats") >= 0, "stats.uptime_s negative")
+    require(doc, "draining", bool, "stats")
+    require(doc, "exec_mode", str, "stats")
+    check(require(doc, "shards", int, "stats") >= 1, "stats.shards < 1")
+    conns = require(doc, "connections", dict, "stats")
+    active = require(conns, "active", int, "connections")
+    check(0 <= active <= require(conns, "max", int, "connections"),
+          f"connections.active {active} out of range")
+    check(require(conns, "total", int, "connections") >= active,
+          "connections.total below active")
+    adm = require(doc, "admission", dict, "stats")
+    check(require(adm, "in_flight", int, "admission")
+          <= require(adm, "slots", int, "admission"),
+          "admission.in_flight exceeds slots")
+    check(require(adm, "queue_len", int, "admission")
+          <= require(adm, "queue_depth", int, "admission"),
+          "admission.queue_len exceeds queue_depth")
+    require(adm, "per_client", int, "admission")
+    require(adm, "admitted", int, "admission")
+    rej = require(adm, "rejected", dict, "admission")
+    causes = ("queue_full", "quota", "max_conns", "draining")
+    total = require(rej, "total", int, "rejected")
+    check(total == sum(require(rej, c, int, "rejected") for c in causes),
+          "rejected.total is not the sum of its causes")
+    for i, c in enumerate(require(doc, "clients", list, "stats")):
+        ctx = f"clients[{i}]"
+        require(c, "id", int, ctx)
+        require(c, "addr", str, ctx)
+        require(c, "queries", int, ctx)
+        require(c, "running", int, ctx)
+        check(require(c, "connected_s", NUM, ctx) >= 0,
+              f"{ctx}.connected_s negative")
+    qlog = require(doc, "qlog", dict, "stats")
+    require(qlog, "enabled", bool, "qlog")
+    for key in ("written", "dropped", "slow"):
+        check(require(qlog, key, int, "qlog") >= 0, f"qlog.{key} negative")
+    windows = require(doc, "windows", dict, "stats")
+    hists = require(windows, "histograms", dict, "windows")
+    n_windows = 0
+    for name, per_window in hists.items():
+        check(isinstance(per_window, dict), f"windows.{name} not an object")
+        for w, stats in per_window.items():
+            ctx = f"windows.{name}.{w}"
+            check(w.endswith("s"), f"{ctx}: window key must be a duration")
+            count = require(stats, "count", int, ctx)
+            check(require(stats, "rate", NUM, ctx) >= 0, f"{ctx}.rate negative")
+            p50 = require(stats, "p50", NUM, ctx)
+            p99 = require(stats, "p99", NUM, ctx)
+            p999 = require(stats, "p999", NUM, ctx)
+            mx = require(stats, "max", NUM, ctx)
+            if count > 0:
+                check(p50 <= p99 <= p999 <= mx,
+                      f"{ctx}: quantiles disordered "
+                      f"({p50}, {p99}, {p999}, max {mx})")
+            n_windows += 1
+    for name, per_window in require(windows, "counters", dict, "windows").items():
+        for w, stats in per_window.items():
+            check(require(stats, "rate", NUM, f"windows.{name}.{w}") >= 0,
+                  f"windows.{name}.{w}.rate negative")
+    cum = require(doc, "cumulative", dict, "stats")
+    require(cum, "counters", dict, "cumulative")
+    require(cum, "histograms", dict, "cumulative")
+    return (f"stats OK: proto {doc['proto']}, {len(doc['clients'])} client(s), "
+            f"{len(hists)} windowed instrument(s) x {n_windows} window(s)")
+
+
+def validate_qlog(path):
+    timing = ("queue_ms", "plan_ms", "exec_ms", "encode_ms", "total_ms")
+    seqs = set()
+    slow = 0
+    with open(path) as f:
+        records = [json.loads(line) for line in f if line.strip()]
+    check(records, "query log is empty")
+    for i, r in enumerate(records):
+        ctx = f"qlog[{i}]"
+        seq = require(r, "seq", int, ctx)
+        check(seq not in seqs, f"{ctx}: duplicate seq {seq}")
+        seqs.add(seq)
+        require(r, "client", int, ctx)
+        require(r, "view", str, ctx)
+        require(r, "plan", str, ctx)
+        check(require(r, "format", str, ctx) in ("xml", "tuples"),
+              f"{ctx}: unknown format {r['format']!r}")
+        require(r, "exec_mode", str, ctx)
+        require(r, "shards", int, ctx)
+        require(r, "streams", int, ctx)
+        require(r, "cache_hit", bool, ctx)
+        for key in timing:
+            check(require(r, key, NUM, ctx) >= 0, f"{ctx}.{key} negative")
+        check(r["total_ms"] + 1e-6 >=
+              r["plan_ms"] + r["exec_ms"] + r["encode_ms"],
+              f"{ctx}: phase breakdown exceeds total_ms")
+        require(r, "rows", int, ctx)
+        require(r, "bytes", int, ctx)
+        outcome = require(r, "outcome", str, ctx)
+        check(outcome in QLOG_OUTCOMES, f"{ctx}: unknown outcome {outcome!r}")
+        require(r, "error", str, ctx)
+        if outcome == "ok":
+            check(not r["error"], f"{ctx}: ok record carries an error")
+        if require(r, "slow", bool, ctx):
+            slow += 1
+        else:
+            check("profile" not in r and "trace_file" not in r,
+                  f"{ctx}: capture attached to a non-slow record")
+        if "profile" in r:
+            profile = require(r, "profile", list, ctx)
+            check(len(profile) == r["streams"],
+                  f"{ctx}: profile entries != streams")
+            for p in profile:
+                require(p, "sql", str, f"{ctx}.profile")
+    return f"qlog OK: {len(records)} record(s), {slow} slow"
 
 
 def main():
     if len(sys.argv) != 3 or sys.argv[1] not in ("report", "trace", "bench",
-                                                 "shard", "serve"):
+                                                 "shard", "serve", "stats",
+                                                 "qlog"):
         print(__doc__, file=sys.stderr)
         return 2
     mode, path = sys.argv[1], sys.argv[2]
+    if mode == "qlog":
+        # JSON Lines, not one document — parsed record by record.
+        try:
+            result = validate_qlog(path)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"cannot parse {path}: {e}")
+        print(result)
+        return 0
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -312,7 +469,8 @@ def main():
               "trace": validate_trace,
               "bench": validate_bench,
               "shard": validate_shard,
-              "serve": validate_serve}[mode](doc)
+              "serve": validate_serve,
+              "stats": validate_stats}[mode](doc)
     print(result)
     return 0
 
