@@ -50,6 +50,11 @@
 //!                            or `vectorized` (batch-at-a-time columnar).
 //!                            Output bytes are identical either way.
 //!                            [default tuple]
+//!       --fragment-cache B   keep completed component-query results (wire
+//!                            bytes) in a B-byte LRU cache and serve repeats
+//!                            without re-execution; 0 disables. Flushed
+//!                            whenever the catalog changes. See
+//!                            docs/CACHING.md.  [default 0]
 //!       --listen ADDR        bind address (serve)   [default 127.0.0.1:4722]
 //!       --connect ADDR       server address (client) [default 127.0.0.1:4722]
 //!       --slots N            concurrent queries across all clients (serve)
@@ -115,6 +120,7 @@ struct Opts {
     retries: Option<u32>,
     shards: Option<usize>,
     exec: String,
+    fragment_cache: usize,
     listen: String,
     connect: String,
     slots: Option<usize>,
@@ -137,6 +143,7 @@ fn usage() -> ExitCode {
          [--plan SPEC] [--no-reduce] [--out FILE] [--pretty] [--explain] \
          [--metrics-json] [--analyze] [--trace FILE] [--fault SPEC] [--fault-seed N] \
          [--retries N] [--shards N|auto] [--exec tuple|vectorized] \
+         [--fragment-cache BYTES] \
          [--listen ADDR] [--connect ADDR] \
          [--slots N] [--per-client N] [--queue-depth N] [--max-conns N] \
          [--read-timeout-ms N] [--format xml|tuples] [--shutdown] \
@@ -169,6 +176,7 @@ fn parse_args() -> Result<Opts, ExitCode> {
         retries: None,
         shards: None,
         exec: "tuple".into(),
+        fragment_cache: 0,
         listen: "127.0.0.1:4722".into(),
         connect: "127.0.0.1:4722".into(),
         slots: None,
@@ -214,6 +222,9 @@ fn parse_args() -> Result<Opts, ExitCode> {
                 };
             }
             "--exec" => opts.exec = args.next().ok_or_else(usage)?,
+            "--fragment-cache" => {
+                opts.fragment_cache = args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
+            }
             "--listen" => opts.listen = args.next().ok_or_else(usage)?,
             "--connect" => opts.connect = args.next().ok_or_else(usage)?,
             "--slots" => {
@@ -512,15 +523,11 @@ fn run_client(opts: &Opts) -> Result<(), String> {
         "tuples" => sr_serve::Format::Tuples,
         other => return Err(format!("unknown --format: {other}")),
     };
-    // The wire protocol takes deterministic plan specs only; the CLI's
-    // greedy default means "let the server pick", which maps to unified.
-    let plan = if opts.plan == "greedy" {
-        eprintln!("note: greedy planning is offline-only; requesting the unified plan");
-        "unified"
-    } else {
-        opts.plan.as_str()
-    };
-    let result = client.query(format, view, plan).map_err(fmt)?;
+    // `greedy` goes over the wire as-is: the server plans it through its
+    // shared re-coster, so repeated requests benefit from learned actuals.
+    let result = client
+        .query(format, view, opts.plan.as_str())
+        .map_err(fmt)?;
     match format {
         sr_serve::Format::Xml => match &opts.out {
             Some(path) => {
@@ -620,6 +627,9 @@ fn run() -> Result<(), String> {
     let exec_mode = sr_engine::ExecMode::parse(&opts.exec)
         .ok_or_else(|| format!("unknown --exec mode: {} (tuple|vectorized)", opts.exec))?;
     server = server.with_exec_mode(exec_mode);
+    // Materialized-fragment cache: repeated materializations of the same
+    // view serve their component-query results from memory, byte for byte.
+    server = server.with_fragment_cache(opts.fragment_cache);
     if opts.command == "serve" {
         // The engine was configured by the shared flags above (--fault,
         // --retries, --shards); hand it to the front-end as-is.

@@ -1,0 +1,198 @@
+//! The closed cost-feedback loop: learned re-costing plus the materialized
+//! fragment cache, measured over repeated materializations.
+//!
+//! Each benchmark view is materialized `ITERS` times against a server with
+//! the fragment cache enabled, with the plan chosen by a [`Recoster`] each
+//! time — exactly the serve loop: plan → execute → feed actual stream
+//! cardinalities back. Two effects compound across iterations:
+//!
+//! * **Fragment cache** — iteration 0 executes the component queries for
+//!   real and captures their wire bytes; later iterations serve them from
+//!   memory, collapsing `server_ms` (the warm/cold ratio is the headline
+//!   `warm_speedup`, acceptance bar ≥ 1.5×).
+//! * **Learned re-costing** — the recorded actuals accumulate Q-error
+//!   against the estimates the initial plan was costed with; once the
+//!   threshold trips, `genPlan` re-runs through an actuals-blended oracle
+//!   and the plan partition can switch. The per-iteration `plan` field is
+//!   the edge-bits fingerprint, so a switch is visible in the JSON.
+//!
+//! Set `SR_BENCH_QUICK=1` for a CI-sized run (small scale, Query 1 only).
+//! Results land in `target/bench-results/BENCH_recost.json`; validate with
+//! `scripts/validate_machine_output.py recost <file>`.
+
+use std::sync::Arc;
+
+use silkroute::{run_plan, Config, Server};
+use sr_obs::Json;
+use sr_plan::{CostParams, RecostConfig, Recoster};
+use sr_sqlgen::generate_queries;
+use sr_tpch::Scale;
+use sr_viewtree::ViewTree;
+
+/// Materializations per view (iteration 0 is the cold run).
+const ITERS: usize = 5;
+
+/// One materialization under the feedback loop.
+struct Iter {
+    plan_bits: u64,
+    streams: usize,
+    server_ms: f64,
+    total_ms: f64,
+    fragment_hits: u64,
+    replans: u64,
+}
+
+/// Run the full feedback loop for one view; returns the per-iteration trace.
+fn run_view(name: &str, tree: &ViewTree, server: &Server, recoster: &Recoster) -> Vec<Iter> {
+    let mut iters = Vec::with_capacity(ITERS);
+    for i in 0..ITERS {
+        let spec = recoster.plan(name, tree, server).expect("plan");
+        let hits_before = server.metrics().snapshot().counter("cache.fragment.hits");
+        let m = run_plan(tree, server, spec, None).expect("materialize");
+        let snap = server.metrics().snapshot();
+        // Feed back each component query's actual cardinality. The buffered
+        // lookup is a fragment-cache hit after iteration 0, so counting
+        // rows costs a cache probe, not a re-execution.
+        for q in generate_queries(tree, server.database(), spec).expect("generate") {
+            let rows = server.execute_sql(&q.sql).expect("count rows").row_count;
+            recoster.observe(name, &q.sql, rows as u64);
+        }
+        iters.push(Iter {
+            plan_bits: spec.edges.bits(),
+            streams: m.streams,
+            server_ms: m.query_ms,
+            total_ms: m.total_ms,
+            fragment_hits: snap.counter("cache.fragment.hits") - hits_before,
+            replans: snap.counter("oracle.recost"),
+        });
+        println!(
+            "{name:<7} iter {i}  plan edges={:>4}  {} stream(s)  server {:>8.2} ms  \
+             total {:>8.2} ms  fragment hits {:>2}  replans {}",
+            iters[i].plan_bits,
+            iters[i].streams,
+            iters[i].server_ms,
+            iters[i].total_ms,
+            iters[i].fragment_hits,
+            iters[i].replans,
+        );
+    }
+    iters
+}
+
+/// Cold server time over the best warm server time (clamped away from a
+/// zero denominator: a full cache hit reports zero server-side work).
+fn warm_speedup(iters: &[Iter]) -> f64 {
+    let cold = iters[0].server_ms;
+    let warm = iters[1..]
+        .iter()
+        .map(|it| it.server_ms)
+        .fold(f64::INFINITY, f64::min);
+    cold / warm.max(0.01)
+}
+
+fn main() {
+    let quick = std::env::var("SR_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let config = if quick {
+        Config {
+            name: "A (quick)",
+            scale: Scale::mb(0.2),
+            timeout: std::time::Duration::from_secs(300),
+        }
+    } else {
+        Config::a()
+    };
+    println!("=== Learned re-costing + fragment cache over repeated materializations ===\n");
+    let base = sr_bench::setup(&config);
+    // The measured server mirrors `silkroute serve --fragment-cache`: the
+    // cache holds every component fragment of both views at this scale.
+    let server = Server::new(Arc::clone(base.database())).with_fragment_cache(256 << 20);
+    // A deliberately low re-plan threshold so genuine estimate drift on the
+    // benchmark views trips a re-plan within the measured iterations.
+    let recoster = Recoster::new(RecostConfig {
+        params: CostParams::default(),
+        threshold: 0.5,
+        reduce: true,
+    });
+    let db = server.database();
+
+    let mut views: Vec<(&'static str, ViewTree)> = vec![("query1", silkroute::query1_tree(db))];
+    if !quick {
+        views.push(("query2", silkroute::query2_tree(db)));
+    }
+
+    let mut view_json = Vec::new();
+    for (name, tree) in &views {
+        let iters = run_view(name, tree, &server, &recoster);
+        let speedup = warm_speedup(&iters);
+        let switched = iters.iter().any(|it| it.plan_bits != iters[0].plan_bits);
+        println!(
+            "{name}: warm speedup {speedup:.1}x (bar 1.5x), plan {} across iterations, \
+             {} re-plan(s)\n",
+            if switched { "SWITCHED" } else { "stable" },
+            recoster.plan_count(name).saturating_sub(1),
+        );
+        view_json.push(Json::obj(vec![
+            ("view", Json::Str(name.to_string())),
+            (
+                "iterations",
+                Json::Arr(
+                    iters
+                        .iter()
+                        .enumerate()
+                        .map(|(i, it)| {
+                            Json::obj(vec![
+                                ("iter", Json::UInt(i as u64)),
+                                ("plan", Json::UInt(it.plan_bits)),
+                                ("streams", Json::UInt(it.streams as u64)),
+                                ("server_ms", Json::Float(it.server_ms)),
+                                ("total_ms", Json::Float(it.total_ms)),
+                                ("fragment_hits", Json::UInt(it.fragment_hits)),
+                                ("replans", Json::UInt(it.replans)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("warm_speedup", Json::Float(speedup)),
+            ("plan_switched", Json::Bool(switched)),
+            (
+                "replans",
+                Json::UInt(recoster.plan_count(name).saturating_sub(1)),
+            ),
+        ]));
+    }
+
+    let snap = server.metrics().snapshot();
+    let json = Json::obj(vec![
+        ("bench", Json::Str("recost".to_string())),
+        ("config", Json::Str(config.name.to_string())),
+        ("quick", Json::Bool(quick)),
+        ("iters", Json::UInt(ITERS as u64)),
+        ("recost_threshold", Json::Float(0.5)),
+        ("views", Json::Arr(view_json)),
+        (
+            "fragment_cache",
+            Json::obj(vec![
+                ("hits", Json::UInt(snap.counter("cache.fragment.hits"))),
+                ("misses", Json::UInt(snap.counter("cache.fragment.misses"))),
+                (
+                    "evictions",
+                    Json::UInt(snap.counter("cache.fragment.evictions")),
+                ),
+                ("bytes", Json::UInt(snap.counter("cache.fragment.bytes"))),
+            ]),
+        ),
+        ("oracle_recost", Json::UInt(snap.counter("oracle.recost"))),
+        (
+            "oracle_actual_hits",
+            Json::UInt(snap.counter("oracle.actual_hits")),
+        ),
+    ]);
+    let dir = std::path::Path::new("target/bench-results");
+    std::fs::create_dir_all(dir).expect("create bench-results dir");
+    let path = dir.join("BENCH_recost.json");
+    std::fs::write(&path, json.render_pretty() + "\n").expect("write BENCH_recost.json");
+    println!("(machine-readable results written to {})", path.display());
+}

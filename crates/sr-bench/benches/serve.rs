@@ -261,7 +261,7 @@ fn stats_agreement(addr: std::net::SocketAddr, latencies_ms: &[f64], wall: Durat
     }
     Json::obj(
         std::iter::once(("window", Json::Str(window.to_string())))
-            .chain(rows.into_iter().map(|(n, v)| (n, v)))
+            .chain(rows)
             .collect(),
     )
 }

@@ -172,7 +172,7 @@ impl Column {
     /// true min/max, so the inherited bound stays conservative, and zone
     /// pruning only ever fires on scan-built batches whose bounds are
     /// exact.
-    pub fn gather(&self, sel: &[u32]) -> Column {
+    pub fn gather(&self, sel: &[u32]) -> Result<Column, DataError> {
         // Fast path for NULL-free sources with no pad entries: straight
         // element moves, no per-cell validity bookkeeping.
         if self.nulls == 0 && !sel.contains(&u32::MAX) {
@@ -188,6 +188,15 @@ impl Column {
                         .iter()
                         .map(|&s| (offsets[s as usize + 1] - offsets[s as usize]) as usize)
                         .sum();
+                    // Repeated selection indices (a join probe) can blow the
+                    // output payload past the source's, so re-check the cap.
+                    if total > u32::MAX as usize {
+                        return Err(DataError::ColumnOverflow {
+                            have: 0,
+                            add: total,
+                            cap: u32::MAX,
+                        });
+                    }
                     let mut out_bytes = Vec::with_capacity(total);
                     let mut out_offsets = Vec::with_capacity(sel.len() + 1);
                     out_offsets.push(0u32);
@@ -204,14 +213,14 @@ impl Column {
                     }
                 }
             };
-            return Column {
+            return Ok(Column {
                 dtype: self.dtype,
                 len: sel.len(),
                 nulls: 0,
                 data: Arc::new(data),
                 validity: None,
                 zone: if sel.is_empty() { None } else { self.zone },
-            };
+            });
         }
         let mut b = ColumnBuilder::new(self.dtype, sel.len());
         match &*self.data {
@@ -241,22 +250,38 @@ impl Column {
                     if s == u32::MAX || !self.is_valid(i) {
                         b.push_null();
                     } else {
-                        b.push_str_bytes(&bytes[offsets[i] as usize..offsets[i + 1] as usize]);
+                        b.push_str_bytes(&bytes[offsets[i] as usize..offsets[i + 1] as usize])?;
                     }
                 }
             }
         }
-        b.finish_zoned(self.zone)
+        Ok(b.finish_zoned(self.zone))
     }
 
     /// Concatenate columns of the same type into one. The zone bound is
     /// the union of the parts' bounds (conservative, no re-scan).
-    pub fn concat(parts: &[&Column], dtype: DataType) -> Column {
+    pub fn concat(parts: &[&Column], dtype: DataType) -> Result<Column, DataError> {
         let total: usize = parts.iter().map(|c| c.len).sum();
         let zone = parts
             .iter()
             .filter_map(|c| c.zone)
             .reduce(|a, b| (a.0.min(b.0), a.1.max(b.1)));
+        if dtype == DataType::Str {
+            let payload: usize = parts
+                .iter()
+                .map(|c| match &*c.data {
+                    ColumnData::Utf8 { bytes, .. } => bytes.len(),
+                    _ => 0,
+                })
+                .sum();
+            if payload > u32::MAX as usize {
+                return Err(DataError::ColumnOverflow {
+                    have: 0,
+                    add: payload,
+                    cap: u32::MAX,
+                });
+            }
+        }
         // Fast path: every part NULL-free — splice the typed vectors.
         if parts.iter().all(|c| c.nulls == 0) {
             let data = match dtype {
@@ -297,14 +322,14 @@ impl Column {
                     }
                 }
             };
-            return Column {
+            return Ok(Column {
                 dtype,
                 len: total,
                 nulls: 0,
                 data: Arc::new(data),
                 validity: None,
                 zone,
-            };
+            });
         }
         let mut b = ColumnBuilder::new(dtype, total);
         for c in parts {
@@ -330,7 +355,7 @@ impl Column {
                 ColumnData::Utf8 { offsets, bytes } => {
                     for i in 0..c.len {
                         if c.is_valid(i) {
-                            b.push_str_bytes(&bytes[offsets[i] as usize..offsets[i + 1] as usize]);
+                            b.push_str_bytes(&bytes[offsets[i] as usize..offsets[i + 1] as usize])?;
                         } else {
                             b.push_null();
                         }
@@ -338,7 +363,7 @@ impl Column {
                 }
             }
         }
-        b.finish_zoned(zone)
+        Ok(b.finish_zoned(zone))
     }
 
     /// Simulated wire size of all cells (matches `Row::wire_width` summed).
@@ -363,6 +388,7 @@ pub struct ColumnBuilder {
     validity: Vec<u64>,
     len: usize,
     nulls: usize,
+    byte_cap: u32,
 }
 
 impl ColumnBuilder {
@@ -377,6 +403,7 @@ impl ColumnBuilder {
             validity: Vec::with_capacity(capacity.div_ceil(64)),
             len: 0,
             nulls: 0,
+            byte_cap: u32::MAX,
         };
         match dtype {
             DataType::Int => b.ints.reserve(capacity),
@@ -426,10 +453,27 @@ impl ColumnBuilder {
         self.note_cell(true);
     }
 
-    fn push_str_bytes(&mut self, s: &[u8]) {
+    /// Lower the string payload cap from the `u32::MAX` default — a test
+    /// hook so overflow handling is exercisable without 4 GiB of data.
+    pub fn with_byte_cap(mut self, cap: u32) -> ColumnBuilder {
+        self.byte_cap = cap;
+        self
+    }
+
+    fn push_str_bytes(&mut self, s: &[u8]) -> Result<(), DataError> {
+        // The offsets vector stores u32 positions into `bytes`; past the
+        // cap they would wrap and silently corrupt every later cell.
+        if s.len() > self.byte_cap as usize - self.bytes.len() {
+            return Err(DataError::ColumnOverflow {
+                have: self.bytes.len(),
+                add: s.len(),
+                cap: self.byte_cap,
+            });
+        }
         self.bytes.extend_from_slice(s);
         self.offsets.push(self.bytes.len() as u32);
         self.note_cell(true);
+        Ok(())
     }
 
     /// Append a value; it must match the builder's type (or be NULL).
@@ -438,7 +482,7 @@ impl ColumnBuilder {
             (_, Value::Null) => self.push_null(),
             (DataType::Int, Value::Int(x)) => self.push_i64(*x),
             (DataType::Float, Value::Float(x)) => self.push_f64(*x),
-            (DataType::Str, Value::Str(s)) => self.push_str_bytes(s.as_bytes()),
+            (DataType::Str, Value::Str(s)) => self.push_str_bytes(s.as_bytes())?,
             (dt, v) => {
                 return Err(DataError::SchemaMismatch(format!(
                     "column of type {dt} cannot hold {v}"
@@ -598,12 +642,16 @@ impl ColumnBatch {
     }
 
     /// Gather rows by a selection vector (`u32::MAX` = all-NULL row).
-    pub fn gather(&self, sel: &[u32]) -> ColumnBatch {
-        ColumnBatch {
+    pub fn gather(&self, sel: &[u32]) -> Result<ColumnBatch, DataError> {
+        Ok(ColumnBatch {
             schema: self.schema.clone(),
             len: sel.len(),
-            columns: self.columns.iter().map(|c| c.gather(sel)).collect(),
-        }
+            columns: self
+                .columns
+                .iter()
+                .map(|c| c.gather(sel))
+                .collect::<Result<_, _>>()?,
+        })
     }
 
     /// The same columns under a different (equally typed) schema — how a
@@ -613,18 +661,18 @@ impl ColumnBatch {
     }
 
     /// Concatenate batches (all sharing `schema`) into one.
-    pub fn concat(schema: &Schema, parts: &[ColumnBatch]) -> ColumnBatch {
+    pub fn concat(schema: &Schema, parts: &[ColumnBatch]) -> Result<ColumnBatch, DataError> {
         let columns = (0..schema.arity())
             .map(|c| {
                 let cols: Vec<&Column> = parts.iter().map(|b| b.column(c)).collect();
                 Column::concat(&cols, schema.column(c).dtype)
             })
-            .collect();
-        ColumnBatch {
+            .collect::<Result<_, _>>()?;
+        Ok(ColumnBatch {
             schema: schema.clone(),
             len: parts.iter().map(|b| b.len).sum(),
             columns,
-        }
+        })
     }
 
     /// Simulated wire size of all rows (matches `Row::wire_width` summed).
@@ -734,7 +782,7 @@ mod tests {
         assert_eq!(b.column(1).zone(), None, "floats have no zone");
         // Gather carries the source bound forward (conservative — it may
         // be wider than the gathered values, never narrower).
-        let g = b.gather(&[0, 2]);
+        let g = b.gather(&[0, 2]).unwrap();
         assert_eq!(g.column(0).zone(), Some((1, 7)));
     }
 
@@ -742,7 +790,7 @@ mod tests {
     fn gather_with_pad_produces_nulls() {
         let s = schema();
         let b = ColumnBatch::from_rows(&s, &rows()).unwrap();
-        let g = b.gather(&[1, u32::MAX]);
+        let g = b.gather(&[1, u32::MAX]).unwrap();
         assert_eq!(g.len(), 2);
         assert_eq!(g.row(0), rows()[1]);
         assert_eq!(g.row(1), Row::nulls(3));
@@ -754,8 +802,30 @@ mod tests {
         let all = rows();
         let b1 = ColumnBatch::from_rows(&s, &all[..1]).unwrap();
         let b2 = ColumnBatch::from_rows(&s, &all[1..]).unwrap();
-        let c = ColumnBatch::concat(&s, &[b1, b2]);
+        let c = ColumnBatch::concat(&s, &[b1, b2]).unwrap();
         assert_eq!(c.to_rows(), all);
+    }
+
+    #[test]
+    fn string_overflow_is_a_typed_error() {
+        // An injected 8-byte cap stands in for the real 4 GiB boundary:
+        // pre-fix the offsets silently wrapped, post-fix the push fails.
+        let mut b = ColumnBuilder::new(DataType::Str, 4).with_byte_cap(8);
+        b.push(&Value::str("abcd")).unwrap();
+        b.push(&Value::str("efgh")).unwrap();
+        let err = b.push(&Value::str("i")).unwrap_err();
+        match err {
+            DataError::ColumnOverflow { have, add, cap } => {
+                assert_eq!((have, add, cap), (8, 1, 8));
+            }
+            other => panic!("expected ColumnOverflow, got {other:?}"),
+        }
+        // NULLs occupy no payload and must still be accepted at the cap.
+        b.push(&Value::Null).unwrap();
+        let c = b.finish();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value_at(1), Value::str("efgh"));
+        assert!(c.value_at(2).is_null());
     }
 
     #[test]

@@ -17,6 +17,15 @@ pub enum DataError {
     KeyViolation(String),
     /// A declared constraint references a missing column/table.
     BadConstraint(String),
+    /// A string column's byte payload exceeded the u32 offset range.
+    ColumnOverflow {
+        /// Bytes already stored in the column.
+        have: usize,
+        /// Bytes the rejected append would have added.
+        add: usize,
+        /// The payload cap (u32::MAX in production; tests may inject less).
+        cap: u32,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -28,6 +37,10 @@ impl fmt::Display for DataError {
             DataError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
             DataError::KeyViolation(m) => write!(f, "key violation: {m}"),
             DataError::BadConstraint(m) => write!(f, "bad constraint: {m}"),
+            DataError::ColumnOverflow { have, add, cap } => write!(
+                f,
+                "string column overflow: {have} byte(s) + {add} would exceed the {cap}-byte offset range"
+            ),
         }
     }
 }

@@ -48,7 +48,7 @@ pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultRule, FaultSite, Faul
 pub use optimize::push_filters;
 pub use ordering::{elide_sorts, order_info, OrderInfo};
 pub use plan::{JoinKind, Plan};
-pub use server::{QueryPhases, Server, TupleStream};
+pub use server::{FragmentCacheInfo, QueryPhases, Server, TupleStream};
 pub use shard::{range_boundaries, split_plan, ShardPlan};
 pub use vexec::{
     execute_vectorized, execute_vectorized_profiled, execute_vectorized_profiled_with, ExecMode,

@@ -16,7 +16,7 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use bytes::{Buf, Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sr_data::{Database, Row, Schema};
 use sr_obs::{MetricsRegistry, TraceSpan, Tracer};
 
@@ -352,6 +352,9 @@ pub struct TupleStream {
     /// Rows decoded by the client so far.
     pub rows_decoded: usize,
     source: StreamSource,
+    /// In-flight fragment-cache capture (streaming cache miss only): chunks
+    /// are teed here as they are decoded and committed on a clean `Done`.
+    capture: Option<FragmentCapture>,
     /// Trace sink for this stream's timeline (stall intervals, decode
     /// progress), recording onto the stream's own virtual lane.
     trace: Option<StreamTrace>,
@@ -448,6 +451,11 @@ impl TupleStream {
                                     self.rows_decoded as f64,
                                 );
                             }
+                            if let Some(cap) = &mut self.capture {
+                                if !cap.push(&bytes) {
+                                    self.capture = None;
+                                }
+                            }
                             *current = bytes;
                         }
                         Ok(StreamItem::Done(sum)) => {
@@ -459,12 +467,19 @@ impl TupleStream {
                             self.byte_size = sum.byte_size;
                             self.query_time = sum.query_time;
                             self.phases = sum.phases;
+                            // Clean end of stream: the captured chunks are
+                            // the complete result — commit them.
+                            if let Some(cap) = self.capture.take() {
+                                cap.commit(sum.row_count, sum.byte_size);
+                            }
                         }
                         Ok(StreamItem::Failed(e)) => {
+                            self.capture = None;
                             *finished = true;
                             return Err(e);
                         }
                         Err(_) => {
+                            self.capture = None;
                             // The sender is gone without a terminal item.
                             // With panic isolation in place this only
                             // happens on a genuine abort — surface it as a
@@ -516,6 +531,11 @@ impl TupleStream {
                                     self.rows_decoded as f64,
                                 );
                             }
+                            if let Some(cap) = &mut self.capture {
+                                if !cap.push(&bytes) {
+                                    self.capture = None;
+                                }
+                            }
                             *current = bytes;
                         }
                         Ok(StreamItem::Done(sum)) => {
@@ -540,16 +560,24 @@ impl TupleStream {
                                 self.byte_size = agg.byte_size;
                                 self.query_time = agg.query_time;
                                 self.phases = agg.phases;
+                                // All shards drained cleanly — the capture
+                                // holds the full merged chunk sequence.
+                                let (rows, bytes) = (agg.row_count, agg.byte_size);
+                                if let Some(cap) = self.capture.take() {
+                                    cap.commit(rows, bytes);
+                                }
                             }
                         }
                         Ok(StreamItem::Failed(e)) => {
                             // Stop the sibling shard workers too: the
                             // stream is dead, their output has no consumer.
+                            self.capture = None;
                             self.cancel.cancel();
                             *finished = true;
                             return Err(e);
                         }
                         Err(_) => {
+                            self.capture = None;
                             self.cancel.cancel();
                             *finished = true;
                             return Err(EngineError::TruncatedStream {
@@ -630,6 +658,11 @@ pub struct Server {
     /// Which executor runs queries: row-at-a-time tuple (default) or
     /// batch-at-a-time vectorized. Wire output is identical either way.
     exec_mode: ExecMode,
+    /// Materialized-fragment cache (`None` = disabled): wire-encoded
+    /// results of component queries, served back without re-execution.
+    /// Shared behind an `Arc` so in-flight captures outlive the borrow of
+    /// `self` that created them.
+    fragment_cache: Option<Arc<Mutex<FragmentCache>>>,
 }
 
 struct CachedPlan {
@@ -708,6 +741,162 @@ impl PlanCache {
     }
 }
 
+/// One cached materialized fragment: the wire-encoded chunks of a component
+/// query's full result, plus the stream metadata a warm hit must replay.
+/// On the vectorized path each chunk is one encoded columnar batch; the
+/// concatenated bytes are identical either way, so a fragment cached under
+/// one chunking serves byte-identical streams.
+#[derive(Debug)]
+struct CachedFragment {
+    schema: Schema,
+    chunks: Vec<Bytes>,
+    row_count: usize,
+    byte_size: usize,
+    /// Logical timestamp of the last hit (or the insert), for LRU eviction.
+    last_used: u64,
+}
+
+/// The materialized-fragment cache: a byte-budgeted map with the same
+/// logical-clock LRU discipline as [`PlanCache`], holding encoded results
+/// instead of plans. Keyed by exec mode + shard spec + SQL — the three
+/// inputs that determine the produced chunk sequence. Invalidated together
+/// with the plan cache ([`Server::set_database`] /
+/// [`Server::invalidate_plan_cache`]): a fragment is only sound while the
+/// database is unchanged.
+#[derive(Debug)]
+struct FragmentCache {
+    map: HashMap<String, CachedFragment>,
+    clock: u64,
+    budget: usize,
+    bytes: usize,
+}
+
+/// A point-in-time view of the fragment cache for STATS exposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FragmentCacheInfo {
+    /// Configured byte budget.
+    pub budget: usize,
+    /// Bytes currently held.
+    pub bytes: usize,
+    /// Fragments currently held.
+    pub entries: usize,
+}
+
+impl FragmentCache {
+    fn new(budget: usize) -> FragmentCache {
+        FragmentCache {
+            map: HashMap::new(),
+            clock: 0,
+            budget,
+            bytes: 0,
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<(Schema, Vec<Bytes>, usize, usize)> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|f| {
+            f.last_used = clock;
+            // `Bytes` clones are refcounted slices — a hit copies pointers,
+            // not payload.
+            (f.schema.clone(), f.chunks.clone(), f.row_count, f.byte_size)
+        })
+    }
+
+    /// Insert a fully captured fragment, evicting least-recently-used
+    /// entries until it fits. A fragment larger than the whole budget is
+    /// dropped outright. Returns the number of evictions.
+    fn insert(&mut self, key: String, frag: CachedFragment) -> u64 {
+        if frag.byte_size > self.budget {
+            return 0;
+        }
+        if let Some(old) = self.map.remove(&key) {
+            self.bytes -= old.byte_size;
+        }
+        let mut evictions = 0;
+        while self.bytes + frag.byte_size > self.budget {
+            let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(gone) = self.map.remove(&victim) {
+                self.bytes -= gone.byte_size;
+            }
+            evictions += 1;
+        }
+        self.clock += 1;
+        self.bytes += frag.byte_size;
+        self.map.insert(
+            key,
+            CachedFragment {
+                last_used: self.clock,
+                ..frag
+            },
+        );
+        evictions
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.bytes = 0;
+    }
+}
+
+/// In-flight capture of a streaming query's chunks for the fragment cache.
+/// Attached to a [`TupleStream`] on a cache miss; every chunk the consumer
+/// decodes is also appended here, and only the clean terminal `Done`
+/// commits the fragment. A `Failed` item, a decode error, or dropping the
+/// stream mid-way discards the capture — a fault or cancellation can never
+/// cache a partial fragment.
+#[derive(Debug)]
+struct FragmentCapture {
+    cache: Arc<Mutex<FragmentCache>>,
+    metrics: Arc<MetricsRegistry>,
+    key: String,
+    schema: Schema,
+    chunks: Vec<Bytes>,
+    size: usize,
+    budget: usize,
+}
+
+impl FragmentCapture {
+    /// Append one chunk; `false` once the capture outgrew the whole budget
+    /// (the caller then drops the capture instead of buffering on).
+    fn push(&mut self, bytes: &Bytes) -> bool {
+        self.size += bytes.len();
+        if self.size > self.budget {
+            return false;
+        }
+        self.chunks.push(bytes.clone());
+        true
+    }
+
+    /// Commit the completed fragment under its key.
+    fn commit(self, row_count: usize, byte_size: usize) {
+        let mut cache = lock_recover(&self.cache);
+        let evicted = cache.insert(
+            self.key,
+            CachedFragment {
+                schema: self.schema,
+                chunks: self.chunks,
+                row_count,
+                byte_size,
+                last_used: 0,
+            },
+        );
+        self.metrics
+            .counter("cache.fragment.evictions")
+            .add(evicted);
+        self.metrics
+            .counter("cache.fragment.bytes")
+            .set(cache.bytes as u64);
+    }
+}
+
 impl Server {
     /// A server over a database, with no timeout.
     pub fn new(db: Arc<Database>) -> Self {
@@ -734,7 +923,70 @@ impl Server {
             transient_retries: DEFAULT_TRANSIENT_RETRIES,
             shards: 1,
             exec_mode: ExecMode::Tuple,
+            fragment_cache: None,
         }
+    }
+
+    /// Enable the materialized-fragment cache with a byte budget (0
+    /// disables it). Completed component-query results are kept as
+    /// wire-encoded chunks and served back — byte-identically — without
+    /// re-executing the SQL. Evicts least-recently-used fragments when over
+    /// budget; flushed together with the plan cache on
+    /// [`Server::set_database`] / [`Server::invalidate_plan_cache`].
+    pub fn with_fragment_cache(mut self, budget_bytes: usize) -> Self {
+        self.fragment_cache = if budget_bytes == 0 {
+            None
+        } else {
+            Some(Arc::new(Mutex::new(FragmentCache::new(budget_bytes))))
+        };
+        self
+    }
+
+    /// A snapshot of the fragment cache's occupancy, or `None` when the
+    /// cache is disabled. For STATS exposition and tests.
+    pub fn fragment_cache_info(&self) -> Option<FragmentCacheInfo> {
+        self.fragment_cache.as_ref().map(|fc| {
+            let fc = lock_recover(fc);
+            FragmentCacheInfo {
+                budget: fc.budget,
+                bytes: fc.bytes,
+                entries: fc.map.len(),
+            }
+        })
+    }
+
+    /// The cache key for one fragment: exec mode, shard spec, and SQL — the
+    /// three inputs that determine the produced byte stream's chunking.
+    fn fragment_key(&self, sql: &str) -> String {
+        format!("{:?}|k{}|{}", self.exec_mode, self.shards, sql)
+    }
+
+    /// Look up `sql` in the fragment cache, bumping hit/miss counters.
+    fn fragment_lookup(&self, sql: &str) -> Option<(Schema, Vec<Bytes>, usize, usize)> {
+        let fc = self.fragment_cache.as_ref()?;
+        let hit = lock_recover(fc).get(&self.fragment_key(sql));
+        if hit.is_some() {
+            self.metrics.counter("cache.fragment.hits").inc();
+        } else {
+            self.metrics.counter("cache.fragment.misses").inc();
+        }
+        hit
+    }
+
+    /// A capture ready to tee a cache-missed stream's chunks, if the
+    /// fragment cache is enabled.
+    fn fragment_capture(&self, sql: &str, schema: &Schema) -> Option<FragmentCapture> {
+        let fc = self.fragment_cache.as_ref()?;
+        let budget = lock_recover(fc).budget;
+        Some(FragmentCapture {
+            cache: Arc::clone(fc),
+            metrics: Arc::clone(&self.metrics),
+            key: self.fragment_key(sql),
+            schema: schema.clone(),
+            chunks: Vec::new(),
+            size: 0,
+            budget,
+        })
     }
 
     /// Select the execution path: row-at-a-time [`ExecMode::Tuple`]
@@ -824,6 +1076,12 @@ impl Server {
     /// its own.
     pub fn invalidate_plan_cache(&self) {
         lock_recover(&self.plan_cache).clear();
+        // Cached fragments are result bytes computed against the same
+        // catalog the plans were — they go stale together.
+        if let Some(fc) = &self.fragment_cache {
+            lock_recover(fc).clear();
+            self.metrics.counter("cache.fragment.bytes").set(0);
+        }
     }
 
     /// Swap the underlying database and invalidate the plan cache: cached
@@ -934,6 +1192,9 @@ impl Server {
     /// returns. See [`Server::execute_sql_streaming`] for the pipelined
     /// variant.
     pub fn execute_sql(&self, sql: &str) -> Result<TupleStream, EngineError> {
+        if let Some((schema, chunks, row_count, byte_size)) = self.fragment_lookup(sql) {
+            return Ok(self.serve_cached_fragment_buffered(schema, chunks, row_count, byte_size));
+        }
         let tracer = self.tracer.as_deref();
         let start = Instant::now();
         let token = self.cancel_token();
@@ -1014,6 +1275,14 @@ impl Server {
                 });
             }
         }
+        // The buffered path completed cleanly — the encoded result is whole
+        // and safe to cache as a single-chunk fragment.
+        if let Some(cap) = self.fragment_capture(sql, &schema) {
+            let mut cap = cap;
+            if cap.push(&data) {
+                cap.commit(out.row_count(), data.len());
+            }
+        }
         Ok(TupleStream {
             schema,
             row_count: out.row_count(),
@@ -1029,9 +1298,82 @@ impl Server {
             stall_time: Duration::ZERO,
             rows_decoded: 0,
             source: StreamSource::Buffered(data),
+            capture: None,
             trace: None,
             cancel: token,
         })
+    }
+
+    /// Serve a cached fragment as a fully buffered stream: the chunks are
+    /// concatenated (the wire format is self-delimiting, so concatenated
+    /// chunk bytes equal the single `encode_all` buffer) and wrapped in a
+    /// [`StreamSource::Buffered`] with zero server-side time.
+    fn serve_cached_fragment_buffered(
+        &self,
+        schema: Schema,
+        chunks: Vec<Bytes>,
+        row_count: usize,
+        byte_size: usize,
+    ) -> TupleStream {
+        let mut data = BytesMut::with_capacity(byte_size);
+        for c in &chunks {
+            data.put_slice(c);
+        }
+        TupleStream {
+            schema,
+            row_count,
+            byte_size,
+            query_time: Duration::ZERO,
+            phases: QueryPhases::default(),
+            transfer_time: Duration::ZERO,
+            stall_time: Duration::ZERO,
+            rows_decoded: 0,
+            source: StreamSource::Buffered(data.freeze()),
+            capture: None,
+            trace: None,
+            cancel: CancelToken::unbounded(),
+        }
+    }
+
+    /// Serve a cached fragment with streaming semantics: every chunk plus
+    /// the terminal summary is pre-queued on a channel sized to hold them
+    /// all, reproducing the exact item sequence (and bytes) the live
+    /// streaming path produced when the fragment was captured.
+    fn serve_cached_fragment_streaming(
+        &self,
+        schema: Schema,
+        chunks: Vec<Bytes>,
+        row_count: usize,
+        byte_size: usize,
+    ) -> TupleStream {
+        let (tx, rx) = sync_channel(chunks.len() + 1);
+        for c in chunks {
+            let _ = tx.send(StreamItem::Chunk(c));
+        }
+        let _ = tx.send(StreamItem::Done(StreamSummary {
+            row_count,
+            byte_size,
+            query_time: Duration::ZERO,
+            phases: QueryPhases::default(),
+        }));
+        TupleStream {
+            schema,
+            row_count: 0,
+            byte_size: 0,
+            query_time: Duration::ZERO,
+            phases: QueryPhases::default(),
+            transfer_time: Duration::ZERO,
+            stall_time: Duration::ZERO,
+            rows_decoded: 0,
+            source: StreamSource::Channel {
+                rx,
+                current: Bytes::new(),
+                finished: false,
+            },
+            capture: None,
+            trace: None,
+            cancel: CancelToken::unbounded(),
+        }
     }
 
     /// Execute a SQL string as a pipelined stream: the returned
@@ -1047,6 +1389,19 @@ impl Server {
     /// same stream semantics, none of the handoff overhead that buys
     /// nothing without a second core.
     pub fn execute_sql_streaming(&self, sql: &str) -> Result<TupleStream, EngineError> {
+        if let Some((schema, chunks, rows, bytes)) = self.fragment_lookup(sql) {
+            return Ok(self.serve_cached_fragment_streaming(schema, chunks, rows, bytes));
+        }
+        let mut stream = self.execute_sql_streaming_uncached(sql)?;
+        // Tee this miss's chunks into the cache; the capture commits only
+        // on the stream's clean terminal item.
+        stream.capture = self.fragment_capture(sql, &stream.schema);
+        Ok(stream)
+    }
+
+    /// [`Server::execute_sql_streaming`] without the fragment-cache check —
+    /// always plans and executes.
+    fn execute_sql_streaming_uncached(&self, sql: &str) -> Result<TupleStream, EngineError> {
         let start = Instant::now();
         let (plan, schema, elided) = self.plan_cached(sql)?;
         let parse_bind = start.elapsed();
@@ -1117,6 +1472,7 @@ impl Server {
                 current: Bytes::new(),
                 finished: false,
             },
+            capture: None,
             trace: None,
             cancel: token,
         })
@@ -1203,6 +1559,7 @@ impl Server {
                 rows_per_shard: Vec::with_capacity(n),
                 metrics: Arc::clone(&self.metrics),
             },
+            capture: None,
             trace: None,
             cancel: token,
         })
@@ -1237,6 +1594,7 @@ impl Server {
                 current: Bytes::new(),
                 finished: false,
             },
+            capture: None,
             trace: None,
             cancel: stream_token,
         };
@@ -1382,6 +1740,7 @@ impl Server {
                 current: Bytes::new(),
                 finished: false,
             },
+            capture: None,
             trace: None,
             cancel: stream_token,
         };
@@ -2095,6 +2454,7 @@ mod tests {
                 current: Bytes::new(),
                 finished: false,
             },
+            capture: None,
             trace: None,
             cancel: CancelToken::none(),
         };
@@ -2490,5 +2850,215 @@ mod tests {
         assert!(total > 0.0);
         let unshardable = "SELECT i.label AS label FROM Item i ORDER BY label";
         assert!(s.shard_sql(unshardable, 2).unwrap().is_none());
+    }
+
+    /// Decode a stream into rows, also returning the terminal metadata.
+    fn drain(mut stream: TupleStream) -> (Vec<Row>, usize) {
+        let mut rows = Vec::new();
+        while let Some(r) = stream.next_row().unwrap() {
+            rows.push(r);
+        }
+        (rows, stream.row_count)
+    }
+
+    const FRAG_SQL: &str = "SELECT i.id AS id, i.label AS label FROM Item i ORDER BY id";
+
+    #[test]
+    fn fragment_cache_warm_hit_is_byte_identical_buffered() {
+        let s = server().with_fragment_cache(1 << 20);
+        let cold = s.execute_sql(FRAG_SQL).unwrap();
+        let cold_bytes = (cold.row_count, cold.byte_size);
+        let cold_rows = cold.collect_rows().unwrap();
+        let warm = s.execute_sql(FRAG_SQL).unwrap();
+        assert_eq!((warm.row_count, warm.byte_size), cold_bytes);
+        assert_eq!(warm.query_time, Duration::ZERO, "hit skips execution");
+        assert_eq!(warm.collect_rows().unwrap(), cold_rows);
+        let snap = s.metrics().snapshot();
+        assert_eq!(snap.counter("cache.fragment.hits"), 1);
+        assert_eq!(snap.counter("cache.fragment.misses"), 1);
+        assert_eq!(snap.counter("server.queries"), 1, "executed once");
+        let info = s.fragment_cache_info().unwrap();
+        assert_eq!(info.entries, 1);
+        assert!(info.bytes > 0);
+    }
+
+    #[test]
+    fn fragment_cache_warm_hit_is_byte_identical_streaming() {
+        for workers in [false, true] {
+            let s = server()
+                .with_fragment_cache(1 << 20)
+                .with_stream_workers(workers);
+            let (cold_rows, cold_count) = drain(s.execute_sql_streaming(FRAG_SQL).unwrap());
+            let (warm_rows, warm_count) = drain(s.execute_sql_streaming(FRAG_SQL).unwrap());
+            assert_eq!(warm_rows, cold_rows, "workers={workers}");
+            assert_eq!(warm_count, cold_count);
+            assert_eq!(s.metrics().snapshot().counter("cache.fragment.hits"), 1);
+        }
+    }
+
+    #[test]
+    fn fragment_cache_serves_across_buffered_and_streaming() {
+        // Same key space: a fragment captured by the buffered path serves
+        // the streaming path (and vice versa) — same mode, same shards.
+        let s = server().with_fragment_cache(1 << 20);
+        let cold = s.execute_sql(FRAG_SQL).unwrap().collect_rows().unwrap();
+        let (warm, _) = drain(s.execute_sql_streaming(FRAG_SQL).unwrap());
+        assert_eq!(warm, cold);
+        assert_eq!(s.metrics().snapshot().counter("cache.fragment.hits"), 1);
+    }
+
+    #[test]
+    fn fragment_cache_sharded_warm_hit_matches_cold() {
+        for k in [2usize, 4] {
+            let s = server().with_fragment_cache(1 << 20).with_shards(k);
+            let (cold_rows, _) = drain(s.execute_sql_streaming(FRAG_SQL).unwrap());
+            let (warm_rows, _) = drain(s.execute_sql_streaming(FRAG_SQL).unwrap());
+            assert_eq!(warm_rows, cold_rows, "shards={k}");
+            assert_eq!(s.metrics().snapshot().counter("cache.fragment.hits"), 1);
+        }
+    }
+
+    #[test]
+    fn fragment_cache_key_separates_shard_specs() {
+        // k=1 and k=2 chunk differently; their fragments must not collide.
+        let s1 = server().with_fragment_cache(1 << 20);
+        drain(s1.execute_sql_streaming(FRAG_SQL).unwrap());
+        assert_eq!(s1.fragment_key(FRAG_SQL), format!("Tuple|k1|{FRAG_SQL}"));
+        let s2 = server().with_fragment_cache(1 << 20).with_shards(2);
+        assert_ne!(s1.fragment_key(FRAG_SQL), s2.fragment_key(FRAG_SQL));
+    }
+
+    #[test]
+    fn set_database_invalidates_fragments() {
+        let mut s = server().with_fragment_cache(1 << 20);
+        assert_eq!(s.execute_sql(FRAG_SQL).unwrap().row_count, 50);
+        let mut db = Database::new();
+        let mut t = Table::new(
+            "Item",
+            Schema::of(&[("id", DataType::Int), ("label", DataType::Str)]),
+        );
+        for i in 0..3i64 {
+            t.insert(row![i, format!("new-{i}")]).unwrap();
+        }
+        db.add_table(t);
+        s.set_database(Arc::new(db));
+        assert_eq!(s.fragment_cache_info().unwrap().entries, 0);
+        let warm = s.execute_sql(FRAG_SQL).unwrap();
+        assert_eq!(warm.row_count, 3, "stale fragment must not be served");
+        let rows = warm.collect_rows().unwrap();
+        assert_eq!(rows[0].get(1), &Value::str("new-0"));
+        assert_eq!(s.metrics().snapshot().counter("cache.fragment.hits"), 0);
+    }
+
+    #[test]
+    fn fragment_cache_evicts_under_tiny_budget() {
+        // Budget fits roughly one result: the second distinct query evicts
+        // the first (LRU), and oversized fragments are never admitted.
+        let s = server().with_fragment_cache(1 << 20);
+        let probe = s.execute_sql(FRAG_SQL).unwrap();
+        let one = probe.byte_size;
+        drop(probe);
+        let s = server().with_fragment_cache(one + one / 2);
+        drain(s.execute_sql_streaming(FRAG_SQL).unwrap());
+        let other = "SELECT i.label AS label FROM Item i ORDER BY label";
+        drain(s.execute_sql_streaming(other).unwrap());
+        let snap = s.metrics().snapshot();
+        assert_eq!(snap.counter("cache.fragment.evictions"), 1);
+        let info = s.fragment_cache_info().unwrap();
+        assert_eq!(info.entries, 1);
+        assert!(info.bytes <= info.budget);
+        // The survivor is the label query; re-running it hits.
+        drain(s.execute_sql_streaming(other).unwrap());
+        assert_eq!(snap.counter("cache.fragment.hits"), 0);
+        assert_eq!(s.metrics().snapshot().counter("cache.fragment.hits"), 1);
+    }
+
+    #[test]
+    fn fragment_cache_never_caches_a_failed_stream() {
+        let s = server()
+            .with_fragment_cache(1 << 20)
+            .with_faults(FaultPlan::parse("panic@scan", 1).unwrap())
+            .with_stream_workers(true);
+        let mut stream = s.execute_sql_streaming(FRAG_SQL).unwrap();
+        let mut failed = false;
+        loop {
+            match stream.next_row() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        assert!(failed, "injected fault must surface");
+        assert_eq!(
+            s.fragment_cache_info().unwrap().entries,
+            0,
+            "a failed stream must never commit a fragment"
+        );
+    }
+
+    #[test]
+    fn fragment_cache_abandoned_stream_commits_nothing() {
+        let s = server()
+            .with_fragment_cache(1 << 20)
+            .with_stream_workers(false);
+        let mut stream = s.execute_sql_streaming(FRAG_SQL).unwrap();
+        // Decode a few rows, then drop mid-stream: the capture must be
+        // discarded, not committed as a short fragment.
+        for _ in 0..5 {
+            stream.next_row().unwrap();
+        }
+        drop(stream);
+        assert_eq!(s.fragment_cache_info().unwrap().entries, 0);
+        // The next run executes for real and serves the full result.
+        let (rows, _) = drain(s.execute_sql_streaming(FRAG_SQL).unwrap());
+        assert_eq!(rows.len(), 50);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+        /// Interleaving queries with invalidations never serves a stale
+        /// fragment: after any operation sequence, every query's rows match
+        /// a cache-less server over the same (current) database.
+        #[test]
+        fn fragment_cache_interleaving_never_stale(ops in proptest::collection::vec(0u8..4, 1..24)) {
+            let mut cached = server().with_fragment_cache(1 << 20);
+            let plain = server();
+            let queries = [
+                FRAG_SQL,
+                "SELECT i.id AS id FROM Item i WHERE i.id < 10 ORDER BY id",
+                "SELECT i.label AS label, i.id AS id FROM Item i ORDER BY label",
+            ];
+            for op in ops {
+                match op {
+                    0..=2 => {
+                        let sql = queries[op as usize];
+                        let got = cached.execute_sql(sql).unwrap().collect_rows().unwrap();
+                        let want = plain.execute_sql(sql).unwrap().collect_rows().unwrap();
+                        proptest::prop_assert_eq!(got, want);
+                    }
+                    _ => {
+                        // Refresh to an identical catalog: contents do not
+                        // change, but every cached fragment must be dropped
+                        // (set_database cannot see that the data matches).
+                        let mut db = Database::new();
+                        let mut t = Table::new(
+                            "Item",
+                            Schema::of(&[("id", DataType::Int), ("label", DataType::Str)]),
+                        );
+                        for i in 0..50i64 {
+                            t.insert(row![i, format!("item-{i}")]).unwrap();
+                        }
+                        db.add_table(t);
+                        cached.set_database(Arc::new(db));
+                        proptest::prop_assert_eq!(
+                            cached.fragment_cache_info().unwrap().entries, 0
+                        );
+                    }
+                }
+            }
+        }
     }
 }

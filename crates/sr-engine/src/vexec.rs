@@ -372,7 +372,7 @@ fn vexec_op(
             let mut batches = Vec::with_capacity(rs.batches.len());
             for batch in &rs.batches {
                 ctx.tick(batch.len() as u64)?;
-                if let Some(out) = filter_batch(batch, &bound, ctx.profile) {
+                if let Some(out) = filter_batch(batch, &bound, ctx.profile)? {
                     batches.push(out);
                 }
             }
@@ -464,7 +464,7 @@ fn vexec_op(
             // One global gather source, then a stable index sort with an
             // allocation-free comparator (the tuple path clones a
             // `Vec<Value>` key per row).
-            let big = ColumnBatch::concat(&rs.schema, &rs.batches);
+            let big = ColumnBatch::concat(&rs.schema, &rs.batches)?;
             let key_cols: Vec<&Column> = idx.iter().map(|&i| big.column(i)).collect();
             let mut order: Vec<u32> = (0..total as u32).collect();
             order.sort_by(|&a, &b| {
@@ -478,8 +478,8 @@ fn vexec_op(
             });
             let batches = order
                 .chunks(BATCH_ROWS)
-                .map(|sel| big.gather(sel))
-                .collect();
+                .map(|sel| big.gather(sel).map_err(EngineError::from))
+                .collect::<Result<_, _>>()?;
             Ok(VecResultSet {
                 schema: rs.schema,
                 batches,
@@ -515,7 +515,7 @@ fn vexec_op(
                 if keep.len() == batch.len() {
                     batches.push(batch.clone());
                 } else if !keep.is_empty() {
-                    batches.push(batch.gather(&keep));
+                    batches.push(batch.gather(&keep)?);
                 }
             }
             Ok(VecResultSet {
@@ -619,7 +619,7 @@ fn filter_batch(
     batch: &ColumnBatch,
     bound: &[BoundPredicate],
     profile: &mut ExecProfile,
-) -> Option<ColumnBatch> {
+) -> Result<Option<ColumnBatch>, EngineError> {
     // `None` = all rows still candidates (common case: zone maps resolve
     // the pushed-down range predicates without building a vector).
     let mut sel: Option<Vec<u32>> = None;
@@ -628,7 +628,7 @@ fn filter_batch(
             match zone_verdict(batch.column(c), op, k) {
                 ZoneVerdict::AllFalse => {
                     profile.selectivity.push(0);
-                    return None;
+                    return Ok(None);
                 }
                 ZoneVerdict::AllTrue => continue,
                 ZoneVerdict::Unknown => {
@@ -663,19 +663,19 @@ fn filter_batch(
         }
         if sel.as_ref().is_some_and(Vec::is_empty) {
             profile.selectivity.push(0);
-            return None;
+            return Ok(None);
         }
     }
     match sel {
         None => {
             profile.selectivity.push(1000);
-            Some(batch.clone())
+            Ok(Some(batch.clone()))
         }
         Some(sel) => {
             profile
                 .selectivity
                 .push((sel.len() * 1000 / batch.len().max(1)) as u64);
-            Some(batch.gather(&sel))
+            Ok(Some(batch.gather(&sel)?))
         }
     }
 }
@@ -705,14 +705,14 @@ fn vec_hash_join(
     let rbatch = if right.batches.is_empty() {
         ColumnBatch::from_rows(&right.schema, &[])?
     } else {
-        ColumnBatch::concat(&right.schema, &right.batches)
+        ColumnBatch::concat(&right.schema, &right.batches)?
     };
 
     let mut out = Vec::new();
     let mut emit = |lbatch: &ColumnBatch, lsel: &[u32], rsel: &[u32]| -> Result<(), EngineError> {
         for (ls, rs) in lsel.chunks(BATCH_ROWS).zip(rsel.chunks(BATCH_ROWS)) {
-            let mut columns = lbatch.gather(ls).columns().to_vec();
-            columns.extend_from_slice(rbatch.gather(rs).columns());
+            let mut columns = lbatch.gather(ls)?.columns().to_vec();
+            columns.extend_from_slice(rbatch.gather(rs)?.columns());
             out.push(ColumnBatch::from_columns(out_schema.clone(), columns)?);
         }
         Ok(())

@@ -18,10 +18,12 @@ pub mod capabilities;
 pub mod enumerate;
 pub mod greedy;
 pub mod oracle;
+pub mod recost;
 
 pub use capabilities::{
     permissible, permissible_plans, required_features, Capabilities, RequiredFeatures,
 };
 pub use enumerate::{estimated_best, rank_all_plans, RankedPlan};
 pub use greedy::{gen_plan, gen_plan_capable, EdgeChoice, GreedyResult};
-pub use oracle::{CostParams, Oracle};
+pub use oracle::{ActualStore, CostParams, Oracle};
+pub use recost::{RecostConfig, Recoster};

@@ -13,12 +13,69 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use sr_data::Database;
 use sr_engine::{EngineError, Estimate, Server};
 use sr_sqlgen::{outer_join_plan, QueryStyle};
 use sr_viewtree::{reduce_component, Component, EdgeSet, ViewTree};
+
+/// Learned actual cardinalities, keyed by whitespace-normalized SQL.
+///
+/// The store outlives any single [`Oracle`] (oracles borrow a server and
+/// are rebuilt per planning round), so it is shared: clones see the same
+/// map. Recorded counts are clamped to ≥ 1 row — the Q-error floor — so a
+/// zero-row observation can never divide a later estimate to zero.
+#[derive(Debug, Clone, Default)]
+pub struct ActualStore {
+    inner: Arc<Mutex<HashMap<String, u64>>>,
+}
+
+impl ActualStore {
+    /// An empty store.
+    pub fn new() -> ActualStore {
+        ActualStore::default()
+    }
+
+    /// The keying normalization: collapse whitespace runs and trim, so the
+    /// same query re-rendered with different spacing still hits.
+    pub fn normalize(sql: &str) -> String {
+        sql.split_whitespace().collect::<Vec<_>>().join(" ")
+    }
+
+    /// Record an observed row count for a SQL query (clamped to ≥ 1).
+    pub fn record(&self, sql: &str, rows: u64) {
+        self.inner
+            .lock()
+            .unwrap()
+            .insert(Self::normalize(sql), rows.max(1));
+    }
+
+    /// The recorded actual for a SQL query, if any.
+    pub fn get(&self, sql: &str) -> Option<u64> {
+        self.inner
+            .lock()
+            .unwrap()
+            .get(&Self::normalize(sql))
+            .copied()
+    }
+
+    /// Number of distinct queries with recorded actuals.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// `true` iff nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forget everything (the database changed under us).
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().clear();
+    }
+}
 
 /// Cost-model parameters: coefficients and greedy thresholds.
 ///
@@ -66,6 +123,8 @@ pub struct Oracle<'a> {
     /// Worst observed `(sql, q_error)` reported via
     /// [`Oracle::record_actual`].
     worst: RefCell<Option<(String, f64)>>,
+    /// Learned actuals to blend over static stats, when attached.
+    actuals: Option<ActualStore>,
 }
 
 impl<'a> Oracle<'a> {
@@ -79,7 +138,22 @@ impl<'a> Oracle<'a> {
             evaluations: RefCell::new(0),
             estimate_time: RefCell::new(Duration::ZERO),
             worst: RefCell::new(None),
+            actuals: None,
         }
+    }
+
+    /// Attach a learned-actuals store: [`Oracle::estimate_sql`] then blends
+    /// recorded actual cardinalities over the server's static stats (exact
+    /// hit → actual; miss → static), and [`Oracle::record_actual`] persists
+    /// observations into the store for later planning rounds.
+    pub fn with_actuals(mut self, actuals: ActualStore) -> Self {
+        self.actuals = Some(actuals);
+        self
+    }
+
+    /// The attached learned-actuals store, if any.
+    pub fn actuals(&self) -> Option<&ActualStore> {
+        self.actuals.as_ref()
     }
 
     /// The model parameters.
@@ -103,14 +177,18 @@ impl<'a> Oracle<'a> {
         *self.estimate_time.borrow()
     }
 
-    /// Estimate for a SQL string (cached).
+    /// Estimate for a SQL string (cached). With an attached
+    /// [`ActualStore`], an exact (normalized) hit replaces the static
+    /// cardinality with the recorded actual; the cache keeps the *static*
+    /// estimate so Q-error accounting keeps measuring the server's stats,
+    /// not our own corrections.
     pub fn estimate_sql(&self, sql: &str) -> Result<Estimate, EngineError> {
         *self.evaluations.borrow_mut() += 1;
         let metrics = self.server.metrics();
         metrics.counter("oracle.evaluations").inc();
         if let Some(e) = self.cache.borrow().get(sql) {
             metrics.counter("oracle.cache_hits").inc();
-            return Ok(e.clone());
+            return Ok(self.blend(sql, e.clone()));
         }
         *self.requests.borrow_mut() += 1;
         metrics.counter("oracle.requests").inc();
@@ -118,7 +196,25 @@ impl<'a> Oracle<'a> {
         let e = self.server.estimate_sql(sql)?;
         *self.estimate_time.borrow_mut() += start.elapsed();
         self.cache.borrow_mut().insert(sql.to_string(), e.clone());
-        Ok(e)
+        Ok(self.blend(sql, e))
+    }
+
+    /// Overlay a recorded actual onto a static estimate. The evaluation
+    /// cost is scaled by the actual/static output ratio — a crude proxy
+    /// (eval cost also covers input rows), but it moves the linear model
+    /// in the right direction for the queries we have truth for.
+    fn blend(&self, sql: &str, e: Estimate) -> Estimate {
+        let Some(actual) = self.actuals.as_ref().and_then(|s| s.get(sql)) else {
+            return e;
+        };
+        self.server.metrics().counter("oracle.actual_hits").inc();
+        let actual = actual as f64;
+        let ratio = actual / e.cardinality.max(1.0);
+        Estimate {
+            cardinality: actual,
+            eval_cost: e.eval_cost * ratio,
+            columns: e.columns,
+        }
     }
 
     /// Close the feedback loop on a cached estimate: once a query the
@@ -130,6 +226,11 @@ impl<'a> Oracle<'a> {
     /// accounting: the greedy planner is only as good as these estimates,
     /// and the histogram shows how far off they run in practice (Fig. 18).
     pub fn record_actual(&self, sql: &str, actual_rows: u64) -> Option<f64> {
+        // Persist first: an actual is worth keeping even for SQL this
+        // oracle instance never estimated (a later planning round will).
+        if let Some(store) = &self.actuals {
+            store.record(sql, actual_rows);
+        }
         let est = self.cache.borrow().get(sql)?.cardinality;
         let q = sr_engine::q_error(est, actual_rows as f64);
         self.server
@@ -350,6 +451,65 @@ mod tests {
             .shard_estimates("SELECT s.name AS name FROM Supplier s ORDER BY name", 2)
             .unwrap()
             .is_none());
+    }
+
+    #[test]
+    fn qerror_zero_cases_stay_finite() {
+        // The standard Q-error convention clamps both sides to ≥ 1 row, so
+        // zero/zero, zero/nonzero, and huge-ratio cases all stay finite.
+        assert_eq!(sr_engine::q_error(0.0, 0.0), 1.0);
+        let q = sr_engine::q_error(0.0, 1_000.0);
+        assert!(q.is_finite() && (q - 1_000.0).abs() < 1e-9, "q = {q}");
+        let q = sr_engine::q_error(1e18, 0.0);
+        assert!(q.is_finite() && q >= 1e17, "q = {q}");
+    }
+
+    #[test]
+    fn record_actual_zero_rows_does_not_poison_worst() {
+        let (_, server) = setup();
+        let actuals = ActualStore::new();
+        let oracle = Oracle::new(&server, CostParams::default()).with_actuals(actuals.clone());
+        let sql = "SELECT s.suppkey AS k FROM Supplier s";
+        oracle.estimate_sql(sql).unwrap();
+        let q = oracle.record_actual(sql, 0).unwrap();
+        assert!(q.is_finite() && q >= 1.0, "q = {q}");
+        let (_, wq) = oracle.worst_qerror().unwrap();
+        assert!(wq.is_finite());
+        // The persisted actual is clamped to the 1-row floor, so a later
+        // blend can never zero out an estimate.
+        assert_eq!(actuals.get(sql), Some(1));
+        // A huge-ratio observation stays finite too.
+        let q = oracle.record_actual(sql, u64::MAX).unwrap();
+        assert!(q.is_finite(), "q = {q}");
+        let snap = server.metrics().snapshot();
+        let h = snap.histogram("oracle.qerror").expect("recorded");
+        assert_eq!(h.count, 2);
+    }
+
+    #[test]
+    fn estimate_blends_recorded_actuals_over_static_stats() {
+        let (_, server) = setup();
+        let actuals = ActualStore::new();
+        let oracle = Oracle::new(&server, CostParams::default()).with_actuals(actuals.clone());
+        let sql = "SELECT s.suppkey AS k FROM Supplier s";
+        let static_est = oracle.estimate_sql(sql).unwrap();
+        assert!(actuals.get(sql).is_none(), "miss → static stats");
+        let actual = (static_est.cardinality * 5.0).round() as u64;
+        oracle.record_actual(sql, actual).unwrap();
+        let blended = oracle.estimate_sql(sql).unwrap();
+        assert_eq!(blended.cardinality, actual as f64, "exact hit → actual");
+        assert!(blended.eval_cost > static_est.eval_cost);
+        // Whitespace variants key to the same record…
+        let spaced = "SELECT   s.suppkey AS k\n FROM Supplier s";
+        assert_eq!(actuals.get(spaced), Some(actual));
+        // …and a fresh oracle over the shared store sees it immediately.
+        let o2 = Oracle::new(&server, CostParams::default()).with_actuals(actuals.clone());
+        assert_eq!(o2.estimate_sql(sql).unwrap().cardinality, actual as f64);
+        assert!(server.metrics().counter("oracle.actual_hits").get() >= 2);
+        actuals.clear();
+        assert!(actuals.is_empty());
+        let back = oracle.estimate_sql(sql).unwrap();
+        assert_eq!(back.cardinality, static_est.cardinality);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::time::Instant;
 
 use sr_engine::{EngineError, Server};
 use sr_obs::Tracer;
+use sr_plan::Recoster;
 use sr_sqlgen::{generate_queries, PlanSpec, QueryStyle};
 use sr_tagger::{tag_streams_traced, RowSource, StreamInput, TagError};
 use sr_viewtree::{EdgeSet, ViewTree};
@@ -118,11 +119,29 @@ pub fn resolve_view(
     }
 }
 
-/// Parse a wire plan-spec string. The serving path accepts the
-/// deterministic specs only — `unified` | `partitioned` | `outer-union` |
-/// `edges:<bits>`; greedy planning consults the cost oracle and is an
-/// offline decision, so requesting it over the wire is a typed error.
-pub fn resolve_plan(tree: &ViewTree, plan: &str) -> Result<PlanSpec, PipelineError> {
+/// The server-side context that makes `greedy` a servable plan spec: a
+/// shared [`Recoster`] (learned re-costing state), the view's feedback key,
+/// and the engine whose catalog and stats planning runs against.
+pub struct RecostContext<'a> {
+    /// Shared learned-actuals + per-view plan state.
+    pub recoster: &'a Recoster,
+    /// Feedback key identifying the view (name, or inline source).
+    pub view_key: &'a str,
+    /// The engine to plan against.
+    pub engine: &'a Server,
+}
+
+/// Parse a wire plan-spec string: `unified` | `partitioned` | `outer-union`
+/// | `edges:<bits>` are deterministic and always accepted. `greedy`
+/// consults the cost oracle and is only servable when the caller supplies a
+/// [`RecostContext`] — the learned re-coster then plans the view (serving a
+/// cached spec until accumulated Q-error triggers a re-plan); without one,
+/// requesting it over the wire remains a typed error.
+pub fn resolve_plan(
+    tree: &ViewTree,
+    plan: &str,
+    recost: Option<&RecostContext<'_>>,
+) -> Result<PlanSpec, PipelineError> {
     let spec = match plan {
         "" | "unified" => PlanSpec {
             edges: EdgeSet::full(tree),
@@ -135,13 +154,21 @@ pub fn resolve_plan(tree: &ViewTree, plan: &str) -> Result<PlanSpec, PipelineErr
             style: QueryStyle::OuterJoin,
         },
         "outer-union" => PlanSpec::sorted_outer_union(tree),
-        "greedy" => {
-            return Err(PipelineError::typed(
-                ErrorCode::BadPlan,
-                "greedy planning is offline-only; pick a plan with `silkroute plan` \
-                 and submit it as edges:<bits>",
-            ))
-        }
+        "greedy" => match recost {
+            Some(rc) => {
+                return rc
+                    .recoster
+                    .plan(rc.view_key, tree, rc.engine)
+                    .map_err(engine_err)
+            }
+            None => {
+                return Err(PipelineError::typed(
+                    ErrorCode::BadPlan,
+                    "greedy planning needs the server's re-coster; pick a plan with \
+                     `silkroute plan` and submit it as edges:<bits>",
+                ))
+            }
+        },
         other => match other.strip_prefix("edges:") {
             Some(bits) => PlanSpec {
                 edges: EdgeSet::from_bits(bits.parse().map_err(|e| {
@@ -297,6 +324,9 @@ pub struct RunStats {
     /// The generated component SQL, in stream order — what a slow-query
     /// capture re-runs under EXPLAIN ANALYZE.
     pub sqls: Vec<String>,
+    /// Actual rows each component stream produced, in stream order
+    /// (parallel to `sqls`) — the feedback the learned re-coster consumes.
+    pub per_stream_rows: Vec<u64>,
 }
 
 /// Execute one already-admitted query request end to end, writing chunk
@@ -327,6 +357,7 @@ pub fn run_query<W: Write>(
         .snapshot()
         .counter("server.plan_cache_hits");
     let mut sqls = Vec::with_capacity(queries.len());
+    let mut per_stream_rows: Vec<u64> = Vec::with_capacity(queries.len());
 
     let run = match format {
         Format::Xml => {
@@ -357,6 +388,7 @@ pub fn run_query<W: Write>(
                     }
                 };
             writer.flush().map_err(PipelineError::ClientGone)?;
+            per_stream_rows = stats.per_stream.iter().map(|s| s.tuples).collect();
             let shipped = writer.shipped;
             let encode_ms = writer.write_ns as f64 / 1e6;
             RunStats {
@@ -371,6 +403,7 @@ pub fn run_query<W: Write>(
                 encode_ms,
                 cache_hit: false,
                 sqls: Vec::new(),
+                per_stream_rows: Vec::new(),
             }
         }
         Format::Tuples => {
@@ -424,6 +457,7 @@ pub fn run_query<W: Write>(
                 encode_ms: write_ns as f64 / 1e6,
                 cache_hit: false,
                 sqls: Vec::new(),
+                per_stream_rows: Vec::new(),
             }
         }
     };
@@ -434,6 +468,7 @@ pub fn run_query<W: Write>(
     Ok(RunStats {
         cache_hit: streams > 0 && cache_hits_after - cache_hits_before >= streams,
         sqls,
+        per_stream_rows,
         ..run
     })
 }
@@ -452,17 +487,28 @@ mod tests {
             .expect("rxl");
             sr_viewtree::build(&q, &db).expect("build")
         };
-        assert!(resolve_plan(&tree, "unified").is_ok());
-        assert!(resolve_plan(&tree, "").is_ok());
-        assert!(resolve_plan(&tree, "partitioned").is_ok());
-        assert!(resolve_plan(&tree, "outer-union").is_ok());
-        assert!(resolve_plan(&tree, "edges:0").is_ok());
+        assert!(resolve_plan(&tree, "unified", None).is_ok());
+        assert!(resolve_plan(&tree, "", None).is_ok());
+        assert!(resolve_plan(&tree, "partitioned", None).is_ok());
+        assert!(resolve_plan(&tree, "outer-union", None).is_ok());
+        assert!(resolve_plan(&tree, "edges:0", None).is_ok());
+        // Without a re-coster, `greedy` stays a typed error; with one it
+        // plans the view (and caches the spec under the feedback key).
         for bad in ["greedy", "edges:x", "bogus"] {
-            match resolve_plan(&tree, bad) {
+            match resolve_plan(&tree, bad, None) {
                 Err(PipelineError::Typed { code, .. }) => assert_eq!(code, ErrorCode::BadPlan),
                 other => panic!("{bad}: expected BadPlan, got {other:?}"),
             }
         }
+        let engine = Server::new(Arc::new(db));
+        let recoster = Recoster::new(sr_plan::RecostConfig::default());
+        let ctx = RecostContext {
+            recoster: &recoster,
+            view_key: "v",
+            engine: &engine,
+        };
+        assert!(resolve_plan(&tree, "greedy", Some(&ctx)).is_ok());
+        assert_eq!(recoster.plan_count("v"), 1);
     }
 
     #[test]

@@ -26,11 +26,13 @@ use std::time::{Duration, Instant};
 
 use sr_engine::Server as Engine;
 use sr_obs::{Json, MetricsRegistry, Tracer};
+use sr_plan::{RecostConfig, Recoster};
 
 use crate::admit::{Admission, AdmitConfig};
 use crate::frame::{ErrorCode, Format, ProtoError, Request, Response, ViewRef, MAX_FRAME_LEN};
 use crate::pipeline::{
-    resolve_plan, resolve_view, run_query, CancelRegistry, PipelineError, ViewCatalog,
+    resolve_plan, resolve_view, run_query, CancelRegistry, PipelineError, RecostContext,
+    ViewCatalog,
 };
 use crate::qlog::{QlogRecord, QueryLog};
 use crate::stats::{self, ClientStat, StatsSources};
@@ -107,6 +109,10 @@ struct Shared {
     request_seq: AtomicU64,
     qlog: Option<QueryLog>,
     slow_ms: Option<u64>,
+    /// Learned re-costing state for `greedy` plan requests: per-view plan
+    /// cache plus the shared actual-cardinality store the cost oracle
+    /// blends over static stats.
+    recoster: Recoster,
 }
 
 impl Shared {
@@ -138,6 +144,7 @@ impl Shared {
             metrics: &self.metrics,
             clients,
             qlog: self.qlog.as_ref().map(QueryLog::stat).unwrap_or_default(),
+            fragment_cache: self.engine.fragment_cache_info(),
         })
     }
 }
@@ -233,6 +240,7 @@ pub fn serve(
         request_seq: AtomicU64::new(0),
         qlog,
         slow_ms: cfg.slow_ms,
+        recoster: Recoster::new(RecostConfig::default()),
     });
     let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -607,9 +615,20 @@ fn handle_query(
         t.name_current_thread(format!("serve-conn-{client_id}"));
         t
     });
+    // The re-coster's feedback key: named views key by name, inline RXL by
+    // its full source (a length-based key would alias distinct views).
+    let view_key = match &view {
+        ViewRef::Named(n) => n.clone(),
+        ViewRef::Rxl(src) => format!("rxl:{src}"),
+    };
     let exec_started = Instant::now();
     let outcome = resolve_view(&shared.catalog, shared.engine.database(), &view).and_then(|tree| {
-        let spec = resolve_plan(&tree, &plan)?;
+        let recost = RecostContext {
+            recoster: &shared.recoster,
+            view_key: &view_key,
+            engine: &shared.engine,
+        };
+        let spec = resolve_plan(&tree, &plan, Some(&recost))?;
         run_query(
             &shared.engine,
             &tree,
@@ -645,6 +664,11 @@ fn handle_query(
             record.bytes = run.done.bytes;
             m.windowed_counter("serve.rows").add(run.done.tuples);
             m.windowed_counter("serve.bytes").add(run.done.bytes);
+            // Close the cost-feedback loop: report each component stream's
+            // actual cardinality so a later `greedy` request can re-plan.
+            for (sql, &rows) in run.sqls.iter().zip(&run.per_stream_rows) {
+                shared.recoster.observe(&view_key, sql, rows);
+            }
             (send(sock, &Response::Done(run.done)), run.sqls)
         }
         Err(PipelineError::Typed { code, message }) => {

@@ -15,6 +15,7 @@
 
 use std::time::Duration;
 
+use sr_engine::FragmentCacheInfo;
 use sr_obs::{Json, MetricsRegistry};
 
 use crate::admit::Admission;
@@ -73,6 +74,8 @@ pub struct StatsSources<'a> {
     pub clients: Vec<ClientStat>,
     /// Query-log health.
     pub qlog: QlogStat,
+    /// Materialized-fragment cache occupancy (`None` = cache disabled).
+    pub fragment_cache: Option<FragmentCacheInfo>,
 }
 
 /// Build the STATS snapshot JSON.
@@ -130,6 +133,18 @@ pub fn build(src: &StatsSources<'_>) -> Json {
             ]),
         ),
         ("clients", clients),
+        (
+            "fragment_cache",
+            match src.fragment_cache {
+                Some(i) => Json::obj(vec![
+                    ("enabled", Json::Bool(true)),
+                    ("budget", Json::UInt(i.budget as u64)),
+                    ("bytes", Json::UInt(i.bytes as u64)),
+                    ("entries", Json::UInt(i.entries as u64)),
+                ]),
+                None => Json::obj(vec![("enabled", Json::Bool(false))]),
+            },
+        ),
         (
             "qlog",
             Json::obj(vec![
@@ -339,6 +354,11 @@ mod tests {
                 dropped: 0,
                 slow: 1,
             },
+            fragment_cache: Some(FragmentCacheInfo {
+                budget: 1 << 20,
+                bytes: 512,
+                entries: 2,
+            }),
         })
     }
 
@@ -352,6 +372,7 @@ mod tests {
             "connections",
             "admission",
             "clients",
+            "fragment_cache",
             "qlog",
             "windows",
             "cumulative",

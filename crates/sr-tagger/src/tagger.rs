@@ -294,23 +294,29 @@ pub fn tag_streams_traced<W: Write>(
     let mut writer = XmlWriter::new(out);
     writer.pretty = pretty;
 
-    let streams: Vec<StreamState> = inputs
-        .into_iter()
-        .map(|input| {
-            let lift = StreamLift::new(tree, &layout, &input.schema);
-            let mut class_of = vec![None; tree.nodes.len()];
-            for (ci, class) in input.reduced.nodes.iter().enumerate() {
-                for &m in &class.members {
-                    class_of[m] = Some(ci);
+    let mut streams: Vec<StreamState> = Vec::with_capacity(inputs.len());
+    for input in inputs {
+        let lift = StreamLift::new(tree, &layout, &input.schema);
+        let mut class_of = vec![None; tree.nodes.len()];
+        for (ci, class) in input.reduced.nodes.iter().enumerate() {
+            for &m in &class.members {
+                // A reduced component is caller-supplied; a member id past
+                // the tree is a malformed input, not an internal invariant.
+                if m >= class_of.len() {
+                    return Err(TagError::MalformedTree(format!(
+                        "reduced class {ci} references view node {m}, but the tree has {} node(s)",
+                        tree.nodes.len()
+                    )));
                 }
+                class_of[m] = Some(ci);
             }
-            StreamState {
-                rows: input.rows,
-                lift,
-                class_of,
-            }
-        })
-        .collect();
+        }
+        streams.push(StreamState {
+            rows: input.rows,
+            lift,
+            class_of,
+        });
+    }
 
     let n = streams.len();
     let mut t = Tagger {
@@ -451,7 +457,9 @@ impl<'t, W: Write> Tagger<'t, W> {
 
         // Close elements beyond the common prefix.
         while self.stack.len() > cpl {
-            let mut open = self.stack.pop().expect("non-empty");
+            let mut open = self.stack.pop().ok_or_else(|| {
+                TagError::MalformedTree("open-element stack underflow while closing".into())
+            })?;
             self.advance_cursor(&mut open, None)?;
             self.writer.close(&self.tree.node(open.node).tag)?;
         }

@@ -207,3 +207,26 @@ fn unsorted_second_stream_is_blamed_by_index() {
         other => panic!("expected structure error, got {other}"),
     }
 }
+
+#[test]
+fn out_of_range_reduced_member_is_rejected() {
+    // Pre-fix this was an index-out-of-bounds panic while building the
+    // per-stream class map — a malformed component must surface as the
+    // typed MalformedTree error instead.
+    let (tree, db) = setup();
+    let (rows, schema, mut reduced) = unified_stream(&tree, &db);
+    let bogus = tree.nodes.len() + 7;
+    reduced.nodes[0].members.push(bogus);
+    let input = StreamInput {
+        rows: RowSource::Materialized(rows.into_iter()),
+        schema,
+        reduced,
+    };
+    let err = tag_streams(&tree, vec![input], Vec::new(), false).unwrap_err();
+    match err {
+        TagError::MalformedTree(m) => {
+            assert!(m.contains(&format!("references view node {bogus}")), "{m}");
+        }
+        other => panic!("expected malformed-tree error, got {other}"),
+    }
+}

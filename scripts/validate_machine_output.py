@@ -7,6 +7,7 @@ Usage:
     validate_machine_output.py bench  BENCH.json    # BENCH_pipeline.json
     validate_machine_output.py shard  BENCH.json    # BENCH_shard.json
     validate_machine_output.py serve  BENCH.json    # BENCH_serve.json
+    validate_machine_output.py recost BENCH.json    # BENCH_recost.json
     validate_machine_output.py stats  STATS.json    # `silkroute stats` snapshot
     validate_machine_output.py qlog   QUERY.jsonl   # --query-log JSONL file
 
@@ -324,6 +325,76 @@ def validate_serve(doc):
             f"qlog overhead {overhead:+.2f}%")
 
 
+def validate_recost(doc):
+    check(doc.get("bench") == "recost", "not a recost bench document")
+    require(doc, "quick", bool, "bench")
+    iters = require(doc, "iters", int, "bench")
+    check(iters >= 2, f"bench.iters must be >= 2, got {iters}")
+    check(require(doc, "recost_threshold", NUM, "bench") > 0,
+          "bench.recost_threshold not positive")
+    views = require(doc, "views", list, "bench")
+    check(views, "bench.views is empty")
+    speedups = []
+    for i, v in enumerate(views):
+        ctx = f"views[{i}]"
+        name = require(v, "view", str, ctx)
+        rows = require(v, "iterations", list, ctx)
+        check(len(rows) == iters, f"{ctx}: expected {iters} iterations")
+        last_replans = 0
+        for j, it in enumerate(rows):
+            ictx = f"{ctx}.iterations[{j}]"
+            check(require(it, "iter", int, ictx) == j,
+                  f"{ictx}: iteration index out of order")
+            require(it, "plan", int, ictx)
+            check(require(it, "streams", int, ictx) >= 1,
+                  f"{ictx}.streams must be >= 1")
+            check(require(it, "server_ms", NUM, ictx) >= 0,
+                  f"{ictx}.server_ms negative")
+            check(require(it, "total_ms", NUM, ictx) > 0,
+                  f"{ictx}.total_ms not positive")
+            hits = require(it, "fragment_hits", int, ictx)
+            check(hits >= 0, f"{ictx}.fragment_hits negative")
+            if j > 0:
+                check(hits >= 1,
+                      f"{ictx}: warm iteration never hit the fragment cache")
+            replans = require(it, "replans", int, ictx)
+            check(replans >= last_replans,
+                  f"{ictx}: cumulative replan count regresses")
+            last_replans = replans
+        # Hard acceptance bar: serving materialized fragments must never be
+        # slower server-side than re-executing the component queries.
+        speedup = require(v, "warm_speedup", NUM, ctx)
+        check(speedup >= 1.0,
+              f"{ctx}: warm speedup {speedup:.2f} below 1.0 — the fragment "
+              f"cache made {name} slower")
+        speedups.append((name, speedup))
+        require(v, "plan_switched", bool, ctx)
+        require(v, "replans", int, ctx)
+        # Soft convergence bar: the feedback loop should settle, so server
+        # time must not climb over the first three iterations. Re-planning
+        # mid-run can legitimately perturb a single reading, so warn loudly
+        # rather than flake the build.
+        first3 = [it["server_ms"] for it in rows[:3]]
+        if any(b > a + 1e-9 for a, b in zip(first3, first3[1:])):
+            print(f"WARN: {name} server_ms not monotone non-increasing over "
+                  f"the first 3 iterations: {first3}", file=sys.stderr)
+    frag = require(doc, "fragment_cache", dict, "bench")
+    for key in ("hits", "misses", "evictions", "bytes"):
+        check(require(frag, key, int, "fragment_cache") >= 0,
+              f"fragment_cache.{key} negative")
+    check(frag["hits"] > 0, "fragment_cache.hits is zero — nothing warmed")
+    check(frag["misses"] > 0,
+          "fragment_cache.misses is zero — cold runs never executed")
+    check(require(doc, "oracle_recost", int, "bench") >= 0,
+          "bench.oracle_recost negative")
+    check(require(doc, "oracle_actual_hits", int, "bench") > 0,
+          "bench.oracle_actual_hits is zero — re-costing never consulted "
+          "a recorded actual")
+    summary = ", ".join(f"{n} {s:.1f}x" for n, s in speedups)
+    return (f"recost bench OK: {len(views)} view(s), warm speedup {summary}, "
+            f"{doc['oracle_recost']} re-plan(s)")
+
+
 # Outcomes a query-log record may carry: success, a typed wire error, an
 # admission refusal, or a client that vanished mid-response.
 QLOG_OUTCOMES = {"ok", "busy", "gone", "MALFORMED", "UNKNOWN_VIEW",
@@ -447,8 +518,8 @@ def validate_qlog(path):
 
 def main():
     if len(sys.argv) != 3 or sys.argv[1] not in ("report", "trace", "bench",
-                                                 "shard", "serve", "stats",
-                                                 "qlog"):
+                                                 "shard", "serve", "recost",
+                                                 "stats", "qlog"):
         print(__doc__, file=sys.stderr)
         return 2
     mode, path = sys.argv[1], sys.argv[2]
@@ -470,6 +541,7 @@ def main():
               "bench": validate_bench,
               "shard": validate_shard,
               "serve": validate_serve,
+              "recost": validate_recost,
               "stats": validate_stats}[mode](doc)
     print(result)
     return 0
