@@ -4,6 +4,7 @@
 //! silkroute tree        [OPTS] VIEW     labeled view tree + derived DTD
 //! silkroute sql         [OPTS] VIEW     the SQL queries a plan generates
 //! silkroute materialize [OPTS] VIEW     write the XML document
+//! silkroute query       [OPTS] VIEW     run an XPath over the virtual view
 //! silkroute plan        [OPTS] VIEW     run the greedy planner (genPlan)
 //! silkroute bench       [OPTS] VIEW     time the canonical plans
 //! silkroute serve       [OPTS]          run the multi-client TCP front-end
@@ -17,7 +18,13 @@
 //!                            | edges:<bits>              [default greedy]
 //!       --style <s>          outer-join | outer-union | with  [default outer-join]
 //!       --no-reduce          disable view-tree reduction
-//!       --out <file>         write the document to a file (materialize)
+//!       --xpath PATH         XPath over the virtual view: prune the view
+//!                            tree to the subtrees the path touches and
+//!                            push predicates into the component SQL
+//!                            (query: required; client: optional). Grammar
+//!                            and semantics in docs/VIRTUAL_VIEWS.md.
+//!       --out <file>         write the document to a file (materialize,
+//!                            query)
 //!       --pretty             indent the XML output (materialize)
 //!       --explain            print a per-stream cost table to stderr
 //!                            (materialize)
@@ -109,6 +116,7 @@ struct Opts {
     plan: String,
     style: String,
     reduce: bool,
+    xpath: Option<String>,
     out: Option<String>,
     pretty: bool,
     explain: bool,
@@ -139,8 +147,8 @@ struct Opts {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: silkroute <tree|sql|materialize|plan|bench|serve|client|stats|top> [--mb N] \
-         [--plan SPEC] [--no-reduce] [--out FILE] [--pretty] [--explain] \
+        "usage: silkroute <tree|sql|materialize|query|plan|bench|serve|client|stats|top> [--mb N] \
+         [--plan SPEC] [--no-reduce] [--xpath PATH] [--out FILE] [--pretty] [--explain] \
          [--metrics-json] [--analyze] [--trace FILE] [--fault SPEC] [--fault-seed N] \
          [--retries N] [--shards N|auto] [--exec tuple|vectorized] \
          [--fragment-cache BYTES] \
@@ -165,6 +173,7 @@ fn parse_args() -> Result<Opts, ExitCode> {
         plan: "greedy".into(),
         style: "outer-join".into(),
         reduce: true,
+        xpath: None,
         out: None,
         pretty: false,
         explain: false,
@@ -200,6 +209,7 @@ fn parse_args() -> Result<Opts, ExitCode> {
             "--plan" => opts.plan = args.next().ok_or_else(usage)?,
             "--style" => opts.style = args.next().ok_or_else(usage)?,
             "--no-reduce" => opts.reduce = false,
+            "--xpath" => opts.xpath = Some(args.next().ok_or_else(usage)?),
             "--out" => opts.out = Some(args.next().ok_or_else(usage)?),
             "--pretty" => opts.pretty = true,
             "--explain" => opts.explain = true,
@@ -525,8 +535,9 @@ fn run_client(opts: &Opts) -> Result<(), String> {
     };
     // `greedy` goes over the wire as-is: the server plans it through its
     // shared re-coster, so repeated requests benefit from learned actuals.
+    // An --xpath rides along and is composed server-side against the view.
     let result = client
-        .query(format, view, opts.plan.as_str())
+        .query_with_xpath(format, view, opts.plan.as_str(), opts.xpath.as_deref())
         .map_err(fmt)?;
     match format {
         sr_serve::Format::Xml => match &opts.out {
@@ -777,6 +788,62 @@ fn run() -> Result<(), String> {
                     stats.tuples,
                     sqls.len()
                 );
+            }
+        }
+        "query" => {
+            let xpath = opts
+                .xpath
+                .as_deref()
+                .ok_or("`query` needs --xpath <path> (e.g. --xpath '/supplier/name')")?;
+            // Catch bad --plan / --style input before any SQL runs; the
+            // closure below re-resolves against the *pruned* tree, whose
+            // edge set is what the plan actually partitions.
+            resolve_plan(&opts, &tree, &server)?;
+            let sink: Box<dyn std::io::Write> = match &opts.out {
+                Some(path) => Box::new(std::io::BufWriter::new(
+                    std::fs::File::create(path).map_err(|e| e.to_string())?,
+                )),
+                None => Box::new(std::io::stdout().lock()),
+            };
+            let (outcome, mut sink) = silkroute::query_view(
+                &tree,
+                &server,
+                xpath,
+                |pruned| {
+                    resolve_plan(&opts, pruned, &server).unwrap_or_else(|e| {
+                        eprintln!("note: planning the pruned tree failed ({e}); using unified");
+                        PlanSpec {
+                            edges: EdgeSet::full(pruned),
+                            reduce: opts.reduce,
+                            style: QueryStyle::OuterJoin,
+                        }
+                    })
+                },
+                sink,
+            )
+            .map_err(|e| e.to_string())?;
+            sink.flush().map_err(|e| e.to_string())?;
+            match &outcome.materialization {
+                Some(m) => {
+                    if opts.explain {
+                        eprint!("\n{}", m.report.render_explain());
+                    }
+                    eprintln!(
+                        "\nxpath {xpath}: pruned {} of {} view node(s); \
+                         {} element(s) / {} byte(s) from {} tuple(s) over {} stream(s)",
+                        outcome.pruned_nodes,
+                        outcome.pruned_nodes + outcome.retained_nodes,
+                        m.stats.elements,
+                        m.stats.bytes,
+                        m.stats.tuples,
+                        m.streams
+                    );
+                }
+                None => eprintln!(
+                    "\nxpath {xpath}: statically empty — all {} view node(s) pruned, \
+                     no SQL executed",
+                    outcome.pruned_nodes
+                ),
             }
         }
         "plan" => {

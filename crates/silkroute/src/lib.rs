@@ -37,6 +37,7 @@ pub mod config;
 pub mod experiment;
 pub mod materialize;
 pub mod queries;
+pub mod query;
 pub mod report;
 
 pub use config::{calibrated_params, Config};
@@ -48,6 +49,7 @@ pub use materialize::{
     materialize_to_string, Materialization,
 };
 pub use queries::{query1, query1_tree, query2, query2_tree, QUERY1_RXL, QUERY2_RXL};
+pub use query::{query_view, query_view_to_string, QueryError, QueryOutcome};
 pub use report::{MaterializeReport, StreamReport};
 
 pub use sr_data as data;
@@ -59,6 +61,7 @@ pub use sr_sqlgen as sqlgen;
 pub use sr_tagger as tagger;
 pub use sr_tpch as tpch;
 pub use sr_viewtree as viewtree;
+pub use sr_xpath as xpath;
 
 pub use sr_engine::Server;
 pub use sr_plan::{gen_plan, CostParams, Oracle};

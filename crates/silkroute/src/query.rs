@@ -1,0 +1,128 @@
+//! Ad-hoc XPath queries over the **virtual** XML view (paper §7): compose
+//! the path with the view definition, prune the view tree to what the path
+//! touches, push predicates into the rule bodies, and run the ordinary
+//! materialization pipeline over the pruned tree — so a selective query
+//! ships a few small SQL queries instead of materializing the world.
+
+use std::fmt;
+use std::io::Write;
+
+use sr_engine::Server;
+use sr_sqlgen::PlanSpec;
+use sr_tagger::TagError;
+use sr_viewtree::ViewTree;
+use sr_xpath::{ComposeError, XPathError};
+
+use crate::materialize::{materialize, Materialization};
+
+/// Why a virtual-view query failed.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The XPath text did not parse.
+    Parse(XPathError),
+    /// The path parsed but cannot be composed with this view.
+    Compose(ComposeError),
+    /// The pruned materialization failed downstream.
+    Tag(TagError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::Compose(e) => write!(f, "{e}"),
+            QueryError::Tag(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<XPathError> for QueryError {
+    fn from(e: XPathError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+
+impl From<TagError> for QueryError {
+    fn from(e: TagError) -> Self {
+        QueryError::Tag(e)
+    }
+}
+
+/// Outcome of a virtual-view query.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// The pruned-tree materialization; `None` when the path statically
+    /// matches nothing (the document is empty, no SQL ran).
+    pub materialization: Option<Materialization>,
+    /// View-tree nodes pruned away by the path.
+    pub pruned_nodes: usize,
+    /// View-tree nodes retained (the pruned tree's size).
+    pub retained_nodes: usize,
+}
+
+/// Run `xpath` against the virtual view defined by `tree`, writing the
+/// result document (the matched subtrees in their ancestor context) to
+/// `out`. `plan` picks the execution plan *for the pruned tree* — e.g.
+/// `PlanSpec::unified` or `|_| PlanSpec::fully_partitioned()`.
+///
+/// Bumps `query.view_hits` and `query.pruned_nodes` on the server's
+/// metrics registry.
+pub fn query_view<W: Write>(
+    tree: &ViewTree,
+    server: &Server,
+    xpath: &str,
+    plan: impl FnOnce(&ViewTree) -> PlanSpec,
+    out: W,
+) -> Result<(QueryOutcome, W), QueryError> {
+    let path = sr_xpath::parse(xpath)?;
+    server.metrics().counter("query.view_hits").inc();
+    let composed = match sr_xpath::compose(tree, &path) {
+        Ok(c) => c,
+        Err(ComposeError::NoMatch) => {
+            // Statically empty result: a valid query whose document filter
+            // keeps nothing. No SQL runs.
+            server
+                .metrics()
+                .counter("query.pruned_nodes")
+                .add(tree.nodes.len() as u64);
+            return Ok((
+                QueryOutcome {
+                    materialization: None,
+                    pruned_nodes: tree.nodes.len(),
+                    retained_nodes: 0,
+                },
+                out,
+            ));
+        }
+        Err(e) => return Err(QueryError::Compose(e)),
+    };
+    server
+        .metrics()
+        .counter("query.pruned_nodes")
+        .add(composed.pruned_nodes as u64);
+    let spec = plan(&composed.tree);
+    let (m, out) = materialize(&composed.tree, server, spec, out)?;
+    Ok((
+        QueryOutcome {
+            materialization: Some(m),
+            pruned_nodes: composed.pruned_nodes,
+            retained_nodes: composed.tree.nodes.len(),
+        },
+        out,
+    ))
+}
+
+/// [`query_view`] into a `String` (convenience for tests and the CLI).
+pub fn query_view_to_string(
+    tree: &ViewTree,
+    server: &Server,
+    xpath: &str,
+    plan: impl FnOnce(&ViewTree) -> PlanSpec,
+) -> Result<(QueryOutcome, String), QueryError> {
+    let (o, bytes) = query_view(tree, server, xpath, plan, Vec::new())?;
+    let s = String::from_utf8(bytes)
+        .map_err(|e| QueryError::Tag(TagError::Structure(format!("non-utf8 output: {e}"))))?;
+    Ok((o, s))
+}

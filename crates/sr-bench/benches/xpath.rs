@@ -1,0 +1,207 @@
+//! Virtual-view XPath queries (paper §7) vs full materialization.
+//!
+//! Each path is composed against Query 1's view, pruning the view tree to
+//! the subtrees the path touches and pushing its predicates into the
+//! component SQL; the pruned tree then runs under the fully partitioned
+//! plan (one query per retained node), so both the component-query count
+//! and the SQL result bytes shipped from the server shrink with the
+//! selectivity of the path. The baseline is the same view fully
+//! materialized under the same plan shape.
+//!
+//! The headline is the **acceptance point**: a path selecting a single
+//! part's orders must execute strictly fewer component queries than the
+//! full materialization and ship at least 5x fewer bytes of SQL results.
+//!
+//! Set `SR_BENCH_QUICK=1` for a CI-sized run (small scale, fewer timing
+//! iterations). Results land in `target/bench-results/BENCH_xpath.json`;
+//! validate with `scripts/validate_machine_output.py xpath <file>`.
+
+use silkroute::{materialize_to_string, query_view, Config, Materialization, PlanSpec};
+use sr_obs::Json;
+use sr_tpch::Scale;
+
+/// Timed runs per path; bytes and stream counts are deterministic, so the
+/// iterations only stabilise the wall-clock fields (min is reported).
+const ITERS: usize = 3;
+
+/// What one configuration (full or pruned) measured.
+struct Point {
+    streams: usize,
+    sql_bytes: u64,
+    server_ms: f64,
+    total_ms: f64,
+    doc_bytes: u64,
+}
+
+impl Point {
+    fn from_materialization(m: &Materialization) -> Point {
+        Point {
+            streams: m.streams,
+            sql_bytes: m.report.streams.iter().map(|s| s.bytes).sum(),
+            server_ms: m.report.streams.iter().map(|s| s.server_ms).sum(),
+            total_ms: m.report.total_ms,
+            doc_bytes: m.stats.bytes,
+        }
+    }
+
+    /// Keep the deterministic fields, fold in a faster timing observation.
+    fn fold_min(&mut self, other: &Point) {
+        self.server_ms = self.server_ms.min(other.server_ms);
+        self.total_ms = self.total_ms.min(other.total_ms);
+    }
+
+    fn to_json(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("streams", Json::UInt(self.streams as u64)),
+            ("sql_bytes", Json::UInt(self.sql_bytes)),
+            ("server_ms", Json::Float(self.server_ms)),
+            ("total_ms", Json::Float(self.total_ms)),
+            ("doc_bytes", Json::UInt(self.doc_bytes)),
+        ]
+    }
+}
+
+fn main() {
+    let quick = std::env::var("SR_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let config = if quick {
+        Config {
+            name: "A (quick)",
+            scale: Scale::mb(0.2),
+            timeout: std::time::Duration::from_secs(300),
+        }
+    } else {
+        Config::a()
+    };
+    println!("=== XPath over the virtual view vs full materialization ===\n");
+    let server = sr_bench::setup(&config);
+    let tree = silkroute::query1_tree(server.database());
+
+    // Baseline: the whole view under the fully partitioned plan.
+    let mut full = None::<Point>;
+    let mut full_doc = String::new();
+    for _ in 0..ITERS {
+        let (m, doc) = materialize_to_string(&tree, &server, PlanSpec::fully_partitioned())
+            .expect("full materialization");
+        let p = Point::from_materialization(&m);
+        match &mut full {
+            Some(f) => f.fold_min(&p),
+            None => {
+                full = Some(p);
+                full_doc = doc;
+            }
+        }
+    }
+    let full = full.expect("baseline point");
+    println!(
+        "full      {:>2} stream(s)  {:>9} SQL byte(s)  server {:>8.2} ms  total {:>8.2} ms",
+        full.streams, full.sql_bytes, full.server_ms, full.total_ms
+    );
+
+    // The acceptance path selects one part's orders; harvest a part name
+    // that actually occurs so the predicate is selective but non-empty.
+    let part_name = full_doc
+        .split("<part><name>")
+        .nth(1)
+        .and_then(|s| s.split("</name>").next())
+        .expect("a part name in the full document")
+        .to_string();
+
+    let paths = [
+        ("supplier_names", "/supplier/name".to_string()),
+        ("orders_low_key", "//order[orderkey < 100]".to_string()),
+        (
+            "one_part_orders",
+            format!("/supplier/part[name = \"{part_name}\"]/order"),
+        ),
+    ];
+
+    let mut path_json = Vec::new();
+    let mut acceptance = None;
+    for (name, xpath) in &paths {
+        let mut point = None::<Point>;
+        let mut pruned_nodes = 0usize;
+        let mut retained_nodes = 0usize;
+        for _ in 0..ITERS {
+            let (outcome, _doc) = query_view(
+                &tree,
+                &server,
+                xpath,
+                |_| PlanSpec::fully_partitioned(),
+                Vec::new(),
+            )
+            .expect("xpath query");
+            let m = outcome
+                .materialization
+                .as_ref()
+                .expect("benchmark paths are non-empty");
+            pruned_nodes = outcome.pruned_nodes;
+            retained_nodes = outcome.retained_nodes;
+            let p = Point::from_materialization(m);
+            match &mut point {
+                Some(best) => best.fold_min(&p),
+                None => point = Some(p),
+            }
+        }
+        let p = point.expect("measured point");
+        let stream_reduction = full.streams as f64 / p.streams.max(1) as f64;
+        let byte_reduction = full.sql_bytes as f64 / (p.sql_bytes.max(1)) as f64;
+        println!(
+            "{name:<16} {:>2} stream(s)  {:>9} SQL byte(s)  server {:>8.2} ms  \
+             total {:>8.2} ms  pruned {pruned_nodes}/{}  ({stream_reduction:.1}x \
+             fewer streams, {byte_reduction:.1}x fewer bytes)",
+            p.streams,
+            p.sql_bytes,
+            p.server_ms,
+            p.total_ms,
+            pruned_nodes + retained_nodes,
+        );
+        let mut fields = vec![
+            ("name", Json::Str(name.to_string())),
+            ("xpath", Json::Str(xpath.clone())),
+            ("pruned_nodes", Json::UInt(pruned_nodes as u64)),
+            ("retained_nodes", Json::UInt(retained_nodes as u64)),
+        ];
+        fields.extend(p.to_json());
+        fields.push(("stream_reduction", Json::Float(stream_reduction)));
+        fields.push(("byte_reduction", Json::Float(byte_reduction)));
+        path_json.push(Json::obj(fields));
+        if *name == "one_part_orders" {
+            acceptance = Some((p.streams, stream_reduction, byte_reduction));
+        }
+    }
+
+    let (acc_streams, acc_stream_red, acc_byte_red) = acceptance.expect("acceptance path measured");
+    println!(
+        "\nacceptance (one_part_orders): {acc_streams} vs {} stream(s), \
+         {acc_byte_red:.1}x fewer SQL result bytes (bar 5x)",
+        full.streams
+    );
+
+    let mut full_fields = vec![("plan", Json::Str("partitioned".to_string()))];
+    full_fields.extend(full.to_json());
+    let json = Json::obj(vec![
+        ("bench", Json::Str("xpath".to_string())),
+        ("config", Json::Str(config.name.to_string())),
+        ("quick", Json::Bool(quick)),
+        ("scale_mb", Json::Float(config.scale.mb)),
+        ("view", Json::Str("query1".to_string())),
+        ("iters", Json::UInt(ITERS as u64)),
+        ("full", Json::obj(full_fields)),
+        ("paths", Json::Arr(path_json)),
+        (
+            "acceptance",
+            Json::obj(vec![
+                ("path", Json::Str("one_part_orders".to_string())),
+                ("stream_reduction", Json::Float(acc_stream_red)),
+                ("byte_reduction", Json::Float(acc_byte_red)),
+            ]),
+        ),
+    ]);
+    let dir = std::path::Path::new("target/bench-results");
+    std::fs::create_dir_all(dir).expect("create bench-results dir");
+    let path = dir.join("BENCH_xpath.json");
+    std::fs::write(&path, json.render_pretty() + "\n").expect("write BENCH_xpath.json");
+    println!("(machine-readable results written to {})", path.display());
+}

@@ -22,6 +22,6 @@ pub mod validate;
 
 pub use ast::{Binding, Block, Condition, Content, Element, Operand, RxlCmp, RxlQuery, SkolemTerm};
 pub use lexer::RxlError;
-pub use parser::parse;
+pub use parser::{parse, MAX_NESTING_DEPTH};
 pub use pretty::pretty;
 pub use validate::validate;

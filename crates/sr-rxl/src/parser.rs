@@ -28,15 +28,30 @@ use crate::lexer::{lex, RxlError, Spanned, Token};
 /// ```
 pub fn parse(src: &str) -> Result<RxlQuery, RxlError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let root = p.block()?;
     p.expect_eof()?;
     Ok(RxlQuery { root })
 }
 
+/// Maximum element/block nesting depth. The parser is recursive-descent, so
+/// each nesting level consumes stack frames; `serve` feeds it inline RXL
+/// from untrusted clients, and a deeply nested `<a><a><a>…` must come back
+/// as a typed parse error (wire code BAD_QUERY), never a stack overflow.
+/// Real views are a handful of levels deep; 128 is far above any legitimate
+/// query and far below stack exhaustion.
+pub const MAX_NESTING_DEPTH: usize = 128;
+
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    /// Current element/block recursion depth, guarded by
+    /// [`MAX_NESTING_DEPTH`].
+    depth: usize,
 }
 
 impl Parser {
@@ -104,7 +119,25 @@ impl Parser {
         }
     }
 
+    /// Bump the recursion depth, failing with a typed error at the limit.
+    fn enter(&mut self) -> Result<(), RxlError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(self.err(format!(
+                "query nested deeper than {MAX_NESTING_DEPTH} levels"
+            )));
+        }
+        Ok(())
+    }
+
     fn block(&mut self) -> Result<Block, RxlError> {
+        self.enter()?;
+        let r = self.block_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn block_inner(&mut self) -> Result<Block, RxlError> {
         let mut bindings = Vec::new();
         if self.eat_kw("from") {
             loop {
@@ -175,6 +208,13 @@ impl Parser {
     }
 
     fn element(&mut self) -> Result<Element, RxlError> {
+        self.enter()?;
+        let r = self.element_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn element_inner(&mut self) -> Result<Element, RxlError> {
         self.expect(Token::LAngle)?;
         let tag = self.ident()?;
         let skolem = if self.at_kw("ID") {
@@ -345,6 +385,42 @@ mod tests {
     #[test]
     fn trailing_garbage_rejected() {
         assert!(parse("from Region $r construct <a/> extra").is_err());
+    }
+
+    #[test]
+    fn deep_element_nesting_is_typed_error_not_overflow() {
+        // 100k unclosed <a> elements: with no guard this overflows the
+        // stack; with the guard it must be a typed error at the limit.
+        let src = format!("construct {}", "<a>".repeat(100_000));
+        let err = parse(&src).unwrap_err();
+        assert!(err.message.contains("nested deeper"), "{}", err.message);
+    }
+
+    #[test]
+    fn deep_block_nesting_is_typed_error_not_overflow() {
+        let mut src = String::from("construct ");
+        for _ in 0..100_000 {
+            src.push_str("<a>{ construct ");
+        }
+        let err = parse(&src).unwrap_err();
+        assert!(err.message.contains("nested deeper"), "{}", err.message);
+    }
+
+    #[test]
+    fn nesting_below_limit_still_parses() {
+        // Balanced nesting just below the limit parses fine — the guard
+        // must not reject legitimate (if ugly) queries.
+        let depth = 64;
+        let mut src = String::from("from Region $r construct ");
+        for _ in 0..depth {
+            src.push_str("<a>");
+        }
+        src.push_str("$r.name");
+        for _ in 0..depth {
+            src.push_str("</a>");
+        }
+        let q = parse(&src).unwrap();
+        assert_eq!(q.element_count(), depth);
     }
 
     #[test]

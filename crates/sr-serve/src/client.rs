@@ -126,10 +126,23 @@ impl Client {
         view: ViewRef,
         plan: &str,
     ) -> Result<QueryResult, ClientError> {
+        self.query_with_xpath(format, view, plan, None)
+    }
+
+    /// Submit a query, optionally restricted by an XPath over the virtual
+    /// view, and collect the entire response.
+    pub fn query_with_xpath(
+        &mut self,
+        format: Format,
+        view: ViewRef,
+        plan: &str,
+        xpath: Option<&str>,
+    ) -> Result<QueryResult, ClientError> {
         self.send(&Request::Query {
             format,
             view,
             plan: plan.into(),
+            xpath: xpath.map(String::from),
         })?;
         let mut document = Vec::new();
         let mut streams: Vec<Vec<u8>> = Vec::new();
@@ -165,6 +178,16 @@ impl Client {
     /// Materialize a view as XML.
     pub fn materialize(&mut self, view: ViewRef, plan: &str) -> Result<QueryResult, ClientError> {
         self.query(Format::Xml, view, plan)
+    }
+
+    /// Run an XPath over the virtual view and collect the result document.
+    pub fn query_xpath(
+        &mut self,
+        view: ViewRef,
+        plan: &str,
+        xpath: &str,
+    ) -> Result<QueryResult, ClientError> {
+        self.query_with_xpath(Format::Xml, view, plan, Some(xpath))
     }
 
     /// Fetch the raw component tuple streams.

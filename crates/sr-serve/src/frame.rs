@@ -121,6 +121,12 @@ pub enum Request {
         /// `edges:<bits>`, as the CLI's `--plan` flag (greedy planning is
         /// an offline decision and is not accepted over the wire).
         plan: String,
+        /// Optional XPath to run against the **virtual** view: the view
+        /// tree is pruned to what the path touches before planning, so a
+        /// selective path ships a fraction of the full document. `None`
+        /// materializes the whole view; encoded as the original
+        /// `OP_QUERY` frame, so pre-XPath peers interoperate unchanged.
+        xpath: Option<String>,
     },
     /// Liveness probe; answered with [`Response::Pong`].
     Ping,
@@ -154,6 +160,12 @@ pub enum ErrorCode {
     Timeout,
     /// An engine invariant broke (isolated panic, truncated stream).
     Internal,
+    /// The query *text* shipped with the request was rejected: inline RXL
+    /// that fails to parse (including the nesting-depth guard) or an
+    /// XPath that fails to parse or compose with the view. Distinct from
+    /// [`ErrorCode::Engine`] so clients can tell "my query is bad" from
+    /// "the server failed to run a good query".
+    BadQuery,
 }
 
 impl ErrorCode {
@@ -166,6 +178,7 @@ impl ErrorCode {
             ErrorCode::Cancelled => 5,
             ErrorCode::Timeout => 6,
             ErrorCode::Internal => 7,
+            ErrorCode::BadQuery => 8,
         }
     }
 
@@ -178,6 +191,7 @@ impl ErrorCode {
             5 => ErrorCode::Cancelled,
             6 => ErrorCode::Timeout,
             7 => ErrorCode::Internal,
+            8 => ErrorCode::BadQuery,
             _ => return None,
         })
     }
@@ -193,6 +207,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Cancelled => "CANCELLED",
             ErrorCode::Timeout => "TIMEOUT",
             ErrorCode::Internal => "INTERNAL",
+            ErrorCode::BadQuery => "BAD_QUERY",
         };
         f.write_str(s)
     }
@@ -259,6 +274,7 @@ const OP_PING: u8 = 0x02;
 const OP_CANCEL: u8 = 0x03;
 const OP_SHUTDOWN: u8 = 0x04;
 const OP_STATS: u8 = 0x05;
+const OP_QUERY_XPATH: u8 = 0x06;
 const OP_CHUNK: u8 = 0x81;
 const OP_DONE: u8 = 0x82;
 const OP_ERROR: u8 = 0x83;
@@ -340,7 +356,12 @@ impl Request {
     /// Encode into a complete frame (length prefix included).
     pub fn encode(&self) -> Vec<u8> {
         let (opcode, payload) = match self {
-            Request::Query { format, view, plan } => {
+            Request::Query {
+                format,
+                view,
+                plan,
+                xpath,
+            } => {
                 let mut p = Vec::new();
                 p.push(match format {
                     Format::Xml => 0u8,
@@ -357,7 +378,13 @@ impl Request {
                     }
                 }
                 put_string(&mut p, plan);
-                (OP_QUERY, p)
+                match xpath {
+                    None => (OP_QUERY, p),
+                    Some(path) => {
+                        put_string(&mut p, path);
+                        (OP_QUERY_XPATH, p)
+                    }
+                }
             }
             Request::Ping => (OP_PING, Vec::new()),
             Request::Cancel => (OP_CANCEL, Vec::new()),
@@ -375,7 +402,7 @@ impl Request {
             opcode,
         };
         let req = match opcode {
-            OP_QUERY => {
+            OP_QUERY | OP_QUERY_XPATH => {
                 let format = match c.u8()? {
                     0 => Format::Xml,
                     1 => Format::Tuples,
@@ -387,7 +414,17 @@ impl Request {
                     v => return Err(c.bad(format!("unknown view kind {v}"))),
                 };
                 let plan = c.string()?;
-                Request::Query { format, view, plan }
+                let xpath = if opcode == OP_QUERY_XPATH {
+                    Some(c.string()?)
+                } else {
+                    None
+                };
+                Request::Query {
+                    format,
+                    view,
+                    plan,
+                    xpath,
+                }
             }
             OP_PING => Request::Ping,
             OP_CANCEL => Request::Cancel,
@@ -583,11 +620,19 @@ mod tests {
                 format: Format::Xml,
                 view: ViewRef::Named("query1".into()),
                 plan: "unified".into(),
+                xpath: None,
             },
             Request::Query {
                 format: Format::Tuples,
                 view: ViewRef::Rxl("from Supplier $s construct <s/>".into()),
                 plan: "edges:5".into(),
+                xpath: None,
+            },
+            Request::Query {
+                format: Format::Xml,
+                view: ViewRef::Named("query1".into()),
+                plan: "partitioned".into(),
+                xpath: Some("/supplier[name = \"x\"]/part".into()),
             },
             Request::Ping,
             Request::Cancel,
@@ -707,10 +752,31 @@ mod tests {
             ErrorCode::Cancelled,
             ErrorCode::Timeout,
             ErrorCode::Internal,
+            ErrorCode::BadQuery,
         ] {
             assert_eq!(ErrorCode::from_u8(code.to_u8()), Some(code));
         }
         assert_eq!(ErrorCode::from_u8(0), None);
-        assert_eq!(ErrorCode::from_u8(8), None);
+        assert_eq!(ErrorCode::from_u8(9), None);
+    }
+
+    #[test]
+    fn plain_query_stays_on_the_original_opcode() {
+        // Wire compatibility: a query without an XPath must encode exactly
+        // as it did before the virtual-view extension.
+        let req = Request::Query {
+            format: Format::Xml,
+            view: ViewRef::Named("query1".into()),
+            plan: "unified".into(),
+            xpath: None,
+        };
+        assert_eq!(req.encode()[4], OP_QUERY);
+        let with_path = Request::Query {
+            format: Format::Xml,
+            view: ViewRef::Named("query1".into()),
+            plan: "unified".into(),
+            xpath: Some("//part".into()),
+        };
+        assert_eq!(with_path.encode()[4], OP_QUERY_XPATH);
     }
 }

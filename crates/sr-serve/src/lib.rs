@@ -35,7 +35,7 @@ pub use frame::{
     read_frame, read_request, read_response, DoneStats, ErrorCode, Format, ProtoError, RawFrame,
     Request, Response, ViewRef, DOC_CHANNEL, MAX_FRAME_LEN,
 };
-pub use pipeline::{CancelRegistry, PipelineError, RunStats, ViewCatalog};
+pub use pipeline::{CancelRegistry, PipelineError, RunStats, ViewCatalog, XPathResolution};
 pub use qlog::{QlogRecord, QueryLog};
 pub use server::{serve, ServeConfig, ServeHandle};
 pub use stats::{prometheus_text, ClientStat, QlogStat, StatsSources, STATS_PROTO};

@@ -108,14 +108,66 @@ pub fn resolve_view(
             )
         }),
         ViewRef::Rxl(src) => {
+            // Inline source is untrusted client input: anything wrong with
+            // the *text* — including tripping the parser's nesting-depth
+            // guard — is the client's BAD_QUERY, not a server-side Engine
+            // failure.
             let q = sr_rxl::parse(src).map_err(|e| {
-                PipelineError::typed(ErrorCode::Engine, format!("parse error: {e}"))
+                PipelineError::typed(ErrorCode::BadQuery, format!("parse error: {e}"))
             })?;
             let tree = sr_viewtree::build(&q, db).map_err(|e| {
-                PipelineError::typed(ErrorCode::Engine, format!("build error: {e}"))
+                PipelineError::typed(ErrorCode::BadQuery, format!("build error: {e}"))
             })?;
             Ok(Arc::new(tree))
         }
+    }
+}
+
+/// What composing a request's XPath with its view produced.
+pub enum XPathResolution {
+    /// No XPath on the request: materialize the full view.
+    Full(Arc<ViewTree>),
+    /// The view tree pruned to what the path touches, predicates pushed
+    /// into the retained rule bodies.
+    Pruned {
+        /// The pruned tree the request plans and runs against.
+        tree: Arc<ViewTree>,
+        /// Nodes the path pruned away (for `query.pruned_nodes`).
+        pruned_nodes: usize,
+    },
+    /// The path statically matches nothing: the response is an empty
+    /// document and no SQL runs at all.
+    Empty {
+        /// The whole view counts as pruned.
+        pruned_nodes: usize,
+    },
+}
+
+/// Compose the request's optional XPath with the resolved view. Path text
+/// that fails to parse, or a path the composer cannot push into this view
+/// (predicate across a `*`/`+` edge, multi-node step, …) is the client's
+/// [`ErrorCode::BadQuery`].
+pub fn resolve_xpath(
+    tree: Arc<ViewTree>,
+    xpath: Option<&str>,
+) -> Result<XPathResolution, PipelineError> {
+    let Some(src) = xpath else {
+        return Ok(XPathResolution::Full(tree));
+    };
+    let path = sr_xpath::parse(src)
+        .map_err(|e| PipelineError::typed(ErrorCode::BadQuery, format!("xpath error: {e}")))?;
+    match sr_xpath::compose(&tree, &path) {
+        Ok(c) => Ok(XPathResolution::Pruned {
+            pruned_nodes: c.pruned_nodes,
+            tree: Arc::new(c.tree),
+        }),
+        Err(sr_xpath::ComposeError::NoMatch) => Ok(XPathResolution::Empty {
+            pruned_nodes: tree.nodes.len(),
+        }),
+        Err(e) => Err(PipelineError::typed(
+            ErrorCode::BadQuery,
+            format!("xpath error: {e}"),
+        )),
     }
 }
 

@@ -40,6 +40,9 @@ pub struct QlogRecord {
     pub view: String,
     /// The plan spec string as submitted.
     pub plan: String,
+    /// The XPath run against the virtual view, empty for a full
+    /// materialization.
+    pub xpath: String,
     /// `xml` or `tuples`.
     pub format: Format,
     /// Engine execution mode (`tuple` / `vectorized`).
@@ -90,6 +93,7 @@ impl QlogRecord {
             ("client", Json::UInt(self.client)),
             ("view", Json::Str(self.view.clone())),
             ("plan", Json::Str(self.plan.clone())),
+            ("xpath", Json::Str(self.xpath.clone())),
             (
                 "format",
                 Json::Str(
@@ -219,6 +223,7 @@ mod tests {
             client: 1,
             view: "query1".into(),
             plan: "unified".into(),
+            xpath: String::new(),
             format: Format::Xml,
             exec_mode: "tuple".into(),
             shards: 1,

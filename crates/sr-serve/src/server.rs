@@ -31,8 +31,8 @@ use sr_plan::{RecostConfig, Recoster};
 use crate::admit::{Admission, AdmitConfig};
 use crate::frame::{ErrorCode, Format, ProtoError, Request, Response, ViewRef, MAX_FRAME_LEN};
 use crate::pipeline::{
-    resolve_plan, resolve_view, run_query, CancelRegistry, PipelineError, RecostContext,
-    ViewCatalog,
+    resolve_plan, resolve_view, resolve_xpath, run_query, CancelRegistry, PipelineError,
+    RecostContext, RunStats, ViewCatalog, XPathResolution,
 };
 use crate::qlog::{QlogRecord, QueryLog};
 use crate::stats::{self, ClientStat, StatsSources};
@@ -481,8 +481,13 @@ fn handler_loop(
                 let _ = send(sock, &Response::Goodbye);
                 return;
             }
-            Ok(ConnEvent::Request(Request::Query { format, view, plan })) => {
-                if !handle_query(sock, shared, cancels, client_id, format, view, plan) {
+            Ok(ConnEvent::Request(Request::Query {
+                format,
+                view,
+                plan,
+                xpath,
+            })) => {
+                if !handle_query(sock, shared, cancels, client_id, format, view, plan, xpath) {
                     return;
                 }
             }
@@ -548,6 +553,7 @@ fn handle_query(
     format: Format,
     view: ViewRef,
     plan: String,
+    xpath: Option<String>,
 ) -> bool {
     shared.metrics.counter("serve.requests").inc();
     let seq = shared.request_seq.fetch_add(1, Ordering::SeqCst);
@@ -568,6 +574,7 @@ fn handle_query(
             ViewRef::Rxl(src) => format!("rxl:{}", src.len()),
         },
         plan: plan.clone(),
+        xpath: xpath.clone().unwrap_or_default(),
         format,
         exec_mode: shared.engine.exec_mode().to_string(),
         shards: shared.engine.shards() as u64,
@@ -621,8 +628,45 @@ fn handle_query(
         ViewRef::Named(n) => n.clone(),
         ViewRef::Rxl(src) => format!("rxl:{src}"),
     };
+    // An XPath query plans (and feeds back) against the *pruned* tree — a
+    // different shape with its own edge set, so it must not share a greedy
+    // plan-cache entry with the full view.
+    let view_key = match &xpath {
+        Some(p) => format!("{view_key}#xpath:{p}"),
+        None => view_key,
+    };
     let exec_started = Instant::now();
     let outcome = resolve_view(&shared.catalog, shared.engine.database(), &view).and_then(|tree| {
+        let tree = match resolve_xpath(tree, xpath.as_deref())? {
+            XPathResolution::Full(tree) => tree,
+            XPathResolution::Pruned { tree, pruned_nodes } => {
+                shared.metrics.counter("query.view_hits").inc();
+                shared
+                    .metrics
+                    .counter("query.pruned_nodes")
+                    .add(pruned_nodes as u64);
+                tree
+            }
+            XPathResolution::Empty { pruned_nodes } => {
+                // Statically empty document: nothing to plan or run.
+                shared.metrics.counter("query.view_hits").inc();
+                shared
+                    .metrics
+                    .counter("query.pruned_nodes")
+                    .add(pruned_nodes as u64);
+                return Ok(RunStats {
+                    done: crate::frame::DoneStats {
+                        elapsed_us: exec_started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+                        ..Default::default()
+                    },
+                    plan_ms: ms_since(exec_started),
+                    encode_ms: 0.0,
+                    cache_hit: false,
+                    sqls: Vec::new(),
+                    per_stream_rows: Vec::new(),
+                });
+            }
+        };
         let recost = RecostContext {
             recoster: &shared.recoster,
             view_key: &view_key,

@@ -29,9 +29,23 @@ fn view_strategy() -> impl Strategy<Value = ViewRef> {
 }
 
 fn request_strategy() -> impl Strategy<Value = Request> {
+    let xpath = prop_oneof![
+        Just(None),
+        "[a-z/*\\[\\]=<>!. \"#0-9-]{1,40}".prop_map(Some),
+    ];
     prop_oneof![
-        (format_strategy(), view_strategy(), "[a-z0-9:-]{0,20}")
-            .prop_map(|(format, view, plan)| Request::Query { format, view, plan }),
+        (
+            format_strategy(),
+            view_strategy(),
+            "[a-z0-9:-]{0,20}",
+            xpath
+        )
+            .prop_map(|(format, view, plan, xpath)| Request::Query {
+                format,
+                view,
+                plan,
+                xpath,
+            }),
         Just(Request::Ping),
         Just(Request::Cancel),
         Just(Request::Shutdown),
@@ -47,6 +61,7 @@ fn error_code_strategy() -> impl Strategy<Value = ErrorCode> {
         Just(ErrorCode::Cancelled),
         Just(ErrorCode::Timeout),
         Just(ErrorCode::Internal),
+        Just(ErrorCode::BadQuery),
     ]
 }
 
@@ -210,6 +225,78 @@ fn malformed_corpus_yields_typed_errors_and_server_survives() {
     c.ping()
         .expect("server still answers after malformed corpus");
     drop(c);
+
+    handle.shutdown();
+}
+
+/// Hostile *query text* (as opposed to hostile frames): inline RXL nested
+/// deep enough to blow an unguarded recursive-descent parser's stack, and
+/// XPath text that fails to parse or compose. All of it must come back as
+/// a typed BAD_QUERY error frame — never a crash — and the connection
+/// stays usable afterwards (a bad query is not a protocol violation).
+#[test]
+fn hostile_query_text_yields_bad_query_not_crash() {
+    let (handle, _engine) = spawn_server();
+    let mut c = Client::connect(handle.local_addr()).expect("connect");
+    c.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .expect("timeout");
+
+    let expect_bad_query = |c: &mut Client, view: ViewRef, xpath: Option<&str>, what: &str| match c
+        .query_with_xpath(Format::Xml, view, "unified", xpath)
+    {
+        Err(sr_serve::ClientError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::BadQuery, "{what}: wrong error code");
+        }
+        other => panic!("{what}: expected BAD_QUERY, got {other:?}"),
+    };
+
+    // Fuzz-style nesting bomb: 20k unclosed elements of inline RXL. The
+    // parser's depth guard must turn this into a typed error long before
+    // the recursion can overflow the handler thread's stack.
+    let bomb = "<a>".repeat(20_000);
+    expect_bad_query(&mut c, ViewRef::Rxl(bomb), None, "element nesting bomb");
+    let block_bomb = "from Supplier $s construct ".to_string() + &"<a>{ construct ".repeat(20_000);
+    expect_bad_query(&mut c, ViewRef::Rxl(block_bomb), None, "block nesting bomb");
+
+    // Ordinary RXL that just doesn't parse.
+    expect_bad_query(
+        &mut c,
+        ViewRef::Rxl("from construct".into()),
+        None,
+        "rxl parse",
+    );
+
+    let view = "from Supplier $s construct <supplier><name>$s.name</name>\
+                { from PartSupp $ps where $s.suppkey = $ps.suppkey \
+                  construct <part>$ps.partkey</part> }</supplier>";
+
+    // XPath that doesn't parse (no leading axis), overlong, or that the
+    // composer rejects (predicate across a `*` edge).
+    expect_bad_query(
+        &mut c,
+        ViewRef::Rxl(view.into()),
+        Some("supplier"),
+        "xpath parse",
+    );
+    let deep = "/a".repeat(1_000);
+    expect_bad_query(
+        &mut c,
+        ViewRef::Rxl(view.into()),
+        Some(&deep),
+        "xpath too many steps",
+    );
+    expect_bad_query(
+        &mut c,
+        ViewRef::Rxl(view.into()),
+        Some("/supplier[part = 3]"),
+        "xpath compose",
+    );
+
+    // Same connection, well-formed query: still served.
+    let ok = c
+        .query_xpath(ViewRef::Rxl(view.into()), "unified", "/supplier/name")
+        .expect("good query after bad ones");
+    assert!(ok.document.starts_with(b"<supplier>"));
 
     handle.shutdown();
 }

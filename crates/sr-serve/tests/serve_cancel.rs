@@ -71,6 +71,7 @@ fn cancel_frame_aborts_in_flight_query() {
         format: sr_serve::Format::Xml,
         view: view(),
         plan: "unified".into(),
+        xpath: None,
     })
     .expect("send query");
     // Let the worker reach (and sit in) the injected scan delay, then
@@ -120,6 +121,7 @@ fn client_disconnect_aborts_producer_and_frees_slot() {
         format: sr_serve::Format::Xml,
         view: view(),
         plan: "unified".into(),
+        xpath: None,
     })
     .expect("send query");
     std::thread::sleep(Duration::from_millis(120));

@@ -125,6 +125,60 @@ fn concurrent_clients_match_goldens_and_account_resources() {
     handle.shutdown();
 }
 
+/// XPath over the virtual view, served over the wire: for a spread of
+/// representative paths (root, narrow branch, predicate at the root step,
+/// predicate below a `*` edge, statically-empty), the document that comes
+/// back must be byte-identical to the in-process `query_view` result, and
+/// the server must account the pruning in its metrics.
+#[test]
+fn xpath_over_the_wire_matches_in_process_query_view() {
+    let (handle, engine) = spawn_server();
+    let addr = handle.local_addr();
+    let db = Arc::new(sr_tpch::generate(sr_tpch::Scale::mb(SCALE_MB)).expect("tpch"));
+    let local = silkroute::Server::new(Arc::clone(&db));
+    let tree = query1_tree(&db);
+
+    let paths = [
+        "/supplier",
+        "/supplier/name",
+        "/supplier/part",
+        "//order[orderkey < 300]",
+        "/supplier[name = \"Supplier#000000002\"]/part",
+        "//customer",
+        "/widget", // statically empty: Done with zero chunks, no SQL
+    ];
+    let mut c = Client::connect(addr).expect("connect");
+    for p in paths {
+        let (_, want) =
+            silkroute::query_view_to_string(&tree, &local, p, silkroute::PlanSpec::unified)
+                .unwrap_or_else(|e| panic!("in-process {p}: {e}"));
+        let got = c
+            .query_xpath(ViewRef::Named("query1".into()), "unified", p)
+            .unwrap_or_else(|e| panic!("served {p}: {e}"));
+        assert_eq!(
+            got.document,
+            want.as_bytes(),
+            "{p}: served document differs from in-process query_view"
+        );
+        if p == "/widget" {
+            assert_eq!(got.stats.streams, 0, "{p}: empty result runs no SQL");
+        }
+    }
+
+    let snap = engine.metrics().snapshot();
+    assert_eq!(
+        snap.counter("query.view_hits"),
+        paths.len() as u64,
+        "every XPath request counts as a view hit"
+    );
+    assert!(
+        snap.counter("query.pruned_nodes") > 0,
+        "selective paths prune view nodes"
+    );
+
+    handle.shutdown();
+}
+
 /// Tuple mode over the wire: the component stream decodes with the
 /// engine's wire codec and carries the same row count the XML path reports.
 #[test]

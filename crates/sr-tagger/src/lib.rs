@@ -19,4 +19,4 @@ pub use lift::{GlobalLayout, StreamLift};
 pub use tagger::{
     tag_streams, tag_streams_traced, RowSource, StreamInput, StreamTagStats, TagError, TagStats,
 };
-pub use xml::XmlWriter;
+pub use xml::{XmlError, XmlWriter};

@@ -25,7 +25,7 @@ use sr_obs::{TraceSpan, Tracer};
 use sr_viewtree::{NodeContent, NodeId, ReducedComponent, TextSource, ViewTree};
 
 use crate::lift::{GlobalLayout, StreamLift};
-use crate::xml::XmlWriter;
+use crate::xml::{XmlError, XmlWriter};
 
 /// Tagger errors.
 #[derive(Debug)]
@@ -63,6 +63,15 @@ impl From<std::io::Error> for TagError {
 impl From<EngineError> for TagError {
     fn from(e: EngineError) -> Self {
         TagError::Engine(e)
+    }
+}
+
+impl From<XmlError> for TagError {
+    fn from(e: XmlError) -> Self {
+        match e {
+            XmlError::Io(e) => TagError::Io(e),
+            XmlError::Malformed(m) => TagError::MalformedTree(m),
+        }
     }
 }
 

@@ -1,6 +1,37 @@
 //! Streaming XML writer with escaping.
 
+use std::fmt;
 use std::io::{self, Write};
+
+/// A writer-level failure: either the underlying sink failed, or the caller
+/// drove the writer through a malformed element tree (mismatched or unclosed
+/// tags). The latter is a programming error in the *tree*, not the stream,
+/// and must surface as a typed error — a serve worker can never afford to
+/// panic on it.
+#[derive(Debug)]
+pub enum XmlError {
+    /// The underlying sink failed.
+    Io(io::Error),
+    /// The open/close sequence does not describe a well-formed tree.
+    Malformed(String),
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Io(e) => write!(f, "xml writer I/O error: {e}"),
+            XmlError::Malformed(m) => write!(f, "malformed element tree: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+impl From<io::Error> for XmlError {
+    fn from(e: io::Error) -> Self {
+        XmlError::Io(e)
+    }
+}
 
 /// A streaming XML emitter. Tracks element nesting for well-formedness and
 /// reports the maximum depth reached (the tagger's constant-space claim is
@@ -72,18 +103,29 @@ impl<W: Write> XmlWriter<W> {
     }
 
     /// Close the innermost element, which must be `tag`.
-    pub fn close(&mut self, tag: &str) -> io::Result<()> {
-        let top = self.stack.pop().unwrap_or_else(|| {
-            panic!("close </{tag}> with no open element");
-        });
-        assert_eq!(top, tag, "mismatched close: <{top}> vs </{tag}>");
+    pub fn close(&mut self, tag: &str) -> Result<(), XmlError> {
+        let top = self
+            .stack
+            .pop()
+            .ok_or_else(|| XmlError::Malformed(format!("close </{tag}> with no open element")))?;
+        if top != tag {
+            // Restore the stack so `finish` reports the true open set.
+            self.stack.push(top.clone());
+            return Err(XmlError::Malformed(format!(
+                "mismatched close: <{top}> vs </{tag}>"
+            )));
+        }
         self.write("</")?;
         self.write(tag)?;
         self.write(">")?;
         Ok(())
     }
 
-    /// Emit escaped character data.
+    /// Emit escaped character data. Characters outside the XML 1.0 `Char`
+    /// production (0x00–0x08, 0x0B, 0x0C, 0x0E–0x1F) are stripped — no
+    /// escape can make them valid — and `\r` is emitted as `&#13;` so XML
+    /// line-ending normalization cannot rewrite it on re-parse. `\t` and
+    /// `\n` are valid and pass through untouched.
     pub fn text(&mut self, data: &str) -> io::Result<()> {
         let mut buf = String::with_capacity(data.len());
         for c in data.chars() {
@@ -91,6 +133,9 @@ impl<W: Write> XmlWriter<W> {
                 '&' => buf.push_str("&amp;"),
                 '<' => buf.push_str("&lt;"),
                 '>' => buf.push_str("&gt;"),
+                '\r' => buf.push_str("&#13;"),
+                '\t' | '\n' => buf.push(c),
+                c if (c as u32) < 0x20 => {} // XML-1.0-invalid: strip
                 _ => buf.push(c),
             }
         }
@@ -98,12 +143,13 @@ impl<W: Write> XmlWriter<W> {
     }
 
     /// Finish: every element must be closed.
-    pub fn finish(mut self) -> io::Result<W> {
-        assert!(
-            self.stack.is_empty(),
-            "unclosed elements at finish: {:?}",
-            self.stack
-        );
+    pub fn finish(mut self) -> Result<W, XmlError> {
+        if !self.stack.is_empty() {
+            return Err(XmlError::Malformed(format!(
+                "unclosed elements at finish: {:?}",
+                self.stack
+            )));
+        }
         if self.pretty && self.bytes > 0 {
             self.write("\n")?;
         }
@@ -159,19 +205,45 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "mismatched close")]
-    fn mismatched_close_panics() {
+    fn mismatched_close_is_typed_error() {
         let mut w = XmlWriter::new(Vec::new());
         w.open("a").unwrap();
-        let _ = w.close("b");
+        match w.close("b") {
+            Err(XmlError::Malformed(m)) => assert!(m.contains("mismatched close"), "{m}"),
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+        // The open set is intact: the element can still be closed properly.
+        w.close("a").unwrap();
+        w.finish().unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "unclosed elements")]
-    fn unclosed_finish_panics() {
+    fn close_with_nothing_open_is_typed_error() {
+        let mut w = XmlWriter::new(Vec::new());
+        match w.close("a") {
+            Err(XmlError::Malformed(m)) => assert!(m.contains("no open element"), "{m}"),
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unclosed_finish_is_typed_error() {
         let mut w = XmlWriter::new(Vec::new());
         w.open("a").unwrap();
-        let _ = w.finish();
+        match w.finish() {
+            Err(XmlError::Malformed(m)) => assert!(m.contains("unclosed elements"), "{m}"),
+            other => panic!("expected malformed error, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn invalid_control_chars_stripped_and_cr_escaped() {
+        let s = capture(|w| {
+            w.open("x").unwrap();
+            w.text("a\u{0}b\u{8}c\u{b}\u{c}d\u{1f}e\rf\tg\nh").unwrap();
+            w.close("x").unwrap();
+        });
+        assert_eq!(s, "<x>abcde&#13;f\tg\nh</x>");
     }
 
     #[test]

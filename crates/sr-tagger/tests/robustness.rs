@@ -4,7 +4,7 @@
 use sr_data::{row, DataType, Database, Row, Schema, Table};
 use sr_engine::execute;
 use sr_sqlgen::{generate_queries, PlanSpec};
-use sr_tagger::{tag_streams, RowSource, StreamInput, TagError};
+use sr_tagger::{tag_streams, RowSource, StreamInput, TagError, XmlError, XmlWriter};
 use sr_viewtree::{build, ViewTree};
 
 fn setup() -> (ViewTree, Database) {
@@ -206,6 +206,65 @@ fn unsorted_second_stream_is_blamed_by_index() {
         }
         other => panic!("expected structure error, got {other}"),
     }
+}
+
+#[test]
+fn writer_misuse_surfaces_as_malformed_tree_not_panic() {
+    // Pre-fix, a mismatched close or an unclosed element at finish was a
+    // panic!/assert! inside XmlWriter — fatal for a serve worker fed a
+    // malformed pruned tree. Both now surface as typed errors that convert
+    // to TagError::MalformedTree.
+    let mut w = XmlWriter::new(Vec::new());
+    w.open("a").unwrap();
+    let err = w.close("b").unwrap_err();
+    match TagError::from(err) {
+        TagError::MalformedTree(m) => assert!(m.contains("mismatched close"), "{m}"),
+        other => panic!("expected malformed-tree error, got {other}"),
+    }
+
+    let mut w = XmlWriter::new(Vec::new());
+    w.open("a").unwrap();
+    let err = w.finish().unwrap_err();
+    match TagError::from(err) {
+        TagError::MalformedTree(m) => assert!(m.contains("unclosed elements"), "{m}"),
+        other => panic!("expected malformed-tree error, got {other}"),
+    }
+
+    let mut w = XmlWriter::<Vec<u8>>::new(Vec::new());
+    match w.close("a").unwrap_err() {
+        XmlError::Malformed(m) => assert!(m.contains("no open element"), "{m}"),
+        other => panic!("expected malformed error, got {other}"),
+    }
+}
+
+#[test]
+fn control_characters_in_data_are_sanitized_end_to_end() {
+    // Database values can carry XML-1.0-invalid control characters; the
+    // tagger must never emit them raw. Invalid ones (0x00–0x08, 0x0B, 0x0C,
+    // 0x0E–0x1F) are stripped, `\r` is escaped as a character reference,
+    // and `\t`/`\n` pass through.
+    let mut db = Database::new();
+    let mut p = Table::new(
+        "Parent",
+        Schema::of(&[("pid", DataType::Int), ("pval", DataType::Str)]),
+    );
+    p.insert_all([row![1i64, "a\u{1}b\rc\td\u{1f}e"]]).unwrap();
+    db.add_table(p);
+    db.declare_key("Parent", &["pid"]).unwrap();
+    let q = sr_rxl::parse("from Parent $p construct <parent><v>$p.pval</v></parent>").unwrap();
+    let tree = build(&q, &db).unwrap();
+    let q = generate_queries(&tree, &db, PlanSpec::unified(&tree))
+        .unwrap()
+        .remove(0);
+    let rs = execute(&q.plan, &db).unwrap();
+    let input = StreamInput {
+        rows: RowSource::Materialized(rs.rows.into_iter()),
+        schema: rs.schema,
+        reduced: q.reduced,
+    };
+    let (_, out) = tag_streams(&tree, vec![input], Vec::new(), false).unwrap();
+    let xml = String::from_utf8(out).unwrap();
+    assert!(xml.contains("<v>ab&#13;c\tde</v>"), "{xml}");
 }
 
 #[test]

@@ -1,0 +1,586 @@
+//! Compose an XPath query with a view tree: match the steps against the
+//! global XML template, prune the tree to the matched subtrees plus their
+//! ancestor context, and push predicates down into the datalog rule bodies
+//! as SQL-able atoms — so the existing genPlan/reduce/partition machinery
+//! executes *only* the component queries the path touches.
+//!
+//! ## Result semantics
+//!
+//! The composed query materializes the **document filter** of the XPath:
+//! every element instance that matches the full path, with its complete
+//! subtree, wrapped in its chain of ancestor elements (structural context).
+//! Ancestor elements keep their direct text but only the children on
+//! retained paths; ancestor *instances* survive only if they contain a
+//! matching descendant (predicates filter upward through `EXISTS`-style
+//! joins — see below).
+//!
+//! ## Pruning
+//!
+//! `retained = ⋃ over final matches f of ancestors(f) ∪ subtree(f)`. The
+//! pruned tree keeps original Skolem-function indices (so the document
+//! order, `L`-column literals, and tag layout are byte-compatible with the
+//! full view) and the full variable table (absent variables lift to NULL
+//! for free), but renumbers node ids to a dense preorder.
+//!
+//! ## Predicate pushdown
+//!
+//! A predicate `[path op literal]` at step node `m` resolves through
+//! strictly `1`-labeled edges to a target node `d` with a single
+//! variable-text content; the comparison becomes a [`BodyPred`] on that
+//! variable's source column. The target's rule body (a superset of every
+//! ancestor's body, and 1:1 with `m` by the edge labels) plus the new
+//! predicate is merged into **every retained node's body**:
+//!
+//! * at `m` and below, this filters instances directly (conjunction);
+//! * at ancestors of `m`, the merged joins act as an `EXISTS` filter —
+//!   across a `*`/`+` edge they may duplicate ancestor tuples, but
+//!   duplicates are adjacent under the §3.2 sort and the tagger treats
+//!   identical path+key rows as no-ops, so the document is unchanged.
+//!
+//! Because the filter applies consistently to every retained node, the
+//! multiplicity labels of the original tree remain sound and all plans in
+//! the space (unified / partitioned / outer-union) stay byte-identical.
+//!
+//! To keep ancestor filtering a pure conjunction, a predicate is only
+//! accepted when its step resolves to a **single** view node; paths whose
+//! predicates would distribute over several sibling nodes (union
+//! semantics) are rejected as unsupported.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use sr_rxl::RxlCmp;
+use sr_viewtree::{
+    BodyOperand, BodyPred, Mult, NodeContent, NodeId, RuleBody, TextSource, VarId, ViewNode,
+    ViewTree,
+};
+
+use crate::parse::{Axis, Literal, Pred, PredPath, XPath};
+
+/// The result of composing an XPath with a view tree.
+#[derive(Debug, Clone)]
+pub struct Composed {
+    /// The pruned view tree, ready for plan generation. Node ids are
+    /// renumbered to a dense preorder; Skolem indices and the variable
+    /// table are preserved from the original.
+    pub tree: ViewTree,
+    /// Ids (in the pruned tree) of the nodes matching the final step.
+    pub matched: Vec<NodeId>,
+    /// Ids (in the *original* tree) of the retained nodes, in preorder.
+    pub retained: Vec<NodeId>,
+    /// How many of the original nodes were pruned away.
+    pub pruned_nodes: usize,
+}
+
+/// Why a composition failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComposeError {
+    /// The path matches no node of the view template: the result document
+    /// is statically empty (callers usually serve an empty document).
+    NoMatch,
+    /// The path is outside the supported fragment for this view.
+    Unsupported(String),
+}
+
+impl fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComposeError::NoMatch => write!(f, "the path matches no node of the view"),
+            ComposeError::Unsupported(m) => write!(f, "unsupported over this view: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ComposeError {}
+
+/// How a predicate resolved against a candidate node.
+enum Resolved {
+    /// Compare this variable's source column in SQL; the variable's text
+    /// lives at `target` (whose rule body must be merged in).
+    Var {
+        /// The node holding the text.
+        target: NodeId,
+        /// Its text variable.
+        var: VarId,
+    },
+    /// The compared text is a constant: decided at compose time.
+    Static(bool),
+    /// The predicate path does not exist under this node: never matches.
+    Absent,
+}
+
+/// Compose `path` with `tree`. See the module docs for semantics.
+pub fn compose(tree: &ViewTree, path: &XPath) -> Result<Composed, ComposeError> {
+    if path.steps.is_empty() {
+        return Err(ComposeError::Unsupported("empty path".into()));
+    }
+
+    // Forward pass: the set of view nodes matching each step.
+    let mut matched: Vec<BTreeSet<NodeId>> = Vec::with_capacity(path.steps.len());
+    for (si, step) in path.steps.iter().enumerate() {
+        let mut cands: BTreeSet<NodeId> = BTreeSet::new();
+        if si == 0 {
+            match step.axis {
+                // The document root's children are the root elements.
+                Axis::Child => {
+                    cands.insert(tree.root());
+                }
+                Axis::Descendant => cands.extend(0..tree.nodes.len()),
+            }
+        } else {
+            for &m in &matched[si - 1] {
+                match step.axis {
+                    Axis::Child => cands.extend(tree.node(m).children.iter().copied()),
+                    Axis::Descendant => collect_descendants(tree, m, &mut cands),
+                }
+            }
+        }
+        cands.retain(|&n| step.test.accepts(&tree.node(n).tag));
+        let mut set = BTreeSet::new();
+        'cand: for &n in &cands {
+            for pred in &step.preds {
+                match resolve_pred(tree, n, pred)? {
+                    Resolved::Absent | Resolved::Static(false) => continue 'cand,
+                    Resolved::Static(true) | Resolved::Var { .. } => {}
+                }
+            }
+            set.insert(n);
+        }
+        if set.is_empty() {
+            return Err(ComposeError::NoMatch);
+        }
+        matched.push(set);
+    }
+
+    // Backward pass: keep only nodes that lead to a final match (a step
+    // node whose branch dead-ends must be neither retained nor injected).
+    let mut active = matched;
+    for s in (1..active.len()).rev() {
+        let axis = path.steps[s].axis;
+        let next = active[s].clone();
+        active[s - 1].retain(|&m| next.iter().any(|&n| linked(tree, m, n, axis)));
+    }
+
+    // Retained = ancestors + full subtrees of the final matches.
+    let final_set = active.last().expect("at least one step").clone();
+    let mut retained_set: BTreeSet<NodeId> = BTreeSet::new();
+    for &f in &final_set {
+        let mut a = tree.node(f).parent;
+        while let Some(p) = a {
+            retained_set.insert(p);
+            a = tree.node(p).parent;
+        }
+        collect_descendants(tree, f, &mut retained_set);
+        retained_set.insert(f);
+    }
+
+    // Resolve predicates to body injections.
+    let mut injections: Vec<(NodeId, BodyPred)> = Vec::new();
+    for (s, step) in path.steps.iter().enumerate() {
+        if step.preds.is_empty() {
+            continue;
+        }
+        if active[s].len() > 1 {
+            return Err(ComposeError::Unsupported(format!(
+                "predicate on step {} applies to {} distinct view nodes; \
+                 predicates must resolve to a single view node",
+                s + 1,
+                active[s].len()
+            )));
+        }
+        let m = *active[s].iter().next().expect("non-empty step set");
+        for pred in &step.preds {
+            match resolve_pred(tree, m, pred)? {
+                // Feasibility was checked in the forward pass.
+                Resolved::Absent | Resolved::Static(false) => return Err(ComposeError::NoMatch),
+                Resolved::Static(true) => {}
+                Resolved::Var { target, var } => {
+                    let v = tree.var(var);
+                    injections.push((
+                        target,
+                        BodyPred {
+                            left: BodyOperand::Field {
+                                alias: v.alias.clone(),
+                                column: v.column.clone(),
+                            },
+                            op: pred.op,
+                            right: literal_operand(&pred.value),
+                        },
+                    ));
+                }
+            }
+        }
+    }
+
+    // Build the pruned tree: dense preorder ids, original SFIs, filtered
+    // content, injected bodies, full variable table.
+    let keep: Vec<NodeId> = preorder(tree)
+        .into_iter()
+        .filter(|n| retained_set.contains(n))
+        .collect();
+    let mut map = vec![usize::MAX; tree.nodes.len()];
+    for (new, &old) in keep.iter().enumerate() {
+        map[old] = new;
+    }
+    let mut nodes = Vec::with_capacity(keep.len());
+    for &old in &keep {
+        let n = tree.node(old);
+        let mut body = n.body.clone();
+        for (d, p) in &injections {
+            merge_body(&mut body, &tree.node(*d).body)?;
+            if !body.preds.contains(p) {
+                body.preds.push(p.clone());
+            }
+        }
+        nodes.push(ViewNode {
+            id: map[old],
+            parent: n.parent.map(|p| map[p]),
+            children: n
+                .children
+                .iter()
+                .filter(|&&c| map[c] != usize::MAX)
+                .map(|&c| map[c])
+                .collect(),
+            tag: n.tag.clone(),
+            sfi: n.sfi.clone(),
+            args: n.args.clone(),
+            key_args: n.key_args.clone(),
+            content: n
+                .content
+                .iter()
+                .filter_map(|c| match c {
+                    NodeContent::Text(t) => Some(NodeContent::Text(t.clone())),
+                    NodeContent::Child(c) if map[*c] != usize::MAX => {
+                        Some(NodeContent::Child(map[*c]))
+                    }
+                    NodeContent::Child(_) => None,
+                })
+                .collect(),
+            body,
+            label: n.label,
+        });
+    }
+
+    let mut matched_new: Vec<NodeId> = final_set.iter().map(|&f| map[f]).collect();
+    matched_new.sort_unstable();
+    let pruned_nodes = tree.nodes.len() - keep.len();
+    Ok(Composed {
+        tree: ViewTree {
+            nodes,
+            vars: tree.vars.clone(),
+        },
+        matched: matched_new,
+        retained: keep,
+        pruned_nodes,
+    })
+}
+
+/// All strict descendants of `n`.
+fn collect_descendants(tree: &ViewTree, n: NodeId, out: &mut BTreeSet<NodeId>) {
+    let mut stack: Vec<NodeId> = tree.node(n).children.clone();
+    while let Some(c) = stack.pop() {
+        if out.insert(c) {
+            stack.extend(tree.node(c).children.iter().copied());
+        }
+    }
+}
+
+/// Does `m` reach `n` along `axis`?
+fn linked(tree: &ViewTree, m: NodeId, n: NodeId, axis: Axis) -> bool {
+    match axis {
+        Axis::Child => tree.node(n).parent == Some(m),
+        Axis::Descendant => {
+            let mut a = tree.node(n).parent;
+            while let Some(p) = a {
+                if p == m {
+                    return true;
+                }
+                a = tree.node(p).parent;
+            }
+            false
+        }
+    }
+}
+
+/// Preorder traversal (document order) of the tree's node ids.
+fn preorder(tree: &ViewTree) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(tree.nodes.len());
+    let mut stack = vec![tree.root()];
+    while let Some(n) = stack.pop() {
+        out.push(n);
+        stack.extend(tree.node(n).children.iter().rev().copied());
+    }
+    out
+}
+
+/// Resolve a predicate at node `n`: follow its child path through strictly
+/// `1`-labeled edges to the text-bearing target.
+fn resolve_pred(tree: &ViewTree, n: NodeId, pred: &Pred) -> Result<Resolved, ComposeError> {
+    let target = match &pred.path {
+        PredPath::SelfText => n,
+        PredPath::Children(names) => {
+            let mut cur = n;
+            for name in names {
+                let hits: Vec<NodeId> = tree
+                    .node(cur)
+                    .children
+                    .iter()
+                    .copied()
+                    .filter(|&c| tree.node(c).tag == *name)
+                    .collect();
+                let c = match hits.as_slice() {
+                    [] => return Ok(Resolved::Absent),
+                    [c] => *c,
+                    _ => {
+                        return Err(ComposeError::Unsupported(format!(
+                            "predicate path element <{name}> is ambiguous under <{}>",
+                            tree.node(cur).tag
+                        )))
+                    }
+                };
+                if tree.node(c).label != Mult::One {
+                    return Err(ComposeError::Unsupported(format!(
+                        "predicate path crosses a non-1 edge into <{name}> \
+                         (label {}); only 1-labeled paths are supported",
+                        tree.node(c).label
+                    )));
+                }
+                cur = c;
+            }
+            cur
+        }
+    };
+    let texts: Vec<&TextSource> = tree
+        .node(target)
+        .content
+        .iter()
+        .filter_map(|c| match c {
+            NodeContent::Text(t) => Some(t),
+            NodeContent::Child(_) => None,
+        })
+        .collect();
+    match texts.as_slice() {
+        [] => Ok(Resolved::Absent),
+        [TextSource::Var(v)] => Ok(Resolved::Var { target, var: *v }),
+        [TextSource::Lit(s)] => static_eval(s, pred.op, &pred.value).map(Resolved::Static),
+        _ => Err(ComposeError::Unsupported(format!(
+            "<{}> has mixed or multiple text content; its text cannot be \
+             compared in a predicate",
+            tree.node(target).tag
+        ))),
+    }
+}
+
+/// Decide a predicate against constant text at compose time.
+fn static_eval(text: &str, op: RxlCmp, value: &Literal) -> Result<bool, ComposeError> {
+    let rhs = match value {
+        Literal::Str(s) => s.clone(),
+        Literal::Int(i) => i.to_string(),
+        Literal::Float(x) => x.to_string(),
+    };
+    match op {
+        RxlCmp::Eq => Ok(*text == rhs),
+        RxlCmp::Ne => Ok(*text != rhs),
+        _ => Err(ComposeError::Unsupported(
+            "ordered comparison against constant text content".into(),
+        )),
+    }
+}
+
+fn literal_operand(value: &Literal) -> BodyOperand {
+    match value {
+        Literal::Int(i) => BodyOperand::Int(*i),
+        Literal::Float(x) => BodyOperand::Float(*x),
+        Literal::Str(s) => BodyOperand::Str(s.clone()),
+    }
+}
+
+/// Merge `extra`'s atoms and predicates into `body`, deduplicating by
+/// alias / structural equality. An alias bound to two different tables
+/// cannot be merged soundly.
+fn merge_body(body: &mut RuleBody, extra: &RuleBody) -> Result<(), ComposeError> {
+    for a in &extra.atoms {
+        match body.atoms.iter().find(|b| b.alias == a.alias) {
+            Some(b) if b.table == a.table => {}
+            Some(b) => {
+                return Err(ComposeError::Unsupported(format!(
+                    "alias {} binds both {} and {}; cannot merge predicate scope",
+                    a.alias, b.table, a.table
+                )))
+            }
+            None => body.atoms.push(a.clone()),
+        }
+    }
+    for p in &extra.preds {
+        if !body.preds.contains(p) {
+            body.preds.push(p.clone());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use sr_data::{row, DataType, Database, Schema, Table};
+    use sr_viewtree::build;
+
+    /// parent(1) → v[1], child[*]; v holds $p.pval, child holds $c.cid.
+    fn setup() -> ViewTree {
+        let mut db = Database::new();
+        let mut p = Table::new(
+            "Parent",
+            Schema::of(&[("pid", DataType::Int), ("pval", DataType::Str)]),
+        );
+        p.insert_all([row![1i64, "a"]]).unwrap();
+        let mut c = Table::new(
+            "Child",
+            Schema::of(&[("cid", DataType::Int), ("pid", DataType::Int)]),
+        );
+        c.insert_all([row![10i64, 1i64]]).unwrap();
+        db.add_table(p);
+        db.add_table(c);
+        db.declare_key("Parent", &["pid"]).unwrap();
+        db.declare_key("Child", &["cid"]).unwrap();
+        let q = sr_rxl::parse(
+            "from Parent $p construct <parent><v>$p.pval</v>\
+             { from Child $c where $p.pid = $c.pid \
+               construct <child>$c.cid</child> }</parent>",
+        )
+        .unwrap();
+        build(&q, &db).unwrap()
+    }
+
+    #[test]
+    fn root_path_keeps_everything() {
+        let tree = setup();
+        let c = compose(&tree, &parse("/parent").unwrap()).unwrap();
+        assert_eq!(c.pruned_nodes, 0);
+        assert_eq!(c.retained, vec![0, 1, 2]);
+        assert_eq!(c.matched, vec![0]);
+        assert_eq!(c.tree.nodes.len(), tree.nodes.len());
+        for (a, b) in tree.nodes.iter().zip(&c.tree.nodes) {
+            assert_eq!(a.sfi, b.sfi);
+            assert_eq!(a.body, b.body);
+        }
+    }
+
+    #[test]
+    fn child_step_prunes_siblings() {
+        let tree = setup();
+        let c = compose(&tree, &parse("/parent/child").unwrap()).unwrap();
+        assert_eq!(c.pruned_nodes, 1, "v is pruned");
+        assert_eq!(c.tree.nodes.len(), 2);
+        assert_eq!(c.tree.node(0).tag, "parent");
+        assert_eq!(c.tree.node(1).tag, "child");
+        // Original SFI preserved; parent's content no longer references v.
+        let child_old = tree.nodes.iter().find(|n| n.tag == "child").unwrap();
+        assert_eq!(c.tree.node(1).sfi, child_old.sfi);
+        assert_eq!(c.tree.node(0).children, vec![1]);
+        assert!(c
+            .tree
+            .node(0)
+            .content
+            .iter()
+            .all(|x| matches!(x, NodeContent::Child(1)) || matches!(x, NodeContent::Text(_))));
+        assert_eq!(c.matched, vec![1]);
+    }
+
+    #[test]
+    fn descendant_axis_and_wildcard() {
+        let tree = setup();
+        let c = compose(&tree, &parse("//child").unwrap()).unwrap();
+        assert_eq!(c.pruned_nodes, 1);
+        let c = compose(&tree, &parse("/parent/*").unwrap()).unwrap();
+        assert_eq!(c.pruned_nodes, 0, "wildcard matches both children");
+        assert_eq!(c.matched, vec![1, 2]);
+    }
+
+    #[test]
+    fn self_text_predicate_is_injected_everywhere() {
+        let tree = setup();
+        let c = compose(&tree, &parse("/parent/v[. = \"a\"]").unwrap()).unwrap();
+        assert_eq!(c.pruned_nodes, 1, "child pruned");
+        let want = BodyPred {
+            left: BodyOperand::field("p", "pval"),
+            op: RxlCmp::Eq,
+            right: BodyOperand::Str("a".into()),
+        };
+        for n in &c.tree.nodes {
+            assert!(n.body.preds.contains(&want), "missing in <{}>", n.tag);
+        }
+        // Labels are untouched: the filter applies consistently above and
+        // below, so multiplicity soundness is preserved.
+        let v_old = tree.nodes.iter().find(|n| n.tag == "v").unwrap();
+        assert_eq!(c.tree.node(1).label, v_old.label);
+    }
+
+    #[test]
+    fn child_path_predicate_resolves_through_one_edges() {
+        let tree = setup();
+        let c = compose(&tree, &parse("/parent[v = \"a\"]/child").unwrap()).unwrap();
+        // v itself is pruned (not an ancestor or match), but its predicate
+        // filters both retained nodes.
+        assert_eq!(c.pruned_nodes, 1);
+        for n in &c.tree.nodes {
+            assert!(
+                n.body
+                    .preds
+                    .iter()
+                    .any(|p| p.right == BodyOperand::Str("a".into())),
+                "missing in <{}>",
+                n.tag
+            );
+        }
+    }
+
+    #[test]
+    fn predicate_across_starred_edge_is_unsupported() {
+        let tree = setup();
+        let err = compose(&tree, &parse("/parent[child = 10]").unwrap()).unwrap_err();
+        match err {
+            ComposeError::Unsupported(m) => assert!(m.contains("non-1 edge"), "{m}"),
+            other => panic!("expected unsupported, got {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_tag_is_no_match() {
+        let tree = setup();
+        assert_eq!(
+            compose(&tree, &parse("/nope").unwrap()).unwrap_err(),
+            ComposeError::NoMatch
+        );
+        assert_eq!(
+            compose(&tree, &parse("/parent/child/deeper").unwrap()).unwrap_err(),
+            ComposeError::NoMatch
+        );
+        // A predicate over an absent child path can never hold.
+        assert_eq!(
+            compose(&tree, &parse("/parent[nope = 1]").unwrap()).unwrap_err(),
+            ComposeError::NoMatch
+        );
+    }
+
+    #[test]
+    fn predicate_on_multi_node_step_is_unsupported() {
+        let tree = setup();
+        // `*` matches both v and child; a predicate there would distribute
+        // over siblings (union semantics) and is rejected.
+        let err = compose(&tree, &parse("/parent/*[. != 99]").unwrap()).unwrap_err();
+        match err {
+            ComposeError::Unsupported(m) => assert!(m.contains("single view node"), "{m}"),
+            other => panic!("expected unsupported, got {other}"),
+        }
+    }
+
+    #[test]
+    fn dead_branches_are_not_retained() {
+        let tree = setup();
+        // //v: child's subtree is not an ancestor or match — pruned.
+        let c = compose(&tree, &parse("//v").unwrap()).unwrap();
+        assert_eq!(c.pruned_nodes, 1);
+        assert!(c.tree.nodes.iter().all(|n| n.tag != "child"));
+    }
+}

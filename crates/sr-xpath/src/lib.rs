@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! # sr-xpath
+//!
+//! Ad-hoc XPath queries over the **virtual XML view** — the companion
+//! capability of "Efficient Evaluation of XML Middle-ware Queries"
+//! (SIGMOD 2001, §7): instead of materializing the whole view, a user
+//! query selects a small part of it, and SilkRoute composes the query
+//! with the view definition so only the relevant SQL runs.
+//!
+//! Two halves:
+//!
+//! * [`parse()`] — a small XPath subset: child (`/`) and descendant
+//!   (`//`) steps, name and `*` tests, positional-free predicates
+//!   comparing element text against literals.
+//! * [`compose()`] — match the path against the view tree's global XML
+//!   template, prune to the matched subtrees plus ancestor context, and
+//!   push predicates into the datalog rule bodies; the result is a
+//!   smaller [`sr_viewtree::ViewTree`] that the ordinary
+//!   genPlan/reduce/partition pipeline executes.
+
+pub mod compose;
+pub mod parse;
+
+pub use compose::{compose, ComposeError, Composed};
+pub use parse::{
+    parse, Axis, Literal, NameTest, Pred, PredPath, Step, XPath, XPathError, MAX_STEPS,
+};

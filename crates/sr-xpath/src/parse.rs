@@ -1,0 +1,449 @@
+//! Parser for the XPath subset served against virtual views.
+//!
+//! ```text
+//! xpath   := step+
+//! step    := ('/' | '//') test pred*
+//! test    := Name | '*'
+//! pred    := '[' ppath cmp literal ']'
+//! ppath   := '.' | 'text()' | Name ('/' Name)*
+//! cmp     := = != < <= > >=
+//! literal := "str" | 'str' | int | float
+//! ```
+//!
+//! Supported: child (`/`) and descendant (`//`) axes, name and `*` tests,
+//! and positional-free predicates comparing an element's text (its own, or
+//! a child path's) against a literal. Not supported: positions (`[1]`),
+//! attributes, functions, unions, or predicates over other predicates.
+
+use std::fmt;
+
+use sr_rxl::RxlCmp;
+
+/// A step axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `/` — children of the context node.
+    Child,
+    /// `//` — descendants of the context node.
+    Descendant,
+}
+
+/// A step's node test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameTest {
+    /// A literal element name.
+    Tag(String),
+    /// `*` — any element.
+    Wildcard,
+}
+
+impl NameTest {
+    /// Does this test accept `tag`?
+    pub fn accepts(&self, tag: &str) -> bool {
+        match self {
+            NameTest::Tag(t) => t == tag,
+            NameTest::Wildcard => true,
+        }
+    }
+}
+
+/// The left-hand side of a predicate: whose text is compared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredPath {
+    /// `.` or `text()` — the step element's own text.
+    SelfText,
+    /// `name/name/…` — the text of a descendant reached by child steps.
+    Children(Vec<String>),
+}
+
+/// A predicate's comparison literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => write!(f, "{x}"),
+            Literal::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// One `[path op literal]` predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pred {
+    /// Whose text is compared.
+    pub path: PredPath,
+    /// The comparison operator.
+    pub op: RxlCmp,
+    /// The literal compared against.
+    pub value: Literal,
+}
+
+/// One location step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// The axis from the previous step's context.
+    pub axis: Axis,
+    /// The node test.
+    pub test: NameTest,
+    /// Zero or more predicates, all of which must hold.
+    pub preds: Vec<Pred>,
+}
+
+/// A parsed XPath expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XPath {
+    /// The location steps, outermost first.
+    pub steps: Vec<Step>,
+}
+
+/// A parse failure, with the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathError {
+    /// Byte offset into the source.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+/// Maximum number of location steps. Serve feeds this parser untrusted
+/// input; the composer walks the view tree per step, so an absurd step
+/// count is rejected up front.
+pub const MAX_STEPS: usize = 64;
+
+/// Parse an XPath expression.
+///
+/// ```
+/// let p = sr_xpath::parse("/supplier/part[name = \"x\"]//order").unwrap();
+/// assert_eq!(p.steps.len(), 3);
+/// ```
+pub fn parse(src: &str) -> Result<XPath, XPathError> {
+    let mut p = Scanner {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    let mut steps = Vec::new();
+    p.skip_ws();
+    loop {
+        if !p.eat(b'/') {
+            if steps.is_empty() {
+                return Err(p.err("an XPath must start with '/' or '//'"));
+            }
+            break;
+        }
+        let axis = if p.eat(b'/') {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        };
+        steps.push(p.step(axis)?);
+        if steps.len() > MAX_STEPS {
+            return Err(p.err(format!("more than {MAX_STEPS} steps")));
+        }
+        p.skip_ws();
+    }
+    p.skip_ws();
+    if p.pos < p.src.len() {
+        return Err(p.err(format!("trailing input: {:?}", p.rest())));
+    }
+    Ok(XPath { steps })
+}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn err(&self, message: impl Into<String>) -> XPathError {
+        XPathError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> String {
+        String::from_utf8_lossy(&self.src[self.pos.min(self.src.len())..])
+            .chars()
+            .take(16)
+            .collect()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn is_name_start(b: u8) -> bool {
+        b.is_ascii_alphabetic() || b == b'_'
+    }
+
+    fn is_name_cont(b: u8) -> bool {
+        b.is_ascii_alphanumeric() || b == b'_' || b == b'-'
+    }
+
+    fn name(&mut self) -> Result<String, XPathError> {
+        match self.peek() {
+            Some(b) if Self::is_name_start(b) => {}
+            _ => return Err(self.err("expected a name")),
+        }
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if Self::is_name_cont(b)) {
+            self.pos += 1;
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn step(&mut self, axis: Axis) -> Result<Step, XPathError> {
+        let test = if self.eat(b'*') {
+            NameTest::Wildcard
+        } else {
+            NameTest::Tag(self.name().map_err(|mut e| {
+                e.message = "expected an element name or '*' after '/'".into();
+                e
+            })?)
+        };
+        let mut preds = Vec::new();
+        loop {
+            self.skip_ws();
+            if !self.eat(b'[') {
+                break;
+            }
+            preds.push(self.pred()?);
+        }
+        Ok(Step { axis, test, preds })
+    }
+
+    fn pred(&mut self) -> Result<Pred, XPathError> {
+        self.skip_ws();
+        let path = self.pred_path()?;
+        self.skip_ws();
+        let op = self.cmp()?;
+        self.skip_ws();
+        let value = self.literal()?;
+        self.skip_ws();
+        if !self.eat(b']') {
+            return Err(self.err("expected ']' to close the predicate"));
+        }
+        Ok(Pred { path, op, value })
+    }
+
+    fn pred_path(&mut self) -> Result<PredPath, XPathError> {
+        if self.eat(b'.') {
+            return Ok(PredPath::SelfText);
+        }
+        let first = self.name().map_err(|mut e| {
+            e.message = "expected '.', 'text()', or a child path in predicate".into();
+            e
+        })?;
+        if first == "text" && self.eat(b'(') {
+            if !self.eat(b')') {
+                return Err(self.err("expected ')' after 'text('"));
+            }
+            return Ok(PredPath::SelfText);
+        }
+        let mut names = vec![first];
+        while self.eat(b'/') {
+            names.push(self.name()?);
+        }
+        Ok(PredPath::Children(names))
+    }
+
+    fn cmp(&mut self) -> Result<RxlCmp, XPathError> {
+        if self.eat(b'=') {
+            return Ok(RxlCmp::Eq);
+        }
+        if self.eat(b'!') {
+            if self.eat(b'=') {
+                return Ok(RxlCmp::Ne);
+            }
+            return Err(self.err("expected '=' after '!'"));
+        }
+        if self.eat(b'<') {
+            return Ok(if self.eat(b'=') {
+                RxlCmp::Le
+            } else {
+                RxlCmp::Lt
+            });
+        }
+        if self.eat(b'>') {
+            return Ok(if self.eat(b'=') {
+                RxlCmp::Ge
+            } else {
+                RxlCmp::Gt
+            });
+        }
+        Err(self.err("expected a comparison operator"))
+    }
+
+    fn literal(&mut self) -> Result<Literal, XPathError> {
+        match self.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b == q {
+                        let s = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                        self.pos += 1;
+                        return Ok(Literal::Str(s));
+                    }
+                    self.pos += 1;
+                }
+                Err(self.err("unterminated string literal"))
+            }
+            Some(b) if b.is_ascii_digit() || b == b'-' => {
+                let start = self.pos;
+                if b == b'-' {
+                    self.pos += 1;
+                }
+                let mut saw_dot = false;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        self.pos += 1;
+                    } else if c == b'.' && !saw_dot {
+                        saw_dot = true;
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                if saw_dot {
+                    text.parse::<f64>()
+                        .map(Literal::Float)
+                        .map_err(|_| self.err(format!("bad float literal {text:?}")))
+                } else {
+                    text.parse::<i64>()
+                        .map(Literal::Int)
+                        .map_err(|_| self.err(format!("bad integer literal {text:?}")))
+                }
+            }
+            _ => Err(self.err("expected a string or numeric literal")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_child_path() {
+        let p = parse("/supplier/part/name").unwrap();
+        assert_eq!(p.steps.len(), 3);
+        assert!(p
+            .steps
+            .iter()
+            .all(|s| s.axis == Axis::Child && s.preds.is_empty()));
+        assert_eq!(p.steps[2].test, NameTest::Tag("name".into()));
+    }
+
+    #[test]
+    fn descendant_and_wildcard() {
+        let p = parse("//part/*").unwrap();
+        assert_eq!(p.steps[0].axis, Axis::Descendant);
+        assert_eq!(p.steps[1].test, NameTest::Wildcard);
+    }
+
+    #[test]
+    fn predicates() {
+        let p = parse(
+            "/supplier[name = \"Acme\"]/part[. != 'x'][text() = 3]//order[price/amount >= 1.5]",
+        )
+        .unwrap();
+        assert_eq!(p.steps[0].preds.len(), 1);
+        assert_eq!(
+            p.steps[0].preds[0],
+            Pred {
+                path: PredPath::Children(vec!["name".into()]),
+                op: RxlCmp::Eq,
+                value: Literal::Str("Acme".into()),
+            }
+        );
+        assert_eq!(p.steps[1].preds.len(), 2);
+        assert_eq!(p.steps[1].preds[0].path, PredPath::SelfText);
+        assert_eq!(p.steps[1].preds[1].path, PredPath::SelfText);
+        assert_eq!(p.steps[1].preds[1].value, Literal::Int(3));
+        let last = &p.steps[2].preds[0];
+        assert_eq!(
+            last.path,
+            PredPath::Children(vec!["price".into(), "amount".into()])
+        );
+        assert_eq!(last.op, RxlCmp::Ge);
+        assert_eq!(last.value, Literal::Float(1.5));
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let p = parse("/a[. < -12]").unwrap();
+        assert_eq!(p.steps[0].preds[0].value, Literal::Int(-12));
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        for (src, frag) in [
+            ("supplier", "must start with"),
+            ("/", "element name or '*'"),
+            ("/a[", "in predicate"),
+            ("/a[.]", "comparison operator"),
+            ("/a[. =]", "literal"),
+            ("/a[. = \"x\"", "']'"),
+            ("/a[. = \"x]", "unterminated"),
+            ("/a extra", "trailing"),
+            ("/a[. ! 3]", "'=' after '!'"),
+        ] {
+            let err = parse(src).unwrap_err();
+            assert!(err.message.contains(frag), "{src:?}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn step_count_is_bounded() {
+        let src = "/a".repeat(MAX_STEPS + 1);
+        let err = parse(&src).unwrap_err();
+        assert!(err.message.contains("steps"), "{}", err.message);
+        assert!(parse(&"/a".repeat(MAX_STEPS)).is_ok());
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        // Inside predicates, between steps, and around the expression.
+        let p = parse("  /supplier[ name = 'x' ] //part  ").unwrap();
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[1].axis, Axis::Descendant);
+        // But not between the axis and its name test.
+        let err = parse("/supplier/ part").unwrap_err();
+        assert!(err.message.contains("element name"), "{}", err.message);
+    }
+}

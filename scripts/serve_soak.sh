@@ -41,6 +41,12 @@ done
 [ "$up" = 1 ] || { echo "server never came up" >&2; exit 1; }
 cmp tests/golden/query1.xml "$WORK/probe.xml"
 
+# An XPath over the virtual view, served over the wire: the pruned
+# document comes back and the request lands in the query log below.
+"$BIN" client query1 --connect "$ADDR" --plan unified \
+    --xpath /supplier/name --out "$WORK/xp.xml"
+grep -q '^<supplier><name>' "$WORK/xp.xml"
+
 # Concurrent clients, each materializing both benchmark views — query2
 # deliberately through a different plan, which must not change the bytes.
 pids=()
@@ -80,6 +86,8 @@ python3 scripts/validate_machine_output.py qlog "$WORK/qlog.jsonl"
 python3 - "$WORK/qlog.jsonl" <<'EOF'
 import json, sys
 records = [json.loads(line) for line in open(sys.argv[1])]
+assert any(r.get("xpath") == "/supplier/name" for r in records), \
+    "no query-log record for the XPath request"
 slow = [r for r in records if r.get("slow")]
 assert slow, "no slow record despite the injected scan delay"
 r = slow[0]

@@ -8,6 +8,7 @@ Usage:
     validate_machine_output.py shard  BENCH.json    # BENCH_shard.json
     validate_machine_output.py serve  BENCH.json    # BENCH_serve.json
     validate_machine_output.py recost BENCH.json    # BENCH_recost.json
+    validate_machine_output.py xpath  BENCH.json    # BENCH_xpath.json
     validate_machine_output.py stats  STATS.json    # `silkroute stats` snapshot
     validate_machine_output.py qlog   QUERY.jsonl   # --query-log JSONL file
 
@@ -395,10 +396,63 @@ def validate_recost(doc):
             f"{doc['oracle_recost']} re-plan(s)")
 
 
+def validate_xpath(doc):
+    check(doc.get("bench") == "xpath", "not an xpath bench document")
+    require(doc, "quick", bool, "bench")
+    check(require(doc, "scale_mb", NUM, "bench") > 0, "bench.scale_mb not positive")
+    require(doc, "view", str, "bench")
+    point_keys = ("streams", "sql_bytes", "doc_bytes")
+    full = require(doc, "full", dict, "bench")
+    for key in point_keys:
+        check(require(full, key, int, "full") >= 0, f"full.{key} negative")
+    check(full["streams"] >= 1, "full.streams must be >= 1")
+    for key in ("server_ms", "total_ms"):
+        check(require(full, key, NUM, "full") >= 0, f"full.{key} negative")
+    paths = require(doc, "paths", list, "bench")
+    check(paths, "bench.paths is empty")
+    names = set()
+    for i, p in enumerate(paths):
+        ctx = f"paths[{i}]"
+        names.add(require(p, "name", str, ctx))
+        require(p, "xpath", str, ctx)
+        pruned = require(p, "pruned_nodes", int, ctx)
+        retained = require(p, "retained_nodes", int, ctx)
+        check(pruned > 0, f"{ctx}: a benchmark path must prune something")
+        check(retained >= 1, f"{ctx}: nothing retained")
+        for key in point_keys:
+            check(require(p, key, int, ctx) >= 0, f"{ctx}.{key} negative")
+        # Pruning can only shrink the plan and what the server ships.
+        check(p["streams"] <= full["streams"],
+              f"{ctx}: pruned plan ran more component queries than full")
+        check(p["streams"] <= retained,
+              f"{ctx}: more streams than retained view nodes")
+        check(p["sql_bytes"] <= full["sql_bytes"],
+              f"{ctx}: pruned run shipped more SQL bytes than full")
+        check(require(p, "stream_reduction", NUM, ctx) >= 1.0,
+              f"{ctx}.stream_reduction below 1")
+        check(require(p, "byte_reduction", NUM, ctx) >= 1.0,
+              f"{ctx}.byte_reduction below 1")
+    # Hard acceptance bar: the selective path executes strictly fewer
+    # component queries and ships >= 5x fewer bytes of SQL results. Both
+    # are deterministic byte/stream counts, so this cannot flake.
+    acc = require(doc, "acceptance", dict, "bench")
+    acc_path = require(acc, "path", str, "acceptance")
+    check(acc_path in names, f"acceptance.path {acc_path!r} not measured")
+    check(require(acc, "stream_reduction", NUM, "acceptance") > 1.0,
+          "acceptance: the selective path must run strictly fewer "
+          "component queries than full materialization")
+    byte_red = require(acc, "byte_reduction", NUM, "acceptance")
+    check(byte_red >= 5.0,
+          f"acceptance: byte reduction {byte_red:.2f}x below the 5x bar")
+    return (f"xpath bench OK: {len(paths)} path(s), acceptance "
+            f"{byte_red:.1f}x fewer SQL bytes")
+
+
 # Outcomes a query-log record may carry: success, a typed wire error, an
 # admission refusal, or a client that vanished mid-response.
 QLOG_OUTCOMES = {"ok", "busy", "gone", "MALFORMED", "UNKNOWN_VIEW",
-                 "BAD_PLAN", "ENGINE", "CANCELLED", "TIMEOUT", "INTERNAL"}
+                 "BAD_PLAN", "ENGINE", "CANCELLED", "TIMEOUT", "INTERNAL",
+                 "BAD_QUERY"}
 
 
 def validate_stats(doc):
@@ -484,6 +538,9 @@ def validate_qlog(path):
         require(r, "client", int, ctx)
         require(r, "view", str, ctx)
         require(r, "plan", str, ctx)
+        # Empty for a full materialization, the path text for a virtual-view
+        # query (docs/VIRTUAL_VIEWS.md).
+        require(r, "xpath", str, ctx)
         check(require(r, "format", str, ctx) in ("xml", "tuples"),
               f"{ctx}: unknown format {r['format']!r}")
         require(r, "exec_mode", str, ctx)
@@ -519,7 +576,7 @@ def validate_qlog(path):
 def main():
     if len(sys.argv) != 3 or sys.argv[1] not in ("report", "trace", "bench",
                                                  "shard", "serve", "recost",
-                                                 "stats", "qlog"):
+                                                 "xpath", "stats", "qlog"):
         print(__doc__, file=sys.stderr)
         return 2
     mode, path = sys.argv[1], sys.argv[2]
@@ -542,6 +599,7 @@ def main():
               "shard": validate_shard,
               "serve": validate_serve,
               "recost": validate_recost,
+              "xpath": validate_xpath,
               "stats": validate_stats}[mode](doc)
     print(result)
     return 0
